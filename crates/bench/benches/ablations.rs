@@ -1,0 +1,67 @@
+//! Ablation benches for the design choices DESIGN.md calls out: width-predictor
+//! table size, confidence estimation, helper clock ratio and narrow width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::experiment::Experiment;
+use hc_core::policy::{PolicyKind, SteeringStack};
+use hc_sim::{SimConfig, Simulator};
+use hc_trace::SpecBenchmark;
+
+fn bench_predictor_table_size(c: &mut Criterion) {
+    let trace = SpecBenchmark::Gzip.trace(BENCH_TRACE_LEN);
+    let mut g = c.benchmark_group("ablation_width_table");
+    g.sample_size(10);
+    for entries in [64usize, 256, 1024] {
+        g.bench_function(format!("entries_{entries}"), |b| {
+            b.iter(|| {
+                let mut features = PolicyKind::P888BrLrCr.features();
+                features.width_table_entries = entries;
+                let mut policy = SteeringStack::new(features);
+                let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+                std::hint::black_box(sim.run(&trace, &mut policy))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_confidence(c: &mut Criterion) {
+    let trace = SpecBenchmark::Gzip.trace(BENCH_TRACE_LEN);
+    let mut g = c.benchmark_group("ablation_confidence");
+    g.sample_size(10);
+    for use_conf in [false, true] {
+        g.bench_function(format!("confidence_{use_conf}"), |b| {
+            b.iter(|| {
+                let mut features = PolicyKind::P888.features();
+                features.use_confidence = use_conf;
+                let mut policy = SteeringStack::new(features);
+                let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+                std::hint::black_box(sim.run(&trace, &mut policy))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_clock_ratio(c: &mut Criterion) {
+    let trace = SpecBenchmark::Gzip.trace(BENCH_TRACE_LEN);
+    let mut g = c.benchmark_group("ablation_clock_ratio");
+    g.sample_size(10);
+    for ratio in [1u32, 2] {
+        g.bench_function(format!("ratio_{ratio}x"), |b| {
+            b.iter(|| {
+                let config = SimConfig {
+                    helper_clock_ratio: ratio,
+                    ..SimConfig::paper_baseline()
+                };
+                let exp = Experiment::new(config);
+                std::hint::black_box(exp.run(&trace, PolicyKind::Ir))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictor_table_size, bench_confidence, bench_clock_ratio);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 1: narrow data-width dependence of register operands across the
+//! SPEC Int 2000 stand-ins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    g.bench_function("narrow_dependence_spec", |b| {
+        b.iter(|| {
+            let fig = figures::fig1(BENCH_TRACE_LEN);
+            assert_eq!(fig.rows.len(), 13);
+            std::hint::black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 5: width prediction accuracy (correct / non-fatal / fatal) under 8_8_8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05");
+    g.sample_size(10);
+    g.bench_function("width_prediction_accuracy", |b| {
+        b.iter(|| {
+            let fig = figures::fig5(BENCH_TRACE_LEN);
+            assert_eq!(fig.series.len(), 3);
+            std::hint::black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

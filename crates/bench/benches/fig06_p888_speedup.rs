@@ -1,0 +1,17 @@
+//! Figure 6: performance of the 8_8_8 scheme over the monolithic baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06");
+    g.sample_size(10);
+    g.bench_function("p888_speedup_spec", |b| {
+        b.iter(|| std::hint::black_box(figures::fig6(BENCH_TRACE_LEN)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 7: fraction of instructions steered to the helper cluster and
+//! fraction of inter-cluster copies under 8_8_8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07");
+    g.sample_size(10);
+    g.bench_function("steered_and_copies", |b| {
+        b.iter(|| std::hint::black_box(figures::fig7(BENCH_TRACE_LEN)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 8: copy-percentage reduction from the BR scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    g.bench_function("br_copy_reduction", |b| {
+        b.iter(|| std::hint::black_box(figures::fig8(BENCH_TRACE_LEN)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 11: fraction of 8/32->32 operations whose carry does not propagate
+//! beyond the low byte (arithmetic vs load address computations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("carry_not_propagated", |b| {
+        b.iter(|| std::hint::black_box(figures::fig11(BENCH_TRACE_LEN)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

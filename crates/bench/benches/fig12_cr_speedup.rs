@@ -1,0 +1,17 @@
+//! Figure 12: performance of the CR (carry-width prediction) scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("cr_speedup", |b| {
+        b.iter(|| std::hint::black_box(figures::fig12(BENCH_TRACE_LEN)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

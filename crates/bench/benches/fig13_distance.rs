@@ -1,0 +1,17 @@
+//! Figure 13: average producer-consumer distance across the SPEC stand-ins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("producer_consumer_distance", |b| {
+        b.iter(|| std::hint::black_box(figures::fig13(BENCH_TRACE_LEN)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 14: IR performance across the Table 2 workload categories and the
+//! per-application S-curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::figures;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("category_speedups", |b| {
+        b.iter(|| {
+            let fig = figures::fig14_categories(1, BENCH_TRACE_LEN);
+            assert_eq!(fig.rows.len(), 8); // 7 categories + AVG
+            std::hint::black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1: simulate one SPEC stand-in on the monolithic baseline processor —
+//! times the raw simulator throughput at the paper's configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_bench::BENCH_TRACE_LEN;
+use hc_core::experiment::Experiment;
+use hc_core::policy::PolicyKind;
+use hc_trace::SpecBenchmark;
+
+fn bench(c: &mut Criterion) {
+    let trace = SpecBenchmark::Gcc.trace(BENCH_TRACE_LEN);
+    let exp = Experiment::default();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("baseline_simulation", |b| {
+        b.iter(|| std::hint::black_box(exp.run_baseline(&trace)))
+    });
+    g.bench_function("ir_simulation", |b| {
+        b.iter(|| std::hint::black_box(exp.run_policy(&trace, PolicyKind::Ir)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

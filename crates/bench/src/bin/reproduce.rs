@@ -1,0 +1,156 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite]
+//! ```
+//!
+//! With no arguments every figure is reproduced.  Figure names: `table1`,
+//! `table2`, `fig1`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig11`, `fig12`,
+//! `fig13`, `fig14`, `headline`, `ed2`, `summary`.
+
+use hc_core::figures;
+use hc_core::policy::PolicyKind;
+use hc_core::report::{figure_to_markdown, kv_table_to_markdown};
+use hc_core::suite::SuiteRunner;
+use hc_power::{Ed2Comparison, PowerModel};
+use hc_trace::{paper_suite, reduced_suite};
+
+struct Options {
+    figures: Vec<String>,
+    trace_len: usize,
+    apps_per_category: usize,
+    full_suite: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        figures: Vec::new(),
+        trace_len: hc_bench::REPRODUCE_TRACE_LEN,
+        apps_per_category: hc_bench::REPRODUCE_APPS_PER_CATEGORY,
+        full_suite: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-len" => {
+                opts.trace_len = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.trace_len)
+            }
+            "--apps-per-category" => {
+                opts.apps_per_category = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.apps_per_category)
+            }
+            "--full-suite" => opts.full_suite = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite]"
+                );
+                std::process::exit(0);
+            }
+            other => opts.figures.push(other.to_string()),
+        }
+    }
+    opts
+}
+
+fn wanted(opts: &Options, name: &str) -> bool {
+    opts.figures.is_empty() || opts.figures.iter().any(|f| f == name)
+}
+
+fn main() {
+    let opts = parse_args();
+    let len = opts.trace_len;
+
+    if wanted(&opts, "table1") {
+        println!("{}", kv_table_to_markdown("Table 1 — baseline parameters", &figures::table1()));
+    }
+    if wanted(&opts, "table2") {
+        println!("### Table 2 — workload categories\n");
+        println!("| category | #traces | description |\n|---|---|---|");
+        for (abbrev, count, desc) in figures::table2() {
+            println!("| {abbrev} | {count} | {desc} |");
+        }
+        println!();
+    }
+    if wanted(&opts, "fig1") {
+        println!("{}", figure_to_markdown(&figures::fig1(len)));
+    }
+    if wanted(&opts, "fig5") {
+        println!("{}", figure_to_markdown(&figures::fig5(len)));
+    }
+    if wanted(&opts, "fig6") {
+        println!("{}", figure_to_markdown(&figures::fig6(len)));
+    }
+    if wanted(&opts, "fig7") {
+        println!("{}", figure_to_markdown(&figures::fig7(len)));
+    }
+    if wanted(&opts, "fig8") {
+        println!("{}", figure_to_markdown(&figures::fig8(len)));
+    }
+    if wanted(&opts, "fig9") {
+        println!("{}", figure_to_markdown(&figures::fig9(len)));
+    }
+    if wanted(&opts, "fig11") {
+        println!("{}", figure_to_markdown(&figures::fig11(len)));
+    }
+    if wanted(&opts, "fig12") {
+        println!("{}", figure_to_markdown(&figures::fig12(len)));
+    }
+    if wanted(&opts, "fig13") {
+        println!("{}", figure_to_markdown(&figures::fig13(len)));
+    }
+    if wanted(&opts, "headline") {
+        println!("{}", figure_to_markdown(&figures::headline(len)));
+    }
+    if wanted(&opts, "fig14") {
+        println!(
+            "{}",
+            figure_to_markdown(&figures::fig14_categories(opts.apps_per_category, len))
+        );
+        let curve = figures::fig14_curve(opts.apps_per_category, len);
+        let n = curve.len();
+        if n > 0 {
+            println!("S-curve over {n} apps: min {:.3}, p25 {:.3}, median {:.3}, p75 {:.3}, max {:.3}\n",
+                curve[0], curve[n / 4], curve[n / 2], curve[3 * n / 4], curve[n - 1]);
+        }
+    }
+    if wanted(&opts, "ed2") {
+        // §3.7: energy-delay² of the most aggressive configuration (IR) vs the baseline.
+        let runner = SuiteRunner::default();
+        let result = runner.run_spec(len, PolicyKind::Ir);
+        let model = PowerModel::default();
+        let mut improvements = Vec::new();
+        for r in &result.per_trace {
+            let cmp = Ed2Comparison::compare(&model, &r.baseline, &r.stats);
+            improvements.push(cmp.improvement);
+        }
+        let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+        println!("### Energy-delay² (IR vs monolithic baseline)\n");
+        println!("Average ED² improvement over SPEC: {:.1}% (paper: 5.1%)\n", avg * 100.0);
+    }
+    if wanted(&opts, "summary") {
+        // Abstract numbers: SPEC-Int average and wide-suite average under IR.
+        let runner = SuiteRunner::default();
+        let spec = runner.run_spec(len, PolicyKind::Ir);
+        println!("### Summary (abstract numbers)\n");
+        println!(
+            "SPEC Int average speedup (IR): {:.1}% (paper: 22%)",
+            spec.mean_performance_increase_pct()
+        );
+        let profiles = if opts.full_suite {
+            paper_suite(len)
+        } else {
+            reduced_suite(opts.apps_per_category, len)
+        };
+        let wide = runner.run_profiles(&profiles, PolicyKind::Ir);
+        println!(
+            "Wide-suite ({} apps) average speedup (IR): {:.1}% (paper: 11% over 412 apps)\n",
+            profiles.len(),
+            wide.mean_performance_increase_pct()
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Running one trace under one policy and comparing against the monolithic
+//! baseline — the basic experiment unit behind every figure.
+
+use crate::policy::PolicyKind;
+use hc_power::{Ed2Comparison, PowerModel};
+use hc_sim::{SimConfig, SimStats, Simulator};
+use hc_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The result of running one trace under one policy, with its baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Policy that was evaluated.
+    pub policy: String,
+    /// Trace name.
+    pub trace: String,
+    /// Statistics of the helper-cluster run.
+    pub stats: SimStats,
+    /// Statistics of the monolithic baseline run on the same trace.
+    pub baseline: SimStats,
+}
+
+impl ExperimentResult {
+    /// Speedup over the monolithic baseline (1.0 = same performance).
+    pub fn speedup(&self) -> f64 {
+        self.stats.speedup_over(&self.baseline)
+    }
+
+    /// Performance increase in percent, as the paper's figures plot it.
+    pub fn performance_increase_pct(&self) -> f64 {
+        (self.speedup() - 1.0) * 100.0
+    }
+
+    /// Energy-delay² comparison against the baseline under the default power model.
+    pub fn ed2(&self) -> Ed2Comparison {
+        Ed2Comparison::compare(&PowerModel::default(), &self.baseline, &self.stats)
+    }
+}
+
+/// Experiment runner: owns the helper-cluster and baseline configurations.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    helper_config: SimConfig,
+    baseline_config: SimConfig,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment::new(SimConfig::paper_baseline())
+    }
+}
+
+impl Experiment {
+    /// Create an experiment from the helper-cluster configuration; the
+    /// baseline uses the same parameters with the helper cluster removed.
+    pub fn new(helper_config: SimConfig) -> Experiment {
+        let baseline_config = SimConfig {
+            helper_enabled: false,
+            ..helper_config.clone()
+        };
+        Experiment {
+            helper_config,
+            baseline_config,
+        }
+    }
+
+    /// The helper-cluster configuration.
+    pub fn helper_config(&self) -> &SimConfig {
+        &self.helper_config
+    }
+
+    /// Run the monolithic baseline on a trace.
+    pub fn run_baseline(&self, trace: &Trace) -> SimStats {
+        let sim = Simulator::new(self.baseline_config.clone())
+            .expect("baseline configuration is valid by construction");
+        let mut policy = PolicyKind::Baseline.build();
+        sim.run(trace, policy.as_mut())
+    }
+
+    /// Run one policy on a trace (no baseline comparison).
+    pub fn run_policy(&self, trace: &Trace, kind: PolicyKind) -> SimStats {
+        let config = if kind == PolicyKind::Baseline {
+            self.baseline_config.clone()
+        } else {
+            self.helper_config.clone()
+        };
+        let sim = Simulator::new(config).expect("configuration is valid by construction");
+        let mut policy = kind.build();
+        sim.run(trace, policy.as_mut())
+    }
+
+    /// Run one policy and the baseline on the same trace.
+    pub fn run(&self, trace: &Trace, kind: PolicyKind) -> ExperimentResult {
+        let baseline = self.run_baseline(trace);
+        let stats = if kind == PolicyKind::Baseline {
+            baseline.clone()
+        } else {
+            self.run_policy(trace, kind)
+        };
+        ExperimentResult {
+            policy: kind.name().to_string(),
+            trace: trace.name.clone(),
+            stats,
+            baseline,
+        }
+    }
+
+    /// Run a set of policies against one trace, reusing one baseline run.
+    pub fn run_many(&self, trace: &Trace, kinds: &[PolicyKind]) -> Vec<ExperimentResult> {
+        let baseline = self.run_baseline(trace);
+        kinds
+            .iter()
+            .map(|&kind| {
+                let stats = if kind == PolicyKind::Baseline {
+                    baseline.clone()
+                } else {
+                    self.run_policy(trace, kind)
+                };
+                ExperimentResult {
+                    policy: kind.name().to_string(),
+                    trace: trace.name.clone(),
+                    stats,
+                    baseline: baseline.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_trace::SpecBenchmark;
+
+    fn trace() -> Trace {
+        SpecBenchmark::Gzip.trace(4_000)
+    }
+
+    #[test]
+    fn baseline_experiment_has_speedup_one() {
+        let e = Experiment::default();
+        let r = e.run(&trace(), PolicyKind::Baseline);
+        assert!((r.speedup() - 1.0).abs() < 1e-9);
+        assert_eq!(r.performance_increase_pct(), 0.0);
+    }
+
+    #[test]
+    fn policy_runs_retire_the_whole_trace() {
+        let e = Experiment::default();
+        let r = e.run(&trace(), PolicyKind::P888);
+        assert_eq!(r.stats.committed_uops, r.baseline.committed_uops);
+        assert_eq!(r.policy, "8_8_8");
+    }
+
+    #[test]
+    fn run_many_reuses_a_single_baseline() {
+        let e = Experiment::default();
+        let rs = e.run_many(&trace(), &[PolicyKind::P888, PolicyKind::P888Br]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].baseline.cycles, rs[1].baseline.cycles);
+    }
+
+    #[test]
+    fn ed2_comparison_is_computable() {
+        let e = Experiment::default();
+        let r = e.run(&trace(), PolicyKind::P888);
+        let cmp = r.ed2();
+        assert!(cmp.baseline_ed2 > 0.0);
+        assert!(cmp.candidate_ed2 > 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! Per-figure / per-table reproduction functions.
+//!
+//! Each function regenerates the data behind one figure or table of the
+//! paper's evaluation section and returns it as structured rows, so the
+//! `reproduce` binary, the Criterion benches and EXPERIMENTS.md all share one
+//! code path.  The default `trace_len` values are sized for minutes-not-hours
+//! runs; pass larger values for higher-fidelity numbers.
+
+use crate::experiment::Experiment;
+use crate::policy::PolicyKind;
+use crate::suite::SuiteRunner;
+use hc_trace::{reduced_suite, stats as tstats, SpecBenchmark, WorkloadCategory};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A generic labelled row of figure data: a benchmark / category name plus one
+/// value per series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// Row label (benchmark name, category, …).
+    pub label: String,
+    /// One value per series, in the order given by the figure's `series` list.
+    pub values: Vec<f64>,
+}
+
+/// A reproduced figure: series names plus rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure identifier ("fig1", "fig14", "table1", …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Name of each value column.
+    pub series: Vec<String>,
+    /// The data rows.
+    pub rows: Vec<FigureRow>,
+}
+
+impl Figure {
+    /// The value in the row labelled `AVG`, for the given series index.
+    pub fn avg(&self, series: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == "AVG")
+            .and_then(|r| r.values.get(series))
+            .copied()
+    }
+
+    /// Append an `AVG` row averaging every numeric column.
+    fn with_avg(mut self) -> Figure {
+        if self.rows.is_empty() {
+            return self;
+        }
+        let cols = self.series.len();
+        let mut sums = vec![0.0; cols];
+        for r in &self.rows {
+            for (i, v) in r.values.iter().enumerate() {
+                sums[i] += v;
+            }
+        }
+        let n = self.rows.len() as f64;
+        self.rows.push(FigureRow {
+            label: "AVG".to_string(),
+            values: sums.into_iter().map(|s| s / n).collect(),
+        });
+        self
+    }
+}
+
+fn spec_traces(trace_len: usize) -> Vec<(SpecBenchmark, hc_trace::Trace)> {
+    SpecBenchmark::ALL
+        .par_iter()
+        .map(|b| (*b, b.trace(trace_len)))
+        .collect()
+}
+
+/// **Figure 1** — percentage of register operands that are narrow
+/// data-width dependent, per SPEC Int 2000 benchmark.
+pub fn fig1(trace_len: usize) -> Figure {
+    let rows = spec_traces(trace_len)
+        .into_iter()
+        .map(|(b, t)| FigureRow {
+            label: b.name().to_string(),
+            values: vec![tstats::narrow_dependence(&t) * 100.0],
+        })
+        .collect();
+    Figure {
+        id: "fig1".into(),
+        title: "Data-width dependent values for register operands (%)".into(),
+        series: vec!["narrow operands %".into()],
+        rows,
+    }
+    .with_avg()
+}
+
+/// **Figure 5** — width prediction accuracy: correct / non-fatal / fatal, per
+/// benchmark, under the 8_8_8 policy.
+pub fn fig5(trace_len: usize) -> Figure {
+    let exp = Experiment::default();
+    let rows = spec_traces(trace_len)
+        .into_par_iter()
+        .map(|(b, t)| {
+            let stats = exp.run_policy(&t, PolicyKind::P888);
+            let total = (stats.correct_width_predictions
+                + stats.fatal_width_mispredicts
+                + stats.nonfatal_width_mispredicts)
+                .max(1) as f64;
+            FigureRow {
+                label: b.name().to_string(),
+                values: vec![
+                    stats.correct_width_predictions as f64 / total * 100.0,
+                    stats.nonfatal_width_mispredicts as f64 / total * 100.0,
+                    stats.fatal_width_mispredicts as f64 / total * 100.0,
+                ],
+            }
+        })
+        .collect();
+    Figure {
+        id: "fig5".into(),
+        title: "Width prediction accuracy (%)".into(),
+        series: vec![
+            "correct %".into(),
+            "non-fatal mispredict %".into(),
+            "fatal mispredict %".into(),
+        ],
+        rows,
+    }
+    .with_avg()
+}
+
+fn speedup_figure(id: &str, title: &str, kind: PolicyKind, trace_len: usize) -> Figure {
+    let exp = Experiment::default();
+    let rows = spec_traces(trace_len)
+        .into_par_iter()
+        .map(|(b, t)| {
+            let r = exp.run(&t, kind);
+            FigureRow {
+                label: b.name().to_string(),
+                values: vec![r.performance_increase_pct()],
+            }
+        })
+        .collect();
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        series: vec![format!("{} perf increase %", kind.name())],
+        rows,
+    }
+    .with_avg()
+}
+
+/// **Figure 6** — performance increase of the 8_8_8 scheme over the monolithic
+/// baseline, per benchmark.
+pub fn fig6(trace_len: usize) -> Figure {
+    speedup_figure("fig6", "Performance of 8_8_8 scheme (%)", PolicyKind::P888, trace_len)
+}
+
+/// **Figure 7** — percentage of instructions steered to the helper cluster and
+/// percentage of inter-cluster copies, under 8_8_8.
+pub fn fig7(trace_len: usize) -> Figure {
+    let exp = Experiment::default();
+    let rows = spec_traces(trace_len)
+        .into_par_iter()
+        .map(|(b, t)| {
+            let stats = exp.run_policy(&t, PolicyKind::P888);
+            FigureRow {
+                label: b.name().to_string(),
+                values: vec![stats.helper_fraction() * 100.0, stats.copy_fraction() * 100.0],
+            }
+        })
+        .collect();
+    Figure {
+        id: "fig7".into(),
+        title: "Helper-cluster instructions and copies under 8_8_8 (%)".into(),
+        series: vec!["helper instructions %".into(), "copy instructions %".into()],
+        rows,
+    }
+    .with_avg()
+}
+
+/// Copy percentage per benchmark for a set of policies (Figures 8 and 9).
+fn copy_figure(id: &str, title: &str, kinds: &[PolicyKind], trace_len: usize) -> Figure {
+    let exp = Experiment::default();
+    let rows = spec_traces(trace_len)
+        .into_par_iter()
+        .map(|(b, t)| {
+            let values = kinds
+                .iter()
+                .map(|&k| exp.run_policy(&t, k).copy_fraction() * 100.0)
+                .collect();
+            FigureRow {
+                label: b.name().to_string(),
+                values,
+            }
+        })
+        .collect();
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        series: kinds.iter().map(|k| format!("{} copies %", k.name())).collect(),
+        rows,
+    }
+    .with_avg()
+}
+
+/// **Figure 8** — decrease in copy percentage due to the BR scheme.
+pub fn fig8(trace_len: usize) -> Figure {
+    copy_figure(
+        "fig8",
+        "Copy percentage: 8_8_8 vs 8_8_8+BR",
+        &[PolicyKind::P888, PolicyKind::P888Br],
+        trace_len,
+    )
+}
+
+/// **Figure 9** — further decrease in copy percentage due to the LR scheme.
+pub fn fig9(trace_len: usize) -> Figure {
+    copy_figure(
+        "fig9",
+        "Copy percentage: 8_8_8 vs +BR vs +BR+LR",
+        &[PolicyKind::P888, PolicyKind::P888Br, PolicyKind::P888BrLr],
+        trace_len,
+    )
+}
+
+/// **Figure 11** — percentage of 8/32→32 instructions whose carry does not
+/// propagate beyond the low 8 bits, for arithmetic and loads.
+pub fn fig11(trace_len: usize) -> Figure {
+    let rows = spec_traces(trace_len)
+        .into_iter()
+        .map(|(b, t)| {
+            let c = tstats::carry_propagation(&t);
+            FigureRow {
+                label: b.name().to_string(),
+                values: vec![c.arith_carry_free * 100.0, c.load_carry_free * 100.0],
+            }
+        })
+        .collect();
+    Figure {
+        id: "fig11".into(),
+        title: "Carry not propagated beyond 8 bits (%)".into(),
+        series: vec!["arith %".into(), "load %".into()],
+        rows,
+    }
+    .with_avg()
+}
+
+/// **Figure 12** — performance of the CR scheme (8_8_8 vs 8_8_8+BR+LR+CR).
+pub fn fig12(trace_len: usize) -> Figure {
+    let exp = Experiment::default();
+    let kinds = [PolicyKind::P888, PolicyKind::P888BrLrCr];
+    let rows = spec_traces(trace_len)
+        .into_par_iter()
+        .map(|(b, t)| {
+            let rs = exp.run_many(&t, &kinds);
+            FigureRow {
+                label: b.name().to_string(),
+                values: rs.iter().map(|r| r.performance_increase_pct()).collect(),
+            }
+        })
+        .collect();
+    Figure {
+        id: "fig12".into(),
+        title: "Performance of the Carry Not Propagated (CR) scheme (%)".into(),
+        series: kinds
+            .iter()
+            .map(|k| format!("{} perf increase %", k.name()))
+            .collect(),
+        rows,
+    }
+    .with_avg()
+}
+
+/// **Figure 13** — average producer-consumer distance per benchmark.
+pub fn fig13(trace_len: usize) -> Figure {
+    let rows = spec_traces(trace_len)
+        .into_iter()
+        .map(|(b, t)| FigureRow {
+            label: b.name().to_string(),
+            values: vec![tstats::producer_consumer_distance(&t)],
+        })
+        .collect();
+    Figure {
+        id: "fig13".into(),
+        title: "Average producer-consumer distance (instructions)".into(),
+        series: vec!["distance".into()],
+        rows,
+    }
+    .with_avg()
+}
+
+/// **Figure 14 (left)** — performance increase of the IR mechanism per Table 2
+/// workload category.  `apps_per_category` bounds run time; the paper used
+/// every trace in Table 2.
+pub fn fig14_categories(apps_per_category: usize, trace_len: usize) -> Figure {
+    let runner = SuiteRunner::default();
+    let rows: Vec<FigureRow> = WorkloadCategory::ALL
+        .par_iter()
+        .map(|cat| {
+            let profiles: Vec<_> = (0..apps_per_category.min(cat.trace_count()))
+                .map(|i| cat.app_profile(i, trace_len))
+                .collect();
+            let result = runner.run_profiles(&profiles, PolicyKind::Ir);
+            FigureRow {
+                label: cat.abbrev().to_string(),
+                values: vec![result.mean_performance_increase_pct()],
+            }
+        })
+        .collect();
+    Figure {
+        id: "fig14".into(),
+        title: "Helper Cluster performance per workload category (IR, %)".into(),
+        series: vec!["perf increase %".into()],
+        rows,
+    }
+    .with_avg()
+}
+
+/// **Figure 14 (right)** — the per-application speedup S-curve over the suite.
+pub fn fig14_curve(apps_per_category: usize, trace_len: usize) -> Vec<f64> {
+    let runner = SuiteRunner::default();
+    let profiles = reduced_suite(apps_per_category, trace_len);
+    runner
+        .run_profiles(&profiles, PolicyKind::Ir)
+        .speedup_curve()
+}
+
+/// The §3.2–§3.7 headline numbers: per policy, the SPEC-average helper
+/// fraction, copy fraction, speedup and imbalance.
+pub fn headline(trace_len: usize) -> Figure {
+    let exp = Experiment::default();
+    let kinds = [
+        PolicyKind::P888,
+        PolicyKind::P888Br,
+        PolicyKind::P888BrLr,
+        PolicyKind::P888BrLrCr,
+        PolicyKind::P888BrLrCrCp,
+        PolicyKind::Ir,
+        PolicyKind::IrNoDest,
+    ];
+    let traces = spec_traces(trace_len);
+    let rows = kinds
+        .par_iter()
+        .map(|&kind| {
+            let results: Vec<_> = traces.iter().map(|(_, t)| exp.run(t, kind)).collect();
+            let n = results.len() as f64;
+            let mean = |f: &dyn Fn(&crate::experiment::ExperimentResult) -> f64| {
+                results.iter().map(|r| f(r)).sum::<f64>() / n
+            };
+            FigureRow {
+                label: kind.name().to_string(),
+                values: vec![
+                    mean(&|r| r.stats.helper_fraction() * 100.0),
+                    mean(&|r| r.stats.copy_fraction() * 100.0),
+                    mean(&|r| r.performance_increase_pct()),
+                    mean(&|r| r.stats.fatal_mispredict_rate() * 100.0),
+                    mean(&|r| r.stats.imbalance.wide_to_narrow * 100.0),
+                    mean(&|r| r.stats.imbalance.narrow_to_wide * 100.0),
+                ],
+            }
+        })
+        .collect();
+    Figure {
+        id: "headline".into(),
+        title: "SPEC-average headline numbers per policy".into(),
+        series: vec![
+            "helper %".into(),
+            "copies %".into(),
+            "perf increase %".into(),
+            "fatal mispredict %".into(),
+            "w->n imbalance %".into(),
+            "n->w imbalance %".into(),
+        ],
+        rows,
+    }
+}
+
+/// **Table 1** — the baseline processor parameters, rendered as rows.
+pub fn table1() -> Vec<(String, String)> {
+    let c = hc_sim::SimConfig::paper_baseline();
+    vec![
+        ("Trace Cache (TC)".into(), "32Kuops, 4w".into()),
+        (
+            "Level-1 DCache (DL0)".into(),
+            format!(
+                "{}KB,{}w,{}cycle",
+                c.dl0.size_bytes / 1024,
+                c.dl0.ways,
+                c.dl0.latency
+            ),
+        ),
+        (
+            "Level-2 Cache (UL1)".into(),
+            format!(
+                "{}MB,{}w,{}cycle",
+                c.ul1.size_bytes / (1024 * 1024),
+                c.ul1.ways,
+                c.ul1.latency
+            ),
+        ),
+        (
+            "Integer Execution".into(),
+            format!("{} entry scheduler, {} issue", c.int_iq_entries, c.int_issue_width),
+        ),
+        (
+            "Fp Execution".into(),
+            format!("{} entry scheduler, {} issue", c.fp_iq_entries, c.fp_issue_width),
+        ),
+        ("Commit Width".into(), format!("{} instructions", c.commit_width)),
+        ("Main Memory".into(), format!("{} cycles", c.memory_latency)),
+        (
+            "Helper Cluster".into(),
+            format!(
+                "{}-bit datapath, {}x clock, {} issue",
+                c.helper_width_bits, c.helper_clock_ratio, c.helper_issue_width
+            ),
+        ),
+    ]
+}
+
+/// **Table 2** — the workload category inventory.
+pub fn table2() -> Vec<(String, usize, String)> {
+    WorkloadCategory::ALL
+        .iter()
+        .map(|c| (c.abbrev().to_string(), c.trace_count(), c.description().to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEN: usize = 1_200;
+
+    #[test]
+    fn fig1_has_12_benchmarks_plus_average() {
+        let f = fig1(LEN);
+        assert_eq!(f.rows.len(), 13);
+        assert!(f.avg(0).unwrap() > 0.0);
+        assert!(f.avg(0).unwrap() <= 100.0);
+    }
+
+    #[test]
+    fn fig5_percentages_sum_to_100() {
+        let f = fig5(LEN);
+        for row in &f.rows {
+            let sum: f64 = row.values.iter().sum();
+            assert!((sum - 100.0).abs() < 1.0, "{}: {sum}", row.label);
+        }
+    }
+
+    #[test]
+    fn fig7_fractions_are_bounded() {
+        let f = fig7(LEN);
+        for row in &f.rows {
+            assert!(row.values[0] >= 0.0 && row.values[0] <= 100.0);
+            assert!(row.values[1] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig13_distances_positive() {
+        let f = fig13(LEN);
+        assert!(f.avg(0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn table1_lists_table_contents() {
+        let t = table1();
+        assert!(t.iter().any(|(k, v)| k.contains("DL0") && v.contains("32KB")));
+        assert!(t.iter().any(|(k, v)| k.contains("Main Memory") && v.contains("450")));
+    }
+
+    #[test]
+    fn table2_matches_paper_counts() {
+        let t = table2();
+        assert_eq!(t.len(), 7);
+        let total: usize = t.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(total, 409);
+    }
+}

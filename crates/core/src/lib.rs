@@ -1,0 +1,39 @@
+//! # hc-core
+//!
+//! The paper's contribution: **data-width aware instruction selection
+//! policies** for a processor augmented with an 8-bit helper cluster, plus the
+//! experiment / suite / figure-reproduction machinery built on top of the
+//! `hc-sim` cycle simulator.
+//!
+//! * [`policy`] — the composable steering stack (8_8_8, BR, LR, CR, CP, IR,
+//!   IR-ND) and the [`policy::PolicyKind`] catalogue.
+//! * [`experiment`] — run one trace under one policy against the monolithic
+//!   baseline.
+//! * [`suite`] — run the SPEC stand-ins or the Table 2 categories in parallel.
+//! * [`figures`] — regenerate every figure and table of the evaluation section.
+//! * [`report`] — Markdown / CSV rendering of the reproduced figures.
+//!
+//! ```
+//! use hc_core::experiment::Experiment;
+//! use hc_core::policy::PolicyKind;
+//! use hc_trace::SpecBenchmark;
+//!
+//! let trace = SpecBenchmark::Gzip.trace(2_000);
+//! let result = Experiment::default().run(&trace, PolicyKind::P888);
+//! println!("{}: {:.1}% faster than the monolithic baseline",
+//!          result.policy, result.performance_increase_pct());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod policy;
+pub mod report;
+pub mod suite;
+
+pub use experiment::{Experiment, ExperimentResult};
+pub use figures::{Figure, FigureRow};
+pub use policy::{PolicyKind, SteeringFeatures, SteeringStack};
+pub use suite::{SuiteResult, SuiteRunner};

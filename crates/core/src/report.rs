@@ -1,0 +1,105 @@
+//! Rendering figures and tables as Markdown / CSV for reports and
+//! EXPERIMENTS.md.
+
+use crate::figures::Figure;
+
+/// Render a [`Figure`] as a GitHub-flavoured Markdown table.
+pub fn figure_to_markdown(fig: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {} — {}\n\n", fig.id, fig.title));
+    out.push_str("| benchmark |");
+    for s in &fig.series {
+        out.push_str(&format!(" {s} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &fig.series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in &fig.rows {
+        out.push_str(&format!("| {} |", row.label));
+        for v in &row.values {
+            out.push_str(&format!(" {v:.2} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a [`Figure`] as CSV (header + rows).
+pub fn figure_to_csv(fig: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str("label");
+    for s in &fig.series {
+        out.push(',');
+        out.push_str(&s.replace(',', ";"));
+    }
+    out.push('\n');
+    for row in &fig.rows {
+        out.push_str(&row.label);
+        for v in &row.values {
+            out.push_str(&format!(",{v:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a two-column key/value table (Table 1 style) as Markdown.
+pub fn kv_table_to_markdown(title: &str, rows: &[(String, String)]) -> String {
+    let mut out = format!("### {title}\n\n| parameter | value |\n|---|---|\n");
+    for (k, v) in rows {
+        out.push_str(&format!("| {k} | {v} |\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureRow;
+
+    fn sample() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "Sample".into(),
+            series: vec!["a %".into(), "b".into()],
+            rows: vec![
+                FigureRow {
+                    label: "gcc".into(),
+                    values: vec![1.5, 2.25],
+                },
+                FigureRow {
+                    label: "AVG".into(),
+                    values: vec![1.5, 2.25],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_all_rows_and_series() {
+        let md = figure_to_markdown(&sample());
+        assert!(md.contains("figX"));
+        assert!(md.contains("| gcc | 1.50 | 2.25 |"));
+        assert!(md.contains("a %"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_to_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,a %,b"));
+        assert_eq!(lines.next(), Some("gcc,1.5000,2.2500"));
+    }
+
+    #[test]
+    fn kv_table_renders() {
+        let md = kv_table_to_markdown(
+            "Table 1",
+            &[("Commit Width".into(), "6 instructions".into())],
+        );
+        assert!(md.contains("| Commit Width | 6 instructions |"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Running whole workload suites (the 12 SPEC traces, the Table 2 categories)
+//! in parallel and aggregating the results.
+
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::policy::PolicyKind;
+use hc_trace::{SpecBenchmark, WorkloadProfile};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated results over a suite of traces for one policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// Policy evaluated.
+    pub policy: String,
+    /// Per-trace results, in suite order.
+    pub per_trace: Vec<ExperimentResult>,
+}
+
+impl SuiteResult {
+    /// Arithmetic-mean speedup over the suite.
+    pub fn mean_speedup(&self) -> f64 {
+        if self.per_trace.is_empty() {
+            return 1.0;
+        }
+        self.per_trace.iter().map(|r| r.speedup()).sum::<f64>() / self.per_trace.len() as f64
+    }
+
+    /// Mean performance increase in percent.
+    pub fn mean_performance_increase_pct(&self) -> f64 {
+        (self.mean_speedup() - 1.0) * 100.0
+    }
+
+    /// Mean speedup per workload category (the trace's `category` label).
+    pub fn mean_speedup_by_category(&self) -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for r in &self.per_trace {
+            let cat = r
+                .stats
+                .trace
+                .split('_')
+                .next()
+                .unwrap_or("unknown")
+                .to_string();
+            let e = sums.entry(cat).or_insert((0.0, 0));
+            e.0 += r.speedup();
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+    }
+
+    /// Per-application speedups sorted ascending — the S-curve of Figure 14.
+    pub fn speedup_curve(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.per_trace.iter().map(|r| r.speedup()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+/// Runs suites of workload profiles under an [`Experiment`].
+#[derive(Debug, Clone, Default)]
+pub struct SuiteRunner {
+    experiment: Experiment,
+}
+
+impl SuiteRunner {
+    /// Create a suite runner with the given experiment configuration.
+    pub fn new(experiment: Experiment) -> SuiteRunner {
+        SuiteRunner { experiment }
+    }
+
+    /// Run one policy over a list of workload profiles, generating and
+    /// simulating each trace in parallel.
+    pub fn run_profiles(&self, profiles: &[WorkloadProfile], kind: PolicyKind) -> SuiteResult {
+        let per_trace: Vec<ExperimentResult> = profiles
+            .par_iter()
+            .map(|p| {
+                let trace = p.generate();
+                self.experiment.run(&trace, kind)
+            })
+            .collect();
+        SuiteResult {
+            policy: kind.name().to_string(),
+            per_trace,
+        }
+    }
+
+    /// Run one policy over the 12 SPEC Int 2000 stand-in traces.
+    pub fn run_spec(&self, trace_len: usize, kind: PolicyKind) -> SuiteResult {
+        let per_trace: Vec<ExperimentResult> = SpecBenchmark::ALL
+            .par_iter()
+            .map(|b| {
+                let trace = b.trace(trace_len);
+                self.experiment.run(&trace, kind)
+            })
+            .collect();
+        SuiteResult {
+            policy: kind.name().to_string(),
+            per_trace,
+        }
+    }
+
+    /// The underlying experiment.
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_trace::reduced_suite;
+
+    #[test]
+    fn spec_suite_runs_all_benchmarks() {
+        let runner = SuiteRunner::default();
+        let r = runner.run_spec(1_500, PolicyKind::P888);
+        assert_eq!(r.per_trace.len(), 12);
+        assert!(r.mean_speedup() > 0.5);
+        assert_eq!(r.policy, "8_8_8");
+    }
+
+    #[test]
+    fn profile_suite_groups_by_category() {
+        let runner = SuiteRunner::default();
+        let profiles = reduced_suite(1, 1_200);
+        let r = runner.run_profiles(&profiles, PolicyKind::Ir);
+        assert_eq!(r.per_trace.len(), 7);
+        let by_cat = r.mean_speedup_by_category();
+        assert_eq!(by_cat.len(), 7, "one entry per category: {by_cat:?}");
+    }
+
+    #[test]
+    fn speedup_curve_is_sorted() {
+        let runner = SuiteRunner::default();
+        let profiles = reduced_suite(2, 1_000);
+        let r = runner.run_profiles(&profiles, PolicyKind::P888);
+        let curve = r.speedup_curve();
+        assert_eq!(curve.len(), 14);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,196 @@
+//! Dynamic µop instances — the unit stored in traces.
+//!
+//! The paper's evaluation is trace driven: each dynamic instruction carries
+//! the ground-truth values it read and produced, so the simulator can (a)
+//! resolve operand widths exactly at "writeback" time to train / verify the
+//! width predictors, and (b) detect fatal width mispredictions that require a
+//! flush.
+
+use crate::flags::Flags;
+use crate::mem::MemAccess;
+use crate::uop::{Uop, MAX_SRCS};
+use crate::value::Value;
+use crate::width::OperandProfile;
+use serde::{Deserialize, Serialize};
+
+/// A dynamic µop: the static µop plus its runtime behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynUop {
+    /// Static description.
+    pub uop: Uop,
+    /// Values of the register sources, parallel to `uop.srcs`.
+    pub src_vals: [Option<Value>; MAX_SRCS],
+    /// Value produced into the destination register, if any.
+    pub result: Option<Value>,
+    /// Flags produced, if the µop writes flags.
+    pub flags_out: Option<Flags>,
+    /// Flags value read, if the µop reads flags.
+    pub flags_in: Option<Flags>,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// For branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// For branches: the target µop PC when taken.
+    pub target: Option<u64>,
+}
+
+impl DynUop {
+    /// Wrap a static µop with no runtime information (useful for constructing
+    /// copies, splits and test fixtures).
+    pub fn from_uop(uop: Uop) -> DynUop {
+        DynUop {
+            uop,
+            src_vals: [None; MAX_SRCS],
+            result: None,
+            flags_out: None,
+            flags_in: None,
+            mem: None,
+            taken: None,
+            target: None,
+        }
+    }
+
+    /// Values of the register sources that are present.
+    pub fn source_values(&self) -> Vec<Value> {
+        self.src_vals.iter().flatten().copied().collect()
+    }
+
+    /// Ground-truth operand-width profile of this dynamic instance.
+    pub fn profile(&self) -> OperandProfile {
+        OperandProfile::classify(&self.source_values(), self.result)
+    }
+
+    /// Whether every register source value is narrow (immediates have
+    /// statically known widths and are checked separately).
+    pub fn all_sources_narrow(&self) -> bool {
+        self.src_vals.iter().flatten().all(|v| v.is_narrow())
+    }
+
+    /// Whether the produced result (if any) is narrow.  µops without a result
+    /// are vacuously narrow-result.
+    pub fn result_narrow(&self) -> bool {
+        self.result.map(|v| v.is_narrow()).unwrap_or(true)
+    }
+
+    /// Whether the immediate (if any) is narrow.
+    pub fn imm_narrow(&self) -> bool {
+        self.uop.imm.map(|v| v.is_narrow()).unwrap_or(true)
+    }
+
+    /// The ground truth for the 8-8-8 steering condition of §3.2: all source
+    /// operands, the immediate and the output need values of 8 bits or fewer.
+    pub fn is_all_narrow(&self) -> bool {
+        self.all_sources_narrow() && self.result_narrow() && self.imm_narrow()
+    }
+
+    /// Ground truth for the CR condition of §3.5: exactly one wide source, a
+    /// wide result, and the operation did not change the upper 24 bits of the
+    /// wide source (no carry propagated past bit 8).
+    pub fn is_carry_free_8_32_32(&self) -> bool {
+        let result = match self.result {
+            Some(r) if !r.is_narrow() => r,
+            _ => return false,
+        };
+        let srcs = self.source_values();
+        let wide: Vec<&Value> = srcs.iter().filter(|v| !v.is_narrow()).collect();
+        let has_narrow_side =
+            srcs.iter().any(|v| v.is_narrow()) || self.uop.imm.map(|v| v.is_narrow()).unwrap_or(false);
+        wide.len() == 1 && has_narrow_side && wide[0].upper_bits() == result.upper_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+    use crate::uop::{AluOp, MemSize, UopKind};
+
+    fn add_uop() -> Uop {
+        Uop::new(0x100, UopKind::Alu(AluOp::Add))
+            .with_src(ArchReg::Eax)
+            .with_src(ArchReg::Ebx)
+            .with_dest(ArchReg::Eax)
+            .writing_flags()
+    }
+
+    #[test]
+    fn all_narrow_ground_truth() {
+        let mut d = DynUop::from_uop(add_uop());
+        d.src_vals[0] = Some(Value::new(5));
+        d.src_vals[1] = Some(Value::new(7));
+        d.result = Some(Value::new(12));
+        assert!(d.is_all_narrow());
+        assert_eq!(d.profile(), OperandProfile::AllNarrow);
+    }
+
+    #[test]
+    fn wide_result_breaks_all_narrow() {
+        let mut d = DynUop::from_uop(add_uop());
+        d.src_vals[0] = Some(Value::new(200));
+        d.src_vals[1] = Some(Value::new(200));
+        d.result = Some(Value::new(400));
+        assert!(!d.is_all_narrow());
+    }
+
+    #[test]
+    fn wide_immediate_breaks_all_narrow() {
+        let u = Uop::new(0, UopKind::Alu(AluOp::Add))
+            .with_src(ArchReg::Eax)
+            .with_dest(ArchReg::Eax)
+            .with_imm(Value::new(0x1000));
+        let mut d = DynUop::from_uop(u);
+        d.src_vals[0] = Some(Value::new(1));
+        d.result = Some(Value::new(1));
+        assert!(!d.is_all_narrow());
+    }
+
+    #[test]
+    fn carry_free_detection_matches_figure_10() {
+        let u = Uop::new(0, UopKind::Load(MemSize::Byte))
+            .with_src(ArchReg::Ebx)
+            .with_src(ArchReg::Ecx)
+            .with_dest(ArchReg::Eax);
+        let mut d = DynUop::from_uop(u);
+        d.src_vals[0] = Some(Value::new(0xFFFC_4A02));
+        d.src_vals[1] = Some(Value::new(0x1C));
+        d.result = Some(Value::new(0xFFFC_4A1E));
+        assert!(d.is_carry_free_8_32_32());
+    }
+
+    #[test]
+    fn carry_free_requires_single_wide_source() {
+        let u = Uop::new(0, UopKind::Alu(AluOp::Add))
+            .with_src(ArchReg::Eax)
+            .with_src(ArchReg::Ebx)
+            .with_dest(ArchReg::Ecx);
+        let mut d = DynUop::from_uop(u);
+        d.src_vals[0] = Some(Value::new(0x1_0000));
+        d.src_vals[1] = Some(Value::new(0x2_0000));
+        d.result = Some(Value::new(0x3_0000));
+        assert!(!d.is_carry_free_8_32_32());
+    }
+
+    #[test]
+    fn narrow_result_is_not_carry_free_case() {
+        let u = Uop::new(0, UopKind::Alu(AluOp::And))
+            .with_src(ArchReg::Eax)
+            .with_dest(ArchReg::Eax)
+            .with_imm(Value::new(0xFF));
+        let mut d = DynUop::from_uop(u);
+        d.src_vals[0] = Some(Value::new(0x1234_5678));
+        d.result = Some(Value::new(0x78));
+        assert!(!d.is_carry_free_8_32_32());
+    }
+
+    #[test]
+    fn no_result_uops_are_vacuously_narrow_result() {
+        let u = Uop::new(0, UopKind::Store(MemSize::Byte))
+            .with_src(ArchReg::Eax)
+            .with_src(ArchReg::Ebx);
+        let mut d = DynUop::from_uop(u);
+        d.src_vals[0] = Some(Value::new(3));
+        d.src_vals[1] = Some(Value::new(4));
+        assert!(d.result_narrow());
+        assert!(d.is_all_narrow());
+    }
+}

@@ -1,0 +1,160 @@
+//! The EFLAGS condition-code register.
+//!
+//! Arithmetic and logic µops write the flags register; conditional branches
+//! read it.  The BR steering policy (§3.3) steers a conditional branch to the
+//! helper cluster when the µop that last wrote the flags already executes
+//! there, saving an inter-cluster copy of the (narrow) flags value.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Condition codes produced by integer µops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct Flags {
+    /// Zero flag: result was zero.
+    pub zf: bool,
+    /// Sign flag: result's most significant bit.
+    pub sf: bool,
+    /// Carry flag: unsigned overflow out of the destination width.
+    pub cf: bool,
+    /// Overflow flag: signed overflow.
+    pub of: bool,
+    /// Parity flag: even parity of the low result byte.
+    pub pf: bool,
+}
+
+impl Flags {
+    /// Compute the flags an addition `a + b = result` produces.
+    pub fn from_add(a: Value, b: Value, result: Value) -> Flags {
+        let (_, carry) = a.bits().overflowing_add(b.bits());
+        let of = ((a.bits() ^ result.bits()) & (b.bits() ^ result.bits()) & 0x8000_0000) != 0;
+        Flags::from_result_with(result, carry, of)
+    }
+
+    /// Compute the flags a subtraction `a - b = result` produces.
+    pub fn from_sub(a: Value, b: Value, result: Value) -> Flags {
+        let borrow = a.bits() < b.bits();
+        let of = ((a.bits() ^ b.bits()) & (a.bits() ^ result.bits()) & 0x8000_0000) != 0;
+        Flags::from_result_with(result, borrow, of)
+    }
+
+    /// Compute the flags a logical operation produces (CF = OF = 0).
+    pub fn from_logic(result: Value) -> Flags {
+        Flags::from_result_with(result, false, false)
+    }
+
+    fn from_result_with(result: Value, cf: bool, of: bool) -> Flags {
+        Flags {
+            zf: result.bits() == 0,
+            sf: result.bits() & 0x8000_0000 != 0,
+            cf,
+            of,
+            pf: (result.low_byte().count_ones() % 2) == 0,
+        }
+    }
+
+    /// Pack the flags into a value as stored in the EFLAGS architectural
+    /// register.  Note the packed representation always fits in 8 bits — the
+    /// flags value itself is narrow, which is why flag-consuming branches are
+    /// attractive candidates for the helper cluster.
+    pub fn pack(self) -> Value {
+        let mut v = 0u32;
+        if self.cf {
+            v |= 1 << 0;
+        }
+        if self.pf {
+            v |= 1 << 2;
+        }
+        if self.zf {
+            v |= 1 << 3;
+        }
+        if self.sf {
+            v |= 1 << 4;
+        }
+        if self.of {
+            v |= 1 << 5;
+        }
+        Value(v)
+    }
+
+    /// Unpack flags from a register value produced by [`Flags::pack`].
+    pub fn unpack(v: Value) -> Flags {
+        Flags {
+            cf: v.bits() & (1 << 0) != 0,
+            pf: v.bits() & (1 << 2) != 0,
+            zf: v.bits() & (1 << 3) != 0,
+            sf: v.bits() & (1 << 4) != 0,
+            of: v.bits() & (1 << 5) != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_flags_zero_result() {
+        let f = Flags::from_add(Value::new(5), Value::from_i32(-5), Value::new(0));
+        assert!(f.zf);
+        assert!(!f.sf);
+    }
+
+    #[test]
+    fn add_flags_carry() {
+        let a = Value::new(u32::MAX);
+        let b = Value::new(1);
+        let f = Flags::from_add(a, b, a + b);
+        assert!(f.cf);
+        assert!(f.zf);
+    }
+
+    #[test]
+    fn sub_flags_borrow_and_sign() {
+        let a = Value::new(1);
+        let b = Value::new(2);
+        let f = Flags::from_sub(a, b, a - b);
+        assert!(f.cf, "borrow expected");
+        assert!(f.sf, "negative result expected");
+        assert!(!f.zf);
+    }
+
+    #[test]
+    fn signed_overflow_detected() {
+        let a = Value::new(0x7FFF_FFFF);
+        let b = Value::new(1);
+        let f = Flags::from_add(a, b, a + b);
+        assert!(f.of);
+        assert!(!f.cf);
+    }
+
+    #[test]
+    fn logic_clears_carry_and_overflow() {
+        let f = Flags::from_logic(Value::new(0xFFFF_FFFF));
+        assert!(!f.cf);
+        assert!(!f.of);
+        assert!(f.sf);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let f = Flags {
+            zf: true,
+            sf: false,
+            cf: true,
+            of: true,
+            pf: false,
+        };
+        assert_eq!(Flags::unpack(f.pack()), f);
+        // Packed flags are always a narrow value.
+        assert!(f.pack().is_narrow());
+    }
+
+    #[test]
+    fn parity_of_low_byte() {
+        let f = Flags::from_logic(Value::new(0x3)); // two bits set -> even parity
+        assert!(f.pf);
+        let f = Flags::from_logic(Value::new(0x1)); // one bit set -> odd parity
+        assert!(!f.pf);
+    }
+}

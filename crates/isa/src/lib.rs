@@ -1,0 +1,44 @@
+//! # hc-isa
+//!
+//! IA-32-like micro-op (µop) ISA model used by the helper-cluster reproduction.
+//!
+//! The paper evaluates its steering policies on an Intel IA-32 trace-driven
+//! simulator: the frontend translates IA-32 macro instructions into µops which
+//! are then renamed, steered and executed in one of two backends (a 32-bit
+//! "wide" cluster and an 8-bit "helper" cluster).  This crate models the pieces
+//! that every other crate needs to agree on:
+//!
+//! * [`value::Value`] — 32-bit data values with *data-width* introspection
+//!   (leading-zero / leading-one detection, §2.1 of the paper).
+//! * [`reg`] — architectural and physical register identifiers.
+//! * [`flags`] — the EFLAGS condition-code register produced by arithmetic µops
+//!   and consumed by conditional branches (needed for the BR policy, §3.3).
+//! * [`uop`] — the static µop description (opcode class, sources, destination,
+//!   immediate, flag behaviour).
+//! * [`dynuop`] — a dynamic µop instance as recorded in a trace: the static µop
+//!   plus the runtime values it read and produced, its memory address and
+//!   branch outcome.  Steering decisions are made *before* execution, but the
+//!   trace-driven simulator (and the width predictors' update path) need the
+//!   ground-truth values.
+//! * [`width`] — data-width classification helpers (8-8-8, 8-32-32, … operand
+//!   profiles used throughout §3).
+//! * [`mem`] — memory access descriptors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynuop;
+pub mod flags;
+pub mod mem;
+pub mod reg;
+pub mod uop;
+pub mod value;
+pub mod width;
+
+pub use dynuop::DynUop;
+pub use flags::Flags;
+pub use mem::MemAccess;
+pub use reg::{ArchReg, PhysReg};
+pub use uop::{AluOp, BranchCond, Uop, UopKind};
+pub use value::Value;
+pub use width::{OperandProfile, WidthClass, NARROW_BITS};

@@ -1,0 +1,78 @@
+//! Memory access descriptors.
+
+use crate::uop::MemSize;
+use serde::{Deserialize, Serialize};
+
+/// A dynamic memory access performed by a load or store µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Effective (virtual) byte address.
+    pub addr: u32,
+    /// Access size.
+    pub size: MemSize,
+    /// Whether the access is a store.
+    pub is_store: bool,
+}
+
+impl MemAccess {
+    /// A load access.
+    pub fn load(addr: u32, size: MemSize) -> MemAccess {
+        MemAccess {
+            addr,
+            size,
+            is_store: false,
+        }
+    }
+
+    /// A store access.
+    pub fn store(addr: u32, size: MemSize) -> MemAccess {
+        MemAccess {
+            addr,
+            size,
+            is_store: true,
+        }
+    }
+
+    /// Cache-line address for a given line size (must be a power of two).
+    pub fn line_addr(&self, line_bytes: u32) -> u32 {
+        debug_assert!(line_bytes.is_power_of_two());
+        self.addr & !(line_bytes - 1)
+    }
+
+    /// Whether two accesses overlap in memory (byte granularity).
+    pub fn overlaps(&self, other: &MemAccess) -> bool {
+        let a0 = self.addr as u64;
+        let a1 = a0 + self.size.bytes() as u64;
+        let b0 = other.addr as u64;
+        let b1 = b0 + other.size.bytes() as u64;
+        a0 < b1 && b0 < a1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_address_masks_low_bits() {
+        let a = MemAccess::load(0x1234_5678, MemSize::DWord);
+        assert_eq!(a.line_addr(64), 0x1234_5640);
+        assert_eq!(a.line_addr(32), 0x1234_5660);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = MemAccess::store(100, MemSize::DWord); // [100,104)
+        let b = MemAccess::load(103, MemSize::Byte); // [103,104)
+        let c = MemAccess::load(104, MemSize::DWord); // [104,108)
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn constructors_set_store_flag() {
+        assert!(!MemAccess::load(0, MemSize::Byte).is_store);
+        assert!(MemAccess::store(0, MemSize::Byte).is_store);
+    }
+}

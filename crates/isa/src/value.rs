@@ -1,0 +1,286 @@
+//! 32-bit data values and data-width introspection.
+//!
+//! The paper's helper cluster operates on *narrow* values: values that can be
+//! represented with fewer bits than the full 32-bit machine width.  §2.1
+//! detects narrow values with leading-zero / leading-one detectors — a value is
+//! narrow if all of its upper bits are zeroes (small unsigned / positive
+//! number) or all ones (small negative two's-complement number).
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit machine data value.
+///
+/// The wrapper exists so that data-width questions ("is this representable in
+/// 8 bits?") are answered in exactly one place, mirroring the leading-zero and
+/// leading-one detector circuits of Figure 3 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The zero value.
+    pub const ZERO: Value = Value(0);
+
+    /// Construct a value from a raw 32-bit pattern.
+    #[inline]
+    pub const fn new(bits: u32) -> Self {
+        Value(bits)
+    }
+
+    /// Construct from a signed integer (two's complement representation).
+    #[inline]
+    pub const fn from_i32(v: i32) -> Self {
+        Value(v as u32)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Value interpreted as signed two's complement.
+    #[inline]
+    pub const fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Number of leading zero bits (the paper's consecutive-zero detector).
+    #[inline]
+    pub const fn leading_zeros(self) -> u32 {
+        self.0.leading_zeros()
+    }
+
+    /// Number of leading one bits (the paper's consecutive-one detector).
+    #[inline]
+    pub const fn leading_ones(self) -> u32 {
+        self.0.leading_ones()
+    }
+
+    /// The *effective width* of the value in bits as the paper's hardware
+    /// detectors see it: `32 - max(leading_zeros, leading_ones)`, clamped to a
+    /// minimum of 1.
+    ///
+    /// A value is considered representable in `w` bits when all bits above
+    /// bit `w-1` are identical *and* equal to either all-zeros or all-ones —
+    /// exactly what the consecutive-zero / consecutive-one detector circuits
+    /// of Figure 3 report.  Examples: `0` and `-1` have width 1, `127` has
+    /// width 7, `255` and `-256` have width 8, `256` has width 9.
+    #[inline]
+    pub const fn effective_width(self) -> u32 {
+        let lz = self.0.leading_zeros();
+        let lo = self.0.leading_ones();
+        let redundant = if lz > lo { lz } else { lo };
+        let w = 32 - redundant;
+        if w == 0 {
+            1
+        } else {
+            w
+        }
+    }
+
+    /// Whether the value is narrow at a width of `bits`: all bits above
+    /// bit `bits-1` are all-zero (small unsigned / positive value) or all-one
+    /// (small negative value).
+    ///
+    /// This is the "narrow value" test of the paper when `bits == 8`: the
+    /// upper 24 bits carry no information and the helper cluster can operate
+    /// on the low byte alone.
+    #[inline]
+    pub const fn fits_in(self, bits: u32) -> bool {
+        if bits >= 32 {
+            return true;
+        }
+        let upper = self.0 >> bits;
+        let mask = (1u32 << (32 - bits)) - 1;
+        upper == 0 || upper == mask
+    }
+
+    /// Whether the value is narrow in the paper's sense (≤ 8 bits).
+    #[inline]
+    pub const fn is_narrow(self) -> bool {
+        self.fits_in(crate::width::NARROW_BITS)
+    }
+
+    /// Whether the value fits in `bits` bits treated as *unsigned* (all upper
+    /// bits zero).  Useful for addresses and zero-extended loads.
+    #[inline]
+    pub const fn fits_unsigned(self, bits: u32) -> bool {
+        if bits >= 32 {
+            return true;
+        }
+        self.0 >> bits == 0
+    }
+
+    /// The low 8 bits of the value (the part the helper cluster operates on).
+    #[inline]
+    pub const fn low_byte(self) -> u8 {
+        (self.0 & 0xFF) as u8
+    }
+
+    /// The upper 24 bits of the value (the part kept in the wide cluster under
+    /// the CR scheme, §3.5).
+    #[inline]
+    pub const fn upper_bits(self) -> u32 {
+        self.0 >> 8
+    }
+
+    /// Replace the low 8 bits, keeping the upper 24 bits.
+    #[inline]
+    pub const fn with_low_byte(self, b: u8) -> Value {
+        Value((self.0 & 0xFFFF_FF00) | b as u32)
+    }
+
+    /// Wrapping addition, also reporting whether a carry propagated out of the
+    /// low 8 bits — the condition the CR (carry-width prediction) scheme of
+    /// §3.5 relies on.
+    #[inline]
+    pub fn add_with_byte_carry(self, rhs: Value) -> (Value, bool) {
+        let sum = self.0.wrapping_add(rhs.0);
+        let low_sum = (self.0 & 0xFF) + (rhs.0 & 0xFF);
+        (Value(sum), low_sum > 0xFF)
+    }
+
+    /// Whether adding `rhs` to `self` leaves the upper 24 bits of the larger
+    /// operand unchanged (i.e. the operation is effectively an 8-bit
+    /// operation).  This is the exact condition illustrated in Figure 10.
+    #[inline]
+    pub fn add_preserves_upper_bits(self, rhs: Value) -> bool {
+        let sum = self.0.wrapping_add(rhs.0);
+        let (wide, _narrow) = if self.effective_width() >= rhs.effective_width() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        sum >> 8 == wide.0 >> 8
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value(v as u32)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl std::ops::Add for Value {
+    type Output = Value;
+    fn add(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl std::ops::Sub for Value {
+    type Output = Value;
+    fn sub(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_narrow() {
+        assert!(Value::ZERO.is_narrow());
+        assert_eq!(Value::ZERO.effective_width(), 1);
+    }
+
+    #[test]
+    fn minus_one_is_narrow() {
+        let v = Value::from_i32(-1);
+        assert!(v.is_narrow());
+        assert_eq!(v.effective_width(), 1);
+    }
+
+    #[test]
+    fn boundary_widths() {
+        // The detector semantics: upper bits all-zero or all-one.
+        assert!(Value::from_i32(127).is_narrow());
+        assert!(Value::from_i32(-128).is_narrow());
+        assert!(Value::from_i32(255).is_narrow());
+        assert!(Value::from_i32(-256).is_narrow());
+        assert!(!Value::from_i32(256).is_narrow());
+        assert!(!Value::from_i32(-257).is_narrow());
+        assert_eq!(Value::from_i32(127).effective_width(), 7);
+        assert_eq!(Value::from_i32(255).effective_width(), 8);
+        assert_eq!(Value::from_i32(256).effective_width(), 9);
+        assert_eq!(Value::from_i32(-256).effective_width(), 8);
+        assert_eq!(Value::from_i32(-257).effective_width(), 9);
+    }
+
+    #[test]
+    fn unsigned_byte_values_are_narrow() {
+        // 255's upper 24 bits are all zero, so the leading-zero detector
+        // classifies it as narrow even though it needs 9 bits signed.
+        let v = Value::new(0xFF);
+        assert!(v.fits_unsigned(8));
+        assert!(v.fits_in(8));
+    }
+
+    #[test]
+    fn full_width_values() {
+        // The widest possible value under detector semantics needs 31 bits:
+        // the most significant bit always starts a (length-one) run.
+        let v = Value::new(0x8000_0000);
+        assert_eq!(v.effective_width(), 31);
+        assert!(v.fits_in(32));
+        assert!(v.fits_in(31));
+        assert!(!v.fits_in(30));
+        assert!(!v.is_narrow());
+    }
+
+    #[test]
+    fn low_byte_and_upper_bits_roundtrip() {
+        let v = Value::new(0xFFFC_4A02);
+        assert_eq!(v.low_byte(), 0x02);
+        assert_eq!(v.upper_bits(), 0xFFFC4A);
+        assert_eq!(v.with_low_byte(0x1E).bits(), 0xFFFC_4A1E);
+    }
+
+    #[test]
+    fn figure_10_example_carry_not_propagated() {
+        // Loadbyte R1, (R2+R3) with R2 = FFFC4A02, R3 = 0000001C.
+        let r2 = Value::new(0xFFFC_4A02);
+        let r3 = Value::new(0x0000_001C);
+        let (sum, carry) = r2.add_with_byte_carry(r3);
+        assert_eq!(sum.bits(), 0xFFFC_4A1E);
+        assert!(!carry);
+        assert!(r2.add_preserves_upper_bits(r3));
+    }
+
+    #[test]
+    fn carry_propagation_detected() {
+        let base = Value::new(0x0000_10F0);
+        let off = Value::new(0x0000_0020);
+        let (sum, carry) = base.add_with_byte_carry(off);
+        assert_eq!(sum.bits(), 0x0000_1110);
+        assert!(carry);
+        assert!(!base.add_preserves_upper_bits(off));
+    }
+
+    #[test]
+    fn leading_detectors() {
+        assert_eq!(Value::new(0x0000_00FF).leading_zeros(), 24);
+        assert_eq!(Value::new(0xFFFF_FF00).leading_ones(), 24);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = Value::new(u32::MAX);
+        let b = Value::new(1);
+        assert_eq!((a + b).bits(), 0);
+        assert_eq!((Value::new(0) - b).bits(), u32::MAX);
+    }
+}

@@ -1,0 +1,265 @@
+//! Data-width classification.
+//!
+//! The paper's steering policies reason about the *operand width profile* of a
+//! µop: which of its sources and its result are narrow (≤ 8 bits).  §1 reports
+//! that 39.4% of regular ALU instructions require one narrow operand, 3.3%
+//! require two narrow operands producing a wide result and 43.5% require two
+//! narrow operands producing a narrow result; §3.2 steers the all-narrow
+//! (8-8-8) combination and §3.5 adds the 8-32-32 carry-free combination.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The helper cluster datapath width in bits (the paper's design point, §2.1).
+pub const NARROW_BITS: u32 = 8;
+
+/// The wide cluster / machine datapath width in bits.
+pub const WIDE_BITS: u32 = 32;
+
+/// Width class of a single operand or result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WidthClass {
+    /// Representable in [`NARROW_BITS`] bits (sign-extended).
+    Narrow,
+    /// Requires more than [`NARROW_BITS`] bits.
+    Wide,
+}
+
+impl WidthClass {
+    /// Classify a concrete value.
+    pub fn of(v: Value) -> WidthClass {
+        if v.is_narrow() {
+            WidthClass::Narrow
+        } else {
+            WidthClass::Wide
+        }
+    }
+
+    /// Classify a value against an arbitrary narrow width (for ablations on
+    /// helper-cluster width).
+    pub fn of_with_width(v: Value, bits: u32) -> WidthClass {
+        if v.fits_in(bits) {
+            WidthClass::Narrow
+        } else {
+            WidthClass::Wide
+        }
+    }
+
+    /// True if narrow.
+    pub fn is_narrow(self) -> bool {
+        matches!(self, WidthClass::Narrow)
+    }
+}
+
+/// The operand-width profile of a µop instance: the combination of source and
+/// result widths that the steering policies key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandProfile {
+    /// All sources and the result are narrow — the paper's `8_8_8` case.
+    AllNarrow,
+    /// One source narrow, one wide, wide result whose upper bits equal the wide
+    /// source's upper bits (no carry propagation) — the paper's `8_32_32`
+    /// carry-free case handled by CR.
+    NarrowWideCarryFree,
+    /// One source narrow, one wide, wide result with carry propagation into the
+    /// upper bits: must execute wide.
+    NarrowWideCarry,
+    /// Sources narrow but the result is wide (e.g. 127 + 127 = 254): must
+    /// execute wide (or be caught as a fatal misprediction).
+    NarrowSourcesWideResult,
+    /// Everything wide.
+    AllWide,
+    /// The µop has no register sources and no result (e.g. unconditional jump).
+    NoOperands,
+}
+
+impl OperandProfile {
+    /// Classify from concrete source values and result value.
+    ///
+    /// `sources` are the values read, `result` the value produced (if any).
+    pub fn classify(sources: &[Value], result: Option<Value>) -> OperandProfile {
+        if sources.is_empty() && result.is_none() {
+            return OperandProfile::NoOperands;
+        }
+        let all_src_narrow = sources.iter().all(|v| v.is_narrow());
+        let any_src_narrow = sources.iter().any(|v| v.is_narrow());
+        let result_narrow = result.map(|v| v.is_narrow());
+
+        match (all_src_narrow, any_src_narrow, result_narrow) {
+            (true, _, Some(true)) | (true, _, None) => OperandProfile::AllNarrow,
+            (true, _, Some(false)) => OperandProfile::NarrowSourcesWideResult,
+            (false, true, Some(false)) => {
+                // Mixed widths with wide result: carry-free if the upper bits of
+                // the result match the upper bits of (one of) the wide sources.
+                let result = result.expect("checked Some above");
+                let carry_free = sources
+                    .iter()
+                    .filter(|v| !v.is_narrow())
+                    .any(|wide| wide.upper_bits() == result.upper_bits());
+                if carry_free {
+                    OperandProfile::NarrowWideCarryFree
+                } else {
+                    OperandProfile::NarrowWideCarry
+                }
+            }
+            (false, true, Some(true)) => {
+                // Mixed sources but narrow result (e.g. masking a wide value).
+                // The operation still needs to read a wide source, so it cannot
+                // run on the 8-bit datapath without the CR upper-bits machinery;
+                // treat as carry-free only if a wide source shares upper bits
+                // with the result (which, for a narrow result, it cannot).
+                OperandProfile::NarrowWideCarry
+            }
+            (false, false, _) | (false, true, None) => OperandProfile::AllWide,
+        }
+    }
+
+    /// Whether this profile can execute natively on the 8-bit helper datapath
+    /// without any extra support.
+    pub fn helper_native(self) -> bool {
+        matches!(self, OperandProfile::AllNarrow)
+    }
+
+    /// Whether this profile can execute on the helper datapath when the CR
+    /// (carry-width prediction) support of §3.5 is enabled.
+    pub fn helper_with_cr(self) -> bool {
+        matches!(
+            self,
+            OperandProfile::AllNarrow | OperandProfile::NarrowWideCarryFree
+        )
+    }
+}
+
+/// Summary counters of operand-profile occurrence over a stream of µops.
+/// Used to reproduce the §1 statistics and Figure 11.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileHistogram {
+    /// Count per profile, indexed by the order of [`OperandProfile`] variants.
+    pub all_narrow: u64,
+    /// See [`OperandProfile::NarrowWideCarryFree`].
+    pub narrow_wide_carry_free: u64,
+    /// See [`OperandProfile::NarrowWideCarry`].
+    pub narrow_wide_carry: u64,
+    /// See [`OperandProfile::NarrowSourcesWideResult`].
+    pub narrow_sources_wide_result: u64,
+    /// See [`OperandProfile::AllWide`].
+    pub all_wide: u64,
+    /// See [`OperandProfile::NoOperands`].
+    pub no_operands: u64,
+}
+
+impl ProfileHistogram {
+    /// Record one profile observation.
+    pub fn record(&mut self, p: OperandProfile) {
+        match p {
+            OperandProfile::AllNarrow => self.all_narrow += 1,
+            OperandProfile::NarrowWideCarryFree => self.narrow_wide_carry_free += 1,
+            OperandProfile::NarrowWideCarry => self.narrow_wide_carry += 1,
+            OperandProfile::NarrowSourcesWideResult => self.narrow_sources_wide_result += 1,
+            OperandProfile::AllWide => self.all_wide += 1,
+            OperandProfile::NoOperands => self.no_operands += 1,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.all_narrow
+            + self.narrow_wide_carry_free
+            + self.narrow_wide_carry
+            + self.narrow_sources_wide_result
+            + self.all_wide
+            + self.no_operands
+    }
+
+    /// Fraction (0..=1) of observations with the given predicate over counts.
+    pub fn fraction(&self, count: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            count as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: i64) -> Value {
+        Value::new(x as u32)
+    }
+
+    #[test]
+    fn all_narrow_profile() {
+        let p = OperandProfile::classify(&[v(3), v(-4)], Some(v(-1)));
+        assert_eq!(p, OperandProfile::AllNarrow);
+        assert!(p.helper_native());
+        assert!(p.helper_with_cr());
+    }
+
+    #[test]
+    fn narrow_sources_wide_result() {
+        let p = OperandProfile::classify(&[v(200), v(200)], Some(v(400)));
+        assert_eq!(p, OperandProfile::NarrowSourcesWideResult);
+        assert!(!p.helper_native());
+    }
+
+    #[test]
+    fn figure_10_is_carry_free() {
+        let base = Value::new(0xFFFC_4A02);
+        let off = Value::new(0x1C);
+        let result = Value::new(0xFFFC_4A1E);
+        let p = OperandProfile::classify(&[base, off], Some(result));
+        assert_eq!(p, OperandProfile::NarrowWideCarryFree);
+        assert!(!p.helper_native());
+        assert!(p.helper_with_cr());
+    }
+
+    #[test]
+    fn carry_propagation_is_not_carry_free() {
+        let base = Value::new(0x0000_10F0);
+        let off = Value::new(0x20);
+        let result = base + off;
+        let p = OperandProfile::classify(&[base, off], Some(result));
+        assert_eq!(p, OperandProfile::NarrowWideCarry);
+        assert!(!p.helper_with_cr());
+    }
+
+    #[test]
+    fn all_wide_profile() {
+        let p = OperandProfile::classify(&[v(1000), v(2000)], Some(v(3000)));
+        assert_eq!(p, OperandProfile::AllWide);
+    }
+
+    #[test]
+    fn no_operands() {
+        assert_eq!(
+            OperandProfile::classify(&[], None),
+            OperandProfile::NoOperands
+        );
+    }
+
+    #[test]
+    fn narrow_source_no_result_counts_as_all_narrow() {
+        // e.g. a store of a narrow value to a narrow address register.
+        let p = OperandProfile::classify(&[v(5)], None);
+        assert_eq!(p, OperandProfile::AllNarrow);
+    }
+
+    #[test]
+    fn histogram_records_and_totals() {
+        let mut h = ProfileHistogram::default();
+        h.record(OperandProfile::AllNarrow);
+        h.record(OperandProfile::AllNarrow);
+        h.record(OperandProfile::AllWide);
+        assert_eq!(h.total(), 3);
+        assert!((h.fraction(h.all_narrow) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_class_with_custom_width() {
+        let v16 = Value::new(0x7FFF);
+        assert_eq!(WidthClass::of(v16), WidthClass::Wide);
+        assert_eq!(WidthClass::of_with_width(v16, 16), WidthClass::Narrow);
+    }
+}

@@ -1,0 +1,91 @@
+//! Energy-delay² comparison (§3.7).
+//!
+//! The paper compares the monolithic baseline against the helper cluster in
+//! its most resource-aggressive configuration (IR) and reports the helper
+//! cluster to be 5.1% more energy-delay² efficient.
+
+use crate::model::PowerModel;
+use hc_sim::SimStats;
+use serde::{Deserialize, Serialize};
+
+/// Energy-delay² of one run: `E * D²`, with delay measured in wide cycles.
+pub fn ed2(model: &PowerModel, stats: &SimStats) -> f64 {
+    let energy = model.energy(&stats.energy).total();
+    let delay = stats.cycles as f64;
+    energy * delay * delay
+}
+
+/// Side-by-side ED² comparison of a candidate configuration against a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ed2Comparison {
+    /// ED² of the baseline run.
+    pub baseline_ed2: f64,
+    /// ED² of the candidate (helper cluster) run.
+    pub candidate_ed2: f64,
+    /// Relative improvement of the candidate: positive means the candidate is
+    /// more ED²-efficient (the paper reports +5.1%).
+    pub improvement: f64,
+}
+
+impl Ed2Comparison {
+    /// Compare a candidate run against a baseline run under one power model.
+    pub fn compare(model: &PowerModel, baseline: &SimStats, candidate: &SimStats) -> Ed2Comparison {
+        let b = ed2(model, baseline);
+        let c = ed2(model, candidate);
+        Ed2Comparison {
+            baseline_ed2: b,
+            candidate_ed2: c,
+            improvement: if c > 0.0 { (b - c) / b } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_sim::EnergyEvents;
+
+    fn stats(cycles: u64, wide_alu: u64, helper_alu: u64) -> SimStats {
+        SimStats {
+            cycles,
+            committed_uops: 1000,
+            energy: EnergyEvents {
+                wide_alu_ops: wide_alu,
+                helper_alu_ops: helper_alu,
+                wide_cycles: cycles,
+                helper_cycles: cycles * 2,
+                ..EnergyEvents::default()
+            },
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn ed2_scales_quadratically_with_delay() {
+        let m = PowerModel::default();
+        let slow = stats(2000, 1000, 0);
+        let fast = stats(1000, 1000, 0);
+        let ratio = ed2(&m, &slow) / ed2(&m, &fast);
+        // Energy also shrinks with fewer clock cycles, so the ratio exceeds 4.
+        assert!(ratio > 4.0);
+    }
+
+    #[test]
+    fn faster_and_cheaper_configuration_wins_ed2() {
+        let m = PowerModel::default();
+        let baseline = stats(2000, 1000, 0);
+        // Helper configuration: 15% faster, work split across clusters.
+        let helper = stats(1700, 500, 500);
+        let cmp = Ed2Comparison::compare(&m, &baseline, &helper);
+        assert!(cmp.improvement > 0.0, "helper should win ED², got {cmp:?}");
+        assert!(cmp.baseline_ed2 > cmp.candidate_ed2);
+    }
+
+    #[test]
+    fn identical_runs_have_zero_improvement() {
+        let m = PowerModel::default();
+        let a = stats(1500, 800, 200);
+        let cmp = Ed2Comparison::compare(&m, &a, &a.clone());
+        assert!(cmp.improvement.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,21 @@
+//! # hc-power
+//!
+//! A Wattch-like event-based power/energy model (§3.1 of the paper: "an
+//! in-house wattch-like power simulator, modified to take into account the
+//! helper cluster power, including the 8-bit datapath and the clock network as
+//! well as the width predictors"), plus the energy-delay² comparison used in
+//! §3.7.
+//!
+//! The model charges a per-event energy to each microarchitectural structure.
+//! Helper-cluster structures are charged much less per access than their
+//! wide-cluster counterparts because register file and ALU area/energy scale
+//! at least linearly with the datapath width.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ed2;
+pub mod model;
+
+pub use ed2::{ed2, Ed2Comparison};
+pub use model::{EnergyBreakdown, PowerModel, PowerParams};

@@ -1,0 +1,219 @@
+//! Per-structure event energies and the energy accounting itself.
+
+use hc_sim::EnergyEvents;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energies in arbitrary energy units (a.u.).  Only *relative*
+/// magnitudes matter for the paper's energy-delay² comparison; the defaults
+/// follow the usual Wattch-style scaling: register files and ALUs scale at
+/// least linearly with datapath width, so 8-bit structures cost roughly a
+/// quarter of their 32-bit counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Energy of a 32-bit register-file read.
+    pub wide_rf_read: f64,
+    /// Energy of a 32-bit register-file write.
+    pub wide_rf_write: f64,
+    /// Energy of an 8-bit register-file read.
+    pub helper_rf_read: f64,
+    /// Energy of an 8-bit register-file write.
+    pub helper_rf_write: f64,
+    /// Energy of a 32-bit ALU/AGU operation.
+    pub wide_alu: f64,
+    /// Energy of an 8-bit ALU/AGU operation.
+    pub helper_alu: f64,
+    /// Energy of an FP operation.
+    pub fp_op: f64,
+    /// Energy of a wide issue-queue insertion + wakeup.
+    pub wide_iq: f64,
+    /// Energy of a helper issue-queue insertion + wakeup.
+    pub helper_iq: f64,
+    /// Energy of a DL0 access.
+    pub dl0_access: f64,
+    /// Energy of a UL1 access.
+    pub ul1_access: f64,
+    /// Energy of one width/carry/copy predictor access.
+    pub predictor_access: f64,
+    /// Energy of one inter-cluster copy transfer.
+    pub copy_transfer: f64,
+    /// Clock-network + idle energy per wide-cluster cycle.
+    pub wide_clock_per_cycle: f64,
+    /// Clock-network + idle energy per helper-cluster tick.
+    pub helper_clock_per_tick: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            wide_rf_read: 1.0,
+            wide_rf_write: 1.2,
+            helper_rf_read: 0.25,
+            helper_rf_write: 0.3,
+            wide_alu: 2.0,
+            helper_alu: 0.5,
+            fp_op: 4.0,
+            wide_iq: 1.0,
+            helper_iq: 0.4,
+            dl0_access: 2.5,
+            ul1_access: 5.0,
+            predictor_access: 0.1,
+            copy_transfer: 0.8,
+            wide_clock_per_cycle: 3.0,
+            helper_clock_per_tick: 0.5,
+        }
+    }
+}
+
+/// Energy attributed to each structure over a run, in arbitrary units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Register files (both clusters).
+    pub register_files: f64,
+    /// Integer ALUs / AGUs (both clusters).
+    pub alus: f64,
+    /// FP units.
+    pub fp: f64,
+    /// Issue queues.
+    pub issue_queues: f64,
+    /// Data caches (DL0 + UL1).
+    pub caches: f64,
+    /// Width/carry/copy predictors.
+    pub predictors: f64,
+    /// Inter-cluster copy network.
+    pub copy_network: f64,
+    /// Clock networks (both clusters).
+    pub clock: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.register_files
+            + self.alus
+            + self.fp
+            + self.issue_queues
+            + self.caches
+            + self.predictors
+            + self.copy_network
+            + self.clock
+    }
+}
+
+/// The Wattch-like power model.
+#[derive(Debug, Clone, Default)]
+pub struct PowerModel {
+    params: PowerParams,
+}
+
+impl PowerModel {
+    /// Create a model with the given per-event energies.
+    pub fn new(params: PowerParams) -> PowerModel {
+        PowerModel { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Compute the per-structure energy of a run from its event counts.
+    pub fn energy(&self, ev: &EnergyEvents) -> EnergyBreakdown {
+        let p = &self.params;
+        EnergyBreakdown {
+            register_files: ev.wide_rf_reads as f64 * p.wide_rf_read
+                + ev.wide_rf_writes as f64 * p.wide_rf_write
+                + ev.helper_rf_reads as f64 * p.helper_rf_read
+                + ev.helper_rf_writes as f64 * p.helper_rf_write,
+            alus: ev.wide_alu_ops as f64 * p.wide_alu + ev.helper_alu_ops as f64 * p.helper_alu,
+            fp: ev.fp_ops as f64 * p.fp_op,
+            issue_queues: ev.wide_iq_ops as f64 * p.wide_iq + ev.helper_iq_ops as f64 * p.helper_iq,
+            caches: ev.dl0_accesses as f64 * p.dl0_access + ev.ul1_accesses as f64 * p.ul1_access,
+            predictors: ev.predictor_accesses as f64 * p.predictor_access,
+            copy_network: ev.copy_transfers as f64 * p.copy_transfer,
+            clock: ev.wide_cycles as f64 * p.wide_clock_per_cycle
+                + ev.helper_cycles as f64 * p.helper_clock_per_tick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_events_zero_energy() {
+        let m = PowerModel::default();
+        let e = m.energy(&EnergyEvents::default());
+        assert_eq!(e.total(), 0.0);
+    }
+
+    #[test]
+    fn helper_structures_cost_less_per_access() {
+        let p = PowerParams::default();
+        assert!(p.helper_rf_read < p.wide_rf_read);
+        assert!(p.helper_alu < p.wide_alu);
+        assert!(p.helper_iq < p.wide_iq);
+        assert!(p.helper_clock_per_tick < p.wide_clock_per_cycle);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = PowerModel::default();
+        let ev = EnergyEvents {
+            wide_alu_ops: 10,
+            helper_alu_ops: 20,
+            fp_ops: 1,
+            wide_rf_reads: 30,
+            wide_rf_writes: 10,
+            helper_rf_reads: 40,
+            helper_rf_writes: 20,
+            wide_iq_ops: 10,
+            helper_iq_ops: 20,
+            dl0_accesses: 5,
+            ul1_accesses: 1,
+            predictor_accesses: 30,
+            wide_cycles: 100,
+            helper_cycles: 200,
+            copy_transfers: 3,
+        };
+        let e = m.energy(&ev);
+        let manual = e.register_files
+            + e.alus
+            + e.fp
+            + e.issue_queues
+            + e.caches
+            + e.predictors
+            + e.copy_network
+            + e.clock;
+        assert!((e.total() - manual).abs() < 1e-9);
+        assert!(e.total() > 0.0);
+    }
+
+    #[test]
+    fn moving_work_to_helper_reduces_datapath_energy() {
+        let m = PowerModel::default();
+        let wide_only = EnergyEvents {
+            wide_alu_ops: 1000,
+            wide_rf_reads: 2000,
+            wide_rf_writes: 1000,
+            wide_iq_ops: 1000,
+            wide_cycles: 500,
+            helper_cycles: 1000,
+            ..EnergyEvents::default()
+        };
+        let half_helper = EnergyEvents {
+            wide_alu_ops: 500,
+            helper_alu_ops: 500,
+            wide_rf_reads: 1000,
+            helper_rf_reads: 1000,
+            wide_rf_writes: 500,
+            helper_rf_writes: 500,
+            wide_iq_ops: 500,
+            helper_iq_ops: 500,
+            wide_cycles: 500,
+            helper_cycles: 1000,
+            ..EnergyEvents::default()
+        };
+        assert!(m.energy(&half_helper).total() < m.energy(&wide_only).total());
+    }
+}

@@ -1,0 +1,189 @@
+//! Branch direction prediction (gshare) and a branch target buffer.
+//!
+//! The paper's baseline is a Pentium-4-like out-of-order core; branch
+//! misprediction recovery competes with width-misprediction recovery for the
+//! flush machinery, so the cycle simulator needs a realistic direction
+//! predictor.  A classic gshare predictor with a small BTB is sufficient.
+
+use serde::{Deserialize, Serialize};
+
+/// 2-bit saturating direction counter states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Dir {
+    StrongNotTaken,
+    WeakNotTaken,
+    WeakTaken,
+    StrongTaken,
+}
+
+impl Dir {
+    fn taken(self) -> bool {
+        matches!(self, Dir::WeakTaken | Dir::StrongTaken)
+    }
+
+    fn update(self, taken: bool) -> Dir {
+        match (self, taken) {
+            (Dir::StrongNotTaken, false) => Dir::StrongNotTaken,
+            (Dir::StrongNotTaken, true) => Dir::WeakNotTaken,
+            (Dir::WeakNotTaken, false) => Dir::StrongNotTaken,
+            (Dir::WeakNotTaken, true) => Dir::WeakTaken,
+            (Dir::WeakTaken, false) => Dir::WeakNotTaken,
+            (Dir::WeakTaken, true) => Dir::StrongTaken,
+            (Dir::StrongTaken, false) => Dir::WeakTaken,
+            (Dir::StrongTaken, true) => Dir::StrongTaken,
+        }
+    }
+}
+
+/// Statistics for the branch predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchPredictorStats {
+    /// Conditional-branch direction predictions made.
+    pub predictions: u64,
+    /// Correct direction predictions.
+    pub correct: u64,
+    /// Incorrect direction predictions.
+    pub mispredictions: u64,
+}
+
+impl BranchPredictorStats {
+    /// Direction prediction accuracy in [0, 1].
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// gshare direction predictor with a global history register and a direct
+/// mapped BTB for targets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BranchPredictor {
+    table: Vec<Dir>,
+    history: u64,
+    history_bits: u32,
+    btb: Vec<Option<u64>>,
+    stats: BranchPredictorStats,
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::new(4096, 12)
+    }
+}
+
+impl BranchPredictor {
+    /// Create a predictor with `entries` pattern-history-table entries and
+    /// `history_bits` bits of global history.
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        let entries = entries.max(2).next_power_of_two();
+        BranchPredictor {
+            table: vec![Dir::WeakNotTaken; entries],
+            history: 0,
+            history_bits: history_bits.min(24),
+            btb: vec![None; entries],
+            stats: BranchPredictorStats::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = self.table.len() as u64 - 1;
+        ((pc ^ (self.history & ((1 << self.history_bits) - 1))) & mask) as usize
+    }
+
+    /// Predict the direction of the conditional branch at `pc`.
+    pub fn predict(&mut self, pc: u64) -> bool {
+        self.stats.predictions += 1;
+        self.table[self.index(pc)].taken()
+    }
+
+    /// Predicted target for a taken branch at `pc`, if the BTB knows it.
+    pub fn predict_target(&self, pc: u64) -> Option<u64> {
+        let mask = self.btb.len() as u64 - 1;
+        self.btb[(pc & mask) as usize]
+    }
+
+    /// Update the predictor with the resolved outcome.  Returns whether the
+    /// prediction made at the same index would have been correct.
+    pub fn update(&mut self, pc: u64, taken: bool, target: Option<u64>) -> bool {
+        let idx = self.index(pc);
+        let predicted = self.table[idx].taken();
+        let correct = predicted == taken;
+        if correct {
+            self.stats.correct += 1;
+        } else {
+            self.stats.mispredictions += 1;
+        }
+        self.table[idx] = self.table[idx].update(taken);
+        self.history = (self.history << 1) | taken as u64;
+        if let (true, Some(t)) = (taken, target) {
+            let mask = self.btb.len() as u64 - 1;
+            self.btb[(pc & mask) as usize] = Some(t);
+        }
+        correct
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BranchPredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken_branches() {
+        let mut p = BranchPredictor::new(1024, 8);
+        let pc = 0x400;
+        // After `history_bits` all-taken outcomes the global history register
+        // saturates at all-ones, so later lookups hit a trained entry.
+        for _ in 0..16 {
+            let _ = p.predict(pc);
+            p.update(pc, true, Some(0x100));
+        }
+        assert!(p.predict(pc));
+        assert_eq!(p.predict_target(pc), Some(0x100));
+    }
+
+    #[test]
+    fn loop_branch_pattern_reaches_high_accuracy() {
+        // Branch taken 9 times then not taken once, repeated: a gshare with
+        // enough history should do far better than 50%.
+        let mut p = BranchPredictor::new(4096, 12);
+        let pc = 0x80;
+        let mut correct = 0;
+        let total = 2000;
+        for i in 0..total {
+            let taken = i % 10 != 9;
+            let pred = p.predict(pc);
+            if pred == taken {
+                correct += 1;
+            }
+            p.update(pc, taken, Some(0x40));
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.8,
+            "gshare should capture the loop pattern, got {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = BranchPredictor::default();
+        let _ = p.predict(1);
+        p.update(1, true, None);
+        let s = p.stats();
+        assert_eq!(s.predictions, 1);
+        assert_eq!(s.correct + s.mispredictions, 1);
+    }
+
+    #[test]
+    fn untrained_btb_returns_none() {
+        let p = BranchPredictor::default();
+        assert_eq!(p.predict_target(0x123), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! 2-bit saturating confidence counters.
+//!
+//! §3.2: "we augment the predictor with a 2-bit per-entry confidence interval
+//! estimator.  We only take the decision to steer the predicted narrow
+//! instruction to the helper cluster if the prediction is with high
+//! confidence."
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-bit saturating counter used as a confidence estimator.
+///
+/// The counter increments on a correct prediction and resets on an incorrect
+/// one (reset-on-miss gives a faster reaction to phase changes than decrement,
+/// which is what keeps the fatal-misprediction rate below 1%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfidenceCounter {
+    value: u8,
+}
+
+impl ConfidenceCounter {
+    /// Maximum (saturated) counter value.
+    pub const MAX: u8 = 3;
+    /// Threshold at or above which the prediction is considered high-confidence.
+    pub const HIGH_CONFIDENCE: u8 = 2;
+
+    /// Create a counter starting at zero confidence.
+    pub fn new() -> Self {
+        ConfidenceCounter { value: 0 }
+    }
+
+    /// Create a counter at an arbitrary (clamped) level — mainly for tests.
+    pub fn at(value: u8) -> Self {
+        ConfidenceCounter {
+            value: value.min(Self::MAX),
+        }
+    }
+
+    /// Current counter value.
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Whether the associated prediction should be trusted.
+    pub fn is_confident(self) -> bool {
+        self.value >= Self::HIGH_CONFIDENCE
+    }
+
+    /// Record a correct prediction (saturating increment).
+    pub fn correct(&mut self) {
+        self.value = (self.value + 1).min(Self::MAX);
+    }
+
+    /// Record an incorrect prediction (reset).
+    pub fn incorrect(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unconfident() {
+        assert!(!ConfidenceCounter::new().is_confident());
+    }
+
+    #[test]
+    fn two_correct_predictions_build_confidence() {
+        let mut c = ConfidenceCounter::new();
+        c.correct();
+        assert!(!c.is_confident());
+        c.correct();
+        assert!(c.is_confident());
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let mut c = ConfidenceCounter::new();
+        for _ in 0..10 {
+            c.correct();
+        }
+        assert_eq!(c.value(), ConfidenceCounter::MAX);
+    }
+
+    #[test]
+    fn misprediction_resets() {
+        let mut c = ConfidenceCounter::at(3);
+        c.incorrect();
+        assert_eq!(c.value(), 0);
+        assert!(!c.is_confident());
+    }
+
+    #[test]
+    fn at_clamps() {
+        assert_eq!(ConfidenceCounter::at(200).value(), ConfidenceCounter::MAX);
+    }
+}

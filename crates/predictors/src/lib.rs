@@ -1,0 +1,37 @@
+//! # hc-predictors
+//!
+//! The prediction structures the paper's steering policies rely on:
+//!
+//! * [`confidence::ConfidenceCounter`] — the 2-bit confidence interval
+//!   estimator used to keep fatal width mispredictions low (§3.2 reduces them
+//!   from 2.11% to 0.83%).
+//! * [`width::WidthPredictor`] — the 256-entry tagless, PC-indexed, last-width
+//!   predictor (1 bit per entry) of Figure 4, with optional confidence.
+//! * [`carry::CarryPredictor`] — the CR extension (§3.5): one extra bit per
+//!   width-predictor entry remembering whether the last occurrence of an
+//!   8/32→32 instruction propagated a carry beyond bit 8.
+//! * [`copy_prefetch::CopyPredictor`] — the CP predictor (§3.6): one bit per
+//!   entry remembering whether the last occurrence of a producer incurred an
+//!   inter-cluster copy, used to prefetch the copy at the producer.
+//! * [`branch::BranchPredictor`] — a gshare direction predictor + BTB, needed
+//!   by the cycle simulator so branch recovery effects are modelled (the paper
+//!   simulates a Pentium-4-like frontend).
+//! * [`width_table::WidthTable`] — the 1-bit-per-register width field stored in
+//!   the rename table, updated with actual outcomes at writeback.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod carry;
+pub mod confidence;
+pub mod copy_prefetch;
+pub mod width;
+pub mod width_table;
+
+pub use branch::BranchPredictor;
+pub use carry::CarryPredictor;
+pub use confidence::ConfidenceCounter;
+pub use copy_prefetch::CopyPredictor;
+pub use width::{WidthPrediction, WidthPredictor};
+pub use width_table::WidthTable;

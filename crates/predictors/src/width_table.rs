@@ -1,0 +1,145 @@
+//! The rename-table width field.
+//!
+//! §3.2: "width information is stored inside a field in the rename table
+//! called width table (which is 1-bit wide) and is updated with the correct
+//! outcome later […].  For the source operand width, the actual width is read
+//! if the producer instruction has already written back the result; if not,
+//! the prediction is read."
+//!
+//! The table tracks, per architectural register, whether the current
+//! (speculative) producer's value is narrow, and whether that information is
+//! a prediction or the actual written-back width.
+
+use hc_isa::reg::{ArchReg, NUM_ARCH_REGS};
+use serde::{Deserialize, Serialize};
+
+/// Source of a width entry: a prediction made at rename, or the actual width
+/// observed at writeback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WidthSource {
+    /// The producer has not written back yet; the bit is the predictor's guess.
+    Predicted,
+    /// The producer wrote back; the bit is ground truth.
+    Actual,
+}
+
+/// One width-table entry.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Entry {
+    narrow: bool,
+    source: WidthSource,
+}
+
+impl Default for Entry {
+    fn default() -> Self {
+        // Architectural registers start wide and "actual": before any producer
+        // is in flight the committed value's width is known.
+        Entry {
+            narrow: false,
+            source: WidthSource::Actual,
+        }
+    }
+}
+
+/// Per-architectural-register width bits living alongside the rename table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WidthTable {
+    entries: [Entry; NUM_ARCH_REGS],
+}
+
+impl Default for WidthTable {
+    fn default() -> Self {
+        WidthTable {
+            entries: [Entry::default(); NUM_ARCH_REGS],
+        }
+    }
+}
+
+impl WidthTable {
+    /// Create a table with all registers marked wide/actual.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up the width bit for a source register together with its provenance.
+    pub fn lookup(&self, reg: ArchReg) -> (bool, WidthSource) {
+        let e = self.entries[reg.index()];
+        (e.narrow, e.source)
+    }
+
+    /// Whether the register currently holds (or is predicted to hold) a narrow value.
+    pub fn is_narrow(&self, reg: ArchReg) -> bool {
+        self.entries[reg.index()].narrow
+    }
+
+    /// Record a rename-time *prediction* for the register's new producer.
+    pub fn set_predicted(&mut self, reg: ArchReg, narrow: bool) {
+        self.entries[reg.index()] = Entry {
+            narrow,
+            source: WidthSource::Predicted,
+        };
+    }
+
+    /// Record the *actual* width at writeback (only if the register still maps
+    /// to this producer — the caller is responsible for that check; a stale
+    /// update is harmless because the next rename overwrites it).
+    pub fn set_actual(&mut self, reg: ArchReg, narrow: bool) {
+        self.entries[reg.index()] = Entry {
+            narrow,
+            source: WidthSource::Actual,
+        };
+    }
+
+    /// Reset every entry to wide/actual (used on pipeline flushes, where the
+    /// committed architectural state widths are re-derived lazily).
+    pub fn reset(&mut self) {
+        self.entries = [Entry::default(); NUM_ARCH_REGS];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_wide_and_actual() {
+        let t = WidthTable::new();
+        let (narrow, src) = t.lookup(ArchReg::Eax);
+        assert!(!narrow);
+        assert_eq!(src, WidthSource::Actual);
+    }
+
+    #[test]
+    fn prediction_then_writeback() {
+        let mut t = WidthTable::new();
+        t.set_predicted(ArchReg::Ecx, true);
+        assert_eq!(t.lookup(ArchReg::Ecx), (true, WidthSource::Predicted));
+        t.set_actual(ArchReg::Ecx, false);
+        assert_eq!(t.lookup(ArchReg::Ecx), (false, WidthSource::Actual));
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut t = WidthTable::new();
+        t.set_predicted(ArchReg::Eax, true);
+        assert!(t.is_narrow(ArchReg::Eax));
+        assert!(!t.is_narrow(ArchReg::Ebx));
+    }
+
+    #[test]
+    fn reset_restores_default() {
+        let mut t = WidthTable::new();
+        t.set_predicted(ArchReg::Eax, true);
+        t.reset();
+        assert_eq!(t.lookup(ArchReg::Eax), (false, WidthSource::Actual));
+    }
+
+    #[test]
+    fn temporaries_and_flags_have_entries() {
+        let mut t = WidthTable::new();
+        t.set_actual(ArchReg::Eflags, true);
+        t.set_actual(ArchReg::Temp(5), true);
+        assert!(t.is_narrow(ArchReg::Eflags));
+        assert!(t.is_narrow(ArchReg::Temp(5)));
+    }
+}

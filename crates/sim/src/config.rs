@@ -1,0 +1,226 @@
+//! Simulator configuration — Table 1 of the paper plus the helper-cluster
+//! parameters of §2.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache geometry and latency for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in wide-cluster cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        (self.size_bytes / (self.ways * self.line_bytes)).max(1)
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Level-1 data cache (DL0 in the paper: 32KB, 8-way, 3 cycles).
+    pub dl0: CacheConfig,
+    /// Level-2 cache (UL1: 4MB, 16-way, 13 cycles).
+    pub ul1: CacheConfig,
+    /// Main memory latency in wide cycles (450 in Table 1).
+    pub memory_latency: u32,
+    /// Integer scheduler (issue queue) entries per cluster (32 in Table 1).
+    pub int_iq_entries: usize,
+    /// Integer issue width per cluster per *its own* cycle (3 in Table 1).
+    pub int_issue_width: usize,
+    /// FP scheduler entries (wide cluster only).
+    pub fp_iq_entries: usize,
+    /// FP issue width (wide cluster only).
+    pub fp_issue_width: usize,
+    /// Commit width in µops per wide cycle (6 in Table 1).
+    pub commit_width: usize,
+    /// Rename/dispatch width in µops per wide cycle.
+    pub rename_width: usize,
+    /// Fetch width in µops per wide cycle (trace cache delivery).
+    pub fetch_width: usize,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Whether the helper cluster exists at all (false = monolithic baseline).
+    pub helper_enabled: bool,
+    /// Helper cluster datapath width in bits (8 in the paper).
+    pub helper_width_bits: u32,
+    /// Helper-cluster clock multiplier relative to the wide cluster (2 in §2.2).
+    pub helper_clock_ratio: u32,
+    /// Helper cluster integer issue width per *helper* cycle.
+    pub helper_issue_width: usize,
+    /// Helper cluster issue-queue entries.
+    pub helper_iq_entries: usize,
+    /// Latency of an inter-cluster copy µop in helper ticks (half wide
+    /// cycles), once its source is ready: the transfer plus the write into the
+    /// consumer's register file over the synchronised inter-cluster bypass.
+    pub copy_latency: u32,
+    /// Branch misprediction frontend redirect penalty in wide cycles.
+    pub branch_mispredict_penalty: u32,
+    /// Width (fatal) misprediction flush penalty in wide cycles.
+    pub width_flush_penalty: u32,
+    /// Integer multiply latency in wide cycles.
+    pub mul_latency: u32,
+    /// Integer divide latency in wide cycles.
+    pub div_latency: u32,
+    /// FP operation latency in wide cycles.
+    pub fp_latency: u32,
+    /// Store-to-load forwarding latency in wide cycles.
+    pub forward_latency: u32,
+}
+
+impl SimConfig {
+    /// The baseline processor parameters of Table 1, with the §2 helper
+    /// cluster attached (8 bits wide, clocked 2×).
+    pub fn paper_baseline() -> SimConfig {
+        SimConfig {
+            dl0: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 3,
+            },
+            ul1: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency: 13,
+            },
+            memory_latency: 450,
+            int_iq_entries: 32,
+            int_issue_width: 3,
+            fp_iq_entries: 32,
+            fp_issue_width: 3,
+            commit_width: 6,
+            rename_width: 6,
+            fetch_width: 6,
+            rob_entries: 128,
+            helper_enabled: true,
+            helper_width_bits: 8,
+            helper_clock_ratio: 2,
+            helper_issue_width: 3,
+            helper_iq_entries: 32,
+            copy_latency: 1,
+            branch_mispredict_penalty: 10,
+            width_flush_penalty: 4,
+            mul_latency: 4,
+            div_latency: 20,
+            fp_latency: 4,
+            forward_latency: 1,
+        }
+    }
+
+    /// The monolithic baseline: identical frontend and wide backend, no helper
+    /// cluster (the comparison point for every speedup in the paper).
+    pub fn monolithic_baseline() -> SimConfig {
+        SimConfig {
+            helper_enabled: false,
+            ..SimConfig::paper_baseline()
+        }
+    }
+
+    /// Number of helper ticks per wide cycle.
+    pub fn ticks_per_wide_cycle(&self) -> u64 {
+        self.helper_clock_ratio.max(1) as u64
+    }
+
+    /// Convert a latency expressed in wide cycles to ticks.
+    pub fn wide_cycles_to_ticks(&self, cycles: u32) -> u64 {
+        cycles as u64 * self.ticks_per_wide_cycle()
+    }
+
+    /// Basic sanity validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.commit_width == 0 || self.rename_width == 0 || self.fetch_width == 0 {
+            return Err("frontend/commit widths must be non-zero".into());
+        }
+        if self.rob_entries < self.commit_width {
+            return Err("ROB must hold at least one commit group".into());
+        }
+        if !self.dl0.line_bytes.is_power_of_two() || !self.ul1.line_bytes.is_power_of_two() {
+            return Err("cache line sizes must be powers of two".into());
+        }
+        if self.helper_enabled && self.helper_clock_ratio == 0 {
+            return Err("helper clock ratio must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_table_1() {
+        let c = SimConfig::paper_baseline();
+        assert_eq!(c.dl0.size_bytes, 32 * 1024);
+        assert_eq!(c.dl0.ways, 8);
+        assert_eq!(c.dl0.latency, 3);
+        assert_eq!(c.ul1.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.ul1.ways, 16);
+        assert_eq!(c.ul1.latency, 13);
+        assert_eq!(c.memory_latency, 450);
+        assert_eq!(c.int_iq_entries, 32);
+        assert_eq!(c.int_issue_width, 3);
+        assert_eq!(c.fp_iq_entries, 32);
+        assert_eq!(c.fp_issue_width, 3);
+        assert_eq!(c.commit_width, 6);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn helper_parameters_match_section_2() {
+        let c = SimConfig::paper_baseline();
+        assert!(c.helper_enabled);
+        assert_eq!(c.helper_width_bits, 8);
+        assert_eq!(c.helper_clock_ratio, 2);
+        assert_eq!(c.ticks_per_wide_cycle(), 2);
+        assert_eq!(c.wide_cycles_to_ticks(3), 6);
+    }
+
+    #[test]
+    fn monolithic_baseline_disables_helper() {
+        let c = SimConfig::monolithic_baseline();
+        assert!(!c.helper_enabled);
+        // Everything else identical to the helper configuration.
+        let p = SimConfig::paper_baseline();
+        assert_eq!(c.dl0, p.dl0);
+        assert_eq!(c.commit_width, p.commit_width);
+    }
+
+    #[test]
+    fn cache_sets_computed() {
+        let c = SimConfig::paper_baseline();
+        assert_eq!(c.dl0.sets(), 32 * 1024 / (8 * 64));
+        assert_eq!(c.ul1.sets(), 4 * 1024 * 1024 / (16 * 64));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = SimConfig::paper_baseline();
+        c.commit_width = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::paper_baseline();
+        c.dl0.line_bytes = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::paper_baseline();
+        c.rob_entries = 2;
+        assert!(c.validate().is_err());
+    }
+}

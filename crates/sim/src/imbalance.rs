@@ -1,0 +1,148 @@
+//! The NREADY workload-imbalance metric (§3.7, following Parcerisa & González).
+//!
+//! "The workload imbalance at a given instant of time is defined as the total
+//! number of ready instructions that cannot issue, but could have issued in
+//! the other cluster."  We accumulate, per wide cycle, the number of ready
+//! µops left unissued in each cluster while the other cluster still had free
+//! issue slots, and normalise by the number of µops considered.
+
+use crate::stats::ImbalanceStats;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates NREADY samples over a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NReadyAccumulator {
+    wide_stuck: u64,
+    narrow_stuck: u64,
+    samples: u64,
+    /// Sliding-window counters for the steering policies' online imbalance
+    /// estimate (IR reacts to *recent* imbalance, not the whole-run average).
+    recent_wide_stuck: u64,
+    recent_narrow_stuck: u64,
+    recent_samples: u64,
+    window: u64,
+}
+
+impl NReadyAccumulator {
+    /// Create an accumulator whose "recent" estimate covers roughly `window`
+    /// µop samples.
+    pub fn new(window: u64) -> NReadyAccumulator {
+        NReadyAccumulator {
+            window: window.max(1),
+            ..NReadyAccumulator::default()
+        }
+    }
+
+    /// Record one cycle's observation.
+    ///
+    /// * `wide_ready_unissued` — ready µops left in the wide IQ after issue.
+    /// * `wide_free_slots` — issue slots the wide cluster left unused.
+    /// * `helper_ready_unissued` / `helper_free_slots` — same for the helper.
+    /// * `uops_considered` — µops that were present in either IQ this cycle.
+    pub fn record(
+        &mut self,
+        wide_ready_unissued: usize,
+        wide_free_slots: usize,
+        helper_ready_unissued: usize,
+        helper_free_slots: usize,
+        uops_considered: usize,
+    ) {
+        // Ready µops stuck in the wide cluster that the helper could have taken.
+        let w2n = wide_ready_unissued.min(helper_free_slots) as u64;
+        // Ready µops stuck in the helper cluster that the wide cluster could have taken.
+        let n2w = helper_ready_unissued.min(wide_free_slots) as u64;
+        self.wide_stuck += w2n;
+        self.narrow_stuck += n2w;
+        self.samples += uops_considered as u64;
+
+        self.recent_wide_stuck += w2n;
+        self.recent_narrow_stuck += n2w;
+        self.recent_samples += uops_considered as u64;
+        if self.recent_samples > self.window {
+            // Halve the window so the estimate tracks recent behaviour.
+            self.recent_wide_stuck /= 2;
+            self.recent_narrow_stuck /= 2;
+            self.recent_samples /= 2;
+        }
+    }
+
+    /// Whole-run imbalance statistics.
+    pub fn stats(&self) -> ImbalanceStats {
+        let f = |n: u64| {
+            if self.samples == 0 {
+                0.0
+            } else {
+                n as f64 / self.samples as f64
+            }
+        };
+        ImbalanceStats {
+            wide_to_narrow: f(self.wide_stuck),
+            narrow_to_wide: f(self.narrow_stuck),
+        }
+    }
+
+    /// Recent wide→narrow imbalance estimate (what the IR policy reads).
+    pub fn recent_wide_to_narrow(&self) -> f64 {
+        if self.recent_samples == 0 {
+            0.0
+        } else {
+            self.recent_wide_stuck as f64 / self.recent_samples as f64
+        }
+    }
+
+    /// Recent narrow→wide imbalance estimate.
+    pub fn recent_narrow_to_wide(&self) -> f64 {
+        if self.recent_samples == 0 {
+            0.0
+        } else {
+            self.recent_narrow_stuck as f64 / self.recent_samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_samples_means_no_imbalance() {
+        let a = NReadyAccumulator::new(1000);
+        assert_eq!(a.stats().wide_to_narrow, 0.0);
+        assert_eq!(a.recent_wide_to_narrow(), 0.0);
+    }
+
+    #[test]
+    fn wide_to_narrow_counts_only_transferable_uops() {
+        let mut a = NReadyAccumulator::new(1000);
+        // 5 ready stuck wide, but helper has only 2 free slots -> 2 count.
+        a.record(5, 0, 0, 2, 10);
+        let s = a.stats();
+        assert!((s.wide_to_narrow - 0.2).abs() < 1e-12);
+        assert_eq!(s.narrow_to_wide, 0.0);
+    }
+
+    #[test]
+    fn narrow_to_wide_symmetric() {
+        let mut a = NReadyAccumulator::new(1000);
+        a.record(0, 3, 4, 0, 8);
+        let s = a.stats();
+        assert!((s.narrow_to_wide - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recent_estimate_decays() {
+        let mut a = NReadyAccumulator::new(100);
+        for _ in 0..50 {
+            a.record(2, 0, 0, 2, 4); // heavy wide->narrow imbalance
+        }
+        let early = a.recent_wide_to_narrow();
+        assert!(early > 0.3);
+        for _ in 0..200 {
+            a.record(0, 3, 0, 3, 4); // balanced now
+        }
+        let late = a.recent_wide_to_narrow();
+        assert!(late < early, "recent estimate should track recent behaviour");
+        // Whole-run stats still remember the early imbalance.
+        assert!(a.stats().wide_to_narrow > 0.0);
+    }
+}

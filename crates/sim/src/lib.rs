@@ -1,0 +1,32 @@
+//! # hc-sim
+//!
+//! A cycle-level, trace-driven simulator of a clustered out-of-order IA-32-like
+//! processor: a monolithic 32-bit core (Table 1 of the paper) optionally
+//! extended with the low-complexity 8-bit **helper cluster** of §2, clocked
+//! twice as fast as the wide backend.
+//!
+//! The simulator executes any [`steer::SteeringPolicy`]; the paper's
+//! data-width aware policies live in `hc-core`.  The crate also provides the
+//! NREADY imbalance metric, the memory hierarchy, and the statistics /
+//! energy-event collection the power model consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod imbalance;
+pub mod pipeline;
+pub mod rob;
+pub mod stats;
+pub mod steer;
+
+pub use cache::{MemoryHierarchy, SetAssocCache};
+pub use config::{CacheConfig, SimConfig};
+pub use imbalance::NReadyAccumulator;
+pub use pipeline::Simulator;
+pub use stats::{EnergyEvents, ImbalanceStats, SimStats};
+pub use steer::{
+    AlwaysWide, Cluster, HelperMode, SteerContext, SteerDecision, SteeringPolicy, SourceWidthInfo,
+    WritebackInfo,
+};

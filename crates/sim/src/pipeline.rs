@@ -1,0 +1,1240 @@
+//! The cycle-level clustered out-of-order pipeline.
+//!
+//! The simulator is trace driven: it replays a [`Trace`] through a model of a
+//! Pentium-4-like core (Table 1) extended with the 8-bit helper backend of §2,
+//! honouring the steering decisions of a [`SteeringPolicy`].
+//!
+//! # Clocking
+//!
+//! Time advances in *ticks* — helper-cluster cycles.  A wide-cluster cycle is
+//! `helper_clock_ratio` ticks (2 in the paper).  Frontend, commit, and the
+//! wide backend operate once per wide cycle; the helper backend issues every
+//! tick, which is exactly the "2× faster narrow backend with synchronised
+//! clocks" design of §2.2.
+//!
+//! # What is modelled
+//!
+//! * per-cluster issue queues with limited entries and issue width,
+//! * register dependences through a rename map, including the flags register,
+//! * inter-cluster communication through copy µops steered to the producer's
+//!   backend (Canal/Parcerisa/González scheme), plus copy prefetching,
+//! * load replication (LR) and wide-instruction splitting (IR),
+//! * a shared memory hierarchy (DL0/UL1/main memory) and a single MOB with
+//!   store-to-load forwarding,
+//! * branch direction prediction with frontend redirect stalls,
+//! * fatal width-misprediction detection with a flush-and-resteer recovery,
+//! * the NREADY imbalance metric and energy event counting.
+
+use crate::cache::MemoryHierarchy;
+use crate::config::SimConfig;
+use crate::imbalance::NReadyAccumulator;
+use crate::rob::{Inflight, Role, Seq, UopState};
+use crate::steer::{
+    Cluster, HelperMode, SteerContext, SteerDecision, SteeringPolicy, SourceWidthInfo,
+    WritebackInfo,
+};
+use crate::stats::SimStats;
+use hc_isa::reg::{ArchReg, NUM_ARCH_REGS};
+use hc_isa::uop::{Uop, UopKind};
+use hc_isa::DynUop;
+use hc_predictors::BranchPredictor;
+use hc_trace::Trace;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Number of chunks a wide instruction is split into by the IR scheme.
+const SPLIT_CHUNKS: usize = 4;
+
+/// The simulator: construct once per configuration, then [`Simulator::run`]
+/// as many traces / policies as needed.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Create a simulator after validating the configuration.
+    pub fn new(config: SimConfig) -> Result<Simulator, String> {
+        config.validate()?;
+        Ok(Simulator { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run `trace` under `policy` and return the measured statistics.
+    pub fn run(&self, trace: &Trace, policy: &mut dyn SteeringPolicy) -> SimStats {
+        let mut m = Machine::new(&self.config, trace, policy);
+        m.run();
+        m.into_stats()
+    }
+}
+
+/// Rename-table entry: the in-flight producer of an architectural register.
+#[derive(Debug, Clone, Copy)]
+struct RenameEntry {
+    seq: Seq,
+}
+
+struct Machine<'a> {
+    cfg: &'a SimConfig,
+    trace: &'a Trace,
+    policy: &'a mut dyn SteeringPolicy,
+
+    // In-flight window.
+    entries: Vec<Inflight>,
+    dependents: Vec<Vec<Seq>>,
+    rob: VecDeque<Seq>,
+
+    // Rename state.
+    rename_map: [Option<RenameEntry>; NUM_ARCH_REGS],
+    flags_map: Option<RenameEntry>,
+    arch_loc: [Cluster; NUM_ARCH_REGS],
+    arch_replicated: [bool; NUM_ARCH_REGS],
+    arch_narrow: [bool; NUM_ARCH_REGS],
+    flags_loc: Cluster,
+    copy_map: HashMap<(Seq, Cluster), Seq>,
+
+    // Issue-queue occupancy.
+    wide_int_iq: usize,
+    wide_fp_iq: usize,
+    helper_iq: usize,
+
+    // Frontend.
+    next_pos: usize,
+    forced_wide: HashSet<usize>,
+    frontend_stall_until: u64,
+    branch_stall: Option<Seq>,
+    branch_pred: BranchPredictor,
+
+    // Execution.
+    events: BinaryHeap<std::cmp::Reverse<(u64, Seq)>>,
+    mem: MemoryHierarchy,
+
+    // Time.
+    tick: u64,
+    cycles: u64,
+
+    // Measurement.
+    nready: NReadyAccumulator,
+    stats: SimStats,
+    committed_trace_uops: usize,
+}
+
+impl<'a> Machine<'a> {
+    fn new(cfg: &'a SimConfig, trace: &'a Trace, policy: &'a mut dyn SteeringPolicy) -> Self {
+        let mut stats = SimStats::default();
+        stats.policy = policy.name().to_string();
+        stats.trace = trace.name.clone();
+        Machine {
+            cfg,
+            trace,
+            policy,
+            entries: Vec::with_capacity(trace.len() + trace.len() / 2),
+            dependents: Vec::with_capacity(trace.len() + trace.len() / 2),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rename_map: [None; NUM_ARCH_REGS],
+            flags_map: None,
+            arch_loc: [Cluster::Wide; NUM_ARCH_REGS],
+            arch_replicated: [false; NUM_ARCH_REGS],
+            arch_narrow: [false; NUM_ARCH_REGS],
+            flags_loc: Cluster::Wide,
+            copy_map: HashMap::new(),
+            wide_int_iq: 0,
+            wide_fp_iq: 0,
+            helper_iq: 0,
+            next_pos: 0,
+            forced_wide: HashSet::new(),
+            frontend_stall_until: 0,
+            branch_stall: None,
+            branch_pred: BranchPredictor::default(),
+            events: BinaryHeap::new(),
+            mem: MemoryHierarchy::new(cfg),
+            tick: 0,
+            cycles: 0,
+            nready: NReadyAccumulator::new(4096),
+            stats,
+            committed_trace_uops: 0,
+        }
+    }
+
+    fn ratio(&self) -> u64 {
+        self.cfg.ticks_per_wide_cycle()
+    }
+
+    // ----------------------------------------------------------------- run
+
+    fn run(&mut self) {
+        if self.trace.is_empty() {
+            return;
+        }
+        // Hard bound so a modelling bug can never hang the caller.
+        let max_cycles = (self.trace.len() as u64 + 1_000) * 600;
+        while self.committed_trace_uops < self.trace.len() && self.cycles < max_cycles {
+            self.step_wide_cycle();
+        }
+        debug_assert!(
+            self.committed_trace_uops >= self.trace.len(),
+            "simulation did not retire the whole trace within the cycle bound"
+        );
+    }
+
+    fn step_wide_cycle(&mut self) {
+        let ratio = self.ratio();
+        for sub in 0..ratio {
+            self.complete_at(self.tick);
+            if self.cfg.helper_enabled && self.policy.uses_helper() {
+                self.issue_cluster(Cluster::Helper);
+            }
+            if sub == 0 {
+                self.issue_cluster(Cluster::Wide);
+            }
+            self.tick += 1;
+        }
+        self.commit();
+        self.rename_and_dispatch();
+        self.sample_nready();
+        self.cycles += 1;
+        self.stats.energy.wide_cycles += 1;
+        self.stats.energy.helper_cycles += ratio;
+    }
+
+    // ---------------------------------------------------------- completion
+
+    fn complete_at(&mut self, now: u64) {
+        while let Some(&std::cmp::Reverse((t, seq))) = self.events.peek() {
+            if t > now {
+                break;
+            }
+            self.events.pop();
+            let idx = seq as usize;
+            if self.entries[idx].state != UopState::Issued {
+                continue; // squashed after issue
+            }
+            self.entries[idx].state = UopState::Completed;
+            // Register-file write energy.
+            if self.entries[idx].uop.uop.has_dest() {
+                match self.entries[idx].cluster {
+                    Cluster::Wide => self.stats.energy.wide_rf_writes += 1,
+                    Cluster::Helper => self.stats.energy.helper_rf_writes += 1,
+                }
+            }
+            if matches!(self.entries[idx].role, Role::Copy { .. }) {
+                self.stats.energy.copy_transfers += 1;
+            }
+            // Wake dependents.
+            let deps = std::mem::take(&mut self.dependents[idx]);
+            for d in deps {
+                let di = d as usize;
+                if self.entries[di].alive() {
+                    self.entries[di].satisfy_dep(seq);
+                }
+            }
+            // Branch-stall release.
+            if self.branch_stall == Some(seq) {
+                self.branch_stall = None;
+                self.frontend_stall_until = self
+                    .frontend_stall_until
+                    .max(now + self.cfg.wide_cycles_to_ticks(self.cfg.branch_mispredict_penalty));
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- issue
+
+    fn issue_cluster(&mut self, cluster: Cluster) {
+        let (int_width, fp_width) = match cluster {
+            Cluster::Wide => (self.cfg.int_issue_width, self.cfg.fp_issue_width),
+            Cluster::Helper => (self.cfg.helper_issue_width, 0),
+        };
+        let mut int_used = 0usize;
+        let mut fp_used = 0usize;
+        let mut fatal: Option<(Seq, usize)> = None;
+
+        let rob_snapshot: Vec<Seq> = self.rob.iter().copied().collect();
+        for seq in rob_snapshot {
+            if int_used >= int_width && (fp_width == 0 || fp_used >= fp_width) {
+                break;
+            }
+            let idx = seq as usize;
+            if !self.entries[idx].alive()
+                || self.entries[idx].cluster != cluster
+                || self.entries[idx].state != UopState::Ready
+            {
+                continue;
+            }
+            let is_fp = self.entries[idx].is_fp;
+            // Copy µops have their own scheduling resources (Canal/Parcerisa/
+            // González scheme, see §4): they do not compete with regular µops
+            // for issue slots.
+            let is_copy = matches!(self.entries[idx].uop.uop.kind, UopKind::Copy);
+            if is_fp {
+                if fp_used >= fp_width {
+                    continue;
+                }
+            } else if int_used >= int_width && !is_copy {
+                continue;
+            }
+
+            // Memory ordering: a load may not issue past an older,
+            // not-yet-completed overlapping store.
+            let mut forward = false;
+            if self.entries[idx].uop.uop.kind.is_load() {
+                match self.memory_order_check(seq) {
+                    MemOrder::Blocked => continue,
+                    MemOrder::Forwarded => forward = true,
+                    MemOrder::Clear => {}
+                }
+            }
+
+            // Fatal width misprediction detection: the helper cluster's
+            // zero/carry detectors catch a value that does not fit as the µop
+            // executes (§3.2 / §3.5).
+            if cluster == Cluster::Helper && self.is_fatal_width_violation(idx) {
+                fatal = Some((seq, self.entries[idx].trace_pos().unwrap_or(self.next_pos)));
+                break;
+            }
+
+            // Issue.
+            let latency = self.latency_ticks(idx, forward);
+            self.entries[idx].state = UopState::Issued;
+            self.entries[idx].complete_tick = self.tick + latency;
+            self.events
+                .push(std::cmp::Reverse((self.tick + latency, seq)));
+            self.release_iq_slot(idx);
+            if is_fp {
+                fp_used += 1;
+                self.stats.energy.fp_ops += 1;
+            } else if !is_copy {
+                int_used += 1;
+                match cluster {
+                    Cluster::Wide => self.stats.energy.wide_alu_ops += 1,
+                    Cluster::Helper => self.stats.energy.helper_alu_ops += 1,
+                }
+            }
+            let nsrc = self.entries[idx].uop.uop.num_sources() as u64;
+            match cluster {
+                Cluster::Wide => self.stats.energy.wide_rf_reads += nsrc,
+                Cluster::Helper => self.stats.energy.helper_rf_reads += nsrc,
+            }
+        }
+
+        if let Some((seq, pos)) = fatal {
+            self.handle_fatal_width_mispredict(seq, pos);
+        }
+    }
+
+    fn release_iq_slot(&mut self, idx: usize) {
+        match (self.entries[idx].cluster, self.entries[idx].is_fp) {
+            (Cluster::Wide, false) => self.wide_int_iq = self.wide_int_iq.saturating_sub(1),
+            (Cluster::Wide, true) => self.wide_fp_iq = self.wide_fp_iq.saturating_sub(1),
+            (Cluster::Helper, _) => self.helper_iq = self.helper_iq.saturating_sub(1),
+        }
+    }
+
+    fn is_fatal_width_violation(&self, idx: usize) -> bool {
+        let e = &self.entries[idx];
+        match e.helper_mode {
+            Some(HelperMode::AllNarrow) => !e.uop.is_all_narrow(),
+            Some(HelperMode::CarryFree) => {
+                !(e.uop.is_all_narrow()
+                    || e.uop.is_carry_free_8_32_32()
+                    || Self::address_carry_free(&e.uop))
+            }
+            // Branches, split chunks and copies cannot violate widths.
+            _ => false,
+        }
+    }
+
+    /// CR eligibility check for loads/stores: the *address computation* stays
+    /// within the low byte of the wide base.
+    fn address_carry_free(uop: &DynUop) -> bool {
+        if !uop.uop.kind.is_mem() {
+            return false;
+        }
+        let mut operands: Vec<hc_isa::Value> = uop.source_values();
+        if let Some(i) = uop.uop.imm {
+            operands.push(i);
+        }
+        let wide: Vec<hc_isa::Value> = operands.iter().copied().filter(|v| !v.is_narrow()).collect();
+        if wide.len() != 1 {
+            return false;
+        }
+        let sum = operands
+            .iter()
+            .copied()
+            .fold(hc_isa::Value::ZERO, |acc, v| acc + v);
+        sum.upper_bits() == wide[0].upper_bits()
+    }
+
+    fn memory_order_check(&self, load_seq: Seq) -> MemOrder {
+        let load_idx = load_seq as usize;
+        let load_mem = match self.entries[load_idx].uop.mem {
+            Some(m) => m,
+            None => return MemOrder::Clear,
+        };
+        for &seq in self.rob.iter() {
+            if seq >= load_seq {
+                break;
+            }
+            let idx = seq as usize;
+            let e = &self.entries[idx];
+            if !e.alive() || !e.is_store {
+                continue;
+            }
+            if let Some(smem) = e.uop.mem {
+                if smem.overlaps(&load_mem) {
+                    return if e.state == UopState::Completed {
+                        MemOrder::Forwarded
+                    } else {
+                        MemOrder::Blocked
+                    };
+                }
+            }
+        }
+        MemOrder::Clear
+    }
+
+    fn latency_ticks(&mut self, idx: usize, forwarded: bool) -> u64 {
+        let cluster = self.entries[idx].cluster;
+        let ratio = self.ratio();
+        let own_cycle = match cluster {
+            Cluster::Wide => ratio,
+            Cluster::Helper => 1,
+        };
+        let kind = self.entries[idx].uop.uop.kind;
+        match kind {
+            UopKind::Alu(_) | UopKind::Nop | UopKind::CondBranch(_) | UopKind::Jump => own_cycle,
+            // Copies ride the inter-cluster bypass: latency is expressed in
+            // helper ticks (half wide cycles), matching the synchronised 2:1
+            // clock of §2.2.
+            UopKind::Copy => (self.cfg.copy_latency as u64).max(1),
+            UopKind::Mul => self.cfg.wide_cycles_to_ticks(self.cfg.mul_latency),
+            UopKind::Div => self.cfg.wide_cycles_to_ticks(self.cfg.div_latency),
+            UopKind::Fp => self.cfg.wide_cycles_to_ticks(self.cfg.fp_latency),
+            UopKind::Load(_) => {
+                let addr = self.entries[idx].mem_addr.unwrap_or(0);
+                let mem_cycles = if forwarded {
+                    self.cfg.forward_latency
+                } else {
+                    self.mem.access(addr)
+                };
+                // AGU in the issuing cluster + cache access at wide-cluster speed.
+                own_cycle + self.cfg.wide_cycles_to_ticks(mem_cycles)
+            }
+            UopKind::Store(_) => {
+                // Address generation only; data is written at commit.
+                own_cycle
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- commit
+
+    fn commit(&mut self) {
+        let mut committed = 0usize;
+        while let Some(&seq) = self.rob.front() {
+            let idx = seq as usize;
+            if !self.entries[idx].alive() {
+                self.rob.pop_front();
+                continue;
+            }
+            if self.entries[idx].state != UopState::Completed {
+                break;
+            }
+            if committed >= self.cfg.commit_width {
+                break;
+            }
+            self.rob.pop_front();
+            committed += 1;
+            self.retire(seq);
+        }
+    }
+
+    fn retire(&mut self, seq: Seq) {
+        let idx = seq as usize;
+        let cluster = self.entries[idx].cluster;
+        let replicated = self.entries[idx].replicated;
+        let incurred_copy = self.entries[idx].incurred_copy;
+        let fatal = self.entries[idx].fatal_mispredict;
+        let uop = self.entries[idx].uop;
+        let role = self.entries[idx].role;
+
+        // Free the rename mapping if this entry is still the current producer.
+        if let Some(dst) = uop.uop.dest {
+            if self
+                .rename_map[dst.index()]
+                .map(|e| e.seq == seq)
+                .unwrap_or(false)
+            {
+                self.rename_map[dst.index()] = None;
+            }
+            self.arch_loc[dst.index()] = cluster;
+            self.arch_replicated[dst.index()] = replicated;
+            self.arch_narrow[dst.index()] =
+                uop.result.map(|v| v.is_narrow()).unwrap_or(false);
+        }
+        if uop.uop.writes_flags {
+            if self.flags_map.map(|e| e.seq == seq).unwrap_or(false) {
+                self.flags_map = None;
+            }
+            self.flags_loc = cluster;
+        }
+
+        match role {
+            Role::Trace { .. } => {
+                self.committed_trace_uops += 1;
+                self.stats.committed_uops += 1;
+                match cluster {
+                    Cluster::Wide => self.stats.wide_uops += 1,
+                    Cluster::Helper => self.stats.helper_uops += 1,
+                }
+                // Width-prediction outcome accounting (Figure 5 semantics):
+                // helper-steered µops that survived are correct; wide-steered
+                // µops that could have gone narrow are missed opportunities.
+                if self.eligible_for_width_accounting(&uop) {
+                    if cluster == Cluster::Helper {
+                        self.stats.correct_width_predictions += 1;
+                    } else if uop.is_all_narrow() && self.cfg.helper_enabled {
+                        self.stats.nonfatal_width_mispredicts += 1;
+                    } else {
+                        self.stats.correct_width_predictions += 1;
+                    }
+                }
+                let info = WritebackInfo {
+                    executed_in: cluster,
+                    result_narrow: uop.result.map(|v| v.is_narrow()).unwrap_or(true),
+                    carry_free: uop.is_carry_free_8_32_32() || Self::address_carry_free(&uop),
+                    fatal_mispredict: fatal,
+                    incurred_copy,
+                };
+                self.policy.on_writeback(&uop, info);
+            }
+            Role::SplitChunk { .. } => {
+                self.stats.split_uops += 1;
+            }
+            Role::Copy { .. } => {}
+        }
+    }
+
+    fn eligible_for_width_accounting(&self, uop: &DynUop) -> bool {
+        !uop.uop.kind.wide_only() && !uop.uop.kind.is_branch()
+    }
+
+    // ------------------------------------------------------ rename/dispatch
+
+    fn rename_and_dispatch(&mut self) {
+        if self.tick < self.frontend_stall_until || self.branch_stall.is_some() {
+            return;
+        }
+        let mut renamed = 0usize;
+        while renamed < self.cfg.rename_width && self.next_pos < self.trace.len() {
+            // Window space: worst case a split needs chunks + copies entries.
+            if self.rob.len() + SPLIT_CHUNKS * 2 + 2 > self.cfg.rob_entries {
+                break;
+            }
+            let pos = self.next_pos;
+            let duop = self.trace.uops[pos];
+            let ctx = self.build_context(&duop, pos);
+            self.stats.energy.predictor_accesses += 1;
+            let mut decision = self.policy.steer(&duop, &ctx);
+            self.sanitize_decision(&duop, &ctx, &mut decision);
+
+            // Issue-queue admission check.
+            if !self.iq_has_room(&duop, &decision) {
+                break;
+            }
+
+            if decision.split && duop.uop.kind.is_simple_alu() {
+                self.dispatch_split(pos, &duop, &decision);
+            } else {
+                self.dispatch_normal(pos, &duop, &decision);
+            }
+            self.next_pos += 1;
+            renamed += 1;
+
+            if self.branch_stall.is_some() {
+                break; // mispredicted branch: stop fetching younger work
+            }
+        }
+    }
+
+    fn sanitize_decision(&self, duop: &DynUop, ctx: &SteerContext, d: &mut SteerDecision) {
+        let helper_ok = self.cfg.helper_enabled && self.policy.uses_helper();
+        if !helper_ok || duop.uop.kind.wide_only() || ctx.forced_wide {
+            d.cluster = Cluster::Wide;
+            d.helper_mode = None;
+            d.split = false;
+        }
+        if d.cluster == Cluster::Wide {
+            d.helper_mode = None;
+            if !duop.uop.kind.is_simple_alu() {
+                d.split = false;
+            }
+        }
+        if d.split && !duop.uop.kind.is_simple_alu() {
+            d.split = false;
+        }
+    }
+
+    fn iq_has_room(&self, duop: &DynUop, d: &SteerDecision) -> bool {
+        let needed_helper;
+        let mut needed_wide_int = 0usize;
+        let mut needed_wide_fp = 0usize;
+        if matches!(duop.uop.kind, UopKind::Fp) {
+            needed_wide_fp += 1;
+            needed_helper = 0;
+        } else if d.split {
+            // chunks in the helper IQ + copies (also helper IQ, they execute at
+            // the producer side).
+            needed_helper = SPLIT_CHUNKS * 2;
+        } else {
+            match d.cluster {
+                Cluster::Wide => {
+                    needed_wide_int += 1;
+                    needed_helper = 0;
+                }
+                Cluster::Helper => needed_helper = 1,
+            }
+        }
+        // Conservative slack of 2 for source copies that dispatch may create.
+        self.wide_int_iq + needed_wide_int + 2 <= self.cfg.int_iq_entries
+            && self.wide_fp_iq + needed_wide_fp <= self.cfg.fp_iq_entries
+            && (!self.cfg.helper_enabled
+                || self.helper_iq + needed_helper + 2 <= self.cfg.helper_iq_entries)
+    }
+
+    fn build_context(&self, duop: &DynUop, pos: usize) -> SteerContext {
+        let mut sources = Vec::with_capacity(duop.uop.num_sources());
+        for src in duop.uop.sources() {
+            sources.push(self.source_info(src));
+        }
+        let flags_producer = if duop.uop.reads_flags {
+            match self.flags_map {
+                Some(e) => Some(self.entries[e.seq as usize].cluster),
+                None => Some(self.flags_loc),
+            }
+        } else {
+            None
+        };
+        SteerContext {
+            sources,
+            imm_narrow: duop.uop.imm.map(|v| v.is_narrow()),
+            flags_producer,
+            wide_iq_occupancy: self.wide_int_iq,
+            helper_iq_occupancy: self.helper_iq,
+            wide_iq_capacity: self.cfg.int_iq_entries,
+            helper_iq_capacity: self.cfg.helper_iq_entries,
+            wide_to_narrow_imbalance: self.nready.recent_wide_to_narrow(),
+            narrow_to_wide_imbalance: self.nready.recent_narrow_to_wide(),
+            helper_available: self.cfg.helper_enabled && self.policy.uses_helper(),
+            forced_wide: self.forced_wide.contains(&pos),
+        }
+    }
+
+    fn source_info(&self, src: ArchReg) -> SourceWidthInfo {
+        match self.rename_map[src.index()] {
+            Some(e) => {
+                let p = &self.entries[e.seq as usize];
+                if p.state == UopState::Completed {
+                    SourceWidthInfo {
+                        narrow: p.uop.result.map(|v| v.is_narrow()).unwrap_or(false),
+                        actual: true,
+                        producer_cluster: Some(p.cluster),
+                    }
+                } else {
+                    SourceWidthInfo {
+                        narrow: p.predicted_narrow.unwrap_or(false),
+                        actual: false,
+                        producer_cluster: Some(p.cluster),
+                    }
+                }
+            }
+            None => SourceWidthInfo {
+                narrow: self.arch_narrow[src.index()],
+                actual: true,
+                producer_cluster: Some(self.arch_loc[src.index()]),
+            },
+        }
+    }
+
+    fn alloc_entry(&mut self, mut e: Inflight) -> Seq {
+        let seq = self.entries.len() as Seq;
+        e.seq = seq;
+        self.entries.push(e);
+        self.dependents.push(Vec::new());
+        seq
+    }
+
+    fn add_dep(&mut self, consumer: Seq, producer: Seq) {
+        let pidx = producer as usize;
+        if self.entries[pidx].state == UopState::Completed
+            || !self.entries[pidx].alive()
+        {
+            return;
+        }
+        self.entries[consumer as usize].pending_deps.push(producer);
+        self.dependents[pidx].push(consumer);
+    }
+
+    fn charge_iq(&mut self, cluster: Cluster, is_fp: bool) {
+        match (cluster, is_fp) {
+            (Cluster::Wide, false) => {
+                self.wide_int_iq += 1;
+                self.stats.energy.wide_iq_ops += 1;
+            }
+            (Cluster::Wide, true) => {
+                self.wide_fp_iq += 1;
+                self.stats.energy.wide_iq_ops += 1;
+            }
+            (Cluster::Helper, _) => {
+                self.helper_iq += 1;
+                self.stats.energy.helper_iq_ops += 1;
+            }
+        }
+    }
+
+    fn finish_dispatch(&mut self, seq: Seq) {
+        let idx = seq as usize;
+        if self.entries[idx].pending_deps.is_empty() {
+            self.entries[idx].state = UopState::Ready;
+        }
+        self.rob.push_back(seq);
+        let cluster = self.entries[idx].cluster;
+        let is_fp = self.entries[idx].is_fp;
+        self.charge_iq(cluster, is_fp);
+    }
+
+    /// Ensure the value produced by `producer_seq` (or architectural register
+    /// `src` if no in-flight producer) is available in `cluster`, generating a
+    /// copy µop if necessary.  Returns the seq the consumer must wait for, if
+    /// any.
+    fn route_source(&mut self, src: ArchReg, cluster: Cluster) -> Option<Seq> {
+        match self.rename_map[src.index()] {
+            Some(e) => {
+                let pseq = e.seq;
+                let pidx = pseq as usize;
+                let pcluster = self.entries[pidx].cluster;
+                if pcluster == cluster || self.entries[pidx].replicated {
+                    if self.entries[pidx].state == UopState::Completed {
+                        None
+                    } else {
+                        Some(pseq)
+                    }
+                } else {
+                    // Need the value in the other cluster: reuse or create a copy.
+                    if let Some(&cseq) = self.copy_map.get(&(pseq, cluster)) {
+                        if self.entries[cseq as usize].alive() {
+                            return if self.entries[cseq as usize].state == UopState::Completed {
+                                None
+                            } else {
+                                Some(cseq)
+                            };
+                        }
+                    }
+                    let cseq = self.make_copy(pseq, cluster, false);
+                    Some(cseq)
+                }
+            }
+            None => {
+                // Architectural value.
+                if self.arch_loc[src.index()] == cluster || self.arch_replicated[src.index()] {
+                    None
+                } else {
+                    let cseq = self.make_arch_copy(src, cluster);
+                    Some(cseq)
+                }
+            }
+        }
+    }
+
+    fn route_flags(&mut self, cluster: Cluster) -> Option<Seq> {
+        match self.flags_map {
+            Some(e) => {
+                let pseq = e.seq;
+                let pcluster = self.entries[pseq as usize].cluster;
+                if pcluster == cluster || self.entries[pseq as usize].replicated {
+                    if self.entries[pseq as usize].state == UopState::Completed {
+                        None
+                    } else {
+                        Some(pseq)
+                    }
+                } else {
+                    if let Some(&cseq) = self.copy_map.get(&(pseq, cluster)) {
+                        if self.entries[cseq as usize].alive() {
+                            return if self.entries[cseq as usize].state == UopState::Completed {
+                                None
+                            } else {
+                                Some(cseq)
+                            };
+                        }
+                    }
+                    let cseq = self.make_copy(pseq, cluster, false);
+                    Some(cseq)
+                }
+            }
+            None => {
+                if self.flags_loc == cluster {
+                    None
+                } else {
+                    // The flags value lives in the other cluster's committed
+                    // state; a copy is still required.
+                    let cseq = self.make_flags_copy(cluster);
+                    Some(cseq)
+                }
+            }
+        }
+    }
+
+    /// Create a copy µop for in-flight producer `producer` targeting `target`.
+    fn make_copy(&mut self, producer: Seq, target: Cluster, prefetched: bool) -> Seq {
+        let pidx = producer as usize;
+        let pcluster = self.entries[pidx].cluster;
+        let uop = DynUop::from_uop(Uop::new(self.entries[pidx].uop.uop.pc, UopKind::Copy));
+        let mut e = Inflight::new(
+            0,
+            Role::Copy {
+                producer,
+                target,
+                prefetched,
+            },
+            uop,
+            pcluster, // copies execute in the producer's backend
+        );
+        e.state = UopState::Waiting;
+        let seq = self.alloc_entry(e);
+        self.add_dep(seq, producer);
+        self.finish_dispatch(seq);
+        self.copy_map.insert((producer, target), seq);
+        self.entries[pidx].incurred_copy = true;
+        self.stats.copy_uops += 1;
+        if prefetched {
+            self.stats.energy.copy_transfers += 0; // counted at completion
+        }
+        seq
+    }
+
+    /// Copy of an already-committed architectural value.
+    fn make_arch_copy(&mut self, src: ArchReg, target: Cluster) -> Seq {
+        let source_cluster = self.arch_loc[src.index()];
+        let uop = DynUop::from_uop(Uop::new(0, UopKind::Copy).with_src(src));
+        let e = Inflight::new(
+            0,
+            Role::Copy {
+                producer: Seq::MAX,
+                target,
+                prefetched: false,
+            },
+            uop,
+            source_cluster,
+        );
+        let seq = self.alloc_entry(e);
+        self.finish_dispatch(seq);
+        // Mark the architectural value as now replicated so we do not generate
+        // the same copy again next cycle.
+        self.arch_replicated[src.index()] = true;
+        self.stats.copy_uops += 1;
+        seq
+    }
+
+    fn make_flags_copy(&mut self, target: Cluster) -> Seq {
+        let source_cluster = self.flags_loc;
+        let uop = DynUop::from_uop(Uop::new(0, UopKind::Copy).with_src(ArchReg::Eflags));
+        let e = Inflight::new(
+            0,
+            Role::Copy {
+                producer: Seq::MAX,
+                target,
+                prefetched: false,
+            },
+            uop,
+            source_cluster,
+        );
+        let seq = self.alloc_entry(e);
+        self.finish_dispatch(seq);
+        self.flags_loc = target; // value now present in both; track target
+        self.stats.copy_uops += 1;
+        seq
+    }
+
+    fn dispatch_normal(&mut self, pos: usize, duop: &DynUop, decision: &SteerDecision) {
+        let cluster = decision.cluster;
+        let mut e = Inflight::new(0, Role::Trace { pos }, *duop, cluster);
+        e.helper_mode = decision.helper_mode;
+        e.predicted_narrow = decision.predicted_dest_narrow;
+        if decision.replicate_load && duop.uop.kind.is_load() {
+            e.replicated = true;
+            self.stats.replicated_loads += 1;
+        }
+        let seq = self.alloc_entry(e);
+
+        // Source routing.
+        let srcs: Vec<ArchReg> = duop.uop.sources().collect();
+        for src in srcs {
+            if let Some(dep) = self.route_source(src, cluster) {
+                self.add_dep(seq, dep);
+            }
+        }
+        if duop.uop.reads_flags {
+            if let Some(dep) = self.route_flags(cluster) {
+                self.add_dep(seq, dep);
+            }
+        }
+
+        // Rename the destination / flags.
+        if let Some(dst) = duop.uop.dest {
+            self.rename_map[dst.index()] = Some(RenameEntry { seq });
+        }
+        if duop.uop.writes_flags {
+            self.flags_map = Some(RenameEntry { seq });
+        }
+
+        self.finish_dispatch(seq);
+
+        // Copy prefetching (CP): eagerly push the result to the other cluster.
+        if decision.prefetch_copy && duop.uop.has_dest() && self.cfg.helper_enabled {
+            let target = cluster.other();
+            if self.copy_map.get(&(seq, target)).is_none() {
+                self.make_copy(seq, target, true);
+            }
+        }
+
+        // Branch prediction and frontend redirect stalls.
+        if duop.uop.kind.is_cond_branch() {
+            self.stats.branches += 1;
+            let predicted = self.branch_pred.predict(duop.uop.pc);
+            let actual = duop.taken.unwrap_or(false);
+            self.branch_pred.update(duop.uop.pc, actual, duop.target);
+            if predicted != actual {
+                self.stats.branch_mispredicts += 1;
+                self.branch_stall = Some(seq);
+            }
+        }
+    }
+
+    fn dispatch_split(&mut self, pos: usize, duop: &DynUop, decision: &SteerDecision) {
+        // Split a wide ALU µop into SPLIT_CHUNKS chained 8-bit chunks executed
+        // in the helper cluster (§3.7).  Chunk 0 handles the least significant
+        // byte; each chunk depends on the previous one (carry chain).
+        let srcs: Vec<ArchReg> = duop.uop.sources().collect();
+        let mut prev: Option<Seq> = None;
+        let mut last_chunk: Seq = 0;
+        for i in 0..SPLIT_CHUNKS {
+            let mut chunk_uop = *duop;
+            chunk_uop.uop.pc = duop.uop.pc;
+            let mut e = Inflight::new(
+                0,
+                Role::SplitChunk {
+                    parent_pos: pos,
+                    index: i as u8,
+                },
+                chunk_uop,
+                Cluster::Helper,
+            );
+            e.helper_mode = Some(HelperMode::SplitChunk);
+            let seq = self.alloc_entry(e);
+            if i == 0 {
+                for src in &srcs {
+                    if let Some(dep) = self.route_source(*src, Cluster::Helper) {
+                        self.add_dep(seq, dep);
+                    }
+                }
+                if duop.uop.reads_flags {
+                    if let Some(dep) = self.route_flags(Cluster::Helper) {
+                        self.add_dep(seq, dep);
+                    }
+                }
+            } else if let Some(p) = prev {
+                self.add_dep(seq, p);
+            }
+            self.finish_dispatch(seq);
+            prev = Some(seq);
+            last_chunk = seq;
+        }
+
+        // The architectural destination maps to the chain's last chunk.  The
+        // full 32-bit value is prefetched to the wide cluster with copy µops.
+        if let Some(dst) = duop.uop.dest {
+            self.rename_map[dst.index()] = Some(RenameEntry { seq: last_chunk });
+            for _ in 0..SPLIT_CHUNKS {
+                // Four 8-bit copy µops reconstruct the value in the wide RF;
+                // only the one keyed in copy_map is depended upon by later
+                // wide consumers (they all complete together).
+                let c = self.make_copy(last_chunk, Cluster::Wide, true);
+                self.copy_map.insert((last_chunk, Cluster::Wide), c);
+            }
+        }
+        if duop.uop.writes_flags {
+            self.flags_map = Some(RenameEntry { seq: last_chunk });
+        }
+
+        // The original wide µop itself is accounted as a helper-steered trace
+        // µop: the last chunk carries the Trace role bookkeeping is handled at
+        // retire of split chunks; we additionally retire the logical trace µop
+        // by tagging the last chunk.
+        let idx = last_chunk as usize;
+        self.entries[idx].role = Role::Trace { pos };
+        self.entries[idx].helper_mode = Some(HelperMode::SplitChunk);
+        self.entries[idx].predicted_narrow = decision.predicted_dest_narrow;
+        let _ = decision;
+    }
+
+    // -------------------------------------------------------------- flush
+
+    fn handle_fatal_width_mispredict(&mut self, seq: Seq, resteer_pos: usize) {
+        self.stats.fatal_width_mispredicts += 1;
+        self.entries[seq as usize].fatal_mispredict = true;
+        self.forced_wide.insert(resteer_pos);
+
+        // Squash the offending entry and everything younger.
+        let rob_snapshot: Vec<Seq> = self.rob.iter().copied().collect();
+        let mut keep: VecDeque<Seq> = VecDeque::with_capacity(rob_snapshot.len());
+        for s in rob_snapshot {
+            if s >= seq {
+                let idx = s as usize;
+                if self.entries[idx].occupies_iq() {
+                    self.release_iq_slot(idx);
+                }
+                self.entries[idx].state = UopState::Squashed;
+            } else {
+                keep.push_back(s);
+            }
+        }
+        self.rob = keep;
+        self.copy_map.clear();
+        if let Some(b) = self.branch_stall {
+            if b >= seq {
+                self.branch_stall = None;
+            }
+        }
+
+        // Rebuild the rename map from the surviving window.
+        self.rename_map = [None; NUM_ARCH_REGS];
+        self.flags_map = None;
+        let survivors: Vec<Seq> = self.rob.iter().copied().collect();
+        for s in survivors {
+            let e = &self.entries[s as usize];
+            if let Some(dst) = e.uop.uop.dest {
+                self.rename_map[dst.index()] = Some(RenameEntry { seq: s });
+            }
+            if e.uop.uop.writes_flags {
+                self.flags_map = Some(RenameEntry { seq: s });
+            }
+        }
+
+        // Restart fetch at the offending µop after the flush penalty.
+        self.next_pos = resteer_pos;
+        self.frontend_stall_until = self
+            .tick
+            .max(self.frontend_stall_until)
+            + self.cfg.wide_cycles_to_ticks(self.cfg.width_flush_penalty);
+    }
+
+    // ------------------------------------------------------------- metrics
+
+    fn sample_nready(&mut self) {
+        if !self.cfg.helper_enabled || !self.policy.uses_helper() {
+            return;
+        }
+        let mut wide_ready = 0usize;
+        let mut helper_ready = 0usize;
+        let mut considered = 0usize;
+        for &seq in self.rob.iter() {
+            let e = &self.entries[seq as usize];
+            if !e.alive() || e.is_fp {
+                continue;
+            }
+            if e.occupies_iq() {
+                considered += 1;
+                if e.state == UopState::Ready {
+                    match e.cluster {
+                        Cluster::Wide => wide_ready += 1,
+                        Cluster::Helper => helper_ready += 1,
+                    }
+                }
+            }
+        }
+        // Free slots next cycle approximated by the issue widths.
+        let wide_free = self.cfg.int_issue_width;
+        let helper_free = self.cfg.helper_issue_width * self.ratio() as usize;
+        self.nready
+            .record(wide_ready, wide_free, helper_ready, helper_free, considered);
+    }
+
+    fn into_stats(mut self) -> SimStats {
+        self.stats.cycles = self.cycles;
+        self.stats.ticks = self.tick;
+        self.stats.imbalance = self.nready.stats();
+        self.stats.dl0 = self.mem.dl0_stats();
+        self.stats.ul1 = self.mem.ul1_stats();
+        self.stats.energy.dl0_accesses = self.stats.dl0.accesses;
+        self.stats.energy.ul1_accesses = self.stats.ul1.accesses;
+        self.stats
+    }
+}
+
+/// Result of the memory-order check for a load.
+enum MemOrder {
+    /// No conflicting older store: access the cache.
+    Clear,
+    /// An older overlapping store has completed: forward its data.
+    Forwarded,
+    /// An older overlapping store is still pending: the load must wait.
+    Blocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steer::AlwaysWide;
+    use hc_trace::{KernelKind, SpecBenchmark, WorkloadProfile};
+
+    fn small_trace(len: usize) -> Trace {
+        WorkloadProfile::new(
+            "pipe-test",
+            vec![(KernelKind::ByteHistogram, 1.0), (KernelKind::TokenScan, 1.0)],
+        )
+        .with_trace_len(len)
+        .generate()
+    }
+
+    #[test]
+    fn baseline_retires_every_trace_uop() {
+        let trace = small_trace(3_000);
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(stats.committed_uops, 3_000);
+        assert_eq!(stats.helper_uops, 0);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.1, "IPC unreasonably low: {}", stats.ipc());
+        assert!(stats.ipc() <= 6.0, "IPC cannot exceed commit width");
+    }
+
+    #[test]
+    fn baseline_generates_no_copies_or_splits() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(stats.copy_uops, 0);
+        assert_eq!(stats.split_uops, 0);
+        assert_eq!(stats.fatal_width_mispredicts, 0);
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let a = sim.run(&trace, &mut AlwaysWide);
+        let b = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed_uops, b.committed_uops);
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let trace = Trace::new("empty");
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.committed_uops, 0);
+    }
+
+    /// A test-only policy that steers ground-truth-narrow µops to the helper
+    /// cluster (an oracle 8-8-8 policy).
+    struct OracleNarrow;
+    impl SteeringPolicy for OracleNarrow {
+        fn name(&self) -> &str {
+            "oracle-888"
+        }
+        fn steer(&mut self, uop: &DynUop, ctx: &SteerContext) -> SteerDecision {
+            if ctx.helper_available && !ctx.forced_wide && uop.is_all_narrow()
+                && !uop.uop.kind.wide_only()
+            {
+                SteerDecision::helper(HelperMode::AllNarrow)
+                    .with_dest_prediction(true)
+            } else {
+                SteerDecision::wide()
+            }
+        }
+        fn on_writeback(&mut self, _u: &DynUop, _i: WritebackInfo) {}
+    }
+
+    #[test]
+    fn oracle_narrow_policy_uses_helper_and_never_flushes() {
+        let trace = small_trace(3_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut OracleNarrow);
+        assert_eq!(stats.committed_uops, 3_000);
+        assert!(stats.helper_uops > 0, "oracle should steer some µops narrow");
+        assert_eq!(
+            stats.fatal_width_mispredicts, 0,
+            "oracle decisions can never be fatally wrong"
+        );
+    }
+
+    #[test]
+    fn oracle_narrow_speeds_up_narrow_heavy_code() {
+        let trace = SpecBenchmark::Gzip.trace(6_000);
+        let base_sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let helper_sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let base = base_sim.run(&trace, &mut AlwaysWide);
+        let helper = helper_sim.run(&trace, &mut OracleNarrow);
+        assert_eq!(base.committed_uops, helper.committed_uops);
+        let speedup = helper.speedup_over(&base);
+        assert!(
+            speedup > 0.95,
+            "helper cluster should not slow narrow-heavy code down much, got {speedup:.3}"
+        );
+    }
+
+    /// A deliberately wrong policy: steers everything to the helper cluster as
+    /// "all narrow".  Wide values must then trigger fatal mispredictions.
+    struct RecklessNarrow;
+    impl SteeringPolicy for RecklessNarrow {
+        fn name(&self) -> &str {
+            "reckless"
+        }
+        fn steer(&mut self, uop: &DynUop, ctx: &SteerContext) -> SteerDecision {
+            if ctx.helper_available && !ctx.forced_wide && !uop.uop.kind.wide_only() {
+                SteerDecision::helper(HelperMode::AllNarrow)
+            } else {
+                SteerDecision::wide()
+            }
+        }
+        fn on_writeback(&mut self, _u: &DynUop, _i: WritebackInfo) {}
+    }
+
+    #[test]
+    fn wrong_steering_triggers_fatal_mispredictions_and_still_completes() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut RecklessNarrow);
+        assert_eq!(stats.committed_uops, 2_000, "flushes must not lose µops");
+        assert!(
+            stats.fatal_width_mispredicts > 0,
+            "wide values steered narrow must be caught"
+        );
+    }
+
+    #[test]
+    fn copies_are_generated_when_values_cross_clusters() {
+        let trace = small_trace(3_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut OracleNarrow);
+        assert!(
+            stats.copy_uops > 0,
+            "narrow producers feeding wide consumers require copies"
+        );
+    }
+
+    #[test]
+    fn stats_fractions_are_consistent() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut OracleNarrow);
+        assert_eq!(stats.helper_uops + stats.wide_uops, stats.committed_uops);
+        assert!(stats.helper_fraction() <= 1.0);
+        assert!(stats.ticks >= stats.cycles * 2);
+    }
+}

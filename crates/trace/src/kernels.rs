@@ -1,0 +1,1127 @@
+//! A library of small kernel programs that stand in for the paper's workloads.
+//!
+//! Each kernel is a realistic inner loop (byte histogram, run-length encoding,
+//! pointer chasing, FIR filtering, …) expressed in the [`crate::program`] IR
+//! together with an initial memory image and register presets.  Interpreting a
+//! kernel yields a dynamic µop trace whose value widths, dependences, branch
+//! behaviour and addressing patterns arise *naturally* from the computation —
+//! which is what makes the synthetic workloads a faithful substitute for the
+//! SPEC/proprietary traces the paper used (see DESIGN.md, substitutions).
+
+use crate::interp::MemImage;
+use crate::program::{Inst, Operand, Program};
+use hc_isa::reg::ArchReg;
+use hc_isa::uop::{AluOp, BranchCond, MemSize};
+use hc_isa::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Base virtual address for kernel data segments.  High addresses keep base
+/// registers wide, which is what makes the CR (carry-width) scheme matter.
+pub const DATA_BASE: u32 = 0x4000_0000;
+
+/// A ready-to-interpret kernel: program, initial memory and register presets.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The kernel program.
+    pub program: Program,
+    /// Initial memory image.
+    pub mem: MemImage,
+    /// Initial register values (base pointers, sizes).
+    pub presets: Vec<(ArchReg, Value)>,
+}
+
+/// The kinds of kernels available to workload profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Byte histogram: load bytes, bump 32-bit counters (narrow data, wide addresses).
+    ByteHistogram,
+    /// Saturating 8-bit vector addition (multimedia-style pixel processing).
+    VectorAddU8,
+    /// Run-length encoding of a byte stream (compression-style, branch heavy).
+    RleCompress,
+    /// Byte-wise string/pattern match counting (parser/crafty-style control flow).
+    StringMatch,
+    /// Pointer chasing through a linked structure (mcf-style, wide values).
+    PointerChase,
+    /// 32-bit word summation over an array (wide ALU + loads).
+    WordSum,
+    /// FIR filter with 16-bit samples and multiply-accumulate (kernels/encoder-style).
+    FirFilter,
+    /// Table lookup translating bytes through a LUT (gap/vortex-style indexing).
+    TableLookup,
+    /// Rotating 32-bit checksum over words (wide, few branches).
+    Checksum,
+    /// Floating-point stream with integer index bookkeeping (SpecFP-style).
+    FpStream,
+    /// Byte memcpy loop (loads + stores of narrow data).
+    MemcpyBytes,
+    /// Token scanning with nested classification branches (gcc/perl-style).
+    TokenScan,
+}
+
+impl KernelKind {
+    /// Every kernel kind, for exhaustive tests and documentation.
+    pub const ALL: [KernelKind; 12] = [
+        KernelKind::ByteHistogram,
+        KernelKind::VectorAddU8,
+        KernelKind::RleCompress,
+        KernelKind::StringMatch,
+        KernelKind::PointerChase,
+        KernelKind::WordSum,
+        KernelKind::FirFilter,
+        KernelKind::TableLookup,
+        KernelKind::Checksum,
+        KernelKind::FpStream,
+        KernelKind::MemcpyBytes,
+        KernelKind::TokenScan,
+    ];
+
+    /// A short identifier used in trace names.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::ByteHistogram => "byte_histogram",
+            KernelKind::VectorAddU8 => "vector_add_u8",
+            KernelKind::RleCompress => "rle_compress",
+            KernelKind::StringMatch => "string_match",
+            KernelKind::PointerChase => "pointer_chase",
+            KernelKind::WordSum => "word_sum",
+            KernelKind::FirFilter => "fir_filter",
+            KernelKind::TableLookup => "table_lookup",
+            KernelKind::Checksum => "checksum",
+            KernelKind::FpStream => "fp_stream",
+            KernelKind::MemcpyBytes => "memcpy_bytes",
+            KernelKind::TokenScan => "token_scan",
+        }
+    }
+
+    /// Build the kernel.  `data_len` controls the working-set size,
+    /// `narrow_bias` in `[0,1]` biases generated data towards small byte
+    /// values, `seed` makes generation deterministic.
+    pub fn build(self, data_len: usize, narrow_bias: f64, seed: u64) -> Kernel {
+        let params = KernelParams {
+            data_len: data_len.clamp(16, 1 << 16),
+            narrow_bias: narrow_bias.clamp(0.0, 1.0),
+            seed,
+        };
+        match self {
+            KernelKind::ByteHistogram => byte_histogram(&params),
+            KernelKind::VectorAddU8 => vector_add_u8(&params),
+            KernelKind::RleCompress => rle_compress(&params),
+            KernelKind::StringMatch => string_match(&params),
+            KernelKind::PointerChase => pointer_chase(&params),
+            KernelKind::WordSum => word_sum(&params),
+            KernelKind::FirFilter => fir_filter(&params),
+            KernelKind::TableLookup => table_lookup(&params),
+            KernelKind::Checksum => checksum(&params),
+            KernelKind::FpStream => fp_stream(&params),
+            KernelKind::MemcpyBytes => memcpy_bytes(&params),
+            KernelKind::TokenScan => token_scan(&params),
+        }
+    }
+}
+
+/// Parameters shared by all kernel builders.
+#[derive(Debug, Clone, Copy)]
+struct KernelParams {
+    data_len: usize,
+    narrow_bias: f64,
+    seed: u64,
+}
+
+impl KernelParams {
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Generate `n` data bytes, biased towards small values.
+    fn bytes(&self, n: usize) -> Vec<u8> {
+        let mut rng = self.rng();
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(self.narrow_bias) {
+                    rng.gen_range(0..32u8)
+                } else {
+                    rng.gen::<u8>()
+                }
+            })
+            .collect()
+    }
+
+    /// Generate `n` 32-bit words; biased towards narrow values according to
+    /// `narrow_bias`.
+    fn words(&self, n: usize) -> Vec<u32> {
+        let mut rng = self.rng();
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(self.narrow_bias) {
+                    rng.gen_range(0..128u32)
+                } else {
+                    rng.gen_range(0x100..0x40_0000u32)
+                }
+            })
+            .collect()
+    }
+}
+
+// Register conventions used by the kernels:
+//   ebx, esi, edi — base pointers (wide)
+//   ecx           — loop counter (narrow for short loops)
+//   eax, edx      — data values
+//   ebp, esp      — extra accumulators / secondary pointers
+
+fn counted_loop_header(p: &mut Program) -> crate::program::Label {
+    // ecx = 0
+    p.push(Inst::MovImm {
+        dst: ArchReg::Ecx,
+        val: 0,
+    });
+    p.next_label()
+}
+
+fn counted_loop_footer(p: &mut Program, body: crate::program::Label, len: usize) {
+    // ecx += 1; cmp ecx, len; jl body
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Ecx,
+        a: ArchReg::Ecx,
+        b: Operand::Imm(1),
+    });
+    p.push(Inst::CmpBranch {
+        cond: BranchCond::Lt,
+        a: ArchReg::Ecx,
+        b: Operand::Imm(len as i32),
+        target: body,
+    });
+    p.push(Inst::Halt);
+}
+
+fn byte_histogram(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE;
+    let hist = DATA_BASE + 0x10_0000;
+    let mut mem = MemImage::new();
+    mem.fill(src, &params.bytes(n));
+    // Histogram counters start at zero (background pattern is fine).
+
+    let mut p = Program::new("byte_histogram");
+    let body = counted_loop_header(&mut p);
+    // eax = src[ecx]  (byte load: wide base + narrow index)
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    // edx = eax * 4 (index scaling via shift)
+    p.push(Inst::Alu {
+        op: AluOp::Shl,
+        dst: ArchReg::Edx,
+        a: ArchReg::Eax,
+        b: Operand::Imm(2),
+    });
+    // ebp = hist[edx]
+    p.push(Inst::Load {
+        dst: ArchReg::Ebp,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Edx),
+        size: MemSize::DWord,
+    });
+    // ebp += 1
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Ebp,
+        a: ArchReg::Ebp,
+        b: Operand::Imm(1),
+    });
+    // hist[edx] = ebp
+    p.push(Inst::Store {
+        src: ArchReg::Ebp,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Edx),
+        size: MemSize::DWord,
+    });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![
+            (ArchReg::Ebx, Value::new(src)),
+            (ArchReg::Esi, Value::new(hist)),
+        ],
+    }
+}
+
+fn vector_add_u8(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let a = DATA_BASE;
+    let b = DATA_BASE + 0x10_0000;
+    let c = DATA_BASE + 0x20_0000;
+    let mut mem = MemImage::new();
+    mem.fill(a, &params.bytes(n));
+    let mut p2 = *params;
+    p2.seed = params.seed.wrapping_add(1);
+    mem.fill(b, &p2.bytes(n));
+
+    let mut p = Program::new("vector_add_u8");
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    p.push(Inst::Load {
+        dst: ArchReg::Edx,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    // eax = eax + edx (byte add; may exceed 255, emulating saturation check)
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Eax,
+        a: ArchReg::Eax,
+        b: Operand::Reg(ArchReg::Edx),
+    });
+    // clamp: and with 0xFF (keeps result narrow like a saturating pixel op)
+    p.push(Inst::Alu {
+        op: AluOp::And,
+        dst: ArchReg::Eax,
+        a: ArchReg::Eax,
+        b: Operand::Imm(0xFF),
+    });
+    p.push(Inst::Store {
+        src: ArchReg::Eax,
+        base: ArchReg::Edi,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![
+            (ArchReg::Ebx, Value::new(a)),
+            (ArchReg::Esi, Value::new(b)),
+            (ArchReg::Edi, Value::new(c)),
+        ],
+    }
+}
+
+fn rle_compress(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE;
+    let dst = DATA_BASE + 0x10_0000;
+    let mut mem = MemImage::new();
+    // Runs of repeated bytes so the RLE branches are data dependent.
+    let mut rng = params.rng();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let byte: u8 = if rng.gen_bool(params.narrow_bias) {
+            rng.gen_range(0..16)
+        } else {
+            rng.gen()
+        };
+        let run = rng.gen_range(1..8usize);
+        for _ in 0..run.min(n - data.len()) {
+            data.push(byte);
+        }
+    }
+    mem.fill(src, &data);
+
+    // eax = current byte, edx = previous byte, ebp = run length, esp = out idx
+    let mut p = Program::new("rle_compress");
+    p.push(Inst::MovImm {
+        dst: ArchReg::Edx,
+        val: -1,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Ebp,
+        val: 0,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Esp,
+        val: 0,
+    });
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    // if eax == edx { ebp += 1 } else { emit; edx = eax; ebp = 1 }
+    let else_ph = p.push(Inst::CmpBranch {
+        cond: BranchCond::Ne,
+        a: ArchReg::Eax,
+        b: Operand::Reg(ArchReg::Edx),
+        target: crate::program::Label(0), // patched below
+    });
+    // same byte: extend run
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Ebp,
+        a: ArchReg::Ebp,
+        b: Operand::Imm(1),
+    });
+    let skip_ph = p.push(Inst::Jump {
+        target: crate::program::Label(0), // patched below
+    });
+    // different byte: store run length and byte, reset
+    let else_target = p.next_label();
+    p.push(Inst::Store {
+        src: ArchReg::Ebp,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Esp),
+        size: MemSize::Byte,
+    });
+    p.push(Inst::Store {
+        src: ArchReg::Edx,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Esp),
+        size: MemSize::Byte,
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Esp,
+        a: ArchReg::Esp,
+        b: Operand::Imm(2),
+    });
+    p.push(Inst::Mov {
+        dst: ArchReg::Edx,
+        src: ArchReg::Eax,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Ebp,
+        val: 1,
+    });
+    let join = p.next_label();
+    p.patch(
+        else_ph,
+        Inst::CmpBranch {
+            cond: BranchCond::Ne,
+            a: ArchReg::Eax,
+            b: Operand::Reg(ArchReg::Edx),
+            target: else_target,
+        },
+    );
+    p.patch(skip_ph, Inst::Jump { target: join });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![
+            (ArchReg::Ebx, Value::new(src)),
+            (ArchReg::Esi, Value::new(dst)),
+        ],
+    }
+}
+
+fn string_match(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let hay = DATA_BASE;
+    let mut mem = MemImage::new();
+    // ASCII-ish text.
+    let mut rng = params.rng();
+    let text: Vec<u8> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.15) {
+                b' '
+            } else {
+                rng.gen_range(b'a'..=b'z')
+            }
+        })
+        .collect();
+    mem.fill(hay, &text);
+
+    // Count occurrences of the byte 'e' followed by 'r'.
+    let mut p = Program::new("string_match");
+    p.push(Inst::MovImm {
+        dst: ArchReg::Ebp,
+        val: 0,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Edx,
+        val: 0,
+    });
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    // if eax != 'e' goto not_e
+    let not_e_ph = p.push(Inst::CmpBranch {
+        cond: BranchCond::Ne,
+        a: ArchReg::Eax,
+        b: Operand::Imm(b'e' as i32),
+        target: crate::program::Label(0),
+    });
+    // if edx (previous) == 'r'... actually check next byte via a second load
+    p.push(Inst::Load {
+        dst: ArchReg::Edx,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    let not_match_ph = p.push(Inst::CmpBranch {
+        cond: BranchCond::Ne,
+        a: ArchReg::Edx,
+        b: Operand::Imm(b'e' as i32),
+        target: crate::program::Label(0),
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Ebp,
+        a: ArchReg::Ebp,
+        b: Operand::Imm(1),
+    });
+    let join = p.next_label();
+    p.patch(
+        not_e_ph,
+        Inst::CmpBranch {
+            cond: BranchCond::Ne,
+            a: ArchReg::Eax,
+            b: Operand::Imm(b'e' as i32),
+            target: join,
+        },
+    );
+    p.patch(
+        not_match_ph,
+        Inst::CmpBranch {
+            cond: BranchCond::Ne,
+            a: ArchReg::Edx,
+            b: Operand::Imm(b'e' as i32),
+            target: join,
+        },
+    );
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![(ArchReg::Ebx, Value::new(hay))],
+    }
+}
+
+fn pointer_chase(params: &KernelParams) -> Kernel {
+    let nodes = (params.data_len / 4).max(8);
+    let base = DATA_BASE + 0x40_0000;
+    let stride = 16u32;
+    let mut mem = MemImage::new();
+    // Build a shuffled singly linked list of `nodes` nodes; node i at
+    // base + i*stride, first word is the address of the next node, second word
+    // is a small payload.
+    let mut rng = params.rng();
+    let mut order: Vec<u32> = (1..nodes as u32).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut current = 0u32;
+    for &next in &order {
+        let addr = base + current * stride;
+        mem.write_u32(addr, base + next * stride);
+        mem.write_u32(addr + 4, rng.gen_range(0..64));
+        current = next;
+    }
+    // Last node points back to the head so the walk can loop.
+    mem.write_u32(base + current * stride, base);
+    mem.write_u32(base + current * stride + 4, rng.gen_range(0..64));
+
+    // ebx = current node pointer; eax = payload accumulator.
+    let mut p = Program::new("pointer_chase");
+    p.push(Inst::MovImm {
+        dst: ArchReg::Eax,
+        val: 0,
+    });
+    let body = counted_loop_header(&mut p);
+    // edx = node->payload
+    p.push(Inst::Load {
+        dst: ArchReg::Edx,
+        base: ArchReg::Ebx,
+        offset: Operand::Imm(4),
+        size: MemSize::DWord,
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Eax,
+        a: ArchReg::Eax,
+        b: Operand::Reg(ArchReg::Edx),
+    });
+    // ebx = node->next  (wide pointer load)
+    p.push(Inst::Load {
+        dst: ArchReg::Ebx,
+        base: ArchReg::Ebx,
+        offset: Operand::Imm(0),
+        size: MemSize::DWord,
+    });
+    counted_loop_footer(&mut p, body, nodes * 2);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![(ArchReg::Ebx, Value::new(base))],
+    }
+}
+
+fn word_sum(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE + 0x60_0000;
+    let mut mem = MemImage::new();
+    for (i, w) in params.words(n).into_iter().enumerate() {
+        mem.write_u32(src + (i as u32) * 4, w);
+    }
+
+    let mut p = Program::new("word_sum");
+    p.push(Inst::MovImm {
+        dst: ArchReg::Eax,
+        val: 0,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Edx,
+        val: 0,
+    });
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Ebp,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Edx),
+        size: MemSize::DWord,
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Eax,
+        a: ArchReg::Eax,
+        b: Operand::Reg(ArchReg::Ebp),
+    });
+    // edx += 4 (word stride)
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Edx,
+        a: ArchReg::Edx,
+        b: Operand::Imm(4),
+    });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![(ArchReg::Ebx, Value::new(src))],
+    }
+}
+
+fn fir_filter(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let taps = 8usize;
+    let src = DATA_BASE + 0x70_0000;
+    let coef = DATA_BASE + 0x71_0000;
+    let dst = DATA_BASE + 0x72_0000;
+    let mut mem = MemImage::new();
+    let mut rng = params.rng();
+    for i in 0..n {
+        let sample: u32 = if rng.gen_bool(params.narrow_bias) {
+            rng.gen_range(0..64)
+        } else {
+            rng.gen_range(0..1024)
+        };
+        mem.write(src + (i as u32) * 2, MemSize::Word, sample);
+    }
+    for t in 0..taps {
+        mem.write(coef + (t as u32) * 2, MemSize::Word, rng.gen_range(1..16));
+    }
+
+    // Outer loop over samples; inner accumulation unrolled over `taps` taps.
+    let mut p = Program::new("fir_filter");
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::MovImm {
+        dst: ArchReg::Eax,
+        val: 0,
+    });
+    // edx = ecx * 2 (sample byte offset)
+    p.push(Inst::Alu {
+        op: AluOp::Shl,
+        dst: ArchReg::Edx,
+        a: ArchReg::Ecx,
+        b: Operand::Imm(1),
+    });
+    for t in 0..taps {
+        // ebp = src[edx + t*2]
+        p.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: ArchReg::Esp,
+            a: ArchReg::Edx,
+            b: Operand::Imm((t * 2) as i32),
+        });
+        p.push(Inst::Load {
+            dst: ArchReg::Ebp,
+            base: ArchReg::Ebx,
+            offset: Operand::Reg(ArchReg::Esp),
+            size: MemSize::Word,
+        });
+        // edi-temp = coef[t]
+        p.push(Inst::Load {
+            dst: ArchReg::Edi,
+            base: ArchReg::Esi,
+            offset: Operand::Imm((t * 2) as i32),
+            size: MemSize::Word,
+        });
+        // ebp *= edi
+        p.push(Inst::Mul {
+            dst: ArchReg::Ebp,
+            a: ArchReg::Ebp,
+            b: Operand::Reg(ArchReg::Edi),
+        });
+        // eax += ebp
+        p.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: ArchReg::Eax,
+            a: ArchReg::Eax,
+            b: Operand::Reg(ArchReg::Ebp),
+        });
+    }
+    // dst[edx] = eax
+    p.push(Inst::Store {
+        src: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Edx),
+        size: MemSize::Word,
+    });
+    counted_loop_footer(&mut p, body, n - taps);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![
+            (ArchReg::Ebx, Value::new(src)),
+            (ArchReg::Esi, Value::new(coef)),
+            (ArchReg::Edi, Value::new(dst)),
+        ],
+    }
+}
+
+fn table_lookup(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE + 0x80_0000;
+    let lut = DATA_BASE + 0x81_0000;
+    let dst = DATA_BASE + 0x82_0000;
+    let mut mem = MemImage::new();
+    mem.fill(src, &params.bytes(n));
+    let mut rng = params.rng();
+    let table: Vec<u8> = (0..256).map(|_| rng.gen_range(0..64u8)).collect();
+    mem.fill(lut, &table);
+
+    let mut p = Program::new("table_lookup");
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    p.push(Inst::Load {
+        dst: ArchReg::Edx,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Eax),
+        size: MemSize::Byte,
+    });
+    p.push(Inst::Store {
+        src: ArchReg::Edx,
+        base: ArchReg::Edi,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![
+            (ArchReg::Ebx, Value::new(src)),
+            (ArchReg::Esi, Value::new(lut)),
+            (ArchReg::Edi, Value::new(dst)),
+        ],
+    }
+}
+
+fn checksum(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE + 0x90_0000;
+    let mut mem = MemImage::new();
+    let mut p2 = *params;
+    p2.narrow_bias = (params.narrow_bias * 0.5).min(1.0);
+    for (i, w) in p2.words(n).into_iter().enumerate() {
+        mem.write_u32(src + (i as u32) * 4, w);
+    }
+
+    let mut p = Program::new("checksum");
+    p.push(Inst::MovImm {
+        dst: ArchReg::Eax,
+        val: 0x0101,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Edx,
+        val: 0,
+    });
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Ebp,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Edx),
+        size: MemSize::DWord,
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Xor,
+        dst: ArchReg::Eax,
+        a: ArchReg::Eax,
+        b: Operand::Reg(ArchReg::Ebp),
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Shl,
+        dst: ArchReg::Esp,
+        a: ArchReg::Eax,
+        b: Operand::Imm(3),
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Xor,
+        dst: ArchReg::Eax,
+        a: ArchReg::Eax,
+        b: Operand::Reg(ArchReg::Esp),
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Edx,
+        a: ArchReg::Edx,
+        b: Operand::Imm(4),
+    });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![(ArchReg::Ebx, Value::new(src))],
+    }
+}
+
+fn fp_stream(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE + 0xA0_0000;
+    let dst = DATA_BASE + 0xA8_0000;
+    let mut mem = MemImage::new();
+    let mut rng = params.rng();
+    for i in 0..n {
+        mem.write_u32(src + (i as u32) * 4, rng.gen::<u32>() | 0x3F00_0000);
+    }
+
+    let mut p = Program::new("fp_stream");
+    p.push(Inst::MovImm {
+        dst: ArchReg::Edx,
+        val: 0,
+    });
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Edx),
+        size: MemSize::DWord,
+    });
+    p.push(Inst::Fp {
+        dst: ArchReg::Ebp,
+        src: ArchReg::Eax,
+    });
+    p.push(Inst::Fp {
+        dst: ArchReg::Ebp,
+        src: ArchReg::Ebp,
+    });
+    p.push(Inst::Store {
+        src: ArchReg::Ebp,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Edx),
+        size: MemSize::DWord,
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Edx,
+        a: ArchReg::Edx,
+        b: Operand::Imm(4),
+    });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![
+            (ArchReg::Ebx, Value::new(src)),
+            (ArchReg::Esi, Value::new(dst)),
+        ],
+    }
+}
+
+fn memcpy_bytes(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE + 0xB0_0000;
+    let dst = DATA_BASE + 0xB8_0000;
+    let mut mem = MemImage::new();
+    mem.fill(src, &params.bytes(n));
+
+    let mut p = Program::new("memcpy_bytes");
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    p.push(Inst::Store {
+        src: ArchReg::Eax,
+        base: ArchReg::Esi,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![
+            (ArchReg::Ebx, Value::new(src)),
+            (ArchReg::Esi, Value::new(dst)),
+        ],
+    }
+}
+
+fn token_scan(params: &KernelParams) -> Kernel {
+    let n = params.data_len;
+    let src = DATA_BASE + 0xC0_0000;
+    let mut mem = MemImage::new();
+    let mut rng = params.rng();
+    // Pseudo source text: identifiers, digits, punctuation.
+    let text: Vec<u8> = (0..n)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=4 => rng.gen_range(b'a'..=b'z'),
+            5..=7 => rng.gen_range(b'0'..=b'9'),
+            8 => b' ',
+            _ => b'+',
+        })
+        .collect();
+    mem.fill(src, &text);
+
+    // Classify each byte: letters bump ebp, digits bump edx, others bump esp.
+    let mut p = Program::new("token_scan");
+    p.push(Inst::MovImm {
+        dst: ArchReg::Ebp,
+        val: 0,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Edx,
+        val: 0,
+    });
+    p.push(Inst::MovImm {
+        dst: ArchReg::Esp,
+        val: 0,
+    });
+    let body = counted_loop_header(&mut p);
+    p.push(Inst::Load {
+        dst: ArchReg::Eax,
+        base: ArchReg::Ebx,
+        offset: Operand::Reg(ArchReg::Ecx),
+        size: MemSize::Byte,
+    });
+    // if eax < 'a' goto not_letter
+    let not_letter_ph = p.push(Inst::CmpBranch {
+        cond: BranchCond::B,
+        a: ArchReg::Eax,
+        b: Operand::Imm(b'a' as i32),
+        target: crate::program::Label(0),
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Ebp,
+        a: ArchReg::Ebp,
+        b: Operand::Imm(1),
+    });
+    let skip1_ph = p.push(Inst::Jump {
+        target: crate::program::Label(0),
+    });
+    // not a letter: digit?
+    let not_letter = p.next_label();
+    let not_digit_ph = p.push(Inst::CmpBranch {
+        cond: BranchCond::B,
+        a: ArchReg::Eax,
+        b: Operand::Imm(b'0' as i32),
+        target: crate::program::Label(0),
+    });
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Edx,
+        a: ArchReg::Edx,
+        b: Operand::Imm(1),
+    });
+    let skip2_ph = p.push(Inst::Jump {
+        target: crate::program::Label(0),
+    });
+    let not_digit = p.next_label();
+    p.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: ArchReg::Esp,
+        a: ArchReg::Esp,
+        b: Operand::Imm(1),
+    });
+    let join = p.next_label();
+    p.patch(
+        not_letter_ph,
+        Inst::CmpBranch {
+            cond: BranchCond::B,
+            a: ArchReg::Eax,
+            b: Operand::Imm(b'a' as i32),
+            target: not_letter,
+        },
+    );
+    p.patch(skip1_ph, Inst::Jump { target: join });
+    p.patch(
+        not_digit_ph,
+        Inst::CmpBranch {
+            cond: BranchCond::B,
+            a: ArchReg::Eax,
+            b: Operand::Imm(b'0' as i32),
+            target: not_digit,
+        },
+    );
+    p.patch(skip2_ph, Inst::Jump { target: join });
+    counted_loop_footer(&mut p, body, n);
+
+    Kernel {
+        program: p,
+        mem,
+        presets: vec![(ArchReg::Ebx, Value::new(src))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{InterpConfig, Interpreter};
+
+    fn run_kernel(kind: KernelKind, max_uops: usize) -> crate::trace::Trace {
+        let k = kind.build(256, 0.7, 42);
+        let mut interp = Interpreter::new(
+            k.mem,
+            InterpConfig {
+                max_uops,
+                loop_program: true,
+                pc_base: 0,
+            },
+        );
+        for (r, v) in &k.presets {
+            interp.set_reg(*r, *v);
+        }
+        interp.run(&k.program).expect("kernel must interpret")
+    }
+
+    #[test]
+    fn every_kernel_builds_and_runs() {
+        for kind in KernelKind::ALL {
+            let t = run_kernel(kind, 2_000);
+            assert_eq!(t.len(), 2_000, "kernel {} too short", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_kernel_program_validates() {
+        for kind in KernelKind::ALL {
+            let k = kind.build(128, 0.5, 7);
+            assert!(k.program.validate().is_ok(), "kernel {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic_for_a_seed() {
+        let a = run_kernel(KernelKind::RleCompress, 1_000);
+        let b = run_kernel(KernelKind::RleCompress, 1_000);
+        assert_eq!(a.uops.len(), b.uops.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.result, y.result);
+            assert_eq!(x.mem, y.mem);
+        }
+    }
+
+    #[test]
+    fn byte_kernels_are_narrow_heavy_and_word_kernels_are_not() {
+        let narrow_frac = |t: &crate::trace::Trace| {
+            let vals: Vec<_> = t
+                .iter()
+                .filter_map(|d| d.result)
+                .collect();
+            vals.iter().filter(|v| v.is_narrow()).count() as f64 / vals.len().max(1) as f64
+        };
+        let hist = run_kernel(KernelKind::ByteHistogram, 4_000);
+        let chase = run_kernel(KernelKind::PointerChase, 4_000);
+        assert!(
+            narrow_frac(&hist) > narrow_frac(&chase),
+            "byte histogram should produce more narrow results than pointer chasing"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_visits_wide_addresses() {
+        let t = run_kernel(KernelKind::PointerChase, 2_000);
+        let wide_loads = t
+            .iter()
+            .filter(|d| d.uop.kind.is_load())
+            .filter(|d| !d.result.unwrap().is_narrow())
+            .count();
+        assert!(wide_loads > 100, "pointer loads should be wide values");
+    }
+
+    #[test]
+    fn branch_kernels_contain_conditional_branches() {
+        for kind in [
+            KernelKind::RleCompress,
+            KernelKind::TokenScan,
+            KernelKind::StringMatch,
+        ] {
+            let t = run_kernel(kind, 2_000);
+            let branches = t.iter().filter(|d| d.uop.kind.is_cond_branch()).count();
+            assert!(
+                branches > 100,
+                "{} should be branch heavy, got {branches}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fp_stream_contains_fp_uops() {
+        let t = run_kernel(KernelKind::FpStream, 2_000);
+        assert!(t.iter().any(|d| matches!(d.uop.kind, hc_isa::uop::UopKind::Fp)));
+    }
+
+    #[test]
+    fn fir_contains_multiplies() {
+        let t = run_kernel(KernelKind::FirFilter, 2_000);
+        assert!(t.iter().any(|d| matches!(d.uop.kind, hc_isa::uop::UopKind::Mul)));
+    }
+
+    #[test]
+    fn loads_have_wide_base_and_narrow_index() {
+        // The byte histogram loads src[ecx]: wide base, narrow-ish index —
+        // exactly the CR-friendly addressing of Figure 10.
+        let t = run_kernel(KernelKind::ByteHistogram, 4_000);
+        let cr_like = t
+            .iter()
+            .filter(|d| d.uop.kind.is_load())
+            .filter(|d| {
+                let srcs = d.source_values();
+                srcs.len() == 2 && !srcs[0].is_narrow() && srcs[1].is_narrow()
+            })
+            .count();
+        assert!(cr_like > 200, "expected CR-friendly loads, got {cr_like}");
+    }
+}

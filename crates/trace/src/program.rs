@@ -1,0 +1,241 @@
+//! A tiny register-machine program IR used to *generate* realistic µop traces.
+//!
+//! We cannot ship SPEC Int 2000 binaries or Intel's internal application
+//! traces, so workloads are synthesised: small kernel programs are written in
+//! this IR and then *interpreted* ([`crate::interp`]) to produce dynamic µop
+//! traces that carry real computed values.  Because the values are real, the
+//! narrow-width, carry-propagation and flag-dependence structure that the
+//! steering policies key on is exact rather than statistically faked.
+
+use hc_isa::reg::ArchReg;
+use hc_isa::uop::{AluOp, BranchCond, MemSize};
+use serde::{Deserialize, Serialize};
+
+/// A label identifying an instruction index inside a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub usize);
+
+/// The second operand of ALU / compare instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register operand.
+    Reg(ArchReg),
+    /// An immediate operand.
+    Imm(i32),
+}
+
+/// One IR instruction.  Each IR instruction lowers to one or two µops (compare
+/// and branch are separate µops, like in the IA-32 µop machine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst <- imm`.
+    MovImm {
+        /// Destination register.
+        dst: ArchReg,
+        /// Immediate value.
+        val: i32,
+    },
+    /// `dst <- src`.
+    Mov {
+        /// Destination register.
+        dst: ArchReg,
+        /// Source register.
+        src: ArchReg,
+    },
+    /// `dst <- a <op> b`, writing flags.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: ArchReg,
+        /// First (register) operand.
+        a: ArchReg,
+        /// Second operand.
+        b: Operand,
+    },
+    /// `dst <- a * b` (long-latency, wide-only).
+    Mul {
+        /// Destination register.
+        dst: ArchReg,
+        /// First operand.
+        a: ArchReg,
+        /// Second operand.
+        b: Operand,
+    },
+    /// `dst <- mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: ArchReg,
+        /// Base address register.
+        base: ArchReg,
+        /// Offset (register or immediate).
+        offset: Operand,
+        /// Access size; byte loads zero-extend.
+        size: MemSize,
+    },
+    /// `mem[base + offset] <- src`.
+    Store {
+        /// Data register.
+        src: ArchReg,
+        /// Base address register.
+        base: ArchReg,
+        /// Offset (register or immediate).
+        offset: Operand,
+        /// Access size.
+        size: MemSize,
+    },
+    /// Compare `a` against `b` (writes flags) and branch to `target` if the
+    /// condition holds.  Lowers to a `cmp` µop plus a conditional-branch µop —
+    /// exactly the flag producer/consumer pair the BR policy (§3.3) exploits.
+    CmpBranch {
+        /// Branch condition evaluated on the comparison flags.
+        cond: BranchCond,
+        /// First compare operand.
+        a: ArchReg,
+        /// Second compare operand.
+        b: Operand,
+        /// Branch target.
+        target: Label,
+    },
+    /// Branch to `target` if the condition holds on the *current* flags
+    /// (produced by the most recent flag-writing instruction).
+    BranchFlags {
+        /// Branch condition.
+        cond: BranchCond,
+        /// Branch target.
+        target: Label,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Jump target.
+        target: Label,
+    },
+    /// A floating-point operation consuming and producing FP state; modelled
+    /// as a wide-only µop with a register destination.
+    Fp {
+        /// Destination register (stands in for an FP register).
+        dst: ArchReg,
+        /// Source register.
+        src: ArchReg,
+    },
+    /// Program end marker; the interpreter stops (or restarts, when asked to
+    /// loop the program) when it reaches it.
+    Halt,
+}
+
+/// A kernel program: a straight vector of IR instructions addressed by labels.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used in trace provenance).
+    pub name: String,
+    /// The instructions.
+    pub insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new(name: impl Into<String>) -> Program {
+        Program {
+            name: name.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// Append an instruction, returning its label.
+    pub fn push(&mut self, inst: Inst) -> Label {
+        self.insts.push(inst);
+        Label(self.insts.len() - 1)
+    }
+
+    /// Reserve a label to be patched later (emits a placeholder `Halt`).
+    pub fn placeholder(&mut self) -> Label {
+        self.push(Inst::Halt)
+    }
+
+    /// Replace the instruction at `label` (used to patch forward branches).
+    pub fn patch(&mut self, label: Label, inst: Inst) {
+        self.insts[label.0] = inst;
+    }
+
+    /// Label of the *next* instruction to be pushed.
+    pub fn next_label(&self) -> Label {
+        Label(self.insts.len())
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Basic well-formedness check: all branch targets are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, inst) in self.insts.iter().enumerate() {
+            let target = match inst {
+                Inst::CmpBranch { target, .. }
+                | Inst::BranchFlags { target, .. }
+                | Inst::Jump { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(Label(t)) = target {
+                if t >= self.insts.len() {
+                    return Err(format!(
+                        "instruction {i} branches to out-of-range label {t} (len {})",
+                        self.insts.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_returns_sequential_labels() {
+        let mut p = Program::new("t");
+        let l0 = p.push(Inst::MovImm {
+            dst: ArchReg::Eax,
+            val: 0,
+        });
+        let l1 = p.push(Inst::Halt);
+        assert_eq!(l0, Label(0));
+        assert_eq!(l1, Label(1));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn placeholder_and_patch() {
+        let mut p = Program::new("t");
+        let ph = p.placeholder();
+        let end = p.push(Inst::Halt);
+        p.patch(
+            ph,
+            Inst::Jump { target: end },
+        );
+        assert!(matches!(p.insts[ph.0], Inst::Jump { .. }));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_targets() {
+        let mut p = Program::new("t");
+        p.push(Inst::Jump { target: Label(99) });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn next_label_points_past_end() {
+        let mut p = Program::new("t");
+        assert_eq!(p.next_label(), Label(0));
+        p.push(Inst::Halt);
+        assert_eq!(p.next_label(), Label(1));
+    }
+}

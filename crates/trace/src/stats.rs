@@ -1,0 +1,330 @@
+//! Trace-level analyses used by the paper's characterisation figures.
+//!
+//! * [`narrow_dependence`] — Figure 1: the percentage of register source
+//!   operands whose producer value is narrow (8 bits).
+//! * [`alu_width_mix`] — the §1 statistics about ALU operand/result width
+//!   combinations (39.4% / 3.3% / 43.5% in the paper).
+//! * [`carry_propagation`] — Figure 11: among instructions with one narrow and
+//!   one wide source and a wide result, the percentage whose carry does not
+//!   propagate beyond bit 8, split into arithmetic and load address
+//!   calculations.
+//! * [`producer_consumer_distance`] — Figure 13: the average distance in
+//!   instructions between a producer and its consumers.
+
+use crate::trace::Trace;
+use hc_isa::reg::NUM_ARCH_REGS;
+use hc_isa::uop::UopKind;
+use hc_isa::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Figure 1 metric: fraction (0..=1) of register source operands whose
+/// producer value is narrow.
+pub fn narrow_dependence(trace: &Trace) -> f64 {
+    let mut total = 0u64;
+    let mut narrow = 0u64;
+    for d in trace {
+        for v in d.src_vals.iter().flatten() {
+            total += 1;
+            if v.is_narrow() {
+                narrow += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        narrow as f64 / total as f64
+    }
+}
+
+/// The §1 ALU operand/result width mix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AluWidthMix {
+    /// Fraction of regular ALU µops with exactly one narrow source operand.
+    pub one_narrow_operand: f64,
+    /// Fraction with two narrow sources producing a wide result.
+    pub two_narrow_wide_result: f64,
+    /// Fraction with two narrow sources producing a narrow result.
+    pub two_narrow_narrow_result: f64,
+    /// Number of ALU µops inspected.
+    pub total_alu: u64,
+}
+
+/// Compute the ALU width mix of §1.
+pub fn alu_width_mix(trace: &Trace) -> AluWidthMix {
+    let mut total = 0u64;
+    let mut one_narrow = 0u64;
+    let mut two_narrow_wide = 0u64;
+    let mut two_narrow_narrow = 0u64;
+    for d in trace {
+        if !d.uop.kind.is_simple_alu() {
+            continue;
+        }
+        let srcs: Vec<Value> = d.source_values();
+        if srcs.is_empty() {
+            continue;
+        }
+        total += 1;
+        let narrow_count = srcs.iter().filter(|v| v.is_narrow()).count();
+        let result_narrow = d.result.map(|v| v.is_narrow()).unwrap_or(true);
+        if narrow_count == 1 {
+            one_narrow += 1;
+        } else if narrow_count >= 2 && !result_narrow {
+            two_narrow_wide += 1;
+        } else if narrow_count >= 2 && result_narrow {
+            two_narrow_narrow += 1;
+        }
+    }
+    let f = |n: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    };
+    AluWidthMix {
+        one_narrow_operand: f(one_narrow),
+        two_narrow_wide_result: f(two_narrow_wide),
+        two_narrow_narrow_result: f(two_narrow_narrow),
+        total_alu: total,
+    }
+}
+
+/// Figure 11 result: carry-not-propagated fractions for arithmetic and load
+/// address computations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CarryPropagationStats {
+    /// Fraction of eligible arithmetic µops (one narrow + one wide source,
+    /// wide result) whose carry stays within the low byte.
+    pub arith_carry_free: f64,
+    /// Number of eligible arithmetic µops.
+    pub arith_total: u64,
+    /// Fraction of loads with a wide base and narrow offset whose address
+    /// calculation stays within the low byte of the base.
+    pub load_carry_free: f64,
+    /// Number of eligible loads.
+    pub load_total: u64,
+}
+
+/// Whether an address computation `base + offset` leaves the upper 24 bits of
+/// the wide operand unchanged.
+fn address_carry_free(srcs: &[Value], imm: Option<Value>) -> Option<bool> {
+    let mut operands: Vec<Value> = srcs.to_vec();
+    if let Some(i) = imm {
+        operands.push(i);
+    }
+    let wide: Vec<Value> = operands.iter().copied().filter(|v| !v.is_narrow()).collect();
+    let narrow: Vec<Value> = operands.iter().copied().filter(|v| v.is_narrow()).collect();
+    if wide.len() != 1 || narrow.is_empty() {
+        return None;
+    }
+    let sum = narrow
+        .iter()
+        .fold(wide[0], |acc, v| acc + *v);
+    Some(sum.upper_bits() == wide[0].upper_bits())
+}
+
+/// Compute the Figure 11 carry-propagation statistics.
+pub fn carry_propagation(trace: &Trace) -> CarryPropagationStats {
+    let mut arith_total = 0u64;
+    let mut arith_free = 0u64;
+    let mut load_total = 0u64;
+    let mut load_free = 0u64;
+
+    for d in trace {
+        match d.uop.kind {
+            UopKind::Alu(op) if op.cr_eligible() => {
+                // Eligible: one narrow + one wide source, wide result.
+                let srcs = d.source_values();
+                let result = match d.result {
+                    Some(r) if !r.is_narrow() => r,
+                    _ => continue,
+                };
+                let wides: Vec<&Value> = srcs.iter().filter(|v| !v.is_narrow()).collect();
+                let has_narrow = srcs.iter().any(|v| v.is_narrow())
+                    || d.uop.imm.map(|v| v.is_narrow()).unwrap_or(false);
+                if wides.len() == 1 && has_narrow {
+                    arith_total += 1;
+                    if wides[0].upper_bits() == result.upper_bits() {
+                        arith_free += 1;
+                    }
+                }
+            }
+            UopKind::Load(_) => {
+                // Address operands: register sources (base [+ index]) plus the
+                // immediate offset.
+                if let Some(free) = address_carry_free(&d.source_values(), d.uop.imm) {
+                    load_total += 1;
+                    if free {
+                        load_free += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let f = |n: u64, t: u64| if t == 0 { 0.0 } else { n as f64 / t as f64 };
+    CarryPropagationStats {
+        arith_carry_free: f(arith_free, arith_total),
+        arith_total,
+        load_carry_free: f(load_free, load_total),
+        load_total,
+    }
+}
+
+/// Figure 13 metric: the average distance, in dynamic µops, between a producer
+/// and each of its register consumers.
+pub fn producer_consumer_distance(trace: &Trace) -> f64 {
+    // Track the trace position of the last writer of each architectural register.
+    let mut last_writer: [Option<usize>; NUM_ARCH_REGS] = [None; NUM_ARCH_REGS];
+    let mut last_flags_writer: Option<usize> = None;
+    let mut total_distance = 0u64;
+    let mut consumers = 0u64;
+
+    for (pos, d) in trace.iter().enumerate() {
+        for src in d.uop.sources() {
+            if let Some(w) = last_writer[src.index()] {
+                total_distance += (pos - w) as u64;
+                consumers += 1;
+            }
+        }
+        if d.uop.reads_flags {
+            if let Some(w) = last_flags_writer {
+                total_distance += (pos - w) as u64;
+                consumers += 1;
+            }
+        }
+        if let Some(dst) = d.uop.dest {
+            last_writer[dst.index()] = Some(pos);
+        }
+        if d.uop.writes_flags {
+            last_flags_writer = Some(pos);
+        }
+    }
+    if consumers == 0 {
+        0.0
+    } else {
+        total_distance as f64 / consumers as f64
+    }
+}
+
+/// Aggregate per-trace characterisation summary (handy for reports and tests).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Trace name.
+    pub name: String,
+    /// Dynamic µop count.
+    pub uops: u64,
+    /// Figure 1 metric.
+    pub narrow_dependence: f64,
+    /// §1 ALU width mix.
+    pub alu_mix: AluWidthMix,
+    /// Figure 11 statistics.
+    pub carry: CarryPropagationStats,
+    /// Figure 13 metric.
+    pub producer_consumer_distance: f64,
+    /// Fraction of conditional branches.
+    pub cond_branch_fraction: f64,
+    /// Fraction of loads.
+    pub load_fraction: f64,
+    /// Fraction of stores.
+    pub store_fraction: f64,
+}
+
+/// Compute the full characterisation summary of a trace.
+pub fn summarize(trace: &Trace) -> TraceSummary {
+    let n = trace.len().max(1) as f64;
+    TraceSummary {
+        name: trace.name.clone(),
+        uops: trace.len() as u64,
+        narrow_dependence: narrow_dependence(trace),
+        alu_mix: alu_width_mix(trace),
+        carry: carry_propagation(trace),
+        producer_consumer_distance: producer_consumer_distance(trace),
+        cond_branch_fraction: trace
+            .iter()
+            .filter(|d| d.uop.kind.is_cond_branch())
+            .count() as f64
+            / n,
+        load_fraction: trace.iter().filter(|d| d.uop.kind.is_load()).count() as f64 / n,
+        store_fraction: trace.iter().filter(|d| d.uop.kind.is_store()).count() as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelKind;
+    use crate::profile::WorkloadProfile;
+    use crate::spec::SpecBenchmark;
+
+    fn small_trace(kind: KernelKind) -> Trace {
+        WorkloadProfile::new("t", vec![(kind, 1.0)])
+            .with_trace_len(8_000)
+            .generate()
+    }
+
+    #[test]
+    fn narrow_dependence_is_a_fraction() {
+        let t = small_trace(KernelKind::ByteHistogram);
+        let f = narrow_dependence(&t);
+        assert!((0.0..=1.0).contains(&f));
+        assert!(f > 0.2, "byte kernels should show substantial narrow dependence");
+    }
+
+    #[test]
+    fn narrow_dependence_orders_benchmarks_sensibly() {
+        let bzip2 = SpecBenchmark::Bzip2.trace(15_000);
+        let mcf = SpecBenchmark::Mcf.trace(15_000);
+        assert!(narrow_dependence(&bzip2) > narrow_dependence(&mcf));
+    }
+
+    #[test]
+    fn alu_mix_fractions_are_bounded() {
+        let t = small_trace(KernelKind::TokenScan);
+        let m = alu_width_mix(&t);
+        assert!(m.total_alu > 0);
+        let sum = m.one_narrow_operand + m.two_narrow_wide_result + m.two_narrow_narrow_result;
+        assert!(sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn carry_propagation_detects_base_plus_offset_loads() {
+        let t = small_trace(KernelKind::ByteHistogram);
+        let c = carry_propagation(&t);
+        assert!(c.load_total > 0, "histogram kernel has base+index loads");
+        assert!(
+            c.load_carry_free > 0.3,
+            "sequential small indices mostly stay within the low byte, got {}",
+            c.load_carry_free
+        );
+    }
+
+    #[test]
+    fn producer_consumer_distance_is_small_for_tight_loops() {
+        let t = small_trace(KernelKind::MemcpyBytes);
+        let d = producer_consumer_distance(&t);
+        assert!(d > 0.0);
+        assert!(d < 10.0, "tight loops have short dependence distances, got {d}");
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let t = small_trace(KernelKind::RleCompress);
+        let s = summarize(&t);
+        assert_eq!(s.uops, t.len() as u64);
+        assert!(s.cond_branch_fraction > 0.0);
+        assert!(s.load_fraction > 0.0);
+        assert!((0.0..=1.0).contains(&s.narrow_dependence));
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let t = Trace::new("empty");
+        assert_eq!(narrow_dependence(&t), 0.0);
+        assert_eq!(producer_consumer_distance(&t), 0.0);
+        let c = carry_propagation(&t);
+        assert_eq!(c.arith_total, 0);
+        assert_eq!(c.load_total, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Dynamic µop traces.
+//!
+//! The paper's evaluation is trace driven: 100M-instruction traces for the 12
+//! SPEC Int 2000 benchmarks and 10M-instruction traces for the 412-app final
+//! study.  A [`Trace`] is simply a named sequence of [`DynUop`]s together with
+//! a little provenance metadata.
+
+use hc_isa::DynUop;
+use serde::{Deserialize, Serialize};
+
+/// A named dynamic µop trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable trace name (benchmark or app identifier).
+    pub name: String,
+    /// The dynamic µops, in program order.
+    pub uops: Vec<DynUop>,
+    /// The workload category this trace belongs to, if any (Table 2).
+    pub category: Option<String>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new(name: impl Into<String>) -> Trace {
+        Trace {
+            name: name.into(),
+            uops: Vec::new(),
+            category: None,
+        }
+    }
+
+    /// Create a trace from parts.
+    pub fn from_uops(name: impl Into<String>, uops: Vec<DynUop>) -> Trace {
+        Trace {
+            name: name.into(),
+            uops,
+            category: None,
+        }
+    }
+
+    /// Attach a workload category label.
+    pub fn with_category(mut self, category: impl Into<String>) -> Trace {
+        self.category = Some(category.into());
+        self
+    }
+
+    /// Number of dynamic µops in the trace.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the trace contains no µops.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Append another trace's µops (used to build mixes of kernels).
+    pub fn extend(&mut self, other: &Trace) {
+        self.uops.extend(other.uops.iter().cloned());
+    }
+
+    /// Truncate the trace to at most `n` µops.
+    pub fn truncate(&mut self, n: usize) {
+        self.uops.truncate(n);
+    }
+
+    /// Iterate over the dynamic µops.
+    pub fn iter(&self) -> std::slice::Iter<'_, DynUop> {
+        self.uops.iter()
+    }
+
+    /// Take a slice of the trace starting at `skip` µops, of at most `len`
+    /// µops.  This mirrors the paper's methodology of splitting each benchmark
+    /// into 10 slices and starting from the fourth to skip initialisation.
+    pub fn slice(&self, skip: usize, len: usize) -> Trace {
+        let start = skip.min(self.uops.len());
+        let end = (start + len).min(self.uops.len());
+        Trace {
+            name: format!("{}[{}..{}]", self.name, start, end),
+            uops: self.uops[start..end].to_vec(),
+            category: self.category.clone(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynUop;
+    type IntoIter = std::slice::Iter<'a, DynUop>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.uops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_isa::uop::{AluOp, Uop, UopKind};
+
+    fn dummy(pc: u64) -> DynUop {
+        DynUop::from_uop(Uop::new(pc, UopKind::Alu(AluOp::Add)))
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn extend_and_truncate() {
+        let mut a = Trace::from_uops("a", vec![dummy(0), dummy(1)]);
+        let b = Trace::from_uops("b", vec![dummy(2)]);
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        a.truncate(2);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn slice_skips_initialisation() {
+        let t = Trace::from_uops("t", (0..100).map(dummy).collect());
+        let s = t.slice(30, 20);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.uops[0].uop.pc, 30);
+    }
+
+    #[test]
+    fn slice_clamps_to_length() {
+        let t = Trace::from_uops("t", (0..10).map(dummy).collect());
+        let s = t.slice(8, 20);
+        assert_eq!(s.len(), 2);
+        let s = t.slice(50, 20);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn category_label() {
+        let t = Trace::new("x").with_category("mm");
+        assert_eq!(t.category.as_deref(), Some("mm"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: generate a workload, run it on the monolithic baseline and on
+//! the helper cluster with the full IR steering stack, and print the speedup.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use helper_cluster::prelude::*;
+use hc_core::policy::PolicyKind;
+
+fn main() {
+    // 1. Build a workload trace.  Real traces are proprietary, so the library
+    //    synthesises benchmark-like traces from kernel programs (see hc-trace).
+    let trace: Trace = SpecBenchmark::Gzip.trace(30_000);
+    println!(
+        "workload: {} ({} dynamic µops)",
+        trace.name,
+        trace.len()
+    );
+
+    // 2. Characterise it: how much narrow-width dependence is there? (Figure 1)
+    let narrow = hc_trace::stats::narrow_dependence(&trace) * 100.0;
+    println!("narrow (≤8-bit) register operands: {narrow:.1}%");
+
+    // 3. Run the monolithic baseline and the helper-cluster configurations.
+    let experiment = Experiment::default();
+    for kind in [
+        PolicyKind::Baseline,
+        PolicyKind::P888,
+        PolicyKind::P888BrLrCr,
+        PolicyKind::Ir,
+    ] {
+        let result = experiment.run(&trace, kind);
+        println!(
+            "{:<18} IPC {:.2}  helper {:5.1}%  copies {:5.1}%  speedup {:+.1}%",
+            result.policy,
+            result.stats.ipc(),
+            result.stats.helper_fraction() * 100.0,
+            result.stats.copy_fraction() * 100.0,
+            result.performance_increase_pct(),
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Sweep every steering policy of the paper over the 12 SPEC Int 2000
+//! stand-in workloads and print the per-policy averages — the data behind
+//! Figures 6, 8, 9, 12 and the §3 headline numbers.
+//!
+//! ```text
+//! cargo run --release --example spec_steering_sweep [trace_len]
+//! ```
+
+use hc_core::policy::PolicyKind;
+use hc_core::suite::SuiteRunner;
+
+fn main() {
+    let trace_len: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15_000);
+
+    let runner = SuiteRunner::default();
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>12}",
+        "policy", "helper %", "copies %", "speedup %", "fatal mis %"
+    );
+    for kind in [
+        PolicyKind::P888,
+        PolicyKind::P888Br,
+        PolicyKind::P888BrLr,
+        PolicyKind::P888BrLrCr,
+        PolicyKind::P888BrLrCrCp,
+        PolicyKind::Ir,
+        PolicyKind::IrNoDest,
+    ] {
+        let result = runner.run_spec(trace_len, kind);
+        let n = result.per_trace.len() as f64;
+        let helper =
+            result.per_trace.iter().map(|r| r.stats.helper_fraction()).sum::<f64>() / n * 100.0;
+        let copies =
+            result.per_trace.iter().map(|r| r.stats.copy_fraction()).sum::<f64>() / n * 100.0;
+        let fatal = result
+            .per_trace
+            .iter()
+            .map(|r| r.stats.fatal_mispredict_rate())
+            .sum::<f64>()
+            / n
+            * 100.0;
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>10.1} {:>12.2}",
+            result.policy,
+            helper,
+            copies,
+            result.mean_performance_increase_pct(),
+            fatal
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Reproduce Figure 14: run the best steering mechanism (IR) over the Table 2
+//! workload categories and print the per-category performance increase plus
+//! the per-application speedup S-curve.
+//!
+//! ```text
+//! cargo run --release --example workload_categories [apps_per_category] [trace_len]
+//! ```
+
+use hc_core::policy::PolicyKind;
+use hc_core::suite::SuiteRunner;
+use hc_trace::WorkloadCategory;
+
+fn main() {
+    let apps_per_category: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let trace_len: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8_000);
+
+    let runner = SuiteRunner::default();
+    let mut all_speedups = Vec::new();
+
+    println!("{:<10} {:>8} {:>14}", "category", "#apps", "perf incr %");
+    for cat in WorkloadCategory::ALL {
+        let profiles: Vec<_> = (0..apps_per_category.min(cat.trace_count()))
+            .map(|i| cat.app_profile(i, trace_len))
+            .collect();
+        let result = runner.run_profiles(&profiles, PolicyKind::Ir);
+        all_speedups.extend(result.speedup_curve());
+        println!(
+            "{:<10} {:>8} {:>14.1}",
+            cat.abbrev(),
+            profiles.len(),
+            result.mean_performance_increase_pct()
+        );
+    }
+
+    all_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = all_speedups.len();
+    println!("\nS-curve over {n} apps (speedup vs monolithic baseline):");
+    println!(
+        "  min {:.3}   p25 {:.3}   median {:.3}   p75 {:.3}   max {:.3}",
+        all_speedups[0],
+        all_speedups[n / 4],
+        all_speedups[n / 2],
+        all_speedups[3 * n / 4],
+        all_speedups[n - 1]
+    );
+    let mean = all_speedups.iter().sum::<f64>() / n as f64;
+    println!("  mean speedup: {:+.1}%", (mean - 1.0) * 100.0);
+}

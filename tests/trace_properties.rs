@@ -1,0 +1,89 @@
+//! Property-based tests over the workload substrate and the core invariants
+//! that the steering machinery relies on.
+
+use hc_isa::Value;
+use hc_trace::{KernelKind, WorkloadProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The paper's narrow-value detector semantics: a value is narrow iff its
+    /// upper 24 bits are all zero or all one.
+    #[test]
+    fn narrow_detector_matches_definition(bits in any::<u32>()) {
+        let v = Value::new(bits);
+        let upper = bits >> 8;
+        let expected = upper == 0 || upper == 0x00FF_FFFF;
+        prop_assert_eq!(v.is_narrow(), expected);
+    }
+
+    /// `effective_width` is consistent with `fits_in` at every width.
+    #[test]
+    fn effective_width_consistent_with_fits_in(bits in any::<u32>(), w in 1u32..32) {
+        let v = Value::new(bits);
+        prop_assert_eq!(v.fits_in(w), v.effective_width() <= w);
+    }
+
+    /// Adding a narrow offset to a wide base either preserves the upper bits
+    /// (no carry out of the low byte) or it does not — and the two predicates
+    /// used by the CR machinery agree on which.
+    #[test]
+    fn carry_predicates_agree(base in 0x100u32..u32::MAX / 2, off in 0u32..256) {
+        let b = Value::new(base);
+        let o = Value::new(off);
+        let (sum, carry) = b.add_with_byte_carry(o);
+        prop_assert_eq!(sum.bits(), base.wrapping_add(off));
+        // No carry out of the low byte implies identical upper bits.
+        if !carry {
+            prop_assert_eq!(sum.upper_bits(), b.upper_bits());
+            prop_assert!(b.add_preserves_upper_bits(o));
+        }
+    }
+
+    /// Trace generation always produces exactly the requested length and is
+    /// deterministic in its seed.
+    #[test]
+    fn profiles_generate_exact_and_deterministic(seed in 0u64..1_000, len in 500usize..3_000) {
+        let mk = || WorkloadProfile::new(
+                "prop",
+                vec![(KernelKind::ByteHistogram, 1.0), (KernelKind::TokenScan, 1.0)],
+            )
+            .with_trace_len(len)
+            .with_seed(seed)
+            .generate();
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.len(), len);
+        prop_assert_eq!(b.len(), len);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.uop.pc, y.uop.pc);
+            prop_assert_eq!(x.result, y.result);
+        }
+    }
+
+    /// Every dynamic µop in a generated trace is internally consistent:
+    /// sources present only where the static µop names a register, memory
+    /// info only on loads/stores, branch info only on branches.
+    #[test]
+    fn generated_uops_are_well_formed(seed in 0u64..200) {
+        let t = WorkloadProfile::new("wf", vec![(KernelKind::RleCompress, 1.0)])
+            .with_trace_len(1_000)
+            .with_seed(seed)
+            .generate();
+        for d in &t {
+            for (slot, val) in d.src_vals.iter().enumerate() {
+                if val.is_some() {
+                    prop_assert!(d.uop.srcs[slot].is_some(),
+                        "value present for an absent source operand");
+                }
+            }
+            prop_assert_eq!(d.mem.is_some(), d.uop.kind.is_mem());
+            if d.uop.kind.is_branch() {
+                prop_assert!(d.taken.is_some());
+            } else {
+                prop_assert!(d.taken.is_none());
+            }
+        }
+    }
+}
