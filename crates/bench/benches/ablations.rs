@@ -63,5 +63,10 @@ fn bench_clock_ratio(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_predictor_table_size, bench_confidence, bench_clock_ratio);
+criterion_group!(
+    benches,
+    bench_predictor_table_size,
+    bench_confidence,
+    bench_clock_ratio
+);
 criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Campaign grid: a 7-policy × 12-trace sweep through the unified Campaign
+//! API versus the same grid driven as 84 sequential `Experiment::run` calls.
+//!
+//! The campaign memoizes each trace's monolithic baseline (12 baseline
+//! simulations instead of 84) and fans traces out across the thread pool, so
+//! `campaign_grid/shared_baseline` should beat
+//! `campaign_grid/sequential_experiments` comfortably.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_core::campaign::{CampaignBuilder, CampaignRunner};
+use hc_core::experiment::Experiment;
+use hc_core::policy::PolicyKind;
+use hc_trace::SpecBenchmark;
+
+const GRID_TRACE_LEN: usize = 1_000;
+
+fn paper_policies() -> Vec<PolicyKind> {
+    PolicyKind::ALL
+        .into_iter()
+        .filter(|&k| k != PolicyKind::Baseline)
+        .collect()
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let policies = paper_policies();
+    let spec = CampaignBuilder::new("bench-grid")
+        .policies(policies.iter().copied())
+        .spec_suite()
+        .trace_len(GRID_TRACE_LEN)
+        .build()
+        .expect("the bench grid is a valid campaign");
+
+    let mut g = c.benchmark_group("campaign_grid");
+    g.sample_size(3);
+
+    // Both arms generate the 12 traces inside the timed region (the campaign
+    // runner always generates from selectors), so the comparison isolates
+    // the shared-baseline + fan-out win, not trace-generation asymmetry.
+    g.bench_function("shared_baseline", |b| {
+        b.iter(|| {
+            let report = CampaignRunner::new().run(&spec).expect("grid runs");
+            assert_eq!(report.baseline_runs, 12, "memoization must hold");
+            std::hint::black_box(report)
+        })
+    });
+
+    g.bench_function("sequential_experiments", |b| {
+        b.iter(|| {
+            // The pre-campaign shape: every (policy, trace) pair pays its own
+            // baseline simulation, one cell at a time.
+            let experiment = Experiment::default();
+            let mut results = Vec::new();
+            for benchmark in SpecBenchmark::ALL {
+                let trace = benchmark.trace(GRID_TRACE_LEN);
+                for &kind in &policies {
+                    let baseline = experiment.run_baseline(&trace);
+                    let stats = experiment.run_policy(&trace, kind);
+                    results.push((kind.name(), trace.name.clone(), stats, baseline));
+                }
+            }
+            std::hint::black_box(results)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

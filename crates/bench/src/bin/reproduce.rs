@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite]
+//!           [--json] [--csv]
 //! ```
 //!
 //! With no arguments every figure is reproduced.  Figure names: `table1`,
 //! `table2`, `fig1`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig11`, `fig12`,
 //! `fig13`, `fig14`, `headline`, `ed2`, `summary`.
+//!
+//! `campaign` is opt-in (it duplicates the headline grid's work): it runs
+//! the full 7-policy × 12-trace grid through
+//! [`hc_core::campaign`] — every trace's monolithic baseline is simulated
+//! exactly once — and prints a Markdown summary, the versioned JSON report
+//! (`--json`) or the stable CSV cells (`--csv`).
 
+use hc_core::campaign::{CampaignBuilder, CampaignRunner};
 use hc_core::figures;
 use hc_core::policy::PolicyKind;
-use hc_core::report::{figure_to_markdown, kv_table_to_markdown};
+use hc_core::report::{campaign_to_markdown, figure_to_markdown, kv_table_to_markdown};
 use hc_core::suite::SuiteRunner;
 use hc_power::{Ed2Comparison, PowerModel};
 use hc_trace::{paper_suite, reduced_suite};
@@ -20,6 +28,8 @@ struct Options {
     trace_len: usize,
     apps_per_category: usize,
     full_suite: bool,
+    json: bool,
+    csv: bool,
 }
 
 fn parse_args() -> Options {
@@ -28,6 +38,8 @@ fn parse_args() -> Options {
         trace_len: hc_bench::REPRODUCE_TRACE_LEN,
         apps_per_category: hc_bench::REPRODUCE_APPS_PER_CATEGORY,
         full_suite: false,
+        json: false,
+        csv: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,9 +57,11 @@ fn parse_args() -> Options {
                     .unwrap_or(opts.apps_per_category)
             }
             "--full-suite" => opts.full_suite = true,
+            "--json" => opts.json = true,
+            "--csv" => opts.csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite]"
+                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--json] [--csv]"
                 );
                 std::process::exit(0);
             }
@@ -64,9 +78,15 @@ fn wanted(opts: &Options, name: &str) -> bool {
 fn main() {
     let opts = parse_args();
     let len = opts.trace_len;
+    if (opts.json || opts.csv) && !opts.figures.iter().any(|f| f == "campaign") {
+        eprintln!("note: --json/--csv only affect the `campaign` output; add `campaign` to the figure list");
+    }
 
     if wanted(&opts, "table1") {
-        println!("{}", kv_table_to_markdown("Table 1 — baseline parameters", &figures::table1()));
+        println!(
+            "{}",
+            kv_table_to_markdown("Table 1 — baseline parameters", &figures::table1())
+        );
     }
     if wanted(&opts, "table2") {
         println!("### Table 2 — workload categories\n");
@@ -114,23 +134,65 @@ fn main() {
         let curve = figures::fig14_curve(opts.apps_per_category, len);
         let n = curve.len();
         if n > 0 {
-            println!("S-curve over {n} apps: min {:.3}, p25 {:.3}, median {:.3}, p75 {:.3}, max {:.3}\n",
-                curve[0], curve[n / 4], curve[n / 2], curve[3 * n / 4], curve[n - 1]);
+            println!(
+                "S-curve over {n} apps: min {:.3}, p25 {:.3}, median {:.3}, p75 {:.3}, max {:.3}\n",
+                curve[0],
+                curve[n / 4],
+                curve[n / 2],
+                curve[3 * n / 4],
+                curve[n - 1]
+            );
+        }
+    }
+    // Opt-in: the full 7-policy × 12-trace campaign grid (the `headline`
+    // figure's data, exposed through the declarative Campaign API with its
+    // versioned JSON / stable CSV schema).
+    if opts.figures.iter().any(|f| f == "campaign") {
+        let spec = CampaignBuilder::new("spec-grid")
+            .paper_policies()
+            .spec_suite()
+            .trace_len(len)
+            .build()
+            .expect("the paper grid is a valid campaign");
+        let runner = CampaignRunner::new().with_progress(|p| {
+            eprintln!(
+                "[{}/{}] {} × {}",
+                p.completed_cells, p.total_cells, p.policy, p.trace
+            );
+        });
+        let report = runner.run(&spec).expect("the paper grid campaign runs");
+        if opts.json {
+            println!("{}", report.to_json());
+        } else if opts.csv {
+            println!("{}", report.to_csv());
+        } else {
+            println!("{}", campaign_to_markdown(&report));
         }
     }
     if wanted(&opts, "ed2") {
-        // §3.7: energy-delay² of the most aggressive configuration (IR) vs the baseline.
-        let runner = SuiteRunner::default();
-        let result = runner.run_spec(len, PolicyKind::Ir);
+        // §3.7: energy-delay² of the most aggressive configuration (IR) vs
+        // the baseline, via a single-policy campaign.
+        let spec = CampaignBuilder::new("ed2")
+            .policy(PolicyKind::Ir)
+            .spec_suite()
+            .trace_len(len)
+            .build()
+            .expect("the ed2 grid is a valid campaign");
+        let report = CampaignRunner::new()
+            .run(&spec)
+            .expect("the ed2 campaign runs");
         let model = PowerModel::default();
         let mut improvements = Vec::new();
-        for r in &result.per_trace {
+        for r in &report.experiment_results() {
             let cmp = Ed2Comparison::compare(&model, &r.baseline, &r.stats);
             improvements.push(cmp.improvement);
         }
         let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
         println!("### Energy-delay² (IR vs monolithic baseline)\n");
-        println!("Average ED² improvement over SPEC: {:.1}% (paper: 5.1%)\n", avg * 100.0);
+        println!(
+            "Average ED² improvement over SPEC: {:.1}% (paper: 5.1%)\n",
+            avg * 100.0
+        );
     }
     if wanted(&opts, "summary") {
         // Abstract numbers: SPEC-Int average and wide-suite average under IR.

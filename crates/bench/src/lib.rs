@@ -24,14 +24,9 @@ pub const REPRODUCE_TRACE_LEN: usize = 20_000;
 /// default (the full Table 2 suite is available with `--full-suite`).
 pub const REPRODUCE_APPS_PER_CATEGORY: usize = 6;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bench_sizes_are_sane() {
-        assert!(BENCH_TRACE_LEN >= 1_000);
-        assert!(REPRODUCE_TRACE_LEN >= BENCH_TRACE_LEN);
-        assert!(REPRODUCE_APPS_PER_CATEGORY >= 1);
-    }
-}
+// Compile-time sanity on the bench sizing constants.
+const _: () = {
+    assert!(BENCH_TRACE_LEN >= 1_000);
+    assert!(REPRODUCE_TRACE_LEN >= BENCH_TRACE_LEN);
+    assert!(REPRODUCE_APPS_PER_CATEGORY >= 1);
+};

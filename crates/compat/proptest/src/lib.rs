@@ -1,0 +1,199 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro with a `#![proptest_config(ProptestConfig::with_cases(N))]` inner
+//! attribute, strategies built from `any::<T>()` and integer / float ranges,
+//! and `prop_assert!` / `prop_assert_eq!`.  Inputs are sampled from a
+//! deterministic RNG seeded per test function, so failures reproduce; there
+//! is no shrinking.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestRng,
+    };
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed from the test-function name and case index, so every case is
+    /// deterministic and distinct.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed ^ ((case as u64) << 32)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for the full domain of `T` (`any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform over the whole domain of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Define property tests: each `fn` runs `cases` times with fresh random
+/// inputs sampled from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strategy), &mut rng);
+                    )*
+                    let _ = &mut rng;
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 5u32..10, y in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn any_is_deterministic_per_case(bits in any::<u64>()) {
+            // Re-sampling the same case must give the same value.
+            let _ = bits;
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline): a small item parser extracts the type's shape — named
+//! structs, newtype/tuple structs, and enums with unit / tuple / struct
+//! variants — and the impls are generated as source text.  Generics are not
+//! supported (nothing in this workspace derives serde on a generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: A, b: B }`
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let keyword = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next(); // pub(crate) etc.
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde derive: no struct or enum found"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    skip_generics(&mut it);
+    let shape = if keyword == "struct" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+/// Skip `<...>` generics after a type name (balanced on angle depth).
+fn skip_generics(it: &mut TokenIter) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '<' {
+            return;
+        }
+    } else {
+        return;
+    }
+    let mut depth = 0i32;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parse `a: A, b: B, ...` field names from a brace-group stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                it.next();
+                            }
+                        }
+                    } else {
+                        break Some(s);
+                    }
+                }
+                Some(other) => panic!("serde derive: unexpected token in fields: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut it);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Consume a type up to (and including) the next top-level `,`.
+fn skip_type(it: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = it.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    it.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        it.next();
+    }
+}
+
+/// Count fields in a paren-group (tuple struct / tuple variant) stream.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut it = stream.into_iter().peekable();
+    while it.peek().is_some() {
+        skip_type(&mut it);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("serde derive: unexpected token in variants: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                it.next();
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                it.next();
+                VariantFields::Named(f)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = it.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        it.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            it.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(m, {f:?})?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected map for struct {name}\"))?;\n\
+                     Ok({name} {{ {} }})\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_index(s, {i})?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected sequence for struct {name}\"))?;\n\
+                     Ok({name}({}))\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de_index(s, {i})?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let s = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                                         \"expected sequence for variant {vname}\"))?;\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(m, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let m = inner.as_map().ok_or_else(|| ::serde::Error::custom(\
+                                         \"expected map for variant {vname}\"))?;\n\
+                                     Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::Error::custom(format!(\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = (&m[0].0, &m[0].1);\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::Error::custom(format!(\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::custom(\"expected string or single-key map for enum {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

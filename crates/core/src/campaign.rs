@@ -1,0 +1,854 @@
+//! Declarative evaluation campaigns: policy × trace grids with shared
+//! baselines, typed errors and a stable, versioned results schema.
+//!
+//! A [`CampaignSpec`] describes *what* to evaluate — a set of
+//! [`PolicyKind`]s crossed with a set of [`TraceSelector`]s plus the
+//! simulator configuration and warmup / length knobs — and is fully
+//! serde-round-trippable, so campaigns can be stored, diffed and replayed.
+//! A [`CampaignRunner`] executes the grid:
+//!
+//! * each trace's **monolithic baseline is simulated exactly once** and
+//!   shared across every policy (an N-policy sweep is ~2× cheaper than N
+//!   independent [`Experiment::run`] calls);
+//! * traces fan out in parallel over the rayon-style thread pool;
+//! * a progress hook observes cell completions as they happen;
+//! * the result is a versioned [`CampaignReport`] with JSON and CSV
+//!   renderings (see [`crate::report`]).
+//!
+//! [`Experiment`], [`crate::suite::SuiteRunner`] and [`crate::figures`] are
+//! thin adapters over this engine.
+//!
+//! ```
+//! use hc_core::campaign::{CampaignBuilder, CampaignRunner};
+//! use hc_core::policy::PolicyKind;
+//! use hc_trace::SpecBenchmark;
+//!
+//! let spec = CampaignBuilder::new("quick")
+//!     .policy(PolicyKind::P888)
+//!     .policy(PolicyKind::Ir)
+//!     .spec(SpecBenchmark::Gzip)
+//!     .trace_len(2_000)
+//!     .build()
+//!     .unwrap();
+//! let report = CampaignRunner::new().run(&spec).unwrap();
+//! assert_eq!(report.baseline_runs, 1); // one trace -> one baseline, shared
+//! assert_eq!(report.cells.len(), 2);
+//! ```
+
+use crate::experiment::{Experiment, ExperimentResult};
+use crate::policy::PolicyKind;
+use hc_sim::{ConfigError, SimConfig, SimStats};
+use hc_trace::{SpecBenchmark, Trace, WorkloadCategory, WorkloadProfile};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Version of the [`CampaignSpec`] / [`CampaignReport`] wire schema.
+/// Bumped whenever a serialized field changes meaning; decoders reject
+/// mismatched versions with a typed error instead of misreading data.
+pub const CAMPAIGN_SCHEMA_VERSION: u32 = 1;
+
+/// Everything that can go wrong assembling, decoding or running a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The simulator configuration was rejected.
+    Config(ConfigError),
+    /// The spec names no policies.
+    NoPolicies,
+    /// The spec names no traces.
+    NoTraces,
+    /// The spec asks for zero-length traces.
+    ZeroTraceLength,
+    /// The spec disables baselines but asks for the `baseline` policy
+    /// column, whose cells *are* baseline runs — a contradiction.
+    BaselinePolicyWithoutBaseline,
+    /// Two trace selectors generate the same trace name; report cells are
+    /// keyed by name, so duplicates would silently join to the wrong
+    /// baseline.
+    DuplicateTraceLabel(String),
+    /// The same policy appears twice; report cells are keyed by policy
+    /// name, so duplicates would double-count in every aggregate.
+    DuplicatePolicy(String),
+    /// A serialized spec/report was produced by an incompatible schema.
+    UnsupportedSchemaVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A serialized spec/report could not be decoded.
+    Decode(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Config(e) => write!(f, "invalid simulator configuration: {e}"),
+            CampaignError::NoPolicies => write!(f, "campaign names no policies"),
+            CampaignError::NoTraces => write!(f, "campaign names no traces"),
+            CampaignError::ZeroTraceLength => write!(f, "campaign trace length must be non-zero"),
+            CampaignError::BaselinePolicyWithoutBaseline => write!(
+                f,
+                "campaign disables baselines but includes the baseline policy"
+            ),
+            CampaignError::DuplicateTraceLabel(label) => {
+                write!(f, "campaign names the trace `{label}` more than once")
+            }
+            CampaignError::DuplicatePolicy(name) => {
+                write!(f, "campaign names the policy `{name}` more than once")
+            }
+            CampaignError::UnsupportedSchemaVersion { found, supported } => write!(
+                f,
+                "unsupported campaign schema version {found} (this build supports {supported})"
+            ),
+            CampaignError::Decode(msg) => write!(f, "malformed campaign document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for CampaignError {
+    fn from(e: ConfigError) -> CampaignError {
+        CampaignError::Config(e)
+    }
+}
+
+/// How a campaign names one workload trace, declaratively.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSelector {
+    /// One of the 12 SPEC Int 2000 stand-ins.
+    Spec(SpecBenchmark),
+    /// The `app`-th application profile of a Table 2 workload category.
+    CategoryApp {
+        /// Workload category.
+        category: WorkloadCategory,
+        /// Application index within the category (0-based).
+        app: usize,
+    },
+    /// An explicit workload profile.
+    Profile(WorkloadProfile),
+}
+
+impl TraceSelector {
+    /// The trace name this selector will generate.
+    pub fn label(&self, trace_len: usize) -> String {
+        match self {
+            TraceSelector::Spec(b) => b.name().to_string(),
+            TraceSelector::CategoryApp { category, app } => {
+                category.app_profile(*app, trace_len).name
+            }
+            TraceSelector::Profile(p) => p.name.clone(),
+        }
+    }
+
+    /// Generate the trace at the given dynamic length.
+    pub fn generate(&self, trace_len: usize) -> Trace {
+        match self {
+            TraceSelector::Spec(b) => b.trace(trace_len),
+            TraceSelector::CategoryApp { category, app } => {
+                category.app_profile(*app, trace_len).generate()
+            }
+            TraceSelector::Profile(p) => p.clone().with_trace_len(trace_len).generate(),
+        }
+    }
+}
+
+/// A declarative policy × trace evaluation grid.
+///
+/// Serde-round-trippable: `serde::json::to_string` / `from_str` (or
+/// [`CampaignSpec::to_json`] / [`CampaignSpec::from_json`], which also check
+/// the schema version) reproduce the spec exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Schema version this spec was written with.
+    pub schema_version: u32,
+    /// Campaign name, echoed into the report.
+    pub name: String,
+    /// Policies to evaluate (the grid's columns).
+    pub policies: Vec<PolicyKind>,
+    /// Traces to evaluate on (the grid's rows).
+    pub traces: Vec<TraceSelector>,
+    /// Dynamic µops per generated trace.
+    pub trace_len: usize,
+    /// Unmeasured priming runs per cell before the measured run: the policy
+    /// instance (and its predictors) stays warm across them.  `0` reproduces
+    /// [`Experiment::run`] exactly.
+    pub warmup_runs: usize,
+    /// Whether to simulate the monolithic baseline for every trace (needed
+    /// for speedups; disable for stat-only sweeps to halve the work).
+    pub include_baseline: bool,
+    /// Helper-cluster simulator configuration; the baseline uses the same
+    /// parameters with the helper cluster removed.
+    pub config: SimConfig,
+}
+
+impl CampaignSpec {
+    /// Validate the spec, returning the first problem found.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.schema_version != CAMPAIGN_SCHEMA_VERSION {
+            return Err(CampaignError::UnsupportedSchemaVersion {
+                found: self.schema_version,
+                supported: CAMPAIGN_SCHEMA_VERSION,
+            });
+        }
+        if self.policies.is_empty() {
+            return Err(CampaignError::NoPolicies);
+        }
+        if self.traces.is_empty() {
+            return Err(CampaignError::NoTraces);
+        }
+        if self.trace_len == 0 {
+            return Err(CampaignError::ZeroTraceLength);
+        }
+        if !self.include_baseline && self.policies.contains(&PolicyKind::Baseline) {
+            return Err(CampaignError::BaselinePolicyWithoutBaseline);
+        }
+        let mut policies = std::collections::BTreeSet::new();
+        for kind in &self.policies {
+            if !policies.insert(kind.name()) {
+                return Err(CampaignError::DuplicatePolicy(kind.name().to_string()));
+            }
+        }
+        let mut labels = std::collections::BTreeSet::new();
+        for selector in &self.traces {
+            let label = selector.label(self.trace_len);
+            if !labels.insert(label.clone()) {
+                return Err(CampaignError::DuplicateTraceLabel(label));
+            }
+        }
+        self.config.validate()?;
+        Ok(())
+    }
+
+    /// Number of policy × trace cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.policies.len() * self.traces.len()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Decode from JSON, checking the schema version first.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, CampaignError> {
+        let value = decode_versioned(text)?;
+        Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
+    }
+}
+
+/// Parse JSON and verify its `schema_version` field before full decoding.
+fn decode_versioned(text: &str) -> Result<serde::Value, CampaignError> {
+    let value = serde::json::parse(text).map_err(|e| CampaignError::Decode(e.to_string()))?;
+    let found = match value.get("schema_version") {
+        Some(serde::Value::UInt(n)) => *n as u32,
+        _ => return Err(CampaignError::Decode("missing schema_version".to_string())),
+    };
+    if found != CAMPAIGN_SCHEMA_VERSION {
+        return Err(CampaignError::UnsupportedSchemaVersion {
+            found,
+            supported: CAMPAIGN_SCHEMA_VERSION,
+        });
+    }
+    Ok(value)
+}
+
+/// Fluent constructor for [`CampaignSpec`].
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    spec: CampaignSpec,
+}
+
+impl CampaignBuilder {
+    /// Start a campaign with the paper-baseline configuration, no policies
+    /// and no traces.
+    pub fn new(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder {
+            spec: CampaignSpec {
+                schema_version: CAMPAIGN_SCHEMA_VERSION,
+                name: name.into(),
+                policies: Vec::new(),
+                traces: Vec::new(),
+                trace_len: 10_000,
+                warmup_runs: 0,
+                include_baseline: true,
+                config: SimConfig::paper_baseline(),
+            },
+        }
+    }
+
+    /// Add one policy column.
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.spec.policies.push(kind);
+        self
+    }
+
+    /// Add several policy columns.
+    pub fn policies(mut self, kinds: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.spec.policies.extend(kinds);
+        self
+    }
+
+    /// Add the paper's seven helper-cluster policies (everything except the
+    /// monolithic baseline), in the order the paper introduces them.
+    pub fn paper_policies(self) -> Self {
+        self.policies(
+            PolicyKind::ALL
+                .into_iter()
+                .filter(|&k| k != PolicyKind::Baseline),
+        )
+    }
+
+    /// Add one trace row.
+    pub fn trace(mut self, selector: TraceSelector) -> Self {
+        self.spec.traces.push(selector);
+        self
+    }
+
+    /// Add one SPEC stand-in trace row.
+    pub fn spec(self, benchmark: SpecBenchmark) -> Self {
+        self.trace(TraceSelector::Spec(benchmark))
+    }
+
+    /// Add all 12 SPEC Int 2000 stand-in rows.
+    pub fn spec_suite(mut self) -> Self {
+        self.spec
+            .traces
+            .extend(SpecBenchmark::ALL.iter().map(|&b| TraceSelector::Spec(b)));
+        self
+    }
+
+    /// Add the `app`-th application of a Table 2 category as a row.
+    pub fn category_app(self, category: WorkloadCategory, app: usize) -> Self {
+        self.trace(TraceSelector::CategoryApp { category, app })
+    }
+
+    /// Add an explicit workload profile as a row.
+    pub fn profile(self, profile: WorkloadProfile) -> Self {
+        self.trace(TraceSelector::Profile(profile))
+    }
+
+    /// Set the dynamic µop count per generated trace.
+    pub fn trace_len(mut self, len: usize) -> Self {
+        self.spec.trace_len = len;
+        self
+    }
+
+    /// Set the number of unmeasured predictor-priming runs per cell.
+    pub fn warmup_runs(mut self, runs: usize) -> Self {
+        self.spec.warmup_runs = runs;
+        self
+    }
+
+    /// Skip the monolithic baseline simulations (stat-only sweeps).
+    pub fn without_baseline(mut self) -> Self {
+        self.spec.include_baseline = false;
+        self
+    }
+
+    /// Use a custom helper-cluster simulator configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<CampaignSpec, CampaignError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+/// A completed-cell notification delivered to the progress hook.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignProgress {
+    /// Cells finished so far (including this one).
+    pub completed_cells: usize,
+    /// Total cells in the grid.
+    pub total_cells: usize,
+    /// Policy of the cell that just finished.
+    pub policy: String,
+    /// Trace of the cell that just finished.
+    pub trace: String,
+}
+
+/// Shared progress-hook type: called once per finished cell, possibly from
+/// worker threads.
+pub type ProgressHook = Arc<dyn Fn(&CampaignProgress) + Send + Sync>;
+
+/// One policy × trace measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Policy name (stable report key, from [`PolicyKind::name`]).
+    pub policy: String,
+    /// Trace name.
+    pub trace: String,
+    /// Workload category of the trace, if any.
+    pub category: Option<String>,
+    /// Measured statistics of the policy run.
+    pub stats: SimStats,
+}
+
+/// One trace's monolithic-baseline measurement (shared by every cell of that
+/// trace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRun {
+    /// Trace name.
+    pub trace: String,
+    /// Workload category of the trace, if any.
+    pub category: Option<String>,
+    /// Baseline statistics.
+    pub stats: SimStats,
+}
+
+/// The versioned output of a campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Schema version of this report.
+    pub schema_version: u32,
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// The spec that produced this report, embedded for replayability.
+    pub spec: CampaignSpec,
+    /// One baseline run per trace (empty when the spec disabled baselines).
+    pub baselines: Vec<BaselineRun>,
+    /// All policy × trace cells, trace-major in spec order.
+    pub cells: Vec<CampaignCell>,
+    /// Number of monolithic baseline simulations actually executed — the
+    /// memoization instrumentation: always ≤ the number of traces, never
+    /// policies × traces.
+    pub baseline_runs: usize,
+}
+
+impl CampaignReport {
+    /// The baseline statistics for a trace, if baselines were run.
+    pub fn baseline_for(&self, trace: &str) -> Option<&SimStats> {
+        self.baselines
+            .iter()
+            .find(|b| b.trace == trace)
+            .map(|b| &b.stats)
+    }
+
+    /// The cell for a (policy, trace) pair.
+    pub fn cell(&self, policy: &str, trace: &str) -> Option<&CampaignCell> {
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.trace == trace)
+    }
+
+    fn join_cell(&self, cell: &CampaignCell) -> Option<ExperimentResult> {
+        let baseline = self.baseline_for(&cell.trace)?;
+        Some(ExperimentResult {
+            policy: cell.policy.clone(),
+            trace: cell.trace.clone(),
+            category: cell.category.clone(),
+            stats: cell.stats.clone(),
+            baseline: baseline.clone(),
+        })
+    }
+
+    /// Join every cell with its trace baseline into classic
+    /// [`ExperimentResult`]s (cells without a baseline are skipped).
+    pub fn experiment_results(&self) -> Vec<ExperimentResult> {
+        self.cells
+            .iter()
+            .filter_map(|c| self.join_cell(c))
+            .collect()
+    }
+
+    /// [`ExperimentResult`]s for one policy, in trace order.  Filters before
+    /// joining, so only the requested policy's cells are cloned.
+    pub fn results_for_policy(&self, policy: &str) -> Vec<ExperimentResult> {
+        self.cells
+            .iter()
+            .filter(|c| c.policy == policy)
+            .filter_map(|c| self.join_cell(c))
+            .collect()
+    }
+
+    /// Arithmetic-mean speedup of one policy over the grid's traces.
+    /// Computed in place — no result vectors are materialized.
+    pub fn mean_speedup(&self, policy: &str) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for cell in self.cells.iter().filter(|c| c.policy == policy) {
+            if let Some(baseline) = self.baseline_for(&cell.trace) {
+                sum += cell.stats.speedup_over(baseline);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Serialize to pretty JSON (stable, versioned schema).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Decode from JSON, checking the schema version first.
+    pub fn from_json(text: &str) -> Result<CampaignReport, CampaignError> {
+        let value = decode_versioned(text)?;
+        Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
+    }
+
+    /// Render as CSV (see [`crate::report::campaign_to_csv`]).
+    pub fn to_csv(&self) -> String {
+        crate::report::campaign_to_csv(self)
+    }
+}
+
+/// Executes [`CampaignSpec`]s.
+#[derive(Clone, Default)]
+pub struct CampaignRunner {
+    progress: Option<ProgressHook>,
+}
+
+impl fmt::Debug for CampaignRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignRunner")
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl CampaignRunner {
+    /// A runner with no progress hook.
+    pub fn new() -> CampaignRunner {
+        CampaignRunner::default()
+    }
+
+    /// Attach a progress hook, called once per finished cell (possibly from
+    /// worker threads).
+    pub fn with_progress(
+        mut self,
+        hook: impl Fn(&CampaignProgress) + Send + Sync + 'static,
+    ) -> CampaignRunner {
+        self.progress = Some(Arc::new(hook));
+        self
+    }
+
+    /// Validate and execute a campaign.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
+        spec.validate()?;
+        let experiment = Experiment::try_new(spec.config.clone())?;
+        let traces: Vec<Trace> = spec
+            .traces
+            .par_iter()
+            .map(|s| s.generate(spec.trace_len))
+            .collect();
+        let grid = run_grid(
+            &experiment,
+            &traces,
+            &spec.policies,
+            spec.warmup_runs,
+            spec.include_baseline,
+            self.progress.as_ref(),
+        );
+        let baseline_runs = grid.baseline_runs;
+        let (baselines, cells) = grid.into_flat_parts();
+        Ok(CampaignReport {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            name: spec.name.clone(),
+            spec: spec.clone(),
+            baselines,
+            cells,
+            baseline_runs,
+        })
+    }
+}
+
+/// The raw output of [`run_grid`]: one entry per trace, keeping each trace's
+/// baseline next to its cells so joins are positional — correct even when
+/// two traces share a name (the adapter paths accept arbitrary trace lists;
+/// only [`CampaignSpec::validate`] enforces unique labels).
+pub(crate) struct Grid {
+    per_trace: Vec<(Option<BaselineRun>, Vec<CampaignCell>)>,
+    pub baseline_runs: usize,
+}
+
+impl Grid {
+    /// Flatten into the report's baseline and cell lists (trace-major).
+    fn into_flat_parts(self) -> (Vec<BaselineRun>, Vec<CampaignCell>) {
+        let mut baselines = Vec::with_capacity(self.per_trace.len());
+        let mut cells = Vec::new();
+        for (baseline, trace_cells) in self.per_trace {
+            if let Some(b) = baseline {
+                baselines.push(b);
+            }
+            cells.extend(trace_cells);
+        }
+        (baselines, cells)
+    }
+
+    /// Join each trace's cells with *its own* baseline into
+    /// [`ExperimentResult`]s, preserving cell order (trace-major).
+    pub fn into_experiment_results(self) -> Vec<ExperimentResult> {
+        let mut results = Vec::new();
+        for (baseline, trace_cells) in self.per_trace {
+            let Some(baseline) = baseline else { continue };
+            for c in trace_cells {
+                results.push(ExperimentResult {
+                    policy: c.policy,
+                    trace: c.trace,
+                    category: c.category,
+                    stats: c.stats,
+                    baseline: baseline.stats.clone(),
+                });
+            }
+        }
+        results
+    }
+}
+
+/// The shared grid engine behind [`CampaignRunner`], [`Experiment::run_many`]
+/// and [`crate::suite::SuiteRunner`]: traces fan out in parallel, each
+/// trace's baseline is simulated at most once and shared across policies.
+pub(crate) fn run_grid(
+    experiment: &Experiment,
+    traces: &[Trace],
+    policies: &[PolicyKind],
+    warmup_runs: usize,
+    include_baseline: bool,
+    progress: Option<&ProgressHook>,
+) -> Grid {
+    let total_cells = traces.len() * policies.len();
+    let completed = AtomicUsize::new(0);
+    let baseline_count = AtomicUsize::new(0);
+    let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
+
+    let per_trace: Vec<(Option<BaselineRun>, Vec<CampaignCell>)> = traces
+        .par_iter()
+        .map(|trace| {
+            let baseline = if baseline_needed {
+                baseline_count.fetch_add(1, Ordering::Relaxed);
+                Some(BaselineRun {
+                    trace: trace.name.clone(),
+                    category: trace.category.clone(),
+                    stats: experiment.run_baseline(trace),
+                })
+            } else {
+                None
+            };
+            let cells = policies
+                .iter()
+                .map(|&kind| {
+                    let stats = match (&baseline, kind) {
+                        (Some(b), PolicyKind::Baseline) => b.stats.clone(),
+                        _ => experiment.run_policy_warmed(trace, kind, warmup_runs),
+                    };
+                    let cell = CampaignCell {
+                        policy: kind.name().to_string(),
+                        trace: trace.name.clone(),
+                        category: trace.category.clone(),
+                        stats,
+                    };
+                    if let Some(hook) = progress {
+                        hook(&CampaignProgress {
+                            completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                            total_cells,
+                            policy: cell.policy.clone(),
+                            trace: cell.trace.clone(),
+                        });
+                    }
+                    cell
+                })
+                .collect();
+            (baseline, cells)
+        })
+        .collect();
+
+    Grid {
+        per_trace,
+        baseline_runs: baseline_count.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignBuilder::new("unit")
+            .policy(PolicyKind::P888)
+            .policy(PolicyKind::Baseline)
+            .spec(SpecBenchmark::Gzip)
+            .trace_len(1_200)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_empty_specs() {
+        assert_eq!(
+            CampaignBuilder::new("x").spec(SpecBenchmark::Gzip).build(),
+            Err(CampaignError::NoPolicies)
+        );
+        assert_eq!(
+            CampaignBuilder::new("x").policy(PolicyKind::P888).build(),
+            Err(CampaignError::NoTraces)
+        );
+        assert_eq!(
+            CampaignBuilder::new("x")
+                .policy(PolicyKind::P888)
+                .spec(SpecBenchmark::Gzip)
+                .trace_len(0)
+                .build(),
+            Err(CampaignError::ZeroTraceLength)
+        );
+    }
+
+    #[test]
+    fn baseline_policy_conflicts_with_without_baseline() {
+        assert_eq!(
+            CampaignBuilder::new("x")
+                .policy(PolicyKind::Baseline)
+                .policy(PolicyKind::P888)
+                .spec(SpecBenchmark::Gzip)
+                .without_baseline()
+                .build(),
+            Err(CampaignError::BaselinePolicyWithoutBaseline)
+        );
+    }
+
+    #[test]
+    fn duplicate_trace_labels_are_rejected() {
+        // A custom profile named like a SPEC stand-in would join cells to
+        // the wrong baseline; the spec refuses to run.
+        let err = CampaignBuilder::new("dup")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .profile(hc_trace::WorkloadProfile::new(
+                "gzip",
+                vec![(hc_trace::KernelKind::WordSum, 1.0)],
+            ))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CampaignError::DuplicateTraceLabel("gzip".to_string()));
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn duplicate_policies_are_rejected() {
+        let err = CampaignBuilder::new("dup")
+            .policy(PolicyKind::P888)
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CampaignError::DuplicatePolicy("8_8_8".to_string()));
+    }
+
+    #[test]
+    fn adapter_paths_join_duplicate_trace_names_positionally() {
+        // run_grid joins each trace's cells to its own baseline by position,
+        // so even two different traces sharing a name stay correct on the
+        // Experiment/SuiteRunner adapter paths (which skip spec validation).
+        use crate::suite::SuiteRunner;
+        use hc_trace::{KernelKind, WorkloadProfile};
+        let narrow =
+            WorkloadProfile::new("same", vec![(KernelKind::VectorAddU8, 1.0)]).with_trace_len(900);
+        let wide =
+            WorkloadProfile::new("same", vec![(KernelKind::PointerChase, 1.0)]).with_trace_len(900);
+        let suite = SuiteRunner::default().run_profiles(&[narrow, wide], PolicyKind::P888);
+        assert_eq!(suite.per_trace.len(), 2);
+        // Each result's baseline committed the same trace as its stats run —
+        // and the two baselines differ because the traces differ.
+        for r in &suite.per_trace {
+            assert_eq!(r.baseline.committed_uops, r.stats.committed_uops);
+        }
+        assert_ne!(
+            suite.per_trace[0].baseline.cycles, suite.per_trace[1].baseline.cycles,
+            "distinct traces must keep distinct baselines despite the shared name"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_sim_configs() {
+        let mut config = SimConfig::paper_baseline();
+        config.commit_width = 0;
+        let err = CampaignBuilder::new("x")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .config(config)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CampaignError::Config(hc_sim::ConfigError::ZeroFrontendWidth)
+        );
+        assert!(err.to_string().contains("non-zero"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn baseline_policy_cell_reuses_the_memoized_baseline() {
+        let report = CampaignRunner::new().run(&small_spec()).unwrap();
+        assert_eq!(report.baseline_runs, 1);
+        let baseline_cell = report.cell("baseline", "gzip").unwrap();
+        assert_eq!(
+            &baseline_cell.stats,
+            report.baseline_for("gzip").unwrap(),
+            "baseline policy cell must be the shared baseline run"
+        );
+    }
+
+    #[test]
+    fn progress_hook_sees_every_cell() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let runner =
+            CampaignRunner::new().with_progress(move |p| sink.lock().unwrap().push(p.clone()));
+        runner.run(&small_spec()).unwrap();
+        let events = seen.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|p| p.total_cells == 2));
+        assert!(events.iter().any(|p| p.completed_cells == 2));
+    }
+
+    #[test]
+    fn stat_only_campaigns_skip_baselines() {
+        let spec = CampaignBuilder::new("stat")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .trace_len(1_000)
+            .without_baseline()
+            .build()
+            .unwrap();
+        let report = CampaignRunner::new().run(&spec).unwrap();
+        assert_eq!(report.baseline_runs, 0);
+        assert!(report.baselines.is_empty());
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.experiment_results().is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = CampaignRunner::new().run(&small_spec()).unwrap();
+        let decoded = CampaignReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let mut report = CampaignRunner::new().run(&small_spec()).unwrap();
+        report.schema_version = CAMPAIGN_SCHEMA_VERSION + 1;
+        let err = CampaignReport::from_json(&report.to_json()).unwrap_err();
+        assert_eq!(
+            err,
+            CampaignError::UnsupportedSchemaVersion {
+                found: CAMPAIGN_SCHEMA_VERSION + 1,
+                supported: CAMPAIGN_SCHEMA_VERSION,
+            }
+        );
+    }
+}

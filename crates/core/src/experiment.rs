@@ -1,19 +1,28 @@
 //! Running one trace under one policy and comparing against the monolithic
 //! baseline — the basic experiment unit behind every figure.
+//!
+//! Since the campaign redesign this is a thin adapter over
+//! [`crate::campaign`]'s grid engine: [`Experiment::run_many`] shares one
+//! baseline simulation across all policies exactly like a
+//! [`crate::campaign::CampaignRunner`] cell row does, and configurations are
+//! validated once, up front, with typed [`ConfigError`]s instead of
+//! `expect`s on the run path.
 
 use crate::policy::PolicyKind;
 use hc_power::{Ed2Comparison, PowerModel};
-use hc_sim::{SimConfig, SimStats, Simulator};
+use hc_sim::{ConfigError, SimConfig, SimStats, Simulator};
 use hc_trace::Trace;
 use serde::{Deserialize, Serialize};
 
 /// The result of running one trace under one policy, with its baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Policy that was evaluated.
     pub policy: String,
     /// Trace name.
     pub trace: String,
+    /// Workload category of the trace (Table 2), if any.
+    pub category: Option<String>,
     /// Statistics of the helper-cluster run.
     pub stats: SimStats,
     /// Statistics of the monolithic baseline run on the same trace.
@@ -37,11 +46,12 @@ impl ExperimentResult {
     }
 }
 
-/// Experiment runner: owns the helper-cluster and baseline configurations.
+/// Experiment runner: owns the validated helper-cluster and baseline
+/// simulators.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    helper_config: SimConfig,
-    baseline_config: SimConfig,
+    helper_sim: Simulator,
+    baseline_sim: Simulator,
 }
 
 impl Default for Experiment {
@@ -53,77 +63,89 @@ impl Default for Experiment {
 impl Experiment {
     /// Create an experiment from the helper-cluster configuration; the
     /// baseline uses the same parameters with the helper cluster removed.
-    pub fn new(helper_config: SimConfig) -> Experiment {
+    ///
+    /// Both configurations are validated here, so every later run is
+    /// infallible.  Returns the typed [`ConfigError`] describing the first
+    /// problem found.
+    pub fn try_new(helper_config: SimConfig) -> Result<Experiment, ConfigError> {
         let baseline_config = SimConfig {
             helper_enabled: false,
             ..helper_config.clone()
         };
-        Experiment {
-            helper_config,
-            baseline_config,
+        Ok(Experiment {
+            helper_sim: Simulator::new(helper_config)?,
+            baseline_sim: Simulator::new(baseline_config)?,
+        })
+    }
+
+    /// Like [`Experiment::try_new`], but panics on an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the configuration is
+    /// rejected; use [`Experiment::try_new`] to handle it.
+    pub fn new(helper_config: SimConfig) -> Experiment {
+        match Experiment::try_new(helper_config) {
+            Ok(e) => e,
+            Err(e) => panic!("invalid experiment configuration: {e}"),
         }
     }
 
     /// The helper-cluster configuration.
     pub fn helper_config(&self) -> &SimConfig {
-        &self.helper_config
+        self.helper_sim.config()
+    }
+
+    /// The monolithic-baseline configuration (helper cluster removed).
+    pub fn baseline_config(&self) -> &SimConfig {
+        self.baseline_sim.config()
     }
 
     /// Run the monolithic baseline on a trace.
     pub fn run_baseline(&self, trace: &Trace) -> SimStats {
-        let sim = Simulator::new(self.baseline_config.clone())
-            .expect("baseline configuration is valid by construction");
         let mut policy = PolicyKind::Baseline.build();
-        sim.run(trace, policy.as_mut())
+        self.baseline_sim.run(trace, policy.as_mut())
     }
 
     /// Run one policy on a trace (no baseline comparison).
     pub fn run_policy(&self, trace: &Trace, kind: PolicyKind) -> SimStats {
-        let config = if kind == PolicyKind::Baseline {
-            self.baseline_config.clone()
+        self.run_policy_warmed(trace, kind, 0)
+    }
+
+    /// Run one policy on a trace after `warmup_runs` unmeasured priming runs
+    /// that keep the same policy instance (and so its predictors) warm.
+    pub fn run_policy_warmed(
+        &self,
+        trace: &Trace,
+        kind: PolicyKind,
+        warmup_runs: usize,
+    ) -> SimStats {
+        let sim = if kind == PolicyKind::Baseline {
+            &self.baseline_sim
         } else {
-            self.helper_config.clone()
+            &self.helper_sim
         };
-        let sim = Simulator::new(config).expect("configuration is valid by construction");
         let mut policy = kind.build();
+        if kind != PolicyKind::Baseline {
+            for _ in 0..warmup_runs {
+                sim.run(trace, policy.as_mut());
+            }
+        }
         sim.run(trace, policy.as_mut())
     }
 
     /// Run one policy and the baseline on the same trace.
     pub fn run(&self, trace: &Trace, kind: PolicyKind) -> ExperimentResult {
-        let baseline = self.run_baseline(trace);
-        let stats = if kind == PolicyKind::Baseline {
-            baseline.clone()
-        } else {
-            self.run_policy(trace, kind)
-        };
-        ExperimentResult {
-            policy: kind.name().to_string(),
-            trace: trace.name.clone(),
-            stats,
-            baseline,
-        }
+        self.run_many(trace, &[kind])
+            .pop()
+            .expect("one policy in, one result out")
     }
 
-    /// Run a set of policies against one trace, reusing one baseline run.
+    /// Run a set of policies against one trace, reusing one baseline run —
+    /// the single-trace row of a campaign grid.
     pub fn run_many(&self, trace: &Trace, kinds: &[PolicyKind]) -> Vec<ExperimentResult> {
-        let baseline = self.run_baseline(trace);
-        kinds
-            .iter()
-            .map(|&kind| {
-                let stats = if kind == PolicyKind::Baseline {
-                    baseline.clone()
-                } else {
-                    self.run_policy(trace, kind)
-                };
-                ExperimentResult {
-                    policy: kind.name().to_string(),
-                    trace: trace.name.clone(),
-                    stats,
-                    baseline: baseline.clone(),
-                }
-            })
-            .collect()
+        crate::campaign::run_grid(self, std::slice::from_ref(trace), kinds, 0, true, None)
+            .into_experiment_results()
     }
 }
 
@@ -167,5 +189,27 @@ mod tests {
         let cmp = r.ed2();
         assert!(cmp.baseline_ed2 > 0.0);
         assert!(cmp.candidate_ed2 > 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_produce_typed_errors() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.rob_entries = 1;
+        let err = Experiment::try_new(cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::RobSmallerThanCommitGroup { rob_entries: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn warmup_runs_keep_results_deterministic() {
+        let e = Experiment::default();
+        let t = trace();
+        let a = e.run_policy_warmed(&t, PolicyKind::P888, 1);
+        let b = e.run_policy_warmed(&t, PolicyKind::P888, 1);
+        assert_eq!(a, b);
+        // A warmed predictor must not lose µops.
+        assert_eq!(a.committed_uops, 4_000);
     }
 }

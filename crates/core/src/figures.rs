@@ -5,8 +5,13 @@
 //! `reproduce` binary, the Criterion benches and EXPERIMENTS.md all share one
 //! code path.  The default `trace_len` values are sized for minutes-not-hours
 //! runs; pass larger values for higher-fidelity numbers.
+//!
+//! Every figure that simulates does so through one [`crate::campaign`] grid,
+//! so each trace's monolithic baseline is simulated exactly once per figure
+//! regardless of how many policies the figure compares.  Figures 1, 11 and
+//! 13 are pure trace characterisation and do not simulate at all.
 
-use crate::experiment::Experiment;
+use crate::campaign::{CampaignBuilder, CampaignReport, CampaignRunner};
 use crate::policy::PolicyKind;
 use crate::suite::SuiteRunner;
 use hc_trace::{reduced_suite, stats as tstats, SpecBenchmark, WorkloadCategory};
@@ -74,6 +79,62 @@ fn spec_traces(trace_len: usize) -> Vec<(SpecBenchmark, hc_trace::Trace)> {
         .collect()
 }
 
+/// Run one SPEC-suite campaign for a figure.  `with_baseline` decides whether
+/// the monolithic baseline is simulated (only needed for speedup figures).
+fn spec_campaign(
+    id: &str,
+    kinds: &[PolicyKind],
+    trace_len: usize,
+    with_baseline: bool,
+) -> CampaignReport {
+    let mut builder = CampaignBuilder::new(id)
+        .policies(kinds.iter().copied())
+        .spec_suite()
+        .trace_len(trace_len);
+    if !with_baseline {
+        builder = builder.without_baseline();
+    }
+    let spec = builder.build().expect("figure campaign specs are valid");
+    CampaignRunner::new()
+        .run(&spec)
+        .expect("figure campaign specs are valid")
+}
+
+/// Turn a campaign over the SPEC suite into per-benchmark rows: one row per
+/// trace in spec order, with one value per policy derived by `value`.
+fn rows_from_campaign(
+    report: &CampaignReport,
+    kinds: &[PolicyKind],
+    value: impl Fn(&crate::campaign::CampaignCell, &CampaignReport) -> Vec<f64>,
+) -> Vec<FigureRow> {
+    report
+        .spec
+        .traces
+        .iter()
+        .map(|selector| {
+            let label = selector.label(report.spec.trace_len);
+            let values = kinds
+                .iter()
+                .flat_map(|k| {
+                    let cell = report
+                        .cell(k.name(), &label)
+                        .expect("campaign grid covers every (policy, trace) cell");
+                    value(cell, report)
+                })
+                .collect();
+            FigureRow { label, values }
+        })
+        .collect()
+}
+
+/// Performance increase of a cell over its trace's shared baseline.
+fn perf_increase(cell: &crate::campaign::CampaignCell, report: &CampaignReport) -> f64 {
+    let baseline = report
+        .baseline_for(&cell.trace)
+        .expect("speedup campaigns include baselines");
+    (cell.stats.speedup_over(baseline) - 1.0) * 100.0
+}
+
 /// **Figure 1** — percentage of register operands that are narrow
 /// data-width dependent, per SPEC Int 2000 benchmark.
 pub fn fig1(trace_len: usize) -> Figure {
@@ -96,25 +157,20 @@ pub fn fig1(trace_len: usize) -> Figure {
 /// **Figure 5** — width prediction accuracy: correct / non-fatal / fatal, per
 /// benchmark, under the 8_8_8 policy.
 pub fn fig5(trace_len: usize) -> Figure {
-    let exp = Experiment::default();
-    let rows = spec_traces(trace_len)
-        .into_par_iter()
-        .map(|(b, t)| {
-            let stats = exp.run_policy(&t, PolicyKind::P888);
-            let total = (stats.correct_width_predictions
-                + stats.fatal_width_mispredicts
-                + stats.nonfatal_width_mispredicts)
-                .max(1) as f64;
-            FigureRow {
-                label: b.name().to_string(),
-                values: vec![
-                    stats.correct_width_predictions as f64 / total * 100.0,
-                    stats.nonfatal_width_mispredicts as f64 / total * 100.0,
-                    stats.fatal_width_mispredicts as f64 / total * 100.0,
-                ],
-            }
-        })
-        .collect();
+    let kinds = [PolicyKind::P888];
+    let report = spec_campaign("fig5", &kinds, trace_len, false);
+    let rows = rows_from_campaign(&report, &kinds, |cell, _| {
+        let stats = &cell.stats;
+        let total = (stats.correct_width_predictions
+            + stats.fatal_width_mispredicts
+            + stats.nonfatal_width_mispredicts)
+            .max(1) as f64;
+        vec![
+            stats.correct_width_predictions as f64 / total * 100.0,
+            stats.nonfatal_width_mispredicts as f64 / total * 100.0,
+            stats.fatal_width_mispredicts as f64 / total * 100.0,
+        ]
+    });
     Figure {
         id: "fig5".into(),
         title: "Width prediction accuracy (%)".into(),
@@ -129,17 +185,11 @@ pub fn fig5(trace_len: usize) -> Figure {
 }
 
 fn speedup_figure(id: &str, title: &str, kind: PolicyKind, trace_len: usize) -> Figure {
-    let exp = Experiment::default();
-    let rows = spec_traces(trace_len)
-        .into_par_iter()
-        .map(|(b, t)| {
-            let r = exp.run(&t, kind);
-            FigureRow {
-                label: b.name().to_string(),
-                values: vec![r.performance_increase_pct()],
-            }
-        })
-        .collect();
+    let kinds = [kind];
+    let report = spec_campaign(id, &kinds, trace_len, true);
+    let rows = rows_from_campaign(&report, &kinds, |cell, report| {
+        vec![perf_increase(cell, report)]
+    });
     Figure {
         id: id.into(),
         title: title.into(),
@@ -152,23 +202,25 @@ fn speedup_figure(id: &str, title: &str, kind: PolicyKind, trace_len: usize) -> 
 /// **Figure 6** — performance increase of the 8_8_8 scheme over the monolithic
 /// baseline, per benchmark.
 pub fn fig6(trace_len: usize) -> Figure {
-    speedup_figure("fig6", "Performance of 8_8_8 scheme (%)", PolicyKind::P888, trace_len)
+    speedup_figure(
+        "fig6",
+        "Performance of 8_8_8 scheme (%)",
+        PolicyKind::P888,
+        trace_len,
+    )
 }
 
 /// **Figure 7** — percentage of instructions steered to the helper cluster and
 /// percentage of inter-cluster copies, under 8_8_8.
 pub fn fig7(trace_len: usize) -> Figure {
-    let exp = Experiment::default();
-    let rows = spec_traces(trace_len)
-        .into_par_iter()
-        .map(|(b, t)| {
-            let stats = exp.run_policy(&t, PolicyKind::P888);
-            FigureRow {
-                label: b.name().to_string(),
-                values: vec![stats.helper_fraction() * 100.0, stats.copy_fraction() * 100.0],
-            }
-        })
-        .collect();
+    let kinds = [PolicyKind::P888];
+    let report = spec_campaign("fig7", &kinds, trace_len, false);
+    let rows = rows_from_campaign(&report, &kinds, |cell, _| {
+        vec![
+            cell.stats.helper_fraction() * 100.0,
+            cell.stats.copy_fraction() * 100.0,
+        ]
+    });
     Figure {
         id: "fig7".into(),
         title: "Helper-cluster instructions and copies under 8_8_8 (%)".into(),
@@ -180,24 +232,17 @@ pub fn fig7(trace_len: usize) -> Figure {
 
 /// Copy percentage per benchmark for a set of policies (Figures 8 and 9).
 fn copy_figure(id: &str, title: &str, kinds: &[PolicyKind], trace_len: usize) -> Figure {
-    let exp = Experiment::default();
-    let rows = spec_traces(trace_len)
-        .into_par_iter()
-        .map(|(b, t)| {
-            let values = kinds
-                .iter()
-                .map(|&k| exp.run_policy(&t, k).copy_fraction() * 100.0)
-                .collect();
-            FigureRow {
-                label: b.name().to_string(),
-                values,
-            }
-        })
-        .collect();
+    let report = spec_campaign(id, kinds, trace_len, false);
+    let rows = rows_from_campaign(&report, kinds, |cell, _| {
+        vec![cell.stats.copy_fraction() * 100.0]
+    });
     Figure {
         id: id.into(),
         title: title.into(),
-        series: kinds.iter().map(|k| format!("{} copies %", k.name())).collect(),
+        series: kinds
+            .iter()
+            .map(|k| format!("{} copies %", k.name()))
+            .collect(),
         rows,
     }
     .with_avg()
@@ -247,18 +292,11 @@ pub fn fig11(trace_len: usize) -> Figure {
 
 /// **Figure 12** — performance of the CR scheme (8_8_8 vs 8_8_8+BR+LR+CR).
 pub fn fig12(trace_len: usize) -> Figure {
-    let exp = Experiment::default();
     let kinds = [PolicyKind::P888, PolicyKind::P888BrLrCr];
-    let rows = spec_traces(trace_len)
-        .into_par_iter()
-        .map(|(b, t)| {
-            let rs = exp.run_many(&t, &kinds);
-            FigureRow {
-                label: b.name().to_string(),
-                values: rs.iter().map(|r| r.performance_increase_pct()).collect(),
-            }
-        })
-        .collect();
+    let report = spec_campaign("fig12", &kinds, trace_len, true);
+    let rows = rows_from_campaign(&report, &kinds, |cell, report| {
+        vec![perf_increase(cell, report)]
+    });
     Figure {
         id: "fig12".into(),
         title: "Performance of the Carry Not Propagated (CR) scheme (%)".into(),
@@ -293,17 +331,43 @@ pub fn fig13(trace_len: usize) -> Figure {
 /// workload category.  `apps_per_category` bounds run time; the paper used
 /// every trace in Table 2.
 pub fn fig14_categories(apps_per_category: usize, trace_len: usize) -> Figure {
-    let runner = SuiteRunner::default();
+    // One campaign over every (category, app) pair; cells are grouped by
+    // category afterwards, so each trace's baseline still runs exactly once.
+    let mut builder = CampaignBuilder::new("fig14")
+        .policy(PolicyKind::Ir)
+        .trace_len(trace_len);
+    for cat in WorkloadCategory::ALL {
+        for app in 0..apps_per_category.min(cat.trace_count()) {
+            builder = builder.category_app(cat, app);
+        }
+    }
+    // `apps_per_category == 0` selects no traces at all; degrade to empty
+    // per-category rows (as the seed did) instead of panicking on NoTraces.
+    let results = if apps_per_category == 0 {
+        Vec::new()
+    } else {
+        let spec = builder.build().expect("figure campaign specs are valid");
+        CampaignRunner::new()
+            .run(&spec)
+            .expect("figure campaign specs are valid")
+            .experiment_results()
+    };
     let rows: Vec<FigureRow> = WorkloadCategory::ALL
-        .par_iter()
+        .iter()
         .map(|cat| {
-            let profiles: Vec<_> = (0..apps_per_category.min(cat.trace_count()))
-                .map(|i| cat.app_profile(i, trace_len))
+            let speedups: Vec<f64> = results
+                .iter()
+                .filter(|r| r.category.as_deref() == Some(cat.abbrev()))
+                .map(|r| r.speedup())
                 .collect();
-            let result = runner.run_profiles(&profiles, PolicyKind::Ir);
+            let mean = if speedups.is_empty() {
+                1.0
+            } else {
+                speedups.iter().sum::<f64>() / speedups.len() as f64
+            };
             FigureRow {
                 label: cat.abbrev().to_string(),
-                values: vec![result.mean_performance_increase_pct()],
+                values: vec![(mean - 1.0) * 100.0],
             }
         })
         .collect();
@@ -327,8 +391,10 @@ pub fn fig14_curve(apps_per_category: usize, trace_len: usize) -> Vec<f64> {
 
 /// The §3.2–§3.7 headline numbers: per policy, the SPEC-average helper
 /// fraction, copy fraction, speedup and imbalance.
+///
+/// One 7-policy × 12-trace campaign: the twelve baselines are simulated once
+/// and shared across all seven policies.
 pub fn headline(trace_len: usize) -> Figure {
-    let exp = Experiment::default();
     let kinds = [
         PolicyKind::P888,
         PolicyKind::P888Br,
@@ -338,14 +404,14 @@ pub fn headline(trace_len: usize) -> Figure {
         PolicyKind::Ir,
         PolicyKind::IrNoDest,
     ];
-    let traces = spec_traces(trace_len);
+    let report = spec_campaign("headline", &kinds, trace_len, true);
     let rows = kinds
-        .par_iter()
+        .iter()
         .map(|&kind| {
-            let results: Vec<_> = traces.iter().map(|(_, t)| exp.run(t, kind)).collect();
+            let results = report.results_for_policy(kind.name());
             let n = results.len() as f64;
             let mean = |f: &dyn Fn(&crate::experiment::ExperimentResult) -> f64| {
-                results.iter().map(|r| f(r)).sum::<f64>() / n
+                results.iter().map(f).sum::<f64>() / n
             };
             FigureRow {
                 label: kind.name().to_string(),
@@ -400,13 +466,22 @@ pub fn table1() -> Vec<(String, String)> {
         ),
         (
             "Integer Execution".into(),
-            format!("{} entry scheduler, {} issue", c.int_iq_entries, c.int_issue_width),
+            format!(
+                "{} entry scheduler, {} issue",
+                c.int_iq_entries, c.int_issue_width
+            ),
         ),
         (
             "Fp Execution".into(),
-            format!("{} entry scheduler, {} issue", c.fp_iq_entries, c.fp_issue_width),
+            format!(
+                "{} entry scheduler, {} issue",
+                c.fp_iq_entries, c.fp_issue_width
+            ),
         ),
-        ("Commit Width".into(), format!("{} instructions", c.commit_width)),
+        (
+            "Commit Width".into(),
+            format!("{} instructions", c.commit_width),
+        ),
         ("Main Memory".into(), format!("{} cycles", c.memory_latency)),
         (
             "Helper Cluster".into(),
@@ -422,7 +497,13 @@ pub fn table1() -> Vec<(String, String)> {
 pub fn table2() -> Vec<(String, usize, String)> {
     WorkloadCategory::ALL
         .iter()
-        .map(|c| (c.abbrev().to_string(), c.trace_count(), c.description().to_string()))
+        .map(|c| {
+            (
+                c.abbrev().to_string(),
+                c.trace_count(),
+                c.description().to_string(),
+            )
+        })
         .collect()
 }
 
@@ -467,8 +548,12 @@ mod tests {
     #[test]
     fn table1_lists_table_contents() {
         let t = table1();
-        assert!(t.iter().any(|(k, v)| k.contains("DL0") && v.contains("32KB")));
-        assert!(t.iter().any(|(k, v)| k.contains("Main Memory") && v.contains("450")));
+        assert!(t
+            .iter()
+            .any(|(k, v)| k.contains("DL0") && v.contains("32KB")));
+        assert!(t
+            .iter()
+            .any(|(k, v)| k.contains("Main Memory") && v.contains("450")));
     }
 
     #[test]

@@ -7,32 +7,46 @@
 //!
 //! * [`policy`] — the composable steering stack (8_8_8, BR, LR, CR, CP, IR,
 //!   IR-ND) and the [`policy::PolicyKind`] catalogue.
+//! * [`campaign`] — declarative policy × trace grids with shared baselines,
+//!   typed errors and a versioned results schema; the engine everything else
+//!   runs on.
 //! * [`experiment`] — run one trace under one policy against the monolithic
-//!   baseline.
-//! * [`suite`] — run the SPEC stand-ins or the Table 2 categories in parallel.
+//!   baseline (adapter over [`campaign`]).
+//! * [`suite`] — run the SPEC stand-ins or the Table 2 categories in parallel
+//!   (adapter over [`campaign`]).
 //! * [`figures`] — regenerate every figure and table of the evaluation section.
-//! * [`report`] — Markdown / CSV rendering of the reproduced figures.
+//! * [`report`] — Markdown / CSV rendering of figures and campaign reports.
 //!
 //! ```
-//! use hc_core::experiment::Experiment;
+//! use hc_core::campaign::{CampaignBuilder, CampaignRunner};
 //! use hc_core::policy::PolicyKind;
 //! use hc_trace::SpecBenchmark;
 //!
-//! let trace = SpecBenchmark::Gzip.trace(2_000);
-//! let result = Experiment::default().run(&trace, PolicyKind::P888);
-//! println!("{}: {:.1}% faster than the monolithic baseline",
-//!          result.policy, result.performance_increase_pct());
+//! let spec = CampaignBuilder::new("demo")
+//!     .policy(PolicyKind::P888)
+//!     .spec(SpecBenchmark::Gzip)
+//!     .trace_len(2_000)
+//!     .build()
+//!     .expect("valid campaign");
+//! let report = CampaignRunner::new().run(&spec).expect("campaign runs");
+//! let speedup = report.mean_speedup("8_8_8").expect("policy in grid");
+//! println!("8_8_8: {:.1}% vs the monolithic baseline", (speedup - 1.0) * 100.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiment;
 pub mod figures;
 pub mod policy;
 pub mod report;
 pub mod suite;
 
+pub use campaign::{
+    CampaignBuilder, CampaignError, CampaignProgress, CampaignReport, CampaignRunner, CampaignSpec,
+    TraceSelector, CAMPAIGN_SCHEMA_VERSION,
+};
 pub use experiment::{Experiment, ExperimentResult};
 pub use figures::{Figure, FigureRow};
 pub use policy::{PolicyKind, SteeringFeatures, SteeringStack};

@@ -586,9 +586,8 @@ mod tests {
     #[test]
     fn br_follows_helper_flag_producer() {
         let mut s = SteeringStack::new(PolicyKind::P888Br.features());
-        let br = DynUop::from_uop(
-            Uop::new(0x20, UopKind::CondBranch(BranchCond::Ne)).reading_flags(),
-        );
+        let br =
+            DynUop::from_uop(Uop::new(0x20, UopKind::CondBranch(BranchCond::Ne)).reading_flags());
         let mut ctx = ctx_with_sources(&[]);
         ctx.flags_producer = Some(Cluster::Helper);
         let d = s.steer(&br, &ctx);
@@ -604,9 +603,8 @@ mod tests {
     #[test]
     fn br_ignores_wide_flag_producers() {
         let mut s = SteeringStack::new(PolicyKind::P888Br.features());
-        let br = DynUop::from_uop(
-            Uop::new(0x20, UopKind::CondBranch(BranchCond::Ne)).reading_flags(),
-        );
+        let br =
+            DynUop::from_uop(Uop::new(0x20, UopKind::CondBranch(BranchCond::Ne)).reading_flags());
         let mut ctx = ctx_with_sources(&[]);
         ctx.flags_producer = Some(Cluster::Wide);
         assert_eq!(s.steer(&br, &ctx).cluster, Cluster::Wide);
@@ -728,7 +726,10 @@ mod tests {
         assert!(!s.steer(&uop, &ctx).split);
         ctx.wide_to_narrow_imbalance = 0.5;
         ctx.helper_iq_occupancy = 31;
-        assert!(!s.steer(&uop, &ctx).split, "full helper IQ blocks splitting");
+        assert!(
+            !s.steer(&uop, &ctx).split,
+            "full helper IQ blocks splitting"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Rendering figures and tables as Markdown / CSV for reports and
-//! EXPERIMENTS.md.
+//! Rendering figures, tables and campaign reports as Markdown / CSV.
 
+use crate::campaign::CampaignReport;
 use crate::figures::Figure;
 
 /// Render a [`Figure`] as a GitHub-flavoured Markdown table.
@@ -42,6 +42,102 @@ pub fn figure_to_csv(fig: &Figure) -> String {
             out.push_str(&format!(",{v:.4}"));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Stable CSV column order for campaign reports.  Appending columns is a
+/// compatible change; reordering or renaming requires a schema-version bump.
+pub const CAMPAIGN_CSV_COLUMNS: [&str; 12] = [
+    "policy",
+    "trace",
+    "category",
+    "cycles",
+    "committed_uops",
+    "helper_uops",
+    "wide_uops",
+    "copy_uops",
+    "split_uops",
+    "baseline_cycles",
+    "speedup",
+    "perf_increase_pct",
+];
+
+/// Quote a CSV field per RFC 4180 when it contains a comma, quote or
+/// newline (policy/trace/category names are arbitrary user strings).
+fn csv_field(value: &str) -> String {
+    if value.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Render every cell of a [`CampaignReport`] as CSV with the stable
+/// [`CAMPAIGN_CSV_COLUMNS`] header.  Baseline-less campaigns leave the
+/// baseline-derived columns empty.
+pub fn campaign_to_csv(report: &CampaignReport) -> String {
+    let mut out = CAMPAIGN_CSV_COLUMNS.join(",");
+    out.push('\n');
+    for cell in &report.cells {
+        let s = &cell.stats;
+        let baseline = report.baseline_for(&cell.trace);
+        let (baseline_cycles, speedup, pct) = match baseline {
+            Some(b) => {
+                let speedup = s.speedup_over(b);
+                (
+                    b.cycles.to_string(),
+                    format!("{speedup:.6}"),
+                    format!("{:.4}", (speedup - 1.0) * 100.0),
+                )
+            }
+            None => (String::new(), String::new(), String::new()),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            csv_field(&cell.policy),
+            csv_field(&cell.trace),
+            csv_field(cell.category.as_deref().unwrap_or("")),
+            s.cycles,
+            s.committed_uops,
+            s.helper_uops,
+            s.wide_uops,
+            s.copy_uops,
+            s.split_uops,
+            baseline_cycles,
+            speedup,
+            pct,
+        ));
+    }
+    out
+}
+
+/// Render a [`CampaignReport`] as a Markdown summary: one row per policy with
+/// its grid-mean speedup, plus the memoization accounting.
+pub fn campaign_to_markdown(report: &CampaignReport) -> String {
+    let mut out = format!(
+        "### campaign `{}` — {} policies × {} traces (schema v{})\n\n",
+        report.name,
+        report.spec.policies.len(),
+        report.spec.traces.len(),
+        report.schema_version
+    );
+    out.push_str(&format!(
+        "{} cells simulated; {} monolithic baseline runs (shared across policies)\n\n",
+        report.cells.len(),
+        report.baseline_runs
+    ));
+    out.push_str("| policy | mean speedup | mean perf increase |\n|---|---|---|\n");
+    for kind in &report.spec.policies {
+        match report.mean_speedup(kind.name()) {
+            Some(speedup) => out.push_str(&format!(
+                "| {} | {:.4} | {:+.2}% |\n",
+                kind.name(),
+                speedup,
+                (speedup - 1.0) * 100.0
+            )),
+            None => out.push_str(&format!("| {} | n/a | n/a |\n", kind.name())),
+        }
     }
     out
 }
@@ -101,5 +197,40 @@ mod tests {
             &[("Commit Width".into(), "6 instructions".into())],
         );
         assert!(md.contains("| Commit Width | 6 instructions |"));
+    }
+
+    #[test]
+    fn campaign_csv_quotes_hostile_names() {
+        use crate::campaign::{CampaignBuilder, CampaignCell, CAMPAIGN_SCHEMA_VERSION};
+        use crate::policy::PolicyKind;
+        use hc_sim::SimStats;
+        use hc_trace::SpecBenchmark;
+
+        let spec = CampaignBuilder::new("csv")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .trace_len(100)
+            .without_baseline()
+            .build()
+            .unwrap();
+        let report = CampaignReport {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            name: "csv".into(),
+            spec,
+            baselines: Vec::new(),
+            cells: vec![CampaignCell {
+                policy: "8_8_8".into(),
+                trace: "my,weird\n\"trace\"".into(),
+                category: None,
+                stats: SimStats::default(),
+            }],
+            baseline_runs: 0,
+        };
+        let csv = campaign_to_csv(&report);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(CAMPAIGN_CSV_COLUMNS.join(",").as_str()));
+        // RFC 4180: the field is quoted, embedded quotes doubled; the
+        // embedded newline stays inside the quoted field.
+        assert!(csv.contains("8_8_8,\"my,weird\n\"\"trace\"\"\","));
     }
 }

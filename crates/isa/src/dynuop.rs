@@ -93,8 +93,8 @@ impl DynUop {
         };
         let srcs = self.source_values();
         let wide: Vec<&Value> = srcs.iter().filter(|v| !v.is_narrow()).collect();
-        let has_narrow_side =
-            srcs.iter().any(|v| v.is_narrow()) || self.uop.imm.map(|v| v.is_narrow()).unwrap_or(false);
+        let has_narrow_side = srcs.iter().any(|v| v.is_narrow())
+            || self.uop.imm.map(|v| v.is_narrow()).unwrap_or(false);
         wide.len() == 1 && has_narrow_side && wide[0].upper_bits() == result.upper_bits()
     }
 }

@@ -49,7 +49,7 @@ impl Flags {
             sf: result.bits() & 0x8000_0000 != 0,
             cf,
             of,
-            pf: (result.low_byte().count_ones() % 2) == 0,
+            pf: result.low_byte().count_ones().is_multiple_of(2),
         }
     }
 

@@ -99,7 +99,10 @@ impl ArchReg {
     /// Address-holding registers are a strong hint for wide values; the
     /// workload generator uses this to produce realistic value distributions.
     pub fn is_pointer_like(self) -> bool {
-        matches!(self, ArchReg::Esp | ArchReg::Ebp | ArchReg::Esi | ArchReg::Edi)
+        matches!(
+            self,
+            ArchReg::Esp | ArchReg::Ebp | ArchReg::Esi | ArchReg::Edi
+        )
     }
 }
 

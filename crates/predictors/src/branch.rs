@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 /// 2-bit saturating direction counter states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(clippy::enum_variant_names)] // the canonical 2-bit counter state names
 enum Dir {
     StrongNotTaken,
     WeakNotTaken,

@@ -230,7 +230,10 @@ mod tests {
     fn aliasing_entries_share_state() {
         let mut p = WidthPredictor::new(1, false);
         p.update(0, true);
-        assert!(p.predict(12345).narrow, "single-entry table aliases all PCs");
+        assert!(
+            p.predict(12345).narrow,
+            "single-entry table aliases all PCs"
+        );
     }
 
     #[test]

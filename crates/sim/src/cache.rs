@@ -51,7 +51,10 @@ impl SetAssocCache {
 
     fn index_and_tag(&self, addr: u32) -> (usize, u32) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Access the cache; returns `true` on hit.  Misses allocate the line.
@@ -162,7 +165,7 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_way() {
         let mut c = small_cache(); // 8 sets, 2 ways, 64B lines
-        // Three addresses mapping to the same set (stride = sets*line = 512).
+                                   // Three addresses mapping to the same set (stride = sets*line = 512).
         let a = 0x0000;
         let b = 0x0200;
         let d = 0x0400;

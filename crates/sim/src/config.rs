@@ -1,7 +1,55 @@
 //! Simulator configuration — Table 1 of the paper plus the helper-cluster
-//! parameters of §2.
+//! parameters of §2 — and the typed [`ConfigError`] produced when a
+//! configuration is rejected.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`SimConfig`] was rejected by [`SimConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// One of `fetch_width`, `rename_width` or `commit_width` is zero.
+    ZeroFrontendWidth,
+    /// The reorder buffer cannot hold one full commit group.
+    RobSmallerThanCommitGroup {
+        /// Configured ROB entries.
+        rob_entries: usize,
+        /// Configured commit width.
+        commit_width: usize,
+    },
+    /// A cache line size is not a power of two.
+    CacheLineNotPowerOfTwo {
+        /// Offending line size in bytes.
+        line_bytes: u32,
+    },
+    /// The helper cluster is enabled with a clock ratio of zero.
+    ZeroHelperClockRatio,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroFrontendWidth => {
+                write!(f, "frontend/commit widths must be non-zero")
+            }
+            ConfigError::RobSmallerThanCommitGroup {
+                rob_entries,
+                commit_width,
+            } => write!(
+                f,
+                "ROB must hold at least one commit group ({rob_entries} entries < commit width {commit_width})"
+            ),
+            ConfigError::CacheLineNotPowerOfTwo { line_bytes } => {
+                write!(f, "cache line sizes must be powers of two (got {line_bytes})")
+            }
+            ConfigError::ZeroHelperClockRatio => {
+                write!(f, "helper clock ratio must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Cache geometry and latency for one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -137,18 +185,25 @@ impl SimConfig {
     }
 
     /// Basic sanity validation.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.commit_width == 0 || self.rename_width == 0 || self.fetch_width == 0 {
-            return Err("frontend/commit widths must be non-zero".into());
+            return Err(ConfigError::ZeroFrontendWidth);
         }
         if self.rob_entries < self.commit_width {
-            return Err("ROB must hold at least one commit group".into());
+            return Err(ConfigError::RobSmallerThanCommitGroup {
+                rob_entries: self.rob_entries,
+                commit_width: self.commit_width,
+            });
         }
-        if !self.dl0.line_bytes.is_power_of_two() || !self.ul1.line_bytes.is_power_of_two() {
-            return Err("cache line sizes must be powers of two".into());
+        for cache in [&self.dl0, &self.ul1] {
+            if !cache.line_bytes.is_power_of_two() {
+                return Err(ConfigError::CacheLineNotPowerOfTwo {
+                    line_bytes: cache.line_bytes,
+                });
+            }
         }
         if self.helper_enabled && self.helper_clock_ratio == 0 {
-            return Err("helper clock ratio must be at least 1".into());
+            return Err(ConfigError::ZeroHelperClockRatio);
         }
         Ok(())
     }
@@ -213,14 +268,33 @@ mod tests {
     fn validation_rejects_nonsense() {
         let mut c = SimConfig::paper_baseline();
         c.commit_width = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroFrontendWidth));
 
         let mut c = SimConfig::paper_baseline();
         c.dl0.line_bytes = 48;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CacheLineNotPowerOfTwo { line_bytes: 48 })
+        );
 
         let mut c = SimConfig::paper_baseline();
         c.rob_entries = 2;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::RobSmallerThanCommitGroup {
+                rob_entries: 2,
+                commit_width: 6
+            })
+        );
+
+        let mut c = SimConfig::paper_baseline();
+        c.helper_clock_ratio = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroHelperClockRatio));
+    }
+
+    #[test]
+    fn config_errors_display_and_implement_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroHelperClockRatio);
+        assert!(e.to_string().contains("clock ratio"));
     }
 }

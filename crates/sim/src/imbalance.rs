@@ -141,7 +141,10 @@ mod tests {
             a.record(0, 3, 0, 3, 4); // balanced now
         }
         let late = a.recent_wide_to_narrow();
-        assert!(late < early, "recent estimate should track recent behaviour");
+        assert!(
+            late < early,
+            "recent estimate should track recent behaviour"
+        );
         // Whole-run stats still remember the early imbalance.
         assert!(a.stats().wide_to_narrow > 0.0);
     }

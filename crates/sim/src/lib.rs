@@ -22,11 +22,11 @@ pub mod stats;
 pub mod steer;
 
 pub use cache::{MemoryHierarchy, SetAssocCache};
-pub use config::{CacheConfig, SimConfig};
+pub use config::{CacheConfig, ConfigError, SimConfig};
 pub use imbalance::NReadyAccumulator;
 pub use pipeline::Simulator;
 pub use stats::{EnergyEvents, ImbalanceStats, SimStats};
 pub use steer::{
-    AlwaysWide, Cluster, HelperMode, SteerContext, SteerDecision, SteeringPolicy, SourceWidthInfo,
+    AlwaysWide, Cluster, HelperMode, SourceWidthInfo, SteerContext, SteerDecision, SteeringPolicy,
     WritebackInfo,
 };

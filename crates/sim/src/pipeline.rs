@@ -26,14 +26,14 @@
 //! * the NREADY imbalance metric and energy event counting.
 
 use crate::cache::MemoryHierarchy;
-use crate::config::SimConfig;
+use crate::config::{ConfigError, SimConfig};
 use crate::imbalance::NReadyAccumulator;
 use crate::rob::{Inflight, Role, Seq, UopState};
+use crate::stats::SimStats;
 use crate::steer::{
-    Cluster, HelperMode, SteerContext, SteerDecision, SteeringPolicy, SourceWidthInfo,
+    Cluster, HelperMode, SourceWidthInfo, SteerContext, SteerDecision, SteeringPolicy,
     WritebackInfo,
 };
-use crate::stats::SimStats;
 use hc_isa::reg::{ArchReg, NUM_ARCH_REGS};
 use hc_isa::uop::{Uop, UopKind};
 use hc_isa::DynUop;
@@ -53,7 +53,7 @@ pub struct Simulator {
 
 impl Simulator {
     /// Create a simulator after validating the configuration.
-    pub fn new(config: SimConfig) -> Result<Simulator, String> {
+    pub fn new(config: SimConfig) -> Result<Simulator, ConfigError> {
         config.validate()?;
         Ok(Simulator { config })
     }
@@ -124,9 +124,11 @@ struct Machine<'a> {
 
 impl<'a> Machine<'a> {
     fn new(cfg: &'a SimConfig, trace: &'a Trace, policy: &'a mut dyn SteeringPolicy) -> Self {
-        let mut stats = SimStats::default();
-        stats.policy = policy.name().to_string();
-        stats.trace = trace.name.clone();
+        let stats = SimStats {
+            policy: policy.name().to_string(),
+            trace: trace.name.clone(),
+            ..SimStats::default()
+        };
         Machine {
             cfg,
             trace,
@@ -234,9 +236,11 @@ impl<'a> Machine<'a> {
             // Branch-stall release.
             if self.branch_stall == Some(seq) {
                 self.branch_stall = None;
-                self.frontend_stall_until = self
-                    .frontend_stall_until
-                    .max(now + self.cfg.wide_cycles_to_ticks(self.cfg.branch_mispredict_penalty));
+                self.frontend_stall_until = self.frontend_stall_until.max(
+                    now + self
+                        .cfg
+                        .wide_cycles_to_ticks(self.cfg.branch_mispredict_penalty),
+                );
             }
         }
     }
@@ -357,7 +361,11 @@ impl<'a> Machine<'a> {
         if let Some(i) = uop.uop.imm {
             operands.push(i);
         }
-        let wide: Vec<hc_isa::Value> = operands.iter().copied().filter(|v| !v.is_narrow()).collect();
+        let wide: Vec<hc_isa::Value> = operands
+            .iter()
+            .copied()
+            .filter(|v| !v.is_narrow())
+            .collect();
         if wide.len() != 1 {
             return false;
         }
@@ -463,8 +471,7 @@ impl<'a> Machine<'a> {
 
         // Free the rename mapping if this entry is still the current producer.
         if let Some(dst) = uop.uop.dest {
-            if self
-                .rename_map[dst.index()]
+            if self.rename_map[dst.index()]
                 .map(|e| e.seq == seq)
                 .unwrap_or(false)
             {
@@ -472,8 +479,7 @@ impl<'a> Machine<'a> {
             }
             self.arch_loc[dst.index()] = cluster;
             self.arch_replicated[dst.index()] = replicated;
-            self.arch_narrow[dst.index()] =
-                uop.result.map(|v| v.is_narrow()).unwrap_or(false);
+            self.arch_narrow[dst.index()] = uop.result.map(|v| v.is_narrow()).unwrap_or(false);
         }
         if uop.uop.writes_flags {
             if self.flags_map.map(|e| e.seq == seq).unwrap_or(false) {
@@ -669,9 +675,7 @@ impl<'a> Machine<'a> {
 
     fn add_dep(&mut self, consumer: Seq, producer: Seq) {
         let pidx = producer as usize;
-        if self.entries[pidx].state == UopState::Completed
-            || !self.entries[pidx].alive()
-        {
+        if self.entries[pidx].state == UopState::Completed || !self.entries[pidx].alive() {
             return;
         }
         self.entries[consumer as usize].pending_deps.push(producer);
@@ -895,7 +899,7 @@ impl<'a> Machine<'a> {
         // Copy prefetching (CP): eagerly push the result to the other cluster.
         if decision.prefetch_copy && duop.uop.has_dest() && self.cfg.helper_enabled {
             let target = cluster.other();
-            if self.copy_map.get(&(seq, target)).is_none() {
+            if !self.copy_map.contains_key(&(seq, target)) {
                 self.make_copy(seq, target, true);
             }
         }
@@ -1025,9 +1029,7 @@ impl<'a> Machine<'a> {
 
         // Restart fetch at the offending µop after the flush penalty.
         self.next_pos = resteer_pos;
-        self.frontend_stall_until = self
-            .tick
-            .max(self.frontend_stall_until)
+        self.frontend_stall_until = self.tick.max(self.frontend_stall_until)
             + self.cfg.wide_cycles_to_ticks(self.cfg.width_flush_penalty);
     }
 
@@ -1093,7 +1095,10 @@ mod tests {
     fn small_trace(len: usize) -> Trace {
         WorkloadProfile::new(
             "pipe-test",
-            vec![(KernelKind::ByteHistogram, 1.0), (KernelKind::TokenScan, 1.0)],
+            vec![
+                (KernelKind::ByteHistogram, 1.0),
+                (KernelKind::TokenScan, 1.0),
+            ],
         )
         .with_trace_len(len)
         .generate()
@@ -1148,11 +1153,12 @@ mod tests {
             "oracle-888"
         }
         fn steer(&mut self, uop: &DynUop, ctx: &SteerContext) -> SteerDecision {
-            if ctx.helper_available && !ctx.forced_wide && uop.is_all_narrow()
+            if ctx.helper_available
+                && !ctx.forced_wide
+                && uop.is_all_narrow()
                 && !uop.uop.kind.wide_only()
             {
-                SteerDecision::helper(HelperMode::AllNarrow)
-                    .with_dest_prediction(true)
+                SteerDecision::helper(HelperMode::AllNarrow).with_dest_prediction(true)
             } else {
                 SteerDecision::wide()
             }
@@ -1166,7 +1172,10 @@ mod tests {
         let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
         let stats = sim.run(&trace, &mut OracleNarrow);
         assert_eq!(stats.committed_uops, 3_000);
-        assert!(stats.helper_uops > 0, "oracle should steer some µops narrow");
+        assert!(
+            stats.helper_uops > 0,
+            "oracle should steer some µops narrow"
+        );
         assert_eq!(
             stats.fatal_width_mispredicts, 0,
             "oracle decisions can never be fatally wrong"

@@ -88,31 +88,66 @@ impl WorkloadCategory {
         use KernelKind::*;
         match self {
             WorkloadCategory::Encoder => (
-                vec![(FirFilter, 2.5), (VectorAddU8, 2.0), (TableLookup, 1.5), (RleCompress, 1.0)],
+                vec![
+                    (FirFilter, 2.5),
+                    (VectorAddU8, 2.0),
+                    (TableLookup, 1.5),
+                    (RleCompress, 1.0),
+                ],
                 0.75,
             ),
             WorkloadCategory::SpecFp => (
-                vec![(FpStream, 3.5), (WordSum, 2.0), (FirFilter, 1.0), (ByteHistogram, 0.5)],
+                vec![
+                    (FpStream, 3.5),
+                    (WordSum, 2.0),
+                    (FirFilter, 1.0),
+                    (ByteHistogram, 0.5),
+                ],
                 0.45,
             ),
             WorkloadCategory::Kernels => (
-                vec![(VectorAddU8, 3.0), (FirFilter, 2.5), (WordSum, 1.5), (MemcpyBytes, 1.0)],
+                vec![
+                    (VectorAddU8, 3.0),
+                    (FirFilter, 2.5),
+                    (WordSum, 1.5),
+                    (MemcpyBytes, 1.0),
+                ],
                 0.8,
             ),
             WorkloadCategory::Multimedia => (
-                vec![(VectorAddU8, 3.0), (ByteHistogram, 2.0), (TableLookup, 1.5), (FirFilter, 1.5)],
+                vec![
+                    (VectorAddU8, 3.0),
+                    (ByteHistogram, 2.0),
+                    (TableLookup, 1.5),
+                    (FirFilter, 1.5),
+                ],
                 0.85,
             ),
             WorkloadCategory::Office => (
-                vec![(TokenScan, 2.5), (StringMatch, 2.0), (PointerChase, 1.5), (TableLookup, 1.0)],
+                vec![
+                    (TokenScan, 2.5),
+                    (StringMatch, 2.0),
+                    (PointerChase, 1.5),
+                    (TableLookup, 1.0),
+                ],
                 0.6,
             ),
             WorkloadCategory::Productivity => (
-                vec![(TokenScan, 2.0), (PointerChase, 2.0), (Checksum, 1.5), (StringMatch, 1.0)],
+                vec![
+                    (TokenScan, 2.0),
+                    (PointerChase, 2.0),
+                    (Checksum, 1.5),
+                    (StringMatch, 1.0),
+                ],
                 0.55,
             ),
             WorkloadCategory::Workstation => (
-                vec![(WordSum, 2.0), (FirFilter, 2.0), (VectorAddU8, 1.5), (Checksum, 1.0)],
+                vec![
+                    (WordSum, 2.0),
+                    (FirFilter, 2.0),
+                    (VectorAddU8, 1.5),
+                    (Checksum, 1.0),
+                ],
                 0.65,
             ),
         }
@@ -209,7 +244,10 @@ mod tests {
         assert!(
             (a.narrow_bias - b.narrow_bias).abs() > 1e-9
                 || a.data_len != b.data_len
-                || a.mix.iter().zip(&b.mix).any(|(x, y)| (x.1 - y.1).abs() > 1e-9),
+                || a.mix
+                    .iter()
+                    .zip(&b.mix)
+                    .any(|(x, y)| (x.1 - y.1).abs() > 1e-9),
             "per-app jitter should differentiate apps"
         );
     }

@@ -221,9 +221,7 @@ impl Interpreter {
         if program.is_empty() {
             return Err(InterpError::EmptyProgram);
         }
-        program
-            .validate()
-            .map_err(InterpError::InvalidProgram)?;
+        program.validate().map_err(InterpError::InvalidProgram)?;
 
         let mut uops: Vec<DynUop> = Vec::with_capacity(self.config.max_uops.min(1 << 20));
         let mut ip = 0usize;
@@ -328,7 +326,9 @@ impl Interpreter {
                     let (offv, imm, offreg) = self.operand_value(offset);
                     let addr = basev.bits().wrapping_add(offv.bits());
                     let loaded = Value::new(self.mem.read(addr, size));
-                    let mut u = Uop::new(pc, UopKind::Load(size)).with_src(base).with_dest(dst);
+                    let mut u = Uop::new(pc, UopKind::Load(size))
+                        .with_src(base)
+                        .with_dest(dst);
                     if let Some(imm) = imm {
                         u = u.with_imm(imm);
                     }
@@ -356,7 +356,9 @@ impl Interpreter {
                     let (offv, imm, offreg) = self.operand_value(offset);
                     let addr = basev.bits().wrapping_add(offv.bits());
                     self.mem.write(addr, size, datav.bits());
-                    let mut u = Uop::new(pc, UopKind::Store(size)).with_src(src).with_src(base);
+                    let mut u = Uop::new(pc, UopKind::Store(size))
+                        .with_src(src)
+                        .with_src(base);
                     if let Some(imm) = imm {
                         u = u.with_imm(imm);
                     }

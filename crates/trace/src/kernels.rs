@@ -1055,10 +1055,7 @@ mod tests {
     #[test]
     fn byte_kernels_are_narrow_heavy_and_word_kernels_are_not() {
         let narrow_frac = |t: &crate::trace::Trace| {
-            let vals: Vec<_> = t
-                .iter()
-                .filter_map(|d| d.result)
-                .collect();
+            let vals: Vec<_> = t.iter().filter_map(|d| d.result).collect();
             vals.iter().filter(|v| v.is_narrow()).count() as f64 / vals.len().max(1) as f64
         };
         let hist = run_kernel(KernelKind::ByteHistogram, 4_000);
@@ -1100,13 +1097,17 @@ mod tests {
     #[test]
     fn fp_stream_contains_fp_uops() {
         let t = run_kernel(KernelKind::FpStream, 2_000);
-        assert!(t.iter().any(|d| matches!(d.uop.kind, hc_isa::uop::UopKind::Fp)));
+        assert!(t
+            .iter()
+            .any(|d| matches!(d.uop.kind, hc_isa::uop::UopKind::Fp)));
     }
 
     #[test]
     fn fir_contains_multiplies() {
         let t = run_kernel(KernelKind::FirFilter, 2_000);
-        assert!(t.iter().any(|d| matches!(d.uop.kind, hc_isa::uop::UopKind::Mul)));
+        assert!(t
+            .iter()
+            .any(|d| matches!(d.uop.kind, hc_isa::uop::UopKind::Mul)));
     }
 
     #[test]

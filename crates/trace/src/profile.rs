@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 const PHASES: usize = 4;
 
 /// A recipe for generating one workload trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadProfile {
     /// Workload name (e.g. `gcc`, `enc_03`).
     pub name: String,
@@ -85,7 +85,10 @@ impl WorkloadProfile {
     /// interleaved over [`PHASES`] rounds so the trace alternates between
     /// "phases" like a real program.
     pub fn generate(&self) -> Trace {
-        assert!(!self.mix.is_empty(), "profile must contain at least one kernel");
+        assert!(
+            !self.mix.is_empty(),
+            "profile must contain at least one kernel"
+        );
         let total_weight: f64 = self.mix.iter().map(|(_, w)| w.max(0.0)).sum();
         assert!(total_weight > 0.0, "profile weights must be positive");
 
@@ -101,7 +104,11 @@ impl WorkloadProfile {
             .mix
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.1 .1
+                    .partial_cmp(&b.1 .1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(|(i, _)| i)
         {
             shares[max_idx] += self.trace_len.saturating_sub(assigned);
@@ -194,8 +201,8 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let base = WorkloadProfile::new("d", vec![(KernelKind::RleCompress, 1.0)])
-            .with_trace_len(5_000);
+        let base =
+            WorkloadProfile::new("d", vec![(KernelKind::RleCompress, 1.0)]).with_trace_len(5_000);
         let a = base.clone().with_seed(1).generate();
         let b = base.with_seed(2).generate();
         let same = a
@@ -235,8 +242,7 @@ mod tests {
         )
         .with_trace_len(9_000);
         let t = p.generate();
-        let regions: std::collections::HashSet<u64> =
-            t.iter().map(|d| d.uop.pc / 0x4000).collect();
+        let regions: std::collections::HashSet<u64> = t.iter().map(|d| d.uop.pc / 0x4000).collect();
         assert!(regions.len() >= 3, "each kernel occupies its own PC region");
     }
 
@@ -250,7 +256,10 @@ mod tests {
     fn zero_weight_kernels_are_skipped() {
         let p = WorkloadProfile::new(
             "zw",
-            vec![(KernelKind::ByteHistogram, 1.0), (KernelKind::FpStream, 0.0)],
+            vec![
+                (KernelKind::ByteHistogram, 1.0),
+                (KernelKind::FpStream, 0.0),
+            ],
         )
         .with_trace_len(4_000);
         let t = p.generate();

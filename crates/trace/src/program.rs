@@ -216,10 +216,7 @@ mod tests {
         let mut p = Program::new("t");
         let ph = p.placeholder();
         let end = p.push(Inst::Halt);
-        p.patch(
-            ph,
-            Inst::Jump { target: end },
-        );
+        p.patch(ph, Inst::Jump { target: end });
         assert!(matches!(p.insts[ph.0], Inst::Jump { .. }));
         assert!(p.validate().is_ok());
     }

@@ -77,31 +77,61 @@ impl SpecBenchmark {
             // Byte-stream compressors: dominated by byte loads/stores, RLE-like
             // runs and histogram-style counting.
             SpecBenchmark::Bzip2 => (
-                vec![(RleCompress, 3.0), (ByteHistogram, 2.0), (MemcpyBytes, 1.0), (WordSum, 1.0)],
+                vec![
+                    (RleCompress, 3.0),
+                    (ByteHistogram, 2.0),
+                    (MemcpyBytes, 1.0),
+                    (WordSum, 1.0),
+                ],
                 0.85,
             ),
             SpecBenchmark::Gzip => (
-                vec![(RleCompress, 3.0), (TableLookup, 2.0), (MemcpyBytes, 1.5), (Checksum, 1.0)],
+                vec![
+                    (RleCompress, 3.0),
+                    (TableLookup, 2.0),
+                    (MemcpyBytes, 1.5),
+                    (Checksum, 1.0),
+                ],
                 0.8,
             ),
             // Chess: attack tables, bit twiddling, branchy evaluation.
             SpecBenchmark::Crafty => (
-                vec![(TableLookup, 2.0), (Checksum, 2.0), (StringMatch, 1.5), (WordSum, 1.5)],
+                vec![
+                    (TableLookup, 2.0),
+                    (Checksum, 2.0),
+                    (StringMatch, 1.5),
+                    (WordSum, 1.5),
+                ],
                 0.55,
             ),
             // Ray tracer (C++): FP heavy with integer bookkeeping.
             SpecBenchmark::Eon => (
-                vec![(FpStream, 3.0), (WordSum, 1.5), (ByteHistogram, 1.0), (TokenScan, 0.5)],
+                vec![
+                    (FpStream, 3.0),
+                    (WordSum, 1.5),
+                    (ByteHistogram, 1.0),
+                    (TokenScan, 0.5),
+                ],
                 0.5,
             ),
             // Group theory interpreter: table lookups and small-integer math.
             SpecBenchmark::Gap => (
-                vec![(TableLookup, 2.5), (ByteHistogram, 1.5), (TokenScan, 1.5), (WordSum, 1.0)],
+                vec![
+                    (TableLookup, 2.5),
+                    (ByteHistogram, 1.5),
+                    (TokenScan, 1.5),
+                    (WordSum, 1.0),
+                ],
                 0.65,
             ),
             // Compiler: token scanning, branchy classification, pointer use.
             SpecBenchmark::Gcc => (
-                vec![(TokenScan, 3.0), (StringMatch, 1.5), (PointerChase, 1.0), (ByteHistogram, 1.5)],
+                vec![
+                    (TokenScan, 3.0),
+                    (StringMatch, 1.5),
+                    (PointerChase, 1.0),
+                    (ByteHistogram, 1.5),
+                ],
                 0.7,
             ),
             // Min-cost flow: pointer chasing over a large graph, wide values.
@@ -111,27 +141,52 @@ impl SpecBenchmark {
             ),
             // Natural-language parser: dictionary lookups and byte scanning.
             SpecBenchmark::Parser => (
-                vec![(StringMatch, 2.5), (TokenScan, 2.0), (TableLookup, 1.0), (PointerChase, 0.8)],
+                vec![
+                    (StringMatch, 2.5),
+                    (TokenScan, 2.0),
+                    (TableLookup, 1.0),
+                    (PointerChase, 0.8),
+                ],
                 0.7,
             ),
             // Perl interpreter: string processing and hashing.
             SpecBenchmark::Perlbmk => (
-                vec![(TokenScan, 2.5), (Checksum, 1.5), (StringMatch, 1.5), (MemcpyBytes, 1.0)],
+                vec![
+                    (TokenScan, 2.5),
+                    (Checksum, 1.5),
+                    (StringMatch, 1.5),
+                    (MemcpyBytes, 1.0),
+                ],
                 0.65,
             ),
             // Place & route: geometric/wide arithmetic with some byte data.
             SpecBenchmark::Twolf => (
-                vec![(WordSum, 2.0), (Checksum, 1.5), (ByteHistogram, 1.5), (FirFilter, 1.0)],
+                vec![
+                    (WordSum, 2.0),
+                    (Checksum, 1.5),
+                    (ByteHistogram, 1.5),
+                    (FirFilter, 1.0),
+                ],
                 0.5,
             ),
             // Object database: index structures, memcpy, tables.
             SpecBenchmark::Vortex => (
-                vec![(TableLookup, 2.0), (MemcpyBytes, 2.0), (PointerChase, 1.0), (TokenScan, 1.0)],
+                vec![
+                    (TableLookup, 2.0),
+                    (MemcpyBytes, 2.0),
+                    (PointerChase, 1.0),
+                    (TokenScan, 1.0),
+                ],
                 0.65,
             ),
             // FPGA place & route: graph walking plus arithmetic.
             SpecBenchmark::Vpr => (
-                vec![(WordSum, 2.0), (PointerChase, 1.5), (ByteHistogram, 1.5), (FirFilter, 1.0)],
+                vec![
+                    (WordSum, 2.0),
+                    (PointerChase, 1.5),
+                    (ByteHistogram, 1.5),
+                    (FirFilter, 1.0),
+                ],
                 0.55,
             ),
         };

@@ -113,14 +113,16 @@ fn address_carry_free(srcs: &[Value], imm: Option<Value>) -> Option<bool> {
     if let Some(i) = imm {
         operands.push(i);
     }
-    let wide: Vec<Value> = operands.iter().copied().filter(|v| !v.is_narrow()).collect();
+    let wide: Vec<Value> = operands
+        .iter()
+        .copied()
+        .filter(|v| !v.is_narrow())
+        .collect();
     let narrow: Vec<Value> = operands.iter().copied().filter(|v| v.is_narrow()).collect();
     if wide.len() != 1 || narrow.is_empty() {
         return None;
     }
-    let sum = narrow
-        .iter()
-        .fold(wide[0], |acc, v| acc + *v);
+    let sum = narrow.iter().fold(wide[0], |acc, v| acc + *v);
     Some(sum.upper_bits() == wide[0].upper_bits())
 }
 
@@ -241,10 +243,7 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
         alu_mix: alu_width_mix(trace),
         carry: carry_propagation(trace),
         producer_consumer_distance: producer_consumer_distance(trace),
-        cond_branch_fraction: trace
-            .iter()
-            .filter(|d| d.uop.kind.is_cond_branch())
-            .count() as f64
+        cond_branch_fraction: trace.iter().filter(|d| d.uop.kind.is_cond_branch()).count() as f64
             / n,
         load_fraction: trace.iter().filter(|d| d.uop.kind.is_load()).count() as f64 / n,
         store_fraction: trace.iter().filter(|d| d.uop.kind.is_store()).count() as f64 / n,
@@ -269,7 +268,10 @@ mod tests {
         let t = small_trace(KernelKind::ByteHistogram);
         let f = narrow_dependence(&t);
         assert!((0.0..=1.0).contains(&f));
-        assert!(f > 0.2, "byte kernels should show substantial narrow dependence");
+        assert!(
+            f > 0.2,
+            "byte kernels should show substantial narrow dependence"
+        );
     }
 
     #[test]
@@ -305,7 +307,10 @@ mod tests {
         let t = small_trace(KernelKind::MemcpyBytes);
         let d = producer_consumer_distance(&t);
         assert!(d > 0.0);
-        assert!(d < 10.0, "tight loops have short dependence distances, got {d}");
+        assert!(
+            d < 10.0,
+            "tight loops have short dependence distances, got {d}"
+        );
     }
 
     #[test]

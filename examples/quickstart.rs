@@ -1,36 +1,48 @@
-//! Quickstart: generate a workload, run it on the monolithic baseline and on
-//! the helper cluster with the full IR steering stack, and print the speedup.
+//! Quickstart: declare a campaign over a workload, run the monolithic
+//! baseline plus three helper-cluster steering stacks in one grid, and print
+//! the speedups.  The baseline is simulated once and shared by every policy.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use helper_cluster::prelude::*;
-use hc_core::policy::PolicyKind;
 
 fn main() {
-    // 1. Build a workload trace.  Real traces are proprietary, so the library
-    //    synthesises benchmark-like traces from kernel programs (see hc-trace).
+    // 1. Declare what to evaluate.  Real traces are proprietary, so the
+    //    library synthesises benchmark-like traces from kernel programs (see
+    //    hc-trace); a campaign can mix SPEC stand-ins, Table 2 category apps
+    //    and custom profiles.
+    let spec: CampaignSpec = CampaignBuilder::new("quickstart")
+        .policy(PolicyKind::Baseline)
+        .policy(PolicyKind::P888)
+        .policy(PolicyKind::P888BrLrCr)
+        .policy(PolicyKind::Ir)
+        .spec(SpecBenchmark::Gzip)
+        .trace_len(30_000)
+        .build()
+        .expect("a non-empty grid with the paper-baseline config is valid");
+
+    // The spec is plain data: store it, diff it, replay it.
+    println!("campaign spec:\n{}\n", spec.to_json());
+
+    // 2. Characterise the workload first: how much narrow-width dependence is
+    //    there? (Figure 1)
     let trace: Trace = SpecBenchmark::Gzip.trace(30_000);
-    println!(
-        "workload: {} ({} dynamic µops)",
-        trace.name,
-        trace.len()
-    );
-
-    // 2. Characterise it: how much narrow-width dependence is there? (Figure 1)
     let narrow = hc_trace::stats::narrow_dependence(&trace) * 100.0;
-    println!("narrow (≤8-bit) register operands: {narrow:.1}%");
+    println!("narrow (≤8-bit) register operands: {narrow:.1}%\n");
 
-    // 3. Run the monolithic baseline and the helper-cluster configurations.
-    let experiment = Experiment::default();
-    for kind in [
-        PolicyKind::Baseline,
-        PolicyKind::P888,
-        PolicyKind::P888BrLrCr,
-        PolicyKind::Ir,
-    ] {
-        let result = experiment.run(&trace, kind);
+    // 3. Run the grid.  The monolithic baseline runs once per trace and is
+    //    shared across all four policies.
+    let report: CampaignReport = CampaignRunner::new()
+        .run(&spec)
+        .expect("the quickstart campaign runs");
+    println!(
+        "{} cells simulated, {} baseline run(s)\n",
+        report.cells.len(),
+        report.baseline_runs
+    );
+    for result in report.experiment_results() {
         println!(
             "{:<18} IPC {:.2}  helper {:5.1}%  copies {:5.1}%  speedup {:+.1}%",
             result.policy,

@@ -31,10 +31,20 @@ fn main() {
     ] {
         let result = runner.run_spec(trace_len, kind);
         let n = result.per_trace.len() as f64;
-        let helper =
-            result.per_trace.iter().map(|r| r.stats.helper_fraction()).sum::<f64>() / n * 100.0;
-        let copies =
-            result.per_trace.iter().map(|r| r.stats.copy_fraction()).sum::<f64>() / n * 100.0;
+        let helper = result
+            .per_trace
+            .iter()
+            .map(|r| r.stats.helper_fraction())
+            .sum::<f64>()
+            / n
+            * 100.0;
+        let copies = result
+            .per_trace
+            .iter()
+            .map(|r| r.stats.copy_fraction())
+            .sum::<f64>()
+            / n
+            * 100.0;
         let fatal = result
             .per_trace
             .iter()

@@ -25,6 +25,9 @@ pub use hc_trace as trace;
 
 /// Convenience prelude re-exporting the most commonly used types.
 pub mod prelude {
+    pub use hc_core::campaign::{
+        CampaignBuilder, CampaignError, CampaignReport, CampaignRunner, CampaignSpec, TraceSelector,
+    };
     pub use hc_core::experiment::{Experiment, ExperimentResult};
     pub use hc_core::policy::{PolicyKind, SteeringStack};
     pub use hc_core::suite::SuiteRunner;

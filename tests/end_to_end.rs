@@ -17,7 +17,8 @@ fn every_policy_retires_every_trace_uop() {
     for kind in PolicyKind::ALL {
         let r = exp.run(&trace, kind);
         assert_eq!(
-            r.stats.committed_uops as usize, LEN,
+            r.stats.committed_uops as usize,
+            LEN,
             "{} lost µops",
             kind.name()
         );
@@ -33,7 +34,10 @@ fn helper_policies_steer_work_to_the_helper_cluster() {
     let cr = exp.run(&trace, PolicyKind::P888BrLrCr);
     let ir = exp.run(&trace, PolicyKind::Ir);
 
-    assert!(p888.stats.helper_fraction() > 0.02, "8_8_8 should steer some work");
+    assert!(
+        p888.stats.helper_fraction() > 0.02,
+        "8_8_8 should steer some work"
+    );
     assert!(
         cr.stats.helper_fraction() > p888.stats.helper_fraction(),
         "CR should steer more than plain 8_8_8 ({:.3} vs {:.3})",

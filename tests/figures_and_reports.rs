@@ -92,7 +92,10 @@ fn ed2_comparison_runs_on_real_simulation_output() {
     let model = PowerModel::default();
     let breakdown = model.energy(&r.stats.energy);
     assert!(breakdown.total() > 0.0);
-    assert!(breakdown.clock > 0.0, "clock network energy must be charged");
+    assert!(
+        breakdown.clock > 0.0,
+        "clock network energy must be charged"
+    );
     assert!(breakdown.register_files > 0.0);
 }
 
