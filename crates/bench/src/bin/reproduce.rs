@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite]
-//!           [--json] [--csv]
+//!           [--threads N] [--json] [--csv]
 //! ```
+//!
+//! `--threads N` caps the worker threads the parallel sweeps fan out over
+//! (0 = all cores).  Without the flag, the `REPRODUCE_THREADS` environment
+//! variable is consulted, then `RAYON_NUM_THREADS` (honoured by the thread
+//! pool itself), then all available cores.
 //!
 //! With no arguments every figure is reproduced.  Figure names: `table1`,
 //! `table2`, `fig1`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig11`, `fig12`,
@@ -30,6 +35,7 @@ struct Options {
     full_suite: bool,
     json: bool,
     csv: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +46,10 @@ fn parse_args() -> Options {
         full_suite: false,
         json: false,
         csv: false,
+        // Environment override; the --threads flag takes precedence.
+        threads: std::env::var("REPRODUCE_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok()),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -56,12 +66,13 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(opts.apps_per_category)
             }
+            "--threads" => opts.threads = args.next().and_then(|v| v.parse().ok()).or(opts.threads),
             "--full-suite" => opts.full_suite = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--json] [--csv]"
+                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--json] [--csv]"
                 );
                 std::process::exit(0);
             }
@@ -77,6 +88,9 @@ fn wanted(opts: &Options, name: &str) -> bool {
 
 fn main() {
     let opts = parse_args();
+    if let Some(n) = opts.threads {
+        rayon::set_thread_cap(n);
+    }
     let len = opts.trace_len;
     if (opts.json || opts.csv) && !opts.figures.iter().any(|f| f == "campaign") {
         eprintln!("note: --json/--csv only affect the `campaign` output; add `campaign` to the figure list");

@@ -1,4 +1,4 @@
-//! JSON encoding and decoding over the [`Value`](crate::Value) data model —
+//! JSON encoding and decoding over the [`Value`] data model —
 //! the subset of `serde_json` this workspace uses.
 
 use crate::{Deserialize, Error, Serialize, Value};

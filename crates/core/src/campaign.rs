@@ -45,10 +45,21 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Version of the [`CampaignSpec`] / [`CampaignReport`] wire schema.
-/// Bumped whenever a serialized field changes meaning; decoders reject
-/// mismatched versions with a typed error instead of misreading data.
-pub const CAMPAIGN_SCHEMA_VERSION: u32 = 1;
+/// Version of the [`CampaignSpec`] wire schema.  Bumped whenever a
+/// serialized *spec* field changes meaning; decoders reject mismatched
+/// versions with a typed error instead of misreading data.  Specs have not
+/// changed since their introduction, so v1 files keep decoding even as the
+/// report schema evolves.
+pub const CAMPAIGN_SPEC_SCHEMA_VERSION: u32 = 1;
+
+/// Version of the [`CampaignReport`] wire schema.  Bumped whenever a
+/// serialized *report* field changes meaning; decoders reject mismatched
+/// versions with a typed error instead of misreading data.
+///
+/// * v1 — initial schema.
+/// * v2 — [`CampaignReport`] gained `trace_generations` (trace-synthesis
+///   memoization instrumentation, mirroring `baseline_runs`).
+pub const CAMPAIGN_SCHEMA_VERSION: u32 = 2;
 
 /// Everything that can go wrong assembling, decoding or running a campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -195,10 +206,10 @@ pub struct CampaignSpec {
 impl CampaignSpec {
     /// Validate the spec, returning the first problem found.
     pub fn validate(&self) -> Result<(), CampaignError> {
-        if self.schema_version != CAMPAIGN_SCHEMA_VERSION {
+        if self.schema_version != CAMPAIGN_SPEC_SCHEMA_VERSION {
             return Err(CampaignError::UnsupportedSchemaVersion {
                 found: self.schema_version,
-                supported: CAMPAIGN_SCHEMA_VERSION,
+                supported: CAMPAIGN_SPEC_SCHEMA_VERSION,
             });
         }
         if self.policies.is_empty() {
@@ -242,23 +253,21 @@ impl CampaignSpec {
 
     /// Decode from JSON, checking the schema version first.
     pub fn from_json(text: &str) -> Result<CampaignSpec, CampaignError> {
-        let value = decode_versioned(text)?;
+        let value = decode_versioned(text, CAMPAIGN_SPEC_SCHEMA_VERSION)?;
         Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
     }
 }
 
-/// Parse JSON and verify its `schema_version` field before full decoding.
-fn decode_versioned(text: &str) -> Result<serde::Value, CampaignError> {
+/// Parse JSON and verify its `schema_version` field against the `supported`
+/// version before full decoding.
+fn decode_versioned(text: &str, supported: u32) -> Result<serde::Value, CampaignError> {
     let value = serde::json::parse(text).map_err(|e| CampaignError::Decode(e.to_string()))?;
     let found = match value.get("schema_version") {
         Some(serde::Value::UInt(n)) => *n as u32,
         _ => return Err(CampaignError::Decode("missing schema_version".to_string())),
     };
-    if found != CAMPAIGN_SCHEMA_VERSION {
-        return Err(CampaignError::UnsupportedSchemaVersion {
-            found,
-            supported: CAMPAIGN_SCHEMA_VERSION,
-        });
+    if found != supported {
+        return Err(CampaignError::UnsupportedSchemaVersion { found, supported });
     }
     Ok(value)
 }
@@ -275,7 +284,7 @@ impl CampaignBuilder {
     pub fn new(name: impl Into<String>) -> CampaignBuilder {
         CampaignBuilder {
             spec: CampaignSpec {
-                schema_version: CAMPAIGN_SCHEMA_VERSION,
+                schema_version: CAMPAIGN_SPEC_SCHEMA_VERSION,
                 name: name.into(),
                 policies: Vec::new(),
                 traces: Vec::new(),
@@ -428,6 +437,12 @@ pub struct CampaignReport {
     /// memoization instrumentation: always ≤ the number of traces, never
     /// policies × traces.
     pub baseline_runs: usize,
+    /// Number of [`TraceSelector::generate`] calls actually performed — the
+    /// trace-memoization instrumentation mirroring `baseline_runs`: each
+    /// grid row is synthesized exactly once and shared across every policy
+    /// column (and every warmup run), so this is always the number of
+    /// traces, never policies × traces.
+    pub trace_generations: usize,
 }
 
 impl CampaignReport {
@@ -497,7 +512,7 @@ impl CampaignReport {
 
     /// Decode from JSON, checking the schema version first.
     pub fn from_json(text: &str) -> Result<CampaignReport, CampaignError> {
-        let value = decode_versioned(text)?;
+        let value = decode_versioned(text, CAMPAIGN_SCHEMA_VERSION)?;
         Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
     }
 
@@ -541,10 +556,17 @@ impl CampaignRunner {
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
         let experiment = Experiment::try_new(spec.config.clone())?;
+        // Each grid row's trace is synthesized exactly once, up front, and
+        // shared by every policy column; the counter proves the memoization
+        // held (it lands in the report next to `baseline_runs`).
+        let generation_count = AtomicUsize::new(0);
         let traces: Vec<Trace> = spec
             .traces
             .par_iter()
-            .map(|s| s.generate(spec.trace_len))
+            .map(|s| {
+                generation_count.fetch_add(1, Ordering::Relaxed);
+                s.generate(spec.trace_len)
+            })
             .collect();
         let grid = run_grid(
             &experiment,
@@ -563,6 +585,7 @@ impl CampaignRunner {
             baselines,
             cells,
             baseline_runs,
+            trace_generations: generation_count.load(Ordering::Relaxed),
         })
     }
 }
@@ -626,15 +649,18 @@ pub(crate) fn run_grid(
     let baseline_count = AtomicUsize::new(0);
     let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
 
+    // One `ExecContext` per worker thread, reused across every run that
+    // worker performs: a campaign costs O(threads) simulator arenas instead
+    // of O(cells) — and results stay bit-identical to fresh contexts.
     let per_trace: Vec<(Option<BaselineRun>, Vec<CampaignCell>)> = traces
         .par_iter()
-        .map(|trace| {
+        .map_init(hc_sim::ExecContext::new, |ctx, trace| {
             let baseline = if baseline_needed {
                 baseline_count.fetch_add(1, Ordering::Relaxed);
                 Some(BaselineRun {
                     trace: trace.name.clone(),
                     category: trace.category.clone(),
-                    stats: experiment.run_baseline(trace),
+                    stats: experiment.run_baseline_with(ctx, trace),
                 })
             } else {
                 None
@@ -644,7 +670,7 @@ pub(crate) fn run_grid(
                 .map(|&kind| {
                     let stats = match (&baseline, kind) {
                         (Some(b), PolicyKind::Baseline) => b.stats.clone(),
-                        _ => experiment.run_policy_warmed(trace, kind, warmup_runs),
+                        _ => experiment.run_policy_warmed_with(ctx, trace, kind, warmup_runs),
                     };
                     let cell = CampaignCell {
                         policy: kind.name().to_string(),
@@ -791,9 +817,27 @@ mod tests {
     }
 
     #[test]
+    fn traces_are_generated_once_per_row_not_per_cell() {
+        // Two policy columns, two warmup runs, one trace row: the trace must
+        // still be synthesized exactly once.
+        let spec = CampaignBuilder::new("gen")
+            .policy(PolicyKind::P888)
+            .policy(PolicyKind::Ir)
+            .spec(SpecBenchmark::Gzip)
+            .trace_len(1_000)
+            .warmup_runs(2)
+            .build()
+            .unwrap();
+        let report = CampaignRunner::new().run(&spec).unwrap();
+        assert_eq!(report.trace_generations, 1);
+        assert_eq!(report.cells.len(), 2);
+    }
+
+    #[test]
     fn baseline_policy_cell_reuses_the_memoized_baseline() {
         let report = CampaignRunner::new().run(&small_spec()).unwrap();
         assert_eq!(report.baseline_runs, 1);
+        assert_eq!(report.trace_generations, 1);
         let baseline_cell = report.cell("baseline", "gzip").unwrap();
         assert_eq!(
             &baseline_cell.stats,
@@ -829,6 +873,19 @@ mod tests {
         assert!(report.baselines.is_empty());
         assert_eq!(report.cells.len(), 1);
         assert!(report.experiment_results().is_empty());
+    }
+
+    #[test]
+    fn spec_schema_stays_v1_while_report_schema_evolves() {
+        // The spec wire format has not changed, so spec files written before
+        // the report gained `trace_generations` must keep decoding.
+        let spec = small_spec();
+        assert_eq!(spec.schema_version, CAMPAIGN_SPEC_SCHEMA_VERSION);
+        let decoded = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(decoded, spec);
+        let report = CampaignRunner::new().run(&spec).unwrap();
+        assert_eq!(report.schema_version, CAMPAIGN_SCHEMA_VERSION);
+        assert_ne!(CAMPAIGN_SPEC_SCHEMA_VERSION, CAMPAIGN_SCHEMA_VERSION);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::policy::PolicyKind;
 use hc_power::{Ed2Comparison, PowerModel};
-use hc_sim::{ConfigError, SimConfig, SimStats, Simulator};
+use hc_sim::{ConfigError, ExecContext, SimConfig, SimStats, Simulator};
 use hc_trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -103,8 +103,15 @@ impl Experiment {
 
     /// Run the monolithic baseline on a trace.
     pub fn run_baseline(&self, trace: &Trace) -> SimStats {
+        self.run_baseline_with(&mut ExecContext::new(), trace)
+    }
+
+    /// Run the monolithic baseline on a trace inside a reused
+    /// [`ExecContext`] (bit-identical to [`Experiment::run_baseline`],
+    /// without the per-run allocations).
+    pub fn run_baseline_with(&self, ctx: &mut ExecContext, trace: &Trace) -> SimStats {
         let mut policy = PolicyKind::Baseline.build();
-        self.baseline_sim.run(trace, policy.as_mut())
+        self.baseline_sim.run_with(ctx, trace, policy.as_mut())
     }
 
     /// Run one policy on a trace (no baseline comparison).
@@ -120,6 +127,19 @@ impl Experiment {
         kind: PolicyKind,
         warmup_runs: usize,
     ) -> SimStats {
+        self.run_policy_warmed_with(&mut ExecContext::new(), trace, kind, warmup_runs)
+    }
+
+    /// [`Experiment::run_policy_warmed`] inside a reused [`ExecContext`]:
+    /// the warmup runs and the measured run all replay through the same
+    /// context.
+    pub fn run_policy_warmed_with(
+        &self,
+        ctx: &mut ExecContext,
+        trace: &Trace,
+        kind: PolicyKind,
+        warmup_runs: usize,
+    ) -> SimStats {
         let sim = if kind == PolicyKind::Baseline {
             &self.baseline_sim
         } else {
@@ -128,10 +148,10 @@ impl Experiment {
         let mut policy = kind.build();
         if kind != PolicyKind::Baseline {
             for _ in 0..warmup_runs {
-                sim.run(trace, policy.as_mut());
+                sim.run_with(ctx, trace, policy.as_mut());
             }
         }
-        sim.run(trace, policy.as_mut())
+        sim.run_with(ctx, trace, policy.as_mut())
     }
 
     /// Run one policy and the baseline on the same trace.

@@ -45,7 +45,7 @@ pub mod suite;
 
 pub use campaign::{
     CampaignBuilder, CampaignError, CampaignProgress, CampaignReport, CampaignRunner, CampaignSpec,
-    TraceSelector, CAMPAIGN_SCHEMA_VERSION,
+    TraceSelector, CAMPAIGN_SCHEMA_VERSION, CAMPAIGN_SPEC_SCHEMA_VERSION,
 };
 pub use experiment::{Experiment, ExperimentResult};
 pub use figures::{Figure, FigureRow};

@@ -225,6 +225,7 @@ mod tests {
                 stats: SimStats::default(),
             }],
             baseline_runs: 0,
+            trace_generations: 0,
         };
         let csv = campaign_to_csv(&report);
         let mut lines = csv.lines();

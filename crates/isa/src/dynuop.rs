@@ -52,7 +52,13 @@ impl DynUop {
 
     /// Values of the register sources that are present.
     pub fn source_values(&self) -> Vec<Value> {
-        self.src_vals.iter().flatten().copied().collect()
+        self.source_values_iter().collect()
+    }
+
+    /// Iterator over the register source values that are present, in slot
+    /// order — the allocation-free form of [`DynUop::source_values`].
+    pub fn source_values_iter(&self) -> impl Iterator<Item = Value> + '_ {
+        self.src_vals.iter().flatten().copied()
     }
 
     /// Ground-truth operand-width profile of this dynamic instance.
@@ -91,11 +97,22 @@ impl DynUop {
             Some(r) if !r.is_narrow() => r,
             _ => return false,
         };
-        let srcs = self.source_values();
-        let wide: Vec<&Value> = srcs.iter().filter(|v| !v.is_narrow()).collect();
-        let has_narrow_side = srcs.iter().any(|v| v.is_narrow())
-            || self.uop.imm.map(|v| v.is_narrow()).unwrap_or(false);
-        wide.len() == 1 && has_narrow_side && wide[0].upper_bits() == result.upper_bits()
+        let mut wide: Option<Value> = None;
+        let mut wide_count = 0usize;
+        let mut has_narrow_src = false;
+        for v in self.source_values_iter() {
+            if v.is_narrow() {
+                has_narrow_src = true;
+            } else {
+                wide_count += 1;
+                wide = Some(v);
+            }
+        }
+        let has_narrow_side =
+            has_narrow_src || self.uop.imm.map(|v| v.is_narrow()).unwrap_or(false);
+        wide_count == 1
+            && has_narrow_side
+            && wide.map(|w| w.upper_bits()) == Some(result.upper_bits())
     }
 }
 

@@ -130,6 +130,16 @@ impl BranchPredictor {
     pub fn stats(&self) -> BranchPredictorStats {
         self.stats
     }
+
+    /// Return the predictor to its untrained post-construction state without
+    /// reallocating the pattern-history table or the BTB, so a reused
+    /// execution context starts every run untrained.
+    pub fn reset(&mut self) {
+        self.table.fill(Dir::WeakNotTaken);
+        self.btb.fill(None);
+        self.history = 0;
+        self.stats = BranchPredictorStats::default();
+    }
 }
 
 #[cfg(test)]

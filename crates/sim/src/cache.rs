@@ -89,6 +89,17 @@ impl SetAssocCache {
         self.sets[set].iter().any(|(t, _)| *t == tag)
     }
 
+    /// Return the cache to its cold post-construction state without
+    /// releasing any allocation (the per-set way vectors keep their
+    /// capacity), so a reused execution context starts every run cold.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stamp = 0;
+        self.stats = CacheStats::default();
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -100,6 +111,8 @@ impl SetAssocCache {
 pub struct MemoryHierarchy {
     dl0: SetAssocCache,
     ul1: SetAssocCache,
+    dl0_cfg: CacheConfig,
+    ul1_cfg: CacheConfig,
     dl0_latency: u32,
     ul1_latency: u32,
     memory_latency: u32,
@@ -111,10 +124,30 @@ impl MemoryHierarchy {
         MemoryHierarchy {
             dl0: SetAssocCache::new(&cfg.dl0),
             ul1: SetAssocCache::new(&cfg.ul1),
+            dl0_cfg: cfg.dl0,
+            ul1_cfg: cfg.ul1,
             dl0_latency: cfg.dl0.latency,
             ul1_latency: cfg.ul1.latency,
             memory_latency: cfg.memory_latency,
         }
+    }
+
+    /// Whether this hierarchy was built from the same cache geometry and
+    /// latencies as `cfg`, i.e. a reused instance only needs a [`reset`]
+    /// instead of a rebuild.
+    ///
+    /// [`reset`]: MemoryHierarchy::reset
+    pub fn matches(&self, cfg: &SimConfig) -> bool {
+        self.dl0_cfg == cfg.dl0
+            && self.ul1_cfg == cfg.ul1
+            && self.memory_latency == cfg.memory_latency
+    }
+
+    /// Return both cache levels to their cold state, keeping every
+    /// allocation for reuse by the next run.
+    pub fn reset(&mut self) {
+        self.dl0.reset();
+        self.ul1.reset();
     }
 
     /// Perform a data access and return its latency in wide cycles.

@@ -1,0 +1,284 @@
+//! The reusable per-run execution arena: every piece of mutable simulator
+//! state whose allocation can outlive a single [`Simulator::run_with`] call.
+//!
+//! A [`ExecContext`] owns the in-flight window slab, the dependence-link
+//! arena, the reorder buffer, the cycle-bucketed event wheel, the
+//! `forced_wide` bitset, the reused memory hierarchy and branch predictor,
+//! and assorted scratch buffers.  Its `prepare` step returns all of it
+//! to a cold state *without releasing allocations*, which is what makes the
+//! staged engine's hot loop allocation-free in steady state: a campaign
+//! worker thread allocates one context and replays every grid cell through
+//! it.
+//!
+//! [`Simulator::run_with`]: crate::exec::Simulator::run_with
+
+use crate::cache::MemoryHierarchy;
+use crate::config::SimConfig;
+use crate::rob::{Inflight, Seq};
+use crate::steer::SourceWidthInfo;
+use hc_predictors::BranchPredictor;
+use hc_trace::Trace;
+use std::collections::VecDeque;
+
+/// Sentinel for "no link" in the dependence arena.
+pub(crate) const NO_LINK: usize = usize::MAX;
+
+/// Number of buckets in the event wheel.  Larger than the longest event
+/// latency of the paper configuration (a main-memory load is under 1000
+/// ticks), so bucket collisions essentially never happen; correctness does
+/// not depend on it (colliding future events are simply left in place).
+const WHEEL_BUCKETS: usize = 1024;
+
+/// Reusable per-run simulator state.  Create once (per worker thread) and
+/// pass to [`Simulator::run_with`] for every run; each run starts from a
+/// cold machine state but reuses every allocation of the previous one.
+///
+/// [`Simulator::run_with`]: crate::exec::Simulator::run_with
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Dense in-flight window slab, indexed by [`Seq`].
+    pub(crate) entries: Vec<Inflight>,
+    /// Head of each entry's dependents chain in [`ExecContext::dep_pool`]
+    /// (`NO_LINK` = no dependents).  Parallel to `entries`.
+    pub(crate) dep_head: Vec<usize>,
+    /// Arena of `(consumer, next)` dependence links: the index-vector
+    /// replacement for the old per-entry `Vec<Seq>` dependents lists.
+    pub(crate) dep_pool: Vec<(Seq, usize)>,
+    /// The reorder buffer (sequence numbers in dispatch order).
+    pub(crate) rob: VecDeque<Seq>,
+    /// In-flight store sequence numbers in dispatch (= age) order: the MOB's
+    /// index, so the load ordering check scans stores only, not the whole
+    /// window.  Squashed stores are skipped lazily and dropped at the next
+    /// store retirement.
+    pub(crate) stores: VecDeque<Seq>,
+    /// Cycle-bucketed completion-event wheel.
+    pub(crate) events: EventWheel,
+    /// Scratch for draining one tick's due events.
+    pub(crate) event_scratch: Vec<Seq>,
+    /// Trace positions forced to the wide cluster after a fatal width
+    /// misprediction, as a dense bitset over trace positions.
+    pub(crate) forced_wide: BitSet,
+    /// Scratch for the steer-context source list, reclaimed after every
+    /// policy call so rename never allocates per µop.
+    pub(crate) steer_sources: Vec<SourceWidthInfo>,
+    /// Scratch sequence buffer for flush recovery.
+    pub(crate) seq_scratch: Vec<Seq>,
+    /// Reused data-memory hierarchy (rebuilt only when the cache geometry
+    /// changes between runs, reset otherwise).
+    pub(crate) mem: MemoryHierarchy,
+    /// Reused branch predictor (reset to untrained between runs).
+    pub(crate) branch_pred: BranchPredictor,
+}
+
+impl ExecContext {
+    /// Create an empty context.  Buffers grow on first use and are kept for
+    /// every later run.
+    pub fn new() -> ExecContext {
+        ExecContext {
+            entries: Vec::new(),
+            dep_head: Vec::new(),
+            dep_pool: Vec::new(),
+            rob: VecDeque::new(),
+            stores: VecDeque::new(),
+            events: EventWheel::new(),
+            event_scratch: Vec::new(),
+            forced_wide: BitSet::new(),
+            steer_sources: Vec::new(),
+            seq_scratch: Vec::new(),
+            mem: MemoryHierarchy::new(&SimConfig::default()),
+            branch_pred: BranchPredictor::default(),
+        }
+    }
+
+    /// Return the context to a cold state for a run of `trace` under `cfg`,
+    /// keeping every allocation.
+    pub(crate) fn prepare(&mut self, cfg: &SimConfig, trace: &Trace) {
+        self.entries.clear();
+        self.dep_head.clear();
+        self.dep_pool.clear();
+        let want = trace.len() + trace.len() / 2;
+        self.entries.reserve(want);
+        self.dep_head.reserve(want);
+        self.rob.clear();
+        self.stores.clear();
+        self.events.reset();
+        self.event_scratch.clear();
+        self.forced_wide.reset(trace.len());
+        self.steer_sources.clear();
+        self.seq_scratch.clear();
+        if self.mem.matches(cfg) {
+            self.mem.reset();
+        } else {
+            self.mem = MemoryHierarchy::new(cfg);
+        }
+        self.branch_pred.reset();
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> ExecContext {
+        ExecContext::new()
+    }
+}
+
+/// A cycle-bucketed event wheel: completion events land in the bucket of
+/// their due tick and are drained exactly at that tick, replacing the old
+/// `BinaryHeap<Reverse<(tick, Seq)>>`.  Draining sorts the (tiny) due set by
+/// sequence number, reproducing the heap's `(tick, seq)` pop order exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct EventWheel {
+    buckets: Vec<Vec<(u64, Seq)>>,
+    pending: usize,
+}
+
+impl EventWheel {
+    fn new() -> EventWheel {
+        EventWheel {
+            buckets: vec![Vec::new(); WHEEL_BUCKETS],
+            pending: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        if self.pending > 0 {
+            for bucket in &mut self.buckets {
+                bucket.clear();
+            }
+            self.pending = 0;
+        }
+    }
+
+    /// Schedule `seq` to complete at tick `due`.
+    pub(crate) fn push(&mut self, due: u64, seq: Seq) {
+        self.buckets[due as usize % WHEEL_BUCKETS].push((due, seq));
+        self.pending += 1;
+    }
+
+    /// Move every event due at `now` into `out`, sorted by sequence number.
+    /// The wheel is drained every tick, so an event's bucket is always
+    /// visited exactly at its due tick; events a full wheel revolution in
+    /// the future (only possible for configurations with latencies beyond
+    /// [`WHEEL_BUCKETS`] ticks) stay in place until their turn.
+    pub(crate) fn drain_due(&mut self, now: u64, out: &mut Vec<Seq>) {
+        out.clear();
+        if self.pending == 0 {
+            return;
+        }
+        let bucket = &mut self.buckets[now as usize % WHEEL_BUCKETS];
+        if bucket.iter().all(|&(due, _)| due == now) {
+            out.extend(bucket.drain(..).map(|(_, seq)| seq));
+        } else {
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].0 <= now {
+                    out.push(bucket.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.pending -= out.len();
+        out.sort_unstable();
+    }
+}
+
+/// A dense bitset over trace positions, replacing the old
+/// `HashSet<usize>` for `forced_wide` with two instructions per query.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// Clear and resize to cover `bits` positions, keeping the allocation.
+    fn reset(&mut self, bits: usize) {
+        self.words.clear();
+        self.words.resize(bits.div_ceil(64), 0);
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_inserts_and_queries() {
+        let mut b = BitSet::new();
+        b.reset(130);
+        assert!(!b.contains(0));
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0));
+        assert!(b.contains(64));
+        assert!(b.contains(129));
+        assert!(!b.contains(1));
+        b.reset(130);
+        assert!(!b.contains(64), "reset must clear previous bits");
+    }
+
+    #[test]
+    fn wheel_drains_in_seq_order_at_the_due_tick() {
+        let mut w = EventWheel::new();
+        let mut out = Vec::new();
+        w.push(5, 9);
+        w.push(5, 3);
+        w.push(6, 1);
+        w.drain_due(4, &mut out);
+        assert!(out.is_empty());
+        w.drain_due(5, &mut out);
+        assert_eq!(out, vec![3, 9]);
+        w.drain_due(6, &mut out);
+        assert_eq!(out, vec![1]);
+        w.drain_due(7, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wheel_keeps_colliding_future_events() {
+        let mut w = EventWheel::new();
+        let mut out = Vec::new();
+        // Same bucket (1024 apart), different due ticks.
+        w.push(10, 1);
+        w.push(10 + WHEEL_BUCKETS as u64, 2);
+        w.drain_due(10, &mut out);
+        assert_eq!(out, vec![1]);
+        w.drain_due(10 + WHEEL_BUCKETS as u64, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn context_prepare_is_idempotent() {
+        use hc_trace::{KernelKind, WorkloadProfile};
+        let trace = WorkloadProfile::new("ctx-test", vec![(KernelKind::WordSum, 1.0)])
+            .with_trace_len(500)
+            .generate();
+        let cfg = SimConfig::paper_baseline();
+        let mut ctx = ExecContext::new();
+        ctx.prepare(&cfg, &trace);
+        ctx.entries.push(Inflight::new(
+            0,
+            crate::rob::Role::Trace { pos: 0 },
+            trace.uops[0],
+            crate::steer::Cluster::Wide,
+        ));
+        ctx.events.push(3, 0);
+        ctx.prepare(&cfg, &trace);
+        assert!(ctx.entries.is_empty());
+        assert_eq!(ctx.events.pending, 0);
+    }
+}

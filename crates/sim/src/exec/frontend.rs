@@ -1,0 +1,162 @@
+//! Frontend: fetch/rename pacing and the per-µop steering decision.
+//!
+//! Once per wide cycle the frontend renames up to `rename_width` trace µops:
+//! it fills a [`SteerContext`] from the rename tables (reusing the context's
+//! source-info buffer, so this stage never allocates per µop), asks the
+//! policy for a [`SteerDecision`], sanitizes it against structural limits,
+//! and hands the µop to [`rename`](super::rename) for dispatch.
+
+use super::{Machine, SPLIT_CHUNKS};
+use crate::rob::UopState;
+use crate::steer::{Cluster, SourceWidthInfo, SteerContext, SteerDecision};
+use hc_isa::reg::ArchReg;
+use hc_isa::uop::UopKind;
+use hc_isa::DynUop;
+
+impl Machine<'_> {
+    pub(crate) fn rename_and_dispatch(&mut self) {
+        if self.tick < self.frontend_stall_until || self.branch_stall.is_some() {
+            return;
+        }
+        let mut renamed = 0usize;
+        while renamed < self.cfg.rename_width && self.next_pos < self.trace.len() {
+            // Window space: worst case a split needs chunks + copies entries.
+            if self.ctx.rob.len() + SPLIT_CHUNKS * 2 + 2 > self.cfg.rob_entries {
+                break;
+            }
+            let pos = self.next_pos;
+            let duop = self.trace.uops[pos];
+            let sctx = self.build_context(&duop, pos);
+            self.stats.energy.predictor_accesses += 1;
+            let mut decision = self.policy.steer(&duop, &sctx);
+            // Reclaim the source-info buffer so the next µop fills it in place.
+            self.ctx.steer_sources = sctx.sources;
+            self.sanitize_decision(&duop, &mut decision);
+
+            // Issue-queue admission check.
+            if !self.iq_has_room(&duop, &decision) {
+                break;
+            }
+
+            if decision.split && duop.uop.kind.is_simple_alu() {
+                self.dispatch_split(pos, &duop, &decision);
+            } else {
+                self.dispatch_normal(pos, &duop, &decision);
+            }
+            self.next_pos += 1;
+            renamed += 1;
+
+            if self.branch_stall.is_some() {
+                break; // mispredicted branch: stop fetching younger work
+            }
+        }
+    }
+
+    /// Whether this µop's steering is forced wide by the decision context
+    /// (helper missing, wide-only kind, or a post-flush resteer).
+    fn forced_wide(&self, duop: &DynUop, pos: usize) -> bool {
+        let helper_ok = self.cfg.helper_enabled && self.policy.uses_helper();
+        !helper_ok || duop.uop.kind.wide_only() || self.ctx.forced_wide.contains(pos)
+    }
+
+    fn sanitize_decision(&self, duop: &DynUop, d: &mut SteerDecision) {
+        if self.forced_wide(duop, self.next_pos) {
+            d.cluster = Cluster::Wide;
+            d.helper_mode = None;
+            d.split = false;
+        }
+        if d.cluster == Cluster::Wide {
+            d.helper_mode = None;
+            if !duop.uop.kind.is_simple_alu() {
+                d.split = false;
+            }
+        }
+        if d.split && !duop.uop.kind.is_simple_alu() {
+            d.split = false;
+        }
+    }
+
+    fn iq_has_room(&self, duop: &DynUop, d: &SteerDecision) -> bool {
+        let needed_helper;
+        let mut needed_wide_int = 0usize;
+        let mut needed_wide_fp = 0usize;
+        if matches!(duop.uop.kind, UopKind::Fp) {
+            needed_wide_fp += 1;
+            needed_helper = 0;
+        } else if d.split {
+            // chunks in the helper IQ + copies (also helper IQ, they execute at
+            // the producer side).
+            needed_helper = SPLIT_CHUNKS * 2;
+        } else {
+            match d.cluster {
+                Cluster::Wide => {
+                    needed_wide_int += 1;
+                    needed_helper = 0;
+                }
+                Cluster::Helper => needed_helper = 1,
+            }
+        }
+        // Conservative slack of 2 for source copies that dispatch may create.
+        self.wide_int_iq + needed_wide_int + 2 <= self.cfg.int_iq_entries
+            && self.wide_fp_iq + needed_wide_fp <= self.cfg.fp_iq_entries
+            && (!self.cfg.helper_enabled
+                || self.helper_iq + needed_helper + 2 <= self.cfg.helper_iq_entries)
+    }
+
+    /// Fill a [`SteerContext`] for `duop`, reusing the context's source-info
+    /// buffer (the caller hands `sources` back after the policy call).
+    fn build_context(&mut self, duop: &DynUop, pos: usize) -> SteerContext {
+        let mut sources = std::mem::take(&mut self.ctx.steer_sources);
+        sources.clear();
+        for src in duop.uop.sources() {
+            sources.push(self.source_info(src));
+        }
+        let flags_producer = if duop.uop.reads_flags {
+            match self.flags_map {
+                Some(e) => Some(self.ctx.entries[e.seq as usize].cluster),
+                None => Some(self.flags_loc),
+            }
+        } else {
+            None
+        };
+        SteerContext {
+            sources,
+            imm_narrow: duop.uop.imm.map(|v| v.is_narrow()),
+            flags_producer,
+            wide_iq_occupancy: self.wide_int_iq,
+            helper_iq_occupancy: self.helper_iq,
+            wide_iq_capacity: self.cfg.int_iq_entries,
+            helper_iq_capacity: self.cfg.helper_iq_entries,
+            wide_to_narrow_imbalance: self.nready.recent_wide_to_narrow(),
+            narrow_to_wide_imbalance: self.nready.recent_narrow_to_wide(),
+            helper_available: self.cfg.helper_enabled && self.policy.uses_helper(),
+            forced_wide: self.ctx.forced_wide.contains(pos),
+        }
+    }
+
+    fn source_info(&self, src: ArchReg) -> SourceWidthInfo {
+        match self.rename_map[src.index()] {
+            Some(e) => {
+                let p = &self.ctx.entries[e.seq as usize];
+                if p.state == UopState::Completed {
+                    SourceWidthInfo {
+                        narrow: p.uop.result.map(|v| v.is_narrow()).unwrap_or(false),
+                        actual: true,
+                        producer_cluster: Some(p.cluster),
+                    }
+                } else {
+                    SourceWidthInfo {
+                        narrow: p.predicted_narrow.unwrap_or(false),
+                        actual: false,
+                        producer_cluster: Some(p.cluster),
+                    }
+                }
+            }
+            None => SourceWidthInfo {
+                narrow: self.arch_narrow[src.index()],
+                actual: true,
+                producer_cluster: Some(self.arch_loc[src.index()]),
+            },
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Issue/backend: per-cluster wakeup and select, execution latencies, fatal
+//! width-violation detection at issue, and completion-event processing.
+//!
+//! The select loop walks the reorder buffer *in place* (the ROB is not
+//! mutated during issue), and completion events are drained from the
+//! context's cycle-bucketed event wheel into a reused scratch buffer — the
+//! old per-tick ROB snapshot vector and `BinaryHeap` churn are gone.
+
+use super::Machine;
+use crate::rob::{Role, Seq, UopState};
+use crate::steer::{Cluster, HelperMode};
+use hc_isa::uop::UopKind;
+use hc_isa::DynUop;
+
+impl Machine<'_> {
+    // ---------------------------------------------------------- completion
+
+    pub(crate) fn complete_at(&mut self, now: u64) {
+        let mut due = std::mem::take(&mut self.ctx.event_scratch);
+        self.ctx.events.drain_due(now, &mut due);
+        for &seq in &due {
+            let idx = seq as usize;
+            if self.ctx.entries[idx].state != UopState::Issued {
+                continue; // squashed after issue
+            }
+            self.ctx.entries[idx].state = UopState::Completed;
+            // Register-file write energy.
+            if self.ctx.entries[idx].uop.uop.has_dest() {
+                match self.ctx.entries[idx].cluster {
+                    Cluster::Wide => self.stats.energy.wide_rf_writes += 1,
+                    Cluster::Helper => self.stats.energy.helper_rf_writes += 1,
+                }
+            }
+            if matches!(self.ctx.entries[idx].role, Role::Copy { .. }) {
+                self.stats.energy.copy_transfers += 1;
+            }
+            // Wake dependents by walking this entry's chain in the link arena.
+            let mut link = self.ctx.dep_head[idx];
+            self.ctx.dep_head[idx] = super::context::NO_LINK;
+            while link != super::context::NO_LINK {
+                let (consumer, next) = self.ctx.dep_pool[link];
+                let entry = &mut self.ctx.entries[consumer as usize];
+                if entry.alive() && entry.satisfy_dep() {
+                    self.ready_count[entry.cluster.index()][entry.is_fp as usize] += 1;
+                }
+                link = next;
+            }
+            // Branch-stall release.
+            if self.branch_stall == Some(seq) {
+                self.branch_stall = None;
+                self.frontend_stall_until = self.frontend_stall_until.max(
+                    now + self
+                        .cfg
+                        .wide_cycles_to_ticks(self.cfg.branch_mispredict_penalty),
+                );
+            }
+        }
+        self.ctx.event_scratch = due;
+    }
+
+    // --------------------------------------------------------------- issue
+
+    pub(crate) fn issue_cluster(&mut self, cluster: Cluster) {
+        let (int_width, fp_width) = match cluster {
+            Cluster::Wide => (self.cfg.int_issue_width, self.cfg.fp_issue_width),
+            Cluster::Helper => (self.cfg.helper_issue_width, 0),
+        };
+        let mut int_used = 0usize;
+        let mut fp_used = 0usize;
+        let mut fatal: Option<(Seq, usize)> = None;
+        // Ready entries of this cluster not yet encountered by the scan;
+        // once it reaches zero the remaining (younger) window holds nothing
+        // issuable and the walk can stop without changing the select order.
+        let mut unseen_ready =
+            self.ready_count[cluster.index()][0] + self.ready_count[cluster.index()][1];
+
+        // The ROB is only mutated by commit and recovery, never during issue,
+        // so the select loop can walk it by index without a snapshot.
+        for rob_idx in 0..self.ctx.rob.len() {
+            if unseen_ready == 0 {
+                break;
+            }
+            if int_used >= int_width && (fp_width == 0 || fp_used >= fp_width) {
+                break;
+            }
+            let seq = self.ctx.rob[rob_idx];
+            let idx = seq as usize;
+            if !self.ctx.entries[idx].alive()
+                || self.ctx.entries[idx].cluster != cluster
+                || self.ctx.entries[idx].state != UopState::Ready
+            {
+                continue;
+            }
+            unseen_ready -= 1;
+            let is_fp = self.ctx.entries[idx].is_fp;
+            // Copy µops have their own scheduling resources (Canal/Parcerisa/
+            // González scheme, see §4): they do not compete with regular µops
+            // for issue slots.
+            let is_copy = matches!(self.ctx.entries[idx].uop.uop.kind, UopKind::Copy);
+            if is_fp {
+                if fp_used >= fp_width {
+                    continue;
+                }
+            } else if int_used >= int_width && !is_copy {
+                continue;
+            }
+
+            // Memory ordering: a load may not issue past an older,
+            // not-yet-completed overlapping store.
+            let mut forward = false;
+            if self.ctx.entries[idx].uop.uop.kind.is_load() {
+                match self.memory_order_check(seq) {
+                    super::memory::MemOrder::Blocked => continue,
+                    super::memory::MemOrder::Forwarded => forward = true,
+                    super::memory::MemOrder::Clear => {}
+                }
+            }
+
+            // Fatal width misprediction detection: the helper cluster's
+            // zero/carry detectors catch a value that does not fit as the µop
+            // executes (§3.2 / §3.5).
+            if cluster == Cluster::Helper && self.is_fatal_width_violation(idx) {
+                fatal = Some((
+                    seq,
+                    self.ctx.entries[idx].trace_pos().unwrap_or(self.next_pos),
+                ));
+                break;
+            }
+
+            // Issue.
+            let latency = self.latency_ticks(idx, forward);
+            self.ctx.entries[idx].state = UopState::Issued;
+            self.ctx.entries[idx].complete_tick = self.tick + latency;
+            self.ready_count[cluster.index()][is_fp as usize] -= 1;
+            self.ctx.events.push(self.tick + latency, seq);
+            self.release_iq_slot(idx);
+            if is_fp {
+                fp_used += 1;
+                self.stats.energy.fp_ops += 1;
+            } else if !is_copy {
+                int_used += 1;
+                match cluster {
+                    Cluster::Wide => self.stats.energy.wide_alu_ops += 1,
+                    Cluster::Helper => self.stats.energy.helper_alu_ops += 1,
+                }
+            }
+            let nsrc = self.ctx.entries[idx].uop.uop.num_sources() as u64;
+            match cluster {
+                Cluster::Wide => self.stats.energy.wide_rf_reads += nsrc,
+                Cluster::Helper => self.stats.energy.helper_rf_reads += nsrc,
+            }
+        }
+
+        if let Some((seq, pos)) = fatal {
+            self.handle_fatal_width_mispredict(seq, pos);
+        }
+    }
+
+    pub(crate) fn release_iq_slot(&mut self, idx: usize) {
+        match (self.ctx.entries[idx].cluster, self.ctx.entries[idx].is_fp) {
+            (Cluster::Wide, false) => self.wide_int_iq = self.wide_int_iq.saturating_sub(1),
+            (Cluster::Wide, true) => self.wide_fp_iq = self.wide_fp_iq.saturating_sub(1),
+            (Cluster::Helper, _) => self.helper_iq = self.helper_iq.saturating_sub(1),
+        }
+    }
+
+    fn is_fatal_width_violation(&self, idx: usize) -> bool {
+        let e = &self.ctx.entries[idx];
+        match e.helper_mode {
+            Some(HelperMode::AllNarrow) => !e.uop.is_all_narrow(),
+            Some(HelperMode::CarryFree) => {
+                !(e.uop.is_all_narrow()
+                    || e.uop.is_carry_free_8_32_32()
+                    || Self::address_carry_free(&e.uop))
+            }
+            // Branches, split chunks and copies cannot violate widths.
+            _ => false,
+        }
+    }
+
+    /// CR eligibility check for loads/stores: the *address computation* stays
+    /// within the low byte of the wide base.
+    pub(crate) fn address_carry_free(uop: &DynUop) -> bool {
+        if !uop.uop.kind.is_mem() {
+            return false;
+        }
+        let mut wide: Option<hc_isa::Value> = None;
+        let mut wide_count = 0usize;
+        let mut sum = hc_isa::Value::ZERO;
+        for v in uop.source_values_iter().chain(uop.uop.imm) {
+            sum = sum + v;
+            if !v.is_narrow() {
+                wide_count += 1;
+                wide = Some(v);
+            }
+        }
+        wide_count == 1 && wide.map(|w| w.upper_bits()) == Some(sum.upper_bits())
+    }
+
+    fn latency_ticks(&mut self, idx: usize, forwarded: bool) -> u64 {
+        let cluster = self.ctx.entries[idx].cluster;
+        let ratio = self.ratio();
+        let own_cycle = match cluster {
+            Cluster::Wide => ratio,
+            Cluster::Helper => 1,
+        };
+        let kind = self.ctx.entries[idx].uop.uop.kind;
+        match kind {
+            UopKind::Alu(_) | UopKind::Nop | UopKind::CondBranch(_) | UopKind::Jump => own_cycle,
+            // Copies ride the inter-cluster bypass: latency is expressed in
+            // helper ticks (half wide cycles), matching the synchronised 2:1
+            // clock of §2.2.
+            UopKind::Copy => (self.cfg.copy_latency as u64).max(1),
+            UopKind::Mul => self.cfg.wide_cycles_to_ticks(self.cfg.mul_latency),
+            UopKind::Div => self.cfg.wide_cycles_to_ticks(self.cfg.div_latency),
+            UopKind::Fp => self.cfg.wide_cycles_to_ticks(self.cfg.fp_latency),
+            UopKind::Load(_) => {
+                let addr = self.ctx.entries[idx].mem_addr.unwrap_or(0);
+                let mem_cycles = if forwarded {
+                    self.cfg.forward_latency
+                } else {
+                    self.ctx.mem.access(addr)
+                };
+                // AGU in the issuing cluster + cache access at wide-cluster speed.
+                own_cycle + self.cfg.wide_cycles_to_ticks(mem_cycles)
+            }
+            UopKind::Store(_) => {
+                // Address generation only; data is written at commit.
+                own_cycle
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Memory ordering: the single MOB's load/store disambiguation check with
+//! store-to-load forwarding.
+
+use super::Machine;
+use crate::rob::{Seq, UopState};
+
+/// Result of the memory-order check for a load.
+pub(crate) enum MemOrder {
+    /// No conflicting older store: access the cache.
+    Clear,
+    /// An older overlapping store has completed: forward its data.
+    Forwarded,
+    /// An older overlapping store is still pending: the load must wait.
+    Blocked,
+}
+
+impl Machine<'_> {
+    pub(crate) fn memory_order_check(&self, load_seq: Seq) -> MemOrder {
+        let load_idx = load_seq as usize;
+        let load_mem = match self.ctx.entries[load_idx].uop.mem {
+            Some(m) => m,
+            None => return MemOrder::Clear,
+        };
+        // The store index holds exactly the in-flight stores in age order, so
+        // this walks the same stores the full ROB scan used to, in the same
+        // order — squashed leftovers are skipped like the ROB scan skipped
+        // dead entries.
+        for &seq in self.ctx.stores.iter() {
+            if seq >= load_seq {
+                break;
+            }
+            let idx = seq as usize;
+            let e = &self.ctx.entries[idx];
+            if !e.alive() {
+                continue;
+            }
+            if let Some(smem) = e.uop.mem {
+                if smem.overlaps(&load_mem) {
+                    return if e.state == UopState::Completed {
+                        MemOrder::Forwarded
+                    } else {
+                        MemOrder::Blocked
+                    };
+                }
+            }
+        }
+        MemOrder::Clear
+    }
+}

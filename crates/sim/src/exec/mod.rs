@@ -1,0 +1,481 @@
+//! The staged cycle-level clustered out-of-order pipeline.
+//!
+//! The simulator is trace driven: it replays a [`Trace`] through a model of a
+//! Pentium-4-like core (Table 1) extended with the 8-bit helper backend of §2,
+//! honouring the steering decisions of a [`SteeringPolicy`].
+//!
+//! # Stages
+//!
+//! The engine is split into one module per pipeline concern:
+//!
+//! * [`frontend`] — fetch/rename pacing, the steer-context fill and the
+//!   policy call;
+//! * [`rename`] — window allocation, dependence tracking, inter-cluster
+//!   value routing (copy µops) and dispatch;
+//! * [`issue`] — per-cluster wakeup/select, latencies and completion;
+//! * [`memory`] — the load/store ordering check (MOB);
+//! * [`commit`] — in-order retirement and width-outcome accounting;
+//! * [`recovery`] — the fatal-width-misprediction flush;
+//! * [`context`] — the reusable [`ExecContext`] arena all of them run in.
+//!
+//! # Clocking
+//!
+//! Time advances in *ticks* — helper-cluster cycles.  A wide-cluster cycle is
+//! `helper_clock_ratio` ticks (2 in the paper).  Frontend, commit, and the
+//! wide backend operate once per wide cycle; the helper backend issues every
+//! tick, which is exactly the "2× faster narrow backend with synchronised
+//! clocks" design of §2.2.
+//!
+//! # What is modelled
+//!
+//! * per-cluster issue queues with limited entries and issue width,
+//! * register dependences through a rename map, including the flags register,
+//! * inter-cluster communication through copy µops steered to the producer's
+//!   backend (Canal/Parcerisa/González scheme), plus copy prefetching,
+//! * load replication (LR) and wide-instruction splitting (IR),
+//! * a shared memory hierarchy (DL0/UL1/main memory) and a single MOB with
+//!   store-to-load forwarding,
+//! * branch direction prediction with frontend redirect stalls,
+//! * fatal width-misprediction detection with a flush-and-resteer recovery,
+//! * the NREADY imbalance metric and energy event counting.
+//!
+//! # The no-allocation-per-tick invariant
+//!
+//! Every structure the per-tick loop touches lives in the reusable
+//! [`ExecContext`] arena: the window slab, the dependence-link arena, the
+//! event wheel, the `forced_wide` bitset and all scratch buffers.  After the
+//! first run warms a context, steady-state simulation performs no heap
+//! allocation per tick or per µop — only rare cold-path events (window
+//! growth beyond any previous run, an event-wheel bucket outgrowing its
+//! capacity) can allocate.  Keep it that way: new per-µop state belongs in
+//! the slab or an arena, not in per-entry `Vec`s, and per-tick scratch
+//! belongs in [`ExecContext`].
+
+pub mod commit;
+pub mod context;
+pub mod frontend;
+pub mod issue;
+pub mod memory;
+pub mod recovery;
+pub mod rename;
+
+pub use context::ExecContext;
+
+use crate::config::{ConfigError, SimConfig};
+use crate::imbalance::NReadyAccumulator;
+use crate::rob::Seq;
+use crate::stats::SimStats;
+use crate::steer::{Cluster, SteeringPolicy};
+use hc_isa::reg::NUM_ARCH_REGS;
+use hc_trace::Trace;
+
+/// Number of chunks a wide instruction is split into by the IR scheme.
+pub(crate) const SPLIT_CHUNKS: usize = 4;
+
+/// The simulator: construct once per configuration, then run as many traces /
+/// policies as needed — with [`Simulator::run_with`] and a reused
+/// [`ExecContext`] for allocation-free steady state, or [`Simulator::run`]
+/// for one-off convenience.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Create a simulator after validating the configuration.
+    pub fn new(config: SimConfig) -> Result<Simulator, ConfigError> {
+        config.validate()?;
+        Ok(Simulator { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Run `trace` under `policy` and return the measured statistics.
+    ///
+    /// Convenience wrapper over [`Simulator::run_with`] that allocates a
+    /// fresh [`ExecContext`] per call; batch callers should create one
+    /// context per worker thread and reuse it.
+    pub fn run(&self, trace: &Trace, policy: &mut dyn SteeringPolicy) -> SimStats {
+        let mut ctx = ExecContext::new();
+        self.run_with(&mut ctx, trace, policy)
+    }
+
+    /// Run `trace` under `policy` inside a reused [`ExecContext`].
+    ///
+    /// The context is returned to a cold machine state first, so results are
+    /// independent of whatever ran in it before — reusing one context across
+    /// runs is bit-identical to fresh contexts, just without the per-run
+    /// allocations.
+    pub fn run_with(
+        &self,
+        ctx: &mut ExecContext,
+        trace: &Trace,
+        policy: &mut dyn SteeringPolicy,
+    ) -> SimStats {
+        ctx.prepare(&self.config, trace);
+        let mut m = Machine::new(&self.config, trace, policy, ctx);
+        m.run();
+        m.into_stats()
+    }
+}
+
+/// Rename-table entry: the in-flight producer of an architectural register.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RenameEntry {
+    pub(crate) seq: Seq,
+}
+
+/// One run's machine state: borrows the configuration, trace, policy and the
+/// reusable [`ExecContext`] arena; owns only the fixed-size per-run scalars
+/// (rename tables, clocks, counters).
+pub(crate) struct Machine<'a> {
+    pub(crate) cfg: &'a SimConfig,
+    pub(crate) trace: &'a Trace,
+    pub(crate) policy: &'a mut dyn SteeringPolicy,
+    pub(crate) ctx: &'a mut ExecContext,
+
+    // Rename state.
+    pub(crate) rename_map: [Option<RenameEntry>; NUM_ARCH_REGS],
+    pub(crate) flags_map: Option<RenameEntry>,
+    pub(crate) arch_loc: [Cluster; NUM_ARCH_REGS],
+    pub(crate) arch_replicated: [bool; NUM_ARCH_REGS],
+    pub(crate) arch_narrow: [bool; NUM_ARCH_REGS],
+    pub(crate) flags_loc: Cluster,
+    /// Current copy-slot epoch; a flush bumps it to invalidate every cached
+    /// copy mapping at once (see [`crate::rob::Inflight`]).
+    pub(crate) copy_epoch: u32,
+
+    // Issue-queue occupancy.
+    pub(crate) wide_int_iq: usize,
+    pub(crate) wide_fp_iq: usize,
+    pub(crate) helper_iq: usize,
+    /// Alive `Ready` (not yet issued) entries, indexed `[cluster][is_fp]`.
+    /// Lets the select loop stop scanning once every ready entry of a
+    /// cluster has been seen, and makes the NREADY sample O(1).
+    pub(crate) ready_count: [[usize; 2]; 2],
+
+    // Frontend.
+    pub(crate) next_pos: usize,
+    pub(crate) frontend_stall_until: u64,
+    pub(crate) branch_stall: Option<Seq>,
+
+    // Time.
+    pub(crate) tick: u64,
+    pub(crate) cycles: u64,
+
+    // Measurement.
+    pub(crate) nready: NReadyAccumulator,
+    pub(crate) stats: SimStats,
+    pub(crate) committed_trace_uops: usize,
+}
+
+impl<'a> Machine<'a> {
+    fn new(
+        cfg: &'a SimConfig,
+        trace: &'a Trace,
+        policy: &'a mut dyn SteeringPolicy,
+        ctx: &'a mut ExecContext,
+    ) -> Self {
+        let stats = SimStats {
+            policy: policy.name().to_string(),
+            trace: trace.name.clone(),
+            ..SimStats::default()
+        };
+        Machine {
+            cfg,
+            trace,
+            policy,
+            ctx,
+            rename_map: [None; NUM_ARCH_REGS],
+            flags_map: None,
+            arch_loc: [Cluster::Wide; NUM_ARCH_REGS],
+            arch_replicated: [false; NUM_ARCH_REGS],
+            arch_narrow: [false; NUM_ARCH_REGS],
+            flags_loc: Cluster::Wide,
+            copy_epoch: 1, // entries start at epoch 0 = "no cached copies"
+            wide_int_iq: 0,
+            wide_fp_iq: 0,
+            helper_iq: 0,
+            ready_count: [[0; 2]; 2],
+            next_pos: 0,
+            frontend_stall_until: 0,
+            branch_stall: None,
+            tick: 0,
+            cycles: 0,
+            nready: NReadyAccumulator::new(4096),
+            stats,
+            committed_trace_uops: 0,
+        }
+    }
+
+    pub(crate) fn ratio(&self) -> u64 {
+        self.cfg.ticks_per_wide_cycle()
+    }
+
+    // ----------------------------------------------------------------- run
+
+    fn run(&mut self) {
+        if self.trace.is_empty() {
+            return;
+        }
+        // Hard bound so a modelling bug can never hang the caller.
+        let max_cycles = (self.trace.len() as u64 + 1_000) * 600;
+        while self.committed_trace_uops < self.trace.len() && self.cycles < max_cycles {
+            self.step_wide_cycle();
+        }
+        debug_assert!(
+            self.committed_trace_uops >= self.trace.len(),
+            "simulation did not retire the whole trace within the cycle bound"
+        );
+    }
+
+    fn step_wide_cycle(&mut self) {
+        let ratio = self.ratio();
+        for sub in 0..ratio {
+            self.complete_at(self.tick);
+            if self.cfg.helper_enabled && self.policy.uses_helper() {
+                self.issue_cluster(Cluster::Helper);
+            }
+            if sub == 0 {
+                self.issue_cluster(Cluster::Wide);
+            }
+            self.tick += 1;
+        }
+        self.commit();
+        self.rename_and_dispatch();
+        self.sample_nready();
+        self.cycles += 1;
+        self.stats.energy.wide_cycles += 1;
+        self.stats.energy.helper_cycles += ratio;
+    }
+
+    // ------------------------------------------------------------- metrics
+
+    fn sample_nready(&mut self) {
+        if !self.cfg.helper_enabled || !self.policy.uses_helper() {
+            return;
+        }
+        // The occupancy and ready counters maintained by dispatch/issue/flush
+        // are exactly the quantities the old O(window) ROB walk recomputed:
+        // `wide_int_iq`/`helper_iq` count alive integer entries still holding
+        // an IQ slot, `ready_count` the alive not-yet-issued ready entries.
+        let wide_ready = self.ready_count[Cluster::Wide.index()][0];
+        let helper_ready = self.ready_count[Cluster::Helper.index()][0];
+        let considered = self.wide_int_iq + self.helper_iq;
+        // Free slots next cycle approximated by the issue widths.
+        let wide_free = self.cfg.int_issue_width;
+        let helper_free = self.cfg.helper_issue_width * self.ratio() as usize;
+        self.nready
+            .record(wide_ready, wide_free, helper_ready, helper_free, considered);
+    }
+
+    fn into_stats(self) -> SimStats {
+        let mut stats = self.stats;
+        stats.cycles = self.cycles;
+        stats.ticks = self.tick;
+        stats.imbalance = self.nready.stats();
+        stats.dl0 = self.ctx.mem.dl0_stats();
+        stats.ul1 = self.ctx.mem.ul1_stats();
+        stats.energy.dl0_accesses = stats.dl0.accesses;
+        stats.energy.ul1_accesses = stats.ul1.accesses;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steer::{
+        AlwaysWide, HelperMode, SteerContext, SteerDecision, SteeringPolicy, WritebackInfo,
+    };
+    use hc_isa::DynUop;
+    use hc_trace::{KernelKind, SpecBenchmark, WorkloadProfile};
+
+    fn small_trace(len: usize) -> Trace {
+        WorkloadProfile::new(
+            "pipe-test",
+            vec![
+                (KernelKind::ByteHistogram, 1.0),
+                (KernelKind::TokenScan, 1.0),
+            ],
+        )
+        .with_trace_len(len)
+        .generate()
+    }
+
+    #[test]
+    fn baseline_retires_every_trace_uop() {
+        let trace = small_trace(3_000);
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(stats.committed_uops, 3_000);
+        assert_eq!(stats.helper_uops, 0);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.1, "IPC unreasonably low: {}", stats.ipc());
+        assert!(stats.ipc() <= 6.0, "IPC cannot exceed commit width");
+    }
+
+    #[test]
+    fn baseline_generates_no_copies_or_splits() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(stats.copy_uops, 0);
+        assert_eq!(stats.split_uops, 0);
+        assert_eq!(stats.fatal_width_mispredicts, 0);
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let a = sim.run(&trace, &mut AlwaysWide);
+        let b = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed_uops, b.committed_uops);
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let trace = Trace::new("empty");
+        let sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut AlwaysWide);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.committed_uops, 0);
+    }
+
+    /// A test-only policy that steers ground-truth-narrow µops to the helper
+    /// cluster (an oracle 8-8-8 policy).
+    struct OracleNarrow;
+    impl SteeringPolicy for OracleNarrow {
+        fn name(&self) -> &str {
+            "oracle-888"
+        }
+        fn steer(&mut self, uop: &DynUop, ctx: &SteerContext) -> SteerDecision {
+            if ctx.helper_available
+                && !ctx.forced_wide
+                && uop.is_all_narrow()
+                && !uop.uop.kind.wide_only()
+            {
+                SteerDecision::helper(HelperMode::AllNarrow).with_dest_prediction(true)
+            } else {
+                SteerDecision::wide()
+            }
+        }
+        fn on_writeback(&mut self, _u: &DynUop, _i: WritebackInfo) {}
+    }
+
+    #[test]
+    fn oracle_narrow_policy_uses_helper_and_never_flushes() {
+        let trace = small_trace(3_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut OracleNarrow);
+        assert_eq!(stats.committed_uops, 3_000);
+        assert!(
+            stats.helper_uops > 0,
+            "oracle should steer some µops narrow"
+        );
+        assert_eq!(
+            stats.fatal_width_mispredicts, 0,
+            "oracle decisions can never be fatally wrong"
+        );
+    }
+
+    #[test]
+    fn oracle_narrow_speeds_up_narrow_heavy_code() {
+        let trace = SpecBenchmark::Gzip.trace(6_000);
+        let base_sim = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let helper_sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let base = base_sim.run(&trace, &mut AlwaysWide);
+        let helper = helper_sim.run(&trace, &mut OracleNarrow);
+        assert_eq!(base.committed_uops, helper.committed_uops);
+        let speedup = helper.speedup_over(&base);
+        assert!(
+            speedup > 0.95,
+            "helper cluster should not slow narrow-heavy code down much, got {speedup:.3}"
+        );
+    }
+
+    /// A deliberately wrong policy: steers everything to the helper cluster as
+    /// "all narrow".  Wide values must then trigger fatal mispredictions.
+    struct RecklessNarrow;
+    impl SteeringPolicy for RecklessNarrow {
+        fn name(&self) -> &str {
+            "reckless"
+        }
+        fn steer(&mut self, uop: &DynUop, ctx: &SteerContext) -> SteerDecision {
+            if ctx.helper_available && !ctx.forced_wide && !uop.uop.kind.wide_only() {
+                SteerDecision::helper(HelperMode::AllNarrow)
+            } else {
+                SteerDecision::wide()
+            }
+        }
+        fn on_writeback(&mut self, _u: &DynUop, _i: WritebackInfo) {}
+    }
+
+    #[test]
+    fn wrong_steering_triggers_fatal_mispredictions_and_still_completes() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut RecklessNarrow);
+        assert_eq!(stats.committed_uops, 2_000, "flushes must not lose µops");
+        assert!(
+            stats.fatal_width_mispredicts > 0,
+            "wide values steered narrow must be caught"
+        );
+    }
+
+    #[test]
+    fn copies_are_generated_when_values_cross_clusters() {
+        let trace = small_trace(3_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut OracleNarrow);
+        assert!(
+            stats.copy_uops > 0,
+            "narrow producers feeding wide consumers require copies"
+        );
+    }
+
+    #[test]
+    fn stats_fractions_are_consistent() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let stats = sim.run(&trace, &mut OracleNarrow);
+        assert_eq!(stats.helper_uops + stats.wide_uops, stats.committed_uops);
+        assert!(stats.helper_fraction() <= 1.0);
+        assert!(stats.ticks >= stats.cycles * 2);
+    }
+
+    #[test]
+    fn reused_context_is_bit_identical_to_fresh_contexts() {
+        let traces = [small_trace(1_500), SpecBenchmark::Gzip.trace(1_500)];
+        let helper = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let baseline = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let mut ctx = ExecContext::new();
+        for trace in &traces {
+            // Interleave configurations and policies through ONE context and
+            // compare against fresh-context runs.
+            let a = helper.run_with(&mut ctx, trace, &mut OracleNarrow);
+            let b = baseline.run_with(&mut ctx, trace, &mut AlwaysWide);
+            let c = helper.run_with(&mut ctx, trace, &mut RecklessNarrow);
+            assert_eq!(a, helper.run(trace, &mut OracleNarrow));
+            assert_eq!(b, baseline.run(trace, &mut AlwaysWide));
+            assert_eq!(c, helper.run(trace, &mut RecklessNarrow));
+        }
+    }
+
+    #[test]
+    fn repeated_runs_through_one_context_are_identical() {
+        let trace = small_trace(2_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let mut ctx = ExecContext::new();
+        let first = sim.run_with(&mut ctx, &trace, &mut OracleNarrow);
+        for _ in 0..3 {
+            let again = sim.run_with(&mut ctx, &trace, &mut OracleNarrow);
+            assert_eq!(first, again, "context reuse must not leak state");
+        }
+    }
+}

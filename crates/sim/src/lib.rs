@@ -15,16 +15,16 @@
 
 pub mod cache;
 pub mod config;
+pub mod exec;
 pub mod imbalance;
-pub mod pipeline;
 pub mod rob;
 pub mod stats;
 pub mod steer;
 
 pub use cache::{MemoryHierarchy, SetAssocCache};
 pub use config::{CacheConfig, ConfigError, SimConfig};
+pub use exec::{ExecContext, Simulator};
 pub use imbalance::NReadyAccumulator;
-pub use pipeline::Simulator;
 pub use stats::{EnergyEvents, ImbalanceStats, SimStats};
 pub use steer::{
     AlwaysWide, Cluster, HelperMode, SourceWidthInfo, SteerContext, SteerDecision, SteeringPolicy,

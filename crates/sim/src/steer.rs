@@ -30,6 +30,15 @@ impl Cluster {
             Cluster::Helper => Cluster::Wide,
         }
     }
+
+    /// Dense index of the cluster (`Wide` = 0, `Helper` = 1), usable as an
+    /// array subscript for per-cluster tables.
+    pub fn index(self) -> usize {
+        match self {
+            Cluster::Wide => 0,
+            Cluster::Helper => 1,
+        }
+    }
 }
 
 /// Why a µop was sent to the helper cluster; determines which ground-truth

@@ -1,5 +1,5 @@
-//! Interpreter that executes a kernel [`Program`](crate::program::Program) and
-//! records the resulting dynamic µop trace.
+//! Interpreter that executes a kernel [`Program`] and records the resulting
+//! dynamic µop trace.
 //!
 //! The interpreter is *functional*, not timed: it computes real values,
 //! addresses, flags and branch outcomes and records one [`DynUop`] per lowered

@@ -82,7 +82,7 @@ impl WorkloadProfile {
     ///
     /// Each kernel in the mix is interpreted long enough to supply its share
     /// of the requested µop count; the per-kernel segments are then
-    /// interleaved over [`PHASES`] rounds so the trace alternates between
+    /// interleaved over a fixed number of rounds so the trace alternates between
     /// "phases" like a real program.
     pub fn generate(&self) -> Trace {
         assert!(

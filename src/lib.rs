@@ -34,7 +34,7 @@ pub mod prelude {
     pub use hc_isa::uop::{Uop, UopKind};
     pub use hc_isa::value::Value;
     pub use hc_sim::config::SimConfig;
-    pub use hc_sim::pipeline::Simulator;
+    pub use hc_sim::exec::{ExecContext, Simulator};
     pub use hc_trace::profile::WorkloadProfile;
     pub use hc_trace::spec::SpecBenchmark;
     pub use hc_trace::trace::Trace;
