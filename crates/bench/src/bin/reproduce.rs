@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite]
-//!           [--threads N] [--json] [--csv]
+//!           [--threads N] [--shards N] [--checkpoint DIR] [--resume]
+//!           [--json] [--csv]
 //! ```
 //!
 //! `--threads N` caps the worker threads the parallel sweeps fan out over
@@ -19,11 +20,20 @@
 //! [`hc_core::campaign`] — every trace's monolithic baseline is simulated
 //! exactly once — and prints a Markdown summary, the versioned JSON report
 //! (`--json`) or the stable CSV cells (`--csv`).
+//!
+//! `suite` is opt-in too: the §3.8 Table 2 suite (IR policy,
+//! `--apps-per-category N` applications per category, or all 409 with
+//! `--full-suite`) as one sharded, streaming campaign.  `--shards N` splits
+//! the suite into N deterministic shards (merged reports are byte-identical
+//! for any shard count); `--checkpoint DIR` writes each completed shard to
+//! disk and `--resume` skips shards already on disk.  Traces are synthesized
+//! per worker, so even the full suite holds O(threads) traces in memory.
 
 use hc_core::campaign::{CampaignBuilder, CampaignRunner};
 use hc_core::figures;
 use hc_core::policy::PolicyKind;
 use hc_core::report::{campaign_to_markdown, figure_to_markdown, kv_table_to_markdown};
+use hc_core::shard::ShardedCampaignRunner;
 use hc_core::suite::SuiteRunner;
 use hc_power::{Ed2Comparison, PowerModel};
 use hc_trace::{paper_suite, reduced_suite};
@@ -36,6 +46,9 @@ struct Options {
     json: bool,
     csv: bool,
     threads: Option<usize>,
+    shards: usize,
+    checkpoint: Option<String>,
+    resume: bool,
 }
 
 fn parse_args() -> Options {
@@ -50,6 +63,9 @@ fn parse_args() -> Options {
         threads: std::env::var("REPRODUCE_THREADS")
             .ok()
             .and_then(|v| v.parse().ok()),
+        shards: 1,
+        checkpoint: None,
+        resume: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -67,12 +83,20 @@ fn parse_args() -> Options {
                     .unwrap_or(opts.apps_per_category)
             }
             "--threads" => opts.threads = args.next().and_then(|v| v.parse().ok()).or(opts.threads),
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.shards)
+            }
+            "--checkpoint" => opts.checkpoint = args.next().or(opts.checkpoint),
+            "--resume" => opts.resume = true,
             "--full-suite" => opts.full_suite = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--json] [--csv]"
+                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--shards N] [--checkpoint DIR] [--resume] [--json] [--csv]"
                 );
                 std::process::exit(0);
             }
@@ -86,14 +110,96 @@ fn wanted(opts: &Options, name: &str) -> bool {
     opts.figures.is_empty() || opts.figures.iter().any(|f| f == name)
 }
 
+fn print_curve_summary(curve: &[f64]) {
+    let n = curve.len();
+    if n == 0 {
+        return;
+    }
+    println!(
+        "S-curve over {n} apps: min {:.3}, p25 {:.3}, median {:.3}, p75 {:.3}, max {:.3}\n",
+        curve[0],
+        curve[n / 4],
+        curve[n / 2],
+        curve[3 * n / 4],
+        curve[n - 1]
+    );
+}
+
+/// The `suite` mode: the Table 2 suite (IR policy) as one sharded,
+/// streaming, checkpointable campaign.
+fn run_suite_mode(opts: &Options, trace_len: usize) {
+    let mut builder = CampaignBuilder::new("table2-suite")
+        .policy(PolicyKind::Ir)
+        .trace_len(trace_len);
+    builder = if opts.full_suite {
+        builder.full_table2_suite()
+    } else {
+        builder.category_suite(opts.apps_per_category)
+    };
+    // User input (`--apps-per-category 0`, `--shards 0`, …) can make the
+    // campaign invalid; report the typed error as a usage error, don't panic.
+    let spec = match builder.build() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("suite: invalid campaign: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "suite: {} traces × {} policies over {} shard(s){}",
+        spec.traces.len(),
+        spec.policies.len(),
+        opts.shards,
+        opts.checkpoint
+            .as_deref()
+            .map(|d| format!(", checkpointing to {d}"))
+            .unwrap_or_default()
+    );
+    let mut runner = ShardedCampaignRunner::new(opts.shards)
+        .resume(opts.resume)
+        .with_progress(|p| {
+            eprintln!(
+                "[{}/{}] {} × {}",
+                p.completed_cells, p.total_cells, p.policy, p.trace
+            );
+        });
+    if let Some(dir) = &opts.checkpoint {
+        runner = runner.with_checkpoint(dir);
+    }
+    let outcome = match runner.run(&spec) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("suite: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "suite: executed shards {:?}, resumed shards {:?}",
+        outcome.executed_shards, outcome.resumed_shards
+    );
+    let report = outcome.report;
+    if opts.json {
+        println!("{}", report.to_json());
+    } else if opts.csv {
+        println!("{}", report.to_csv());
+    } else {
+        println!("{}", campaign_to_markdown(&report));
+        println!(
+            "{}",
+            figure_to_markdown(&figures::fig14_categories_from(&report))
+        );
+        print_curve_summary(&report.speedup_curve(PolicyKind::Ir.name()));
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if let Some(n) = opts.threads {
         rayon::set_thread_cap(n);
     }
     let len = opts.trace_len;
-    if (opts.json || opts.csv) && !opts.figures.iter().any(|f| f == "campaign") {
-        eprintln!("note: --json/--csv only affect the `campaign` output; add `campaign` to the figure list");
+    if (opts.json || opts.csv) && !opts.figures.iter().any(|f| f == "campaign" || f == "suite") {
+        eprintln!("note: --json/--csv only affect the `campaign` and `suite` outputs; add one to the figure list");
     }
 
     if wanted(&opts, "table1") {
@@ -141,22 +247,22 @@ fn main() {
         println!("{}", figure_to_markdown(&figures::headline(len)));
     }
     if wanted(&opts, "fig14") {
-        println!(
-            "{}",
-            figure_to_markdown(&figures::fig14_categories(opts.apps_per_category, len))
-        );
-        let curve = figures::fig14_curve(opts.apps_per_category, len);
-        let n = curve.len();
-        if n > 0 {
+        // One suite campaign feeds both halves of the figure: the
+        // per-category bars and the per-application S-curve.
+        if opts.apps_per_category == 0 {
+            println!("{}", figure_to_markdown(&figures::fig14_categories(0, len)));
+        } else {
+            let report = figures::suite_report(opts.apps_per_category, len);
             println!(
-                "S-curve over {n} apps: min {:.3}, p25 {:.3}, median {:.3}, p75 {:.3}, max {:.3}\n",
-                curve[0],
-                curve[n / 4],
-                curve[n / 2],
-                curve[3 * n / 4],
-                curve[n - 1]
+                "{}",
+                figure_to_markdown(&figures::fig14_categories_from(&report))
             );
+            print_curve_summary(&report.speedup_curve(PolicyKind::Ir.name()));
         }
+    }
+    // Opt-in: the §3.8 Table 2 suite as one sharded, streaming campaign.
+    if opts.figures.iter().any(|f| f == "suite") {
+        run_suite_mode(&opts, len);
     }
     // Opt-in: the full 7-policy × 12-trace campaign grid (the `headline`
     // figure's data, exposed through the declarative Campaign API with its

@@ -41,6 +41,8 @@ use hc_sim::{ConfigError, SimConfig, SimStats};
 use hc_trace::{SpecBenchmark, Trace, WorkloadCategory, WorkloadProfile};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -91,6 +93,40 @@ pub enum CampaignError {
     },
     /// A serialized spec/report could not be decoded.
     Decode(String),
+    /// A sharded run was asked for zero shards.
+    ZeroShardCount,
+    /// A shard names an index outside its own shard count.
+    ShardIndexOutOfRange {
+        /// Shard index found.
+        index: usize,
+        /// Shard count the shard claims to belong to.
+        count: usize,
+    },
+    /// [`CampaignReport::merge`] was handed no shards.
+    NoShards,
+    /// Shards being merged disagree on the spec or shard count — they do not
+    /// come from one partition of one campaign.
+    ShardSetMismatch(String),
+    /// Two shards being merged both carry the same trace row.
+    ShardOverlap {
+        /// Index (into the spec's trace list) claimed twice.
+        trace_index: usize,
+    },
+    /// The shards being merged do not cover every trace row of the spec.
+    IncompleteShardSet {
+        /// First uncovered index into the spec's trace list.
+        missing_trace_index: usize,
+    },
+    /// A shard's payload is internally inconsistent (wrong cell/baseline
+    /// counts for its claimed rows) — typically a corrupt checkpoint file.
+    MalformedShard {
+        /// The shard's index.
+        index: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A checkpoint directory could not be read, written or trusted.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -115,6 +151,30 @@ impl fmt::Display for CampaignError {
                 "unsupported campaign schema version {found} (this build supports {supported})"
             ),
             CampaignError::Decode(msg) => write!(f, "malformed campaign document: {msg}"),
+            CampaignError::ZeroShardCount => write!(f, "campaign shard count must be non-zero"),
+            CampaignError::ShardIndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range for {count} shards")
+            }
+            CampaignError::NoShards => write!(f, "no shard reports to merge"),
+            CampaignError::ShardSetMismatch(msg) => {
+                write!(f, "shards do not belong to one campaign partition: {msg}")
+            }
+            CampaignError::ShardOverlap { trace_index } => {
+                write!(
+                    f,
+                    "trace row {trace_index} is claimed by more than one shard"
+                )
+            }
+            CampaignError::IncompleteShardSet {
+                missing_trace_index,
+            } => write!(
+                f,
+                "shard set does not cover trace row {missing_trace_index}"
+            ),
+            CampaignError::MalformedShard { index, reason } => {
+                write!(f, "shard {index} is malformed: {reason}")
+            }
+            CampaignError::Checkpoint(msg) => write!(f, "campaign checkpoint error: {msg}"),
         }
     }
 }
@@ -260,7 +320,7 @@ impl CampaignSpec {
 
 /// Parse JSON and verify its `schema_version` field against the `supported`
 /// version before full decoding.
-fn decode_versioned(text: &str, supported: u32) -> Result<serde::Value, CampaignError> {
+pub(crate) fn decode_versioned(text: &str, supported: u32) -> Result<serde::Value, CampaignError> {
     let value = serde::json::parse(text).map_err(|e| CampaignError::Decode(e.to_string()))?;
     let found = match value.get("schema_version") {
         Some(serde::Value::UInt(n)) => *n as u32,
@@ -340,6 +400,25 @@ impl CampaignBuilder {
     /// Add the `app`-th application of a Table 2 category as a row.
     pub fn category_app(self, category: WorkloadCategory, app: usize) -> Self {
         self.trace(TraceSelector::CategoryApp { category, app })
+    }
+
+    /// Add up to `apps_per_category` applications from every Table 2 category,
+    /// in category-then-app order.  The rows are *selectors* — each trace is
+    /// synthesized on the fly inside a worker when the campaign runs, so even
+    /// very large suites never sit in memory all at once.
+    pub fn category_suite(mut self, apps_per_category: usize) -> Self {
+        for cat in WorkloadCategory::ALL {
+            for app in 0..apps_per_category.min(cat.trace_count()) {
+                self = self.category_app(cat, app);
+            }
+        }
+        self
+    }
+
+    /// Add every application of every Table 2 category — the paper's full
+    /// 409-trace §3.8 suite — as selector rows.
+    pub fn full_table2_suite(self) -> Self {
+        self.category_suite(usize::MAX)
     }
 
     /// Add an explicit workload profile as a row.
@@ -491,6 +570,41 @@ impl CampaignReport {
             .collect()
     }
 
+    /// Mean speedup of one policy per workload category (cells without a
+    /// category label group under `"uncategorized"`) — the aggregation behind
+    /// the paper's Figure 14 (left).
+    pub fn mean_speedup_by_category(&self, policy: &str) -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for cell in self.cells.iter().filter(|c| c.policy == policy) {
+            let Some(baseline) = self.baseline_for(&cell.trace) else {
+                continue;
+            };
+            let cat = cell
+                .category
+                .clone()
+                .unwrap_or_else(|| "uncategorized".to_string());
+            let e = sums.entry(cat).or_insert((0.0, 0));
+            e.0 += cell.stats.speedup_over(baseline);
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+    }
+
+    /// One policy's per-trace speedups sorted ascending — the S-curve of
+    /// Figure 14 (right).
+    pub fn speedup_curve(&self, policy: &str) -> Vec<f64> {
+        let mut curve: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.policy == policy)
+            .filter_map(|c| self.baseline_for(&c.trace).map(|b| c.stats.speedup_over(b)))
+            .collect();
+        curve.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        curve
+    }
+
     /// Arithmetic-mean speedup of one policy over the grid's traces.
     /// Computed in place — no result vectors are materialized.
     pub fn mean_speedup(&self, policy: &str) -> Option<f64> {
@@ -553,24 +667,25 @@ impl CampaignRunner {
     }
 
     /// Validate and execute a campaign.
+    ///
+    /// The grid **streams**: each worker synthesizes one row's trace from its
+    /// selector, runs every policy column against it, and drops it before
+    /// picking up the next row — at no point do more than O(worker threads)
+    /// traces exist in memory, so the full 409-trace Table 2 suite runs in
+    /// the same footprint as a 12-trace grid.  Each row's trace is still
+    /// generated exactly once and shared by every policy column; the
+    /// `trace_generations` counter proves the memoization held.
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
         let experiment = Experiment::try_new(spec.config.clone())?;
-        // Each grid row's trace is synthesized exactly once, up front, and
-        // shared by every policy column; the counter proves the memoization
-        // held (it lands in the report next to `baseline_runs`).
         let generation_count = AtomicUsize::new(0);
-        let traces: Vec<Trace> = spec
-            .traces
-            .par_iter()
-            .map(|s| {
-                generation_count.fetch_add(1, Ordering::Relaxed);
-                s.generate(spec.trace_len)
-            })
-            .collect();
-        let grid = run_grid(
+        let grid = run_grid_streaming(
             &experiment,
-            &traces,
+            &spec.traces,
+            |selector| {
+                generation_count.fetch_add(1, Ordering::Relaxed);
+                Cow::Owned(selector.generate(spec.trace_len))
+            },
             &spec.policies,
             spec.warmup_runs,
             spec.include_baseline,
@@ -601,7 +716,7 @@ pub(crate) struct Grid {
 
 impl Grid {
     /// Flatten into the report's baseline and cell lists (trace-major).
-    fn into_flat_parts(self) -> (Vec<BaselineRun>, Vec<CampaignCell>) {
+    pub(crate) fn into_flat_parts(self) -> (Vec<BaselineRun>, Vec<CampaignCell>) {
         let mut baselines = Vec::with_capacity(self.per_trace.len());
         let mut cells = Vec::new();
         for (baseline, trace_cells) in self.per_trace {
@@ -634,8 +749,7 @@ impl Grid {
 }
 
 /// The shared grid engine behind [`CampaignRunner`], [`Experiment::run_many`]
-/// and [`crate::suite::SuiteRunner`]: traces fan out in parallel, each
-/// trace's baseline is simulated at most once and shared across policies.
+/// and [`crate::suite::SuiteRunner`], over already-materialized traces.
 pub(crate) fn run_grid(
     experiment: &Experiment,
     traces: &[Trace],
@@ -644,7 +758,40 @@ pub(crate) fn run_grid(
     include_baseline: bool,
     progress: Option<&ProgressHook>,
 ) -> Grid {
-    let total_cells = traces.len() * policies.len();
+    run_grid_streaming(
+        experiment,
+        traces,
+        |t| Cow::Borrowed(t),
+        policies,
+        warmup_runs,
+        include_baseline,
+        progress,
+    )
+}
+
+/// The streaming grid engine: rows fan out in parallel and each worker
+/// *materializes one row's trace at a time* via `make_trace`, runs every
+/// policy column against it, then drops it.  Peak memory is O(worker
+/// threads) traces regardless of row count — this is what lets the full
+/// 409-trace Table 2 suite run as one campaign.  Each trace's baseline is
+/// simulated at most once and shared across policies.
+///
+/// `make_trace` returns a [`Cow`] so borrowed-trace callers ([`run_grid`])
+/// pay no clone while streaming callers hand over ownership.
+pub(crate) fn run_grid_streaming<R, F>(
+    experiment: &Experiment,
+    rows: &[R],
+    make_trace: F,
+    policies: &[PolicyKind],
+    warmup_runs: usize,
+    include_baseline: bool,
+    progress: Option<&ProgressHook>,
+) -> Grid
+where
+    R: Sync,
+    F: for<'r> Fn(&'r R) -> Cow<'r, Trace> + Sync,
+{
+    let total_cells = rows.len() * policies.len();
     let completed = AtomicUsize::new(0);
     let baseline_count = AtomicUsize::new(0);
     let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
@@ -652,9 +799,11 @@ pub(crate) fn run_grid(
     // One `ExecContext` per worker thread, reused across every run that
     // worker performs: a campaign costs O(threads) simulator arenas instead
     // of O(cells) — and results stay bit-identical to fresh contexts.
-    let per_trace: Vec<(Option<BaselineRun>, Vec<CampaignCell>)> = traces
+    let per_trace: Vec<(Option<BaselineRun>, Vec<CampaignCell>)> = rows
         .par_iter()
-        .map_init(hc_sim::ExecContext::new, |ctx, trace| {
+        .map_init(hc_sim::ExecContext::new, |ctx, row| {
+            let trace = make_trace(row);
+            let trace: &Trace = &trace;
             let baseline = if baseline_needed {
                 baseline_count.fetch_add(1, Ordering::Relaxed);
                 Some(BaselineRun {
@@ -761,6 +910,22 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, CampaignError::DuplicateTraceLabel("gzip".to_string()));
         assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn duplicate_selectors_are_rejected() {
+        // The same selector twice (not just two selectors colliding on a
+        // name) is the common copy-paste mistake in hand-written suites.
+        let err = CampaignBuilder::new("dup")
+            .policy(PolicyKind::P888)
+            .category_app(WorkloadCategory::Office, 3)
+            .category_app(WorkloadCategory::Office, 3)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CampaignError::DuplicateTraceLabel("office_003".to_string())
+        );
     }
 
     #[test]

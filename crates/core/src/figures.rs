@@ -13,8 +13,7 @@
 
 use crate::campaign::{CampaignBuilder, CampaignReport, CampaignRunner};
 use crate::policy::PolicyKind;
-use crate::suite::SuiteRunner;
-use hc_trace::{reduced_suite, stats as tstats, SpecBenchmark, WorkloadCategory};
+use hc_trace::{stats as tstats, SpecBenchmark, WorkloadCategory};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -327,48 +326,35 @@ pub fn fig13(trace_len: usize) -> Figure {
     .with_avg()
 }
 
-/// **Figure 14 (left)** — performance increase of the IR mechanism per Table 2
-/// workload category.  `apps_per_category` bounds run time; the paper used
-/// every trace in Table 2.
-pub fn fig14_categories(apps_per_category: usize, trace_len: usize) -> Figure {
-    // One campaign over every (category, app) pair; cells are grouped by
-    // category afterwards, so each trace's baseline still runs exactly once.
-    let mut builder = CampaignBuilder::new("fig14")
+/// The §3.8 suite campaign behind both halves of Figure 14: the IR policy
+/// over up to `apps_per_category` applications of every Table 2 category,
+/// streamed through the campaign engine (each trace is synthesized inside
+/// the worker that simulates it and its baseline runs exactly once).
+///
+/// # Panics
+///
+/// Panics when `apps_per_category == 0` (the spec would name no traces);
+/// [`fig14_categories`] and [`fig14_curve`] degrade gracefully instead.
+pub fn suite_report(apps_per_category: usize, trace_len: usize) -> CampaignReport {
+    let spec = CampaignBuilder::new("fig14-suite")
         .policy(PolicyKind::Ir)
-        .trace_len(trace_len);
-    for cat in WorkloadCategory::ALL {
-        for app in 0..apps_per_category.min(cat.trace_count()) {
-            builder = builder.category_app(cat, app);
-        }
-    }
-    // `apps_per_category == 0` selects no traces at all; degrade to empty
-    // per-category rows (as the seed did) instead of panicking on NoTraces.
-    let results = if apps_per_category == 0 {
-        Vec::new()
-    } else {
-        let spec = builder.build().expect("figure campaign specs are valid");
-        CampaignRunner::new()
-            .run(&spec)
-            .expect("figure campaign specs are valid")
-            .experiment_results()
-    };
+        .category_suite(apps_per_category)
+        .trace_len(trace_len)
+        .build()
+        .expect("figure campaign specs are valid");
+    CampaignRunner::new()
+        .run(&spec)
+        .expect("figure campaign specs are valid")
+}
+
+/// The fig14 envelope over per-category mean speedups; categories absent
+/// from the map render as 0% rows.
+fn fig14_figure(by_category: &std::collections::BTreeMap<String, f64>) -> Figure {
     let rows: Vec<FigureRow> = WorkloadCategory::ALL
         .iter()
-        .map(|cat| {
-            let speedups: Vec<f64> = results
-                .iter()
-                .filter(|r| r.category.as_deref() == Some(cat.abbrev()))
-                .map(|r| r.speedup())
-                .collect();
-            let mean = if speedups.is_empty() {
-                1.0
-            } else {
-                speedups.iter().sum::<f64>() / speedups.len() as f64
-            };
-            FigureRow {
-                label: cat.abbrev().to_string(),
-                values: vec![(mean - 1.0) * 100.0],
-            }
+        .map(|cat| FigureRow {
+            label: cat.abbrev().to_string(),
+            values: vec![(by_category.get(cat.abbrev()).copied().unwrap_or(1.0) - 1.0) * 100.0],
         })
         .collect();
     Figure {
@@ -380,13 +366,32 @@ pub fn fig14_categories(apps_per_category: usize, trace_len: usize) -> Figure {
     .with_avg()
 }
 
+/// **Figure 14 (left)** from an already-run suite campaign (see
+/// [`suite_report`]): performance increase of the campaign's IR cells per
+/// Table 2 workload category.  Categories the campaign did not cover render
+/// as 0% rows.
+pub fn fig14_categories_from(report: &CampaignReport) -> Figure {
+    fig14_figure(&report.mean_speedup_by_category(PolicyKind::Ir.name()))
+}
+
+/// **Figure 14 (left)** — performance increase of the IR mechanism per Table 2
+/// workload category.  `apps_per_category` bounds run time; the paper used
+/// every trace in Table 2.
+pub fn fig14_categories(apps_per_category: usize, trace_len: usize) -> Figure {
+    // `apps_per_category == 0` selects no traces at all; degrade to empty
+    // per-category rows (as the seed did) instead of panicking on NoTraces.
+    if apps_per_category == 0 {
+        return fig14_figure(&std::collections::BTreeMap::new());
+    }
+    fig14_categories_from(&suite_report(apps_per_category, trace_len))
+}
+
 /// **Figure 14 (right)** — the per-application speedup S-curve over the suite.
 pub fn fig14_curve(apps_per_category: usize, trace_len: usize) -> Vec<f64> {
-    let runner = SuiteRunner::default();
-    let profiles = reduced_suite(apps_per_category, trace_len);
-    runner
-        .run_profiles(&profiles, PolicyKind::Ir)
-        .speedup_curve()
+    if apps_per_category == 0 {
+        return Vec::new();
+    }
+    suite_report(apps_per_category, trace_len).speedup_curve(PolicyKind::Ir.name())
 }
 
 /// The §3.2–§3.7 headline numbers: per policy, the SPEC-average helper

@@ -9,7 +9,11 @@
 //!   IR-ND) and the [`policy::PolicyKind`] catalogue.
 //! * [`campaign`] — declarative policy × trace grids with shared baselines,
 //!   typed errors and a versioned results schema; the engine everything else
-//!   runs on.
+//!   runs on.  Grids *stream*: traces are synthesized per worker and dropped
+//!   per row, so suite size does not bound memory.
+//! * [`shard`] — deterministic partitions of a campaign with mergeable
+//!   [`ShardReport`]s and checkpoint/resume, for the 409-trace Table 2 suite
+//!   and beyond.
 //! * [`experiment`] — run one trace under one policy against the monolithic
 //!   baseline (adapter over [`campaign`]).
 //! * [`suite`] — run the SPEC stand-ins or the Table 2 categories in parallel
@@ -41,6 +45,7 @@ pub mod experiment;
 pub mod figures;
 pub mod policy;
 pub mod report;
+pub mod shard;
 pub mod suite;
 
 pub use campaign::{
@@ -50,4 +55,7 @@ pub use campaign::{
 pub use experiment::{Experiment, ExperimentResult};
 pub use figures::{Figure, FigureRow};
 pub use policy::{PolicyKind, SteeringFeatures, SteeringStack};
+pub use shard::{
+    CampaignShard, ShardReport, ShardedCampaignRunner, ShardedRunOutcome, SHARD_SCHEMA_VERSION,
+};
 pub use suite::{SuiteResult, SuiteRunner};

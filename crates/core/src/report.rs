@@ -27,17 +27,20 @@ pub fn figure_to_markdown(fig: &Figure) -> String {
     out
 }
 
-/// Render a [`Figure`] as CSV (header + rows).
+/// Render a [`Figure`] as CSV (header + rows).  Series names and row labels
+/// are arbitrary strings; both are quoted per RFC 4180 when they contain a
+/// comma, quote or newline (they used to be emitted raw, which silently
+/// shifted every later column).
 pub fn figure_to_csv(fig: &Figure) -> String {
     let mut out = String::new();
     out.push_str("label");
     for s in &fig.series {
         out.push(',');
-        out.push_str(&s.replace(',', ";"));
+        out.push_str(&csv_field(s));
     }
     out.push('\n');
     for row in &fig.rows {
-        out.push_str(&row.label);
+        out.push_str(&csv_field(&row.label));
         for v in &row.values {
             out.push_str(&format!(",{v:.4}"));
         }
@@ -188,6 +191,28 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("label,a %,b"));
         assert_eq!(lines.next(), Some("gcc,1.5000,2.2500"));
+    }
+
+    #[test]
+    fn figure_csv_quotes_hostile_labels_and_series() {
+        let fig = Figure {
+            id: "figQ".into(),
+            title: "Quoting".into(),
+            series: vec!["perf, increase %".into(), "plain".into()],
+            rows: vec![FigureRow {
+                label: "enc, \"fast\" pass".into(),
+                values: vec![1.0, 2.0],
+            }],
+        };
+        let csv = figure_to_csv(&fig);
+        let mut lines = csv.lines();
+        // RFC 4180: commas survive inside quoted fields, embedded quotes are
+        // doubled, and the column count stays fixed.
+        assert_eq!(lines.next(), Some("label,\"perf, increase %\",plain"));
+        assert_eq!(
+            lines.next(),
+            Some("\"enc, \"\"fast\"\" pass\",1.0000,2.0000")
+        );
     }
 
     #[test]

@@ -1,0 +1,721 @@
+//! Sharded, resumable execution of large campaigns.
+//!
+//! A [`CampaignShard`] is a **deterministic partition** of a
+//! [`CampaignSpec`]'s trace rows: shard `k` of `N` owns every row `i` with
+//! `i % N == k` (round-robin, so the Table 2 categories spread evenly over
+//! shards instead of one shard getting all of `mm`).  Policies are *not*
+//! partitioned — a shard runs every policy column over its rows, which keeps
+//! the per-trace baseline memoization intact: sharding never re-simulates a
+//! baseline.
+//!
+//! Each shard runs through the same streaming grid engine as
+//! [`CampaignRunner`]: workers synthesize one trace at a time from its
+//! selector and drop it after the row's cells finish, so even the full
+//! 409-trace suite peaks at O(worker threads) traces in memory.
+//!
+//! The output of a shard is a serializable [`ShardReport`];
+//! [`CampaignReport::merge`] reassembles any complete set of shards —
+//! **any shard count, presented in any order** — into a report that is
+//! byte-identical to the unsharded [`CampaignRunner::run`] JSON
+//! (`tests/shard_merge.rs` proves this).  Merging checks schema versions,
+//! spec equality, row overlap and row coverage, and rejects inconsistent
+//! sets with typed [`CampaignError`]s instead of silently joining cells to
+//! the wrong baselines.
+//!
+//! [`ShardedCampaignRunner`] drives a whole partition and adds
+//! **checkpoint/resume**: with a checkpoint directory configured, every
+//! completed shard is written to `shard_NNNN.json` next to a `campaign.json`
+//! manifest, and a resumed run loads (and skips) every shard whose file
+//! still matches the spec.
+//!
+//! ```no_run
+//! use hc_core::campaign::CampaignBuilder;
+//! use hc_core::policy::PolicyKind;
+//! use hc_core::shard::ShardedCampaignRunner;
+//!
+//! let spec = CampaignBuilder::new("table2")
+//!     .policy(PolicyKind::Ir)
+//!     .full_table2_suite() // all 409 traces, synthesized on the fly
+//!     .trace_len(10_000)
+//!     .build()
+//!     .unwrap();
+//! let outcome = ShardedCampaignRunner::new(8)
+//!     .with_checkpoint("table2.ckpt")
+//!     .resume(true)
+//!     .run(&spec)
+//!     .unwrap();
+//! println!(
+//!     "{} shards executed, {} resumed from disk",
+//!     outcome.executed_shards.len(),
+//!     outcome.resumed_shards.len()
+//! );
+//! ```
+
+#[allow(unused_imports)] // `CampaignRunner` is referenced by doc links only.
+use crate::campaign::CampaignRunner;
+use crate::campaign::{
+    decode_versioned, run_grid_streaming, BaselineRun, CampaignCell, CampaignError,
+    CampaignProgress, CampaignReport, CampaignSpec, ProgressHook, CAMPAIGN_SCHEMA_VERSION,
+};
+use crate::experiment::Experiment;
+use crate::policy::PolicyKind;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Version of the [`ShardReport`] wire schema, independent of the report and
+/// spec schemas.  Bumped whenever a serialized shard field changes meaning;
+/// decoders and [`CampaignReport::merge`] reject mismatched versions.
+pub const SHARD_SCHEMA_VERSION: u32 = 1;
+
+/// One deterministic slice of a campaign's trace rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignShard {
+    spec: CampaignSpec,
+    shard_count: usize,
+    shard_index: usize,
+}
+
+impl CampaignShard {
+    /// Shard `shard_index` of a `shard_count`-way partition of `spec`.
+    pub fn new(
+        spec: CampaignSpec,
+        shard_count: usize,
+        shard_index: usize,
+    ) -> Result<CampaignShard, CampaignError> {
+        if shard_count == 0 {
+            return Err(CampaignError::ZeroShardCount);
+        }
+        if shard_index >= shard_count {
+            return Err(CampaignError::ShardIndexOutOfRange {
+                index: shard_index,
+                count: shard_count,
+            });
+        }
+        spec.validate()?;
+        Ok(CampaignShard {
+            spec,
+            shard_count,
+            shard_index,
+        })
+    }
+
+    /// The full `shard_count`-way partition of `spec`, in shard order.
+    /// Shards beyond the trace count are valid but own no rows.
+    pub fn plan(
+        spec: &CampaignSpec,
+        shard_count: usize,
+    ) -> Result<Vec<CampaignShard>, CampaignError> {
+        if shard_count == 0 {
+            return Err(CampaignError::ZeroShardCount);
+        }
+        spec.validate()?;
+        Ok((0..shard_count)
+            .map(|shard_index| CampaignShard {
+                spec: spec.clone(),
+                shard_count,
+                shard_index,
+            })
+            .collect())
+    }
+
+    /// The campaign spec this shard slices.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Total shards in the partition.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// This shard's index within the partition.
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// The spec trace rows this shard owns: every `i` with
+    /// `i % shard_count == shard_index`, ascending.
+    pub fn trace_indices(&self) -> Vec<usize> {
+        (self.shard_index..self.spec.traces.len())
+            .step_by(self.shard_count)
+            .collect()
+    }
+
+    /// Number of policy × trace cells this shard will simulate.
+    pub fn cell_count(&self) -> usize {
+        self.trace_indices().len() * self.spec.policies.len()
+    }
+
+    /// Execute this shard through the streaming grid engine.
+    pub fn run(&self) -> Result<ShardReport, CampaignError> {
+        self.run_with_progress(None)
+    }
+
+    /// [`CampaignShard::run`] with an optional progress hook.  The hook sees
+    /// *shard-local* cell counts; [`ShardedCampaignRunner`] remaps them to
+    /// campaign-global counts.
+    pub fn run_with_progress(
+        &self,
+        progress: Option<&ProgressHook>,
+    ) -> Result<ShardReport, CampaignError> {
+        let experiment = Experiment::try_new(self.spec.config.clone())?;
+        let indices = self.trace_indices();
+        let generation_count = AtomicUsize::new(0);
+        let grid = run_grid_streaming(
+            &experiment,
+            &indices,
+            |&i| {
+                generation_count.fetch_add(1, Ordering::Relaxed);
+                Cow::Owned(self.spec.traces[i].generate(self.spec.trace_len))
+            },
+            &self.spec.policies,
+            self.spec.warmup_runs,
+            self.spec.include_baseline,
+            progress,
+        );
+        let baseline_runs = grid.baseline_runs;
+        let (baselines, cells) = grid.into_flat_parts();
+        Ok(ShardReport {
+            schema_version: SHARD_SCHEMA_VERSION,
+            shard_index: self.shard_index,
+            shard_count: self.shard_count,
+            spec: self.spec.clone(),
+            trace_indices: indices,
+            baselines,
+            cells,
+            baseline_runs,
+            trace_generations: generation_count.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// The serializable result of one shard's execution — a mergeable,
+/// checkpointable slice of a [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard wire-schema version ([`SHARD_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// This shard's index within the partition.
+    pub shard_index: usize,
+    /// Total shards in the partition.
+    pub shard_count: usize,
+    /// The full campaign spec (identical across all shards of a partition).
+    pub spec: CampaignSpec,
+    /// The spec trace rows this shard covered, ascending.
+    pub trace_indices: Vec<usize>,
+    /// One baseline per covered row (empty when the spec disabled baselines).
+    pub baselines: Vec<BaselineRun>,
+    /// This shard's policy × trace cells, trace-major in `trace_indices`
+    /// order.
+    pub cells: Vec<CampaignCell>,
+    /// Monolithic baseline simulations this shard executed.
+    pub baseline_runs: usize,
+    /// Trace syntheses this shard performed (one per covered row).
+    pub trace_generations: usize,
+}
+
+impl ShardReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Decode from JSON, checking the shard schema version first.
+    pub fn from_json(text: &str) -> Result<ShardReport, CampaignError> {
+        let value = decode_versioned(text, SHARD_SCHEMA_VERSION)?;
+        Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
+    }
+
+    /// Whether this shard has baselines for its rows.
+    fn baseline_needed(&self) -> bool {
+        self.spec.include_baseline || self.spec.policies.contains(&PolicyKind::Baseline)
+    }
+
+    /// Structural self-consistency: right row/cell/baseline counts, indices
+    /// in range and canonical for `(shard_index, shard_count)`.
+    fn check(&self) -> Result<(), CampaignError> {
+        let malformed = |reason: String| CampaignError::MalformedShard {
+            index: self.shard_index,
+            reason,
+        };
+        if self.shard_index >= self.shard_count {
+            return Err(CampaignError::ShardIndexOutOfRange {
+                index: self.shard_index,
+                count: self.shard_count,
+            });
+        }
+        let expected: Vec<usize> = (self.shard_index..self.spec.traces.len())
+            .step_by(self.shard_count)
+            .collect();
+        if self.trace_indices != expected {
+            return Err(malformed(format!(
+                "rows {:?} are not the canonical partition slice {:?}",
+                self.trace_indices, expected
+            )));
+        }
+        let rows = self.trace_indices.len();
+        if self.cells.len() != rows * self.spec.policies.len() {
+            return Err(malformed(format!(
+                "{} cells for {} rows × {} policies",
+                self.cells.len(),
+                rows,
+                self.spec.policies.len()
+            )));
+        }
+        let expected_baselines = if self.baseline_needed() { rows } else { 0 };
+        if self.baselines.len() != expected_baselines {
+            return Err(malformed(format!(
+                "{} baselines for {} rows",
+                self.baselines.len(),
+                rows
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl CampaignReport {
+    /// Merge a complete set of [`ShardReport`]s back into the unsharded
+    /// report.
+    ///
+    /// Accepts the shards **in any order** and for **any shard count**; the
+    /// merged report is byte-identical (as JSON) to what
+    /// [`CampaignRunner::run`] produces on the same spec, because rows are
+    /// reassembled in spec order and the instrumentation counters sum to the
+    /// unsharded values (each row is generated and baselined exactly once
+    /// across the whole partition).
+    ///
+    /// Fails with a typed error when the set is inconsistent: mixed schema
+    /// versions ([`CampaignError::UnsupportedSchemaVersion`]), disagreeing
+    /// specs or shard counts ([`CampaignError::ShardSetMismatch`]), a row
+    /// claimed twice ([`CampaignError::ShardOverlap`]), uncovered rows
+    /// ([`CampaignError::IncompleteShardSet`]) or corrupt payloads
+    /// ([`CampaignError::MalformedShard`]).
+    ///
+    /// [`CampaignRunner::run`]: crate::campaign::CampaignRunner::run
+    pub fn merge(shards: &[ShardReport]) -> Result<CampaignReport, CampaignError> {
+        let first = shards.first().ok_or(CampaignError::NoShards)?;
+        for shard in shards {
+            if shard.schema_version != SHARD_SCHEMA_VERSION {
+                return Err(CampaignError::UnsupportedSchemaVersion {
+                    found: shard.schema_version,
+                    supported: SHARD_SCHEMA_VERSION,
+                });
+            }
+            if shard.shard_count != first.shard_count {
+                return Err(CampaignError::ShardSetMismatch(format!(
+                    "shard {} claims {} total shards, shard {} claims {}",
+                    shard.shard_index, shard.shard_count, first.shard_index, first.shard_count
+                )));
+            }
+            if shard.spec != first.spec {
+                return Err(CampaignError::ShardSetMismatch(format!(
+                    "shard {} was run against a different spec than shard {}",
+                    shard.shard_index, first.shard_index
+                )));
+            }
+            shard.check()?;
+        }
+
+        // Row index -> (shard, position of the row within the shard).
+        let n_rows = first.spec.traces.len();
+        let mut owner: Vec<Option<(&ShardReport, usize)>> = vec![None; n_rows];
+        for shard in shards {
+            for (pos, &row) in shard.trace_indices.iter().enumerate() {
+                if owner[row].is_some() {
+                    return Err(CampaignError::ShardOverlap { trace_index: row });
+                }
+                owner[row] = Some((shard, pos));
+            }
+        }
+        if let Some(missing) = owner.iter().position(Option::is_none) {
+            return Err(CampaignError::IncompleteShardSet {
+                missing_trace_index: missing,
+            });
+        }
+
+        let policies = first.spec.policies.len();
+        let baseline_needed = first.baseline_needed();
+        let mut baselines = Vec::with_capacity(if baseline_needed { n_rows } else { 0 });
+        let mut cells = Vec::with_capacity(n_rows * policies);
+        for slot in &owner {
+            let (shard, pos) = slot.expect("coverage checked above");
+            if baseline_needed {
+                baselines.push(shard.baselines[pos].clone());
+            }
+            cells.extend_from_slice(&shard.cells[pos * policies..(pos + 1) * policies]);
+        }
+
+        Ok(CampaignReport {
+            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            name: first.spec.name.clone(),
+            spec: first.spec.clone(),
+            baselines,
+            cells,
+            baseline_runs: shards.iter().map(|s| s.baseline_runs).sum(),
+            trace_generations: shards.iter().map(|s| s.trace_generations).sum(),
+        })
+    }
+}
+
+/// The checkpoint manifest written next to the shard files, so a resumed run
+/// can refuse a directory that belongs to a different campaign before
+/// touching any shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointManifest {
+    schema_version: u32,
+    shard_count: usize,
+    spec: CampaignSpec,
+}
+
+/// Name of the manifest file inside a checkpoint directory.
+const MANIFEST_FILE: &str = "campaign.json";
+
+/// File name for one shard's checkpoint.
+fn shard_file_name(index: usize) -> String {
+    format!("shard_{index:04}.json")
+}
+
+/// What a sharded run did: the merged report plus which shards were actually
+/// simulated and which were loaded from the checkpoint directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRunOutcome {
+    /// The merged, unsharded-equivalent report.
+    pub report: CampaignReport,
+    /// Shard indices that were executed this run, ascending.
+    pub executed_shards: Vec<usize>,
+    /// Shard indices restored from checkpoint files, ascending.
+    pub resumed_shards: Vec<usize>,
+}
+
+/// Drives a whole shard partition — sequentially over shards, with the
+/// streaming parallel fan-out *inside* each shard — with optional
+/// checkpointing and resume.
+#[derive(Clone)]
+pub struct ShardedCampaignRunner {
+    shard_count: usize,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    progress: Option<ProgressHook>,
+}
+
+impl std::fmt::Debug for ShardedCampaignRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCampaignRunner")
+            .field("shard_count", &self.shard_count)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl ShardedCampaignRunner {
+    /// A runner splitting campaigns into `shard_count` shards, with no
+    /// checkpointing.
+    pub fn new(shard_count: usize) -> ShardedCampaignRunner {
+        ShardedCampaignRunner {
+            shard_count,
+            checkpoint: None,
+            resume: false,
+            progress: None,
+        }
+    }
+
+    /// Write every completed shard to `dir` (created on demand), making the
+    /// run checkpointable.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>) -> ShardedCampaignRunner {
+        self.checkpoint = Some(dir.into());
+        self
+    }
+
+    /// On `true`, load (and skip re-running) every shard whose checkpoint
+    /// file exists and still matches the spec.  Requires a checkpoint
+    /// directory.
+    pub fn resume(mut self, resume: bool) -> ShardedCampaignRunner {
+        self.resume = resume;
+        self
+    }
+
+    /// Attach a progress hook; it observes campaign-global cell counts
+    /// (resumed shards' cells are not replayed through the hook).
+    pub fn with_progress(
+        mut self,
+        hook: impl Fn(&CampaignProgress) + Send + Sync + 'static,
+    ) -> ShardedCampaignRunner {
+        self.progress = Some(Arc::new(hook));
+        self
+    }
+
+    /// Execute (or resume) the partition and merge the shards.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<ShardedRunOutcome, CampaignError> {
+        let shards = CampaignShard::plan(spec, self.shard_count)?;
+        if let Some(dir) = &self.checkpoint {
+            self.prepare_checkpoint_dir(dir, spec)?;
+        }
+
+        // Remap shard-local progress to campaign-global cell counts; resumed
+        // shards advance the counter without firing the hook per cell.
+        let total_cells = spec.cell_count();
+        let completed = Arc::new(AtomicUsize::new(0));
+        let global_hook: Option<ProgressHook> = self.progress.clone().map(|user| {
+            let completed = Arc::clone(&completed);
+            Arc::new(move |p: &CampaignProgress| {
+                user(&CampaignProgress {
+                    completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                    total_cells,
+                    policy: p.policy.clone(),
+                    trace: p.trace.clone(),
+                })
+            }) as ProgressHook
+        });
+
+        let mut reports = Vec::with_capacity(shards.len());
+        let mut executed_shards = Vec::new();
+        let mut resumed_shards = Vec::new();
+        for shard in &shards {
+            if let Some(report) = self.try_resume_shard(shard)? {
+                completed.fetch_add(shard.cell_count(), Ordering::Relaxed);
+                resumed_shards.push(shard.shard_index());
+                reports.push(report);
+                continue;
+            }
+            let report = shard.run_with_progress(global_hook.as_ref())?;
+            if let Some(dir) = &self.checkpoint {
+                write_checkpoint_file(
+                    &dir.join(shard_file_name(shard.shard_index())),
+                    &report.to_json(),
+                )?;
+            }
+            executed_shards.push(shard.shard_index());
+            reports.push(report);
+        }
+
+        Ok(ShardedRunOutcome {
+            report: CampaignReport::merge(&reports)?,
+            executed_shards,
+            resumed_shards,
+        })
+    }
+
+    /// Create the checkpoint directory and reconcile its manifest: a resumed
+    /// run refuses a directory whose manifest belongs to a different
+    /// campaign or partition; a fresh run overwrites it.
+    fn prepare_checkpoint_dir(&self, dir: &Path, spec: &CampaignSpec) -> Result<(), CampaignError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CampaignError::Checkpoint(format!("create {}: {e}", dir.display())))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = CheckpointManifest {
+            schema_version: SHARD_SCHEMA_VERSION,
+            shard_count: self.shard_count,
+            spec: spec.clone(),
+        };
+        if self.resume {
+            if let Ok(text) = std::fs::read_to_string(&manifest_path) {
+                // An undecodable manifest is refused like a foreign one (and
+                // with the file named, so the failure is actionable) — unlike
+                // corrupt *shard* files, whose loss only costs a re-run, a
+                // damaged manifest means the directory can't be trusted.
+                let found: CheckpointManifest = decode_versioned(&text, SHARD_SCHEMA_VERSION)
+                    .and_then(|value| {
+                        Deserialize::from_value(&value)
+                            .map_err(|e| CampaignError::Decode(e.to_string()))
+                    })
+                    .map_err(|e| {
+                        CampaignError::Checkpoint(format!(
+                            "unreadable manifest {}: {e}; delete it to start over",
+                            manifest_path.display()
+                        ))
+                    })?;
+                if found != manifest {
+                    return Err(CampaignError::Checkpoint(format!(
+                        "{} belongs to a different campaign or shard count; \
+                         refusing to resume over it",
+                        dir.display()
+                    )));
+                }
+                return Ok(());
+            }
+        }
+        write_checkpoint_file(&manifest_path, &serde::json::to_string_pretty(&manifest))
+    }
+
+    /// Load one shard's checkpoint file if resuming and the file still
+    /// matches this shard.  An unreadable, corrupt or mismatched file is
+    /// treated as absent (the shard re-runs and the file is overwritten).
+    fn try_resume_shard(
+        &self,
+        shard: &CampaignShard,
+    ) -> Result<Option<ShardReport>, CampaignError> {
+        if !self.resume {
+            return Ok(None);
+        }
+        let Some(dir) = &self.checkpoint else {
+            return Err(CampaignError::Checkpoint(
+                "resume requested without a checkpoint directory".to_string(),
+            ));
+        };
+        let path = dir.join(shard_file_name(shard.shard_index()));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(None);
+        };
+        let Ok(report) = ShardReport::from_json(&text) else {
+            return Ok(None);
+        };
+        let matches = report.shard_index == shard.shard_index()
+            && report.shard_count == shard.shard_count()
+            && report.spec == *shard.spec()
+            && report.check().is_ok();
+        Ok(matches.then_some(report))
+    }
+}
+
+/// Write a checkpoint file through a temporary sibling + rename, so a crash
+/// mid-write never leaves a truncated JSON file a later resume would trip
+/// over.
+fn write_checkpoint_file(path: &Path, contents: &str) -> Result<(), CampaignError> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)
+        .map_err(|e| CampaignError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CampaignError::Checkpoint(format!("rename to {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignBuilder;
+    use hc_trace::SpecBenchmark;
+
+    fn spec(n_traces: usize) -> CampaignSpec {
+        let mut b = CampaignBuilder::new("shard-unit").policy(PolicyKind::P888);
+        for benchmark in SpecBenchmark::ALL.into_iter().take(n_traces) {
+            b = b.spec(benchmark);
+        }
+        b.trace_len(600).build().unwrap()
+    }
+
+    #[test]
+    fn plan_partitions_rows_disjointly_and_completely() {
+        let spec = spec(7);
+        for count in 1..=9 {
+            let shards = CampaignShard::plan(&spec, count).unwrap();
+            assert_eq!(shards.len(), count);
+            let mut seen = vec![false; spec.traces.len()];
+            for shard in &shards {
+                for i in shard.trace_indices() {
+                    assert!(!seen[i], "row {i} assigned twice at count {count}");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "uncovered row at count {count}");
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_shards() {
+        let spec = spec(7);
+        let shards = CampaignShard::plan(&spec, 3).unwrap();
+        let sizes: Vec<usize> = shards.iter().map(|s| s.trace_indices().len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn zero_shards_and_bad_indices_are_typed_errors() {
+        let spec = spec(3);
+        assert_eq!(
+            CampaignShard::plan(&spec, 0).unwrap_err(),
+            CampaignError::ZeroShardCount
+        );
+        assert_eq!(
+            CampaignShard::new(spec, 2, 2).unwrap_err(),
+            CampaignError::ShardIndexOutOfRange { index: 2, count: 2 }
+        );
+    }
+
+    #[test]
+    fn shard_report_round_trips_through_json() {
+        let shard = CampaignShard::new(spec(3), 2, 1).unwrap();
+        let report = shard.run().unwrap();
+        assert_eq!(report.trace_indices, vec![1]);
+        let decoded = ShardReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_and_overlapping_sets() {
+        let spec = spec(4);
+        let shards = CampaignShard::plan(&spec, 2).unwrap();
+        let a = shards[0].run().unwrap();
+        let b = shards[1].run().unwrap();
+        assert_eq!(
+            CampaignReport::merge(std::slice::from_ref(&a)).unwrap_err(),
+            CampaignError::IncompleteShardSet {
+                missing_trace_index: 1
+            }
+        );
+        assert_eq!(
+            CampaignReport::merge(&[a.clone(), b.clone(), b.clone()]).unwrap_err(),
+            CampaignError::ShardOverlap { trace_index: 1 }
+        );
+        assert_eq!(
+            CampaignReport::merge(&[]).unwrap_err(),
+            CampaignError::NoShards
+        );
+        let mut wrong_version = a;
+        wrong_version.schema_version = SHARD_SCHEMA_VERSION + 1;
+        assert_eq!(
+            CampaignReport::merge(&[wrong_version, b]).unwrap_err(),
+            CampaignError::UnsupportedSchemaVersion {
+                found: SHARD_SCHEMA_VERSION + 1,
+                supported: SHARD_SCHEMA_VERSION,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mixed_specs_and_shard_counts() {
+        let a = CampaignShard::new(spec(2), 2, 0).unwrap().run().unwrap();
+        let b = CampaignShard::new(spec(2), 3, 1).unwrap().run().unwrap();
+        assert!(matches!(
+            CampaignReport::merge(&[a.clone(), b]).unwrap_err(),
+            CampaignError::ShardSetMismatch(_)
+        ));
+        let mut other = spec(2);
+        other.trace_len = 700;
+        let c = CampaignShard::new(other, 2, 1).unwrap().run().unwrap();
+        assert!(matches!(
+            CampaignReport::merge(&[a, c]).unwrap_err(),
+            CampaignError::ShardSetMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_corrupt_payloads() {
+        let spec = spec(3);
+        let shards = CampaignShard::plan(&spec, 2).unwrap();
+        let mut a = shards[0].run().unwrap();
+        let b = shards[1].run().unwrap();
+        a.cells.pop();
+        assert!(matches!(
+            CampaignReport::merge(&[a, b]).unwrap_err(),
+            CampaignError::MalformedShard { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_shards_merge_cleanly() {
+        // More shards than rows: the tail shards own nothing but still
+        // participate in the merge.
+        let spec = spec(2);
+        let shards = CampaignShard::plan(&spec, 5).unwrap();
+        let reports: Vec<ShardReport> = shards.iter().map(|s| s.run().unwrap()).collect();
+        assert_eq!(reports[4].trace_indices.len(), 0);
+        let merged = CampaignReport::merge(&reports).unwrap();
+        assert_eq!(merged.cells.len(), 2);
+        assert_eq!(merged.trace_generations, 2);
+    }
+}

@@ -2,15 +2,19 @@
 //! and aggregating the results.
 //!
 //! Since the campaign redesign [`SuiteRunner`] is a thin adapter over the
-//! [`crate::campaign`] grid engine: traces are generated and simulated in
-//! parallel and each trace's monolithic baseline is simulated exactly once.
+//! [`crate::campaign`] grid engine, and since the sharded-suite redesign it
+//! **streams**: profile and selector suites synthesize each trace inside the
+//! worker that simulates it and drop it when the row finishes, so running
+//! the full 409-profile Table 2 suite holds O(worker threads) traces in
+//! memory, not 409.  Each trace's monolithic baseline is still simulated
+//! exactly once.
 
-use crate::campaign::run_grid;
+use crate::campaign::{run_grid, run_grid_streaming};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::policy::PolicyKind;
 use hc_trace::{SpecBenchmark, Trace, WorkloadProfile};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Aggregated results over a suite of traces for one policy.
@@ -84,20 +88,56 @@ impl SuiteRunner {
         }
     }
 
-    /// Run one policy over a list of workload profiles, generating and
-    /// simulating each trace in parallel.
+    /// Run one policy over a list of workload profiles.  Each profile's
+    /// trace is synthesized inside the worker that simulates it and dropped
+    /// when its row finishes — the suite streams instead of materializing
+    /// every trace up front.
     pub fn run_profiles(&self, profiles: &[WorkloadProfile], kind: PolicyKind) -> SuiteResult {
-        let traces: Vec<Trace> = profiles.par_iter().map(|p| p.generate()).collect();
-        self.run_traces(&traces, kind)
+        let grid = run_grid_streaming(
+            &self.experiment,
+            profiles,
+            |p| Cow::Owned(p.generate()),
+            &[kind],
+            0,
+            true,
+            None,
+        );
+        SuiteResult {
+            policy: kind.name().to_string(),
+            per_trace: grid.into_experiment_results(),
+        }
     }
 
-    /// Run one policy over the 12 SPEC Int 2000 stand-in traces.
+    /// Run one policy over the 12 SPEC Int 2000 stand-in traces (streamed
+    /// like [`SuiteRunner::run_profiles`]).
     pub fn run_spec(&self, trace_len: usize, kind: PolicyKind) -> SuiteResult {
-        let traces: Vec<Trace> = SpecBenchmark::ALL
-            .par_iter()
-            .map(|b| b.trace(trace_len))
-            .collect();
-        self.run_traces(&traces, kind)
+        let grid = run_grid_streaming(
+            &self.experiment,
+            &SpecBenchmark::ALL,
+            |b| Cow::Owned(b.trace(trace_len)),
+            &[kind],
+            0,
+            true,
+            None,
+        );
+        SuiteResult {
+            policy: kind.name().to_string(),
+            per_trace: grid.into_experiment_results(),
+        }
+    }
+
+    /// Run one policy over the first `apps_per_category` applications of
+    /// every Table 2 category, streaming trace synthesis.  Passing
+    /// `usize::MAX` runs the paper's full 409-trace §3.8 suite.
+    pub fn run_categories(
+        &self,
+        apps_per_category: usize,
+        trace_len: usize,
+        kind: PolicyKind,
+    ) -> SuiteResult {
+        let profiles: Vec<WorkloadProfile> =
+            hc_trace::suite_profiles(Some(apps_per_category), trace_len).collect();
+        self.run_profiles(&profiles, kind)
     }
 
     /// The underlying experiment.
@@ -142,6 +182,17 @@ mod tests {
         let by_cat = r.mean_speedup_by_category();
         assert_eq!(by_cat.len(), 1, "SPEC stand-ins carry no category label");
         assert!(by_cat.contains_key("uncategorized"));
+    }
+
+    #[test]
+    fn category_suite_matches_materialized_profiles() {
+        // The streaming category path must equal running the same profiles
+        // through the classic profile path.
+        let runner = SuiteRunner::default();
+        let streamed = runner.run_categories(1, 1_000, PolicyKind::Ir);
+        let materialized = runner.run_profiles(&reduced_suite(1, 1_000), PolicyKind::Ir);
+        assert_eq!(streamed, materialized);
+        assert_eq!(streamed.per_trace.len(), 7);
     }
 
     #[test]

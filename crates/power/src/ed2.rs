@@ -38,6 +38,17 @@ impl Ed2Comparison {
             improvement: if c > 0.0 { (b - c) / b } else { 0.0 },
         }
     }
+
+    /// Baseline-over-candidate ED² ratio: `1.0` when the runs are equally
+    /// efficient (in particular when baseline == candidate), above `1.0`
+    /// when the candidate is the more ED²-efficient configuration.
+    pub fn ratio(&self) -> f64 {
+        if self.candidate_ed2 > 0.0 {
+            self.baseline_ed2 / self.candidate_ed2
+        } else {
+            1.0
+        }
+    }
 }
 
 #[cfg(test)]

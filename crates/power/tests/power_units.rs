@@ -1,0 +1,202 @@
+//! Direct unit tests for `hc_power` — until now the crate was only
+//! exercised indirectly through `hc_core::Experiment`.  Covered here:
+//! [`PowerParams`] scaling invariants (energy is linear in both the event
+//! counts and the per-event energies) and [`Ed2Comparison`] behaviour
+//! (monotonicity in delay, and baseline == candidate ⇒ ratio 1.0 /
+//! improvement 0).
+
+use hc_power::{ed2, Ed2Comparison, PowerModel, PowerParams};
+use hc_sim::{EnergyEvents, SimStats};
+
+/// A run with every event class populated, so linearity checks cannot pass
+/// by accident on zero terms.
+fn busy_events() -> EnergyEvents {
+    EnergyEvents {
+        wide_rf_reads: 400,
+        wide_rf_writes: 200,
+        helper_rf_reads: 300,
+        helper_rf_writes: 150,
+        wide_alu_ops: 250,
+        helper_alu_ops: 180,
+        fp_ops: 40,
+        wide_iq_ops: 260,
+        helper_iq_ops: 190,
+        dl0_accesses: 120,
+        ul1_accesses: 15,
+        predictor_accesses: 500,
+        copy_transfers: 60,
+        wide_cycles: 900,
+        helper_cycles: 1800,
+    }
+}
+
+fn scale_params(p: &PowerParams, k: f64) -> PowerParams {
+    PowerParams {
+        wide_rf_read: p.wide_rf_read * k,
+        wide_rf_write: p.wide_rf_write * k,
+        helper_rf_read: p.helper_rf_read * k,
+        helper_rf_write: p.helper_rf_write * k,
+        wide_alu: p.wide_alu * k,
+        helper_alu: p.helper_alu * k,
+        fp_op: p.fp_op * k,
+        wide_iq: p.wide_iq * k,
+        helper_iq: p.helper_iq * k,
+        dl0_access: p.dl0_access * k,
+        ul1_access: p.ul1_access * k,
+        predictor_access: p.predictor_access * k,
+        copy_transfer: p.copy_transfer * k,
+        wide_clock_per_cycle: p.wide_clock_per_cycle * k,
+        helper_clock_per_tick: p.helper_clock_per_tick * k,
+    }
+}
+
+fn scale_events(ev: &EnergyEvents, k: u64) -> EnergyEvents {
+    EnergyEvents {
+        wide_rf_reads: ev.wide_rf_reads * k,
+        wide_rf_writes: ev.wide_rf_writes * k,
+        helper_rf_reads: ev.helper_rf_reads * k,
+        helper_rf_writes: ev.helper_rf_writes * k,
+        wide_alu_ops: ev.wide_alu_ops * k,
+        helper_alu_ops: ev.helper_alu_ops * k,
+        fp_ops: ev.fp_ops * k,
+        wide_iq_ops: ev.wide_iq_ops * k,
+        helper_iq_ops: ev.helper_iq_ops * k,
+        dl0_accesses: ev.dl0_accesses * k,
+        ul1_accesses: ev.ul1_accesses * k,
+        predictor_accesses: ev.predictor_accesses * k,
+        copy_transfers: ev.copy_transfers * k,
+        wide_cycles: ev.wide_cycles * k,
+        helper_cycles: ev.helper_cycles * k,
+    }
+}
+
+fn stats(cycles: u64, energy: EnergyEvents) -> SimStats {
+    SimStats {
+        cycles,
+        committed_uops: 1_000,
+        energy,
+        ..SimStats::default()
+    }
+}
+
+#[test]
+fn energy_is_linear_in_per_event_energies() {
+    let ev = busy_events();
+    let base = PowerModel::default().energy(&ev).total();
+    for k in [0.5, 2.0, 10.0] {
+        let scaled = PowerModel::new(scale_params(&PowerParams::default(), k))
+            .energy(&ev)
+            .total();
+        assert!(
+            (scaled - base * k).abs() < 1e-9 * scaled.abs().max(1.0),
+            "scaling every per-event energy by {k} must scale total energy by {k}: {scaled} vs {base}"
+        );
+    }
+}
+
+#[test]
+fn energy_is_linear_in_event_counts() {
+    let m = PowerModel::default();
+    let ev = busy_events();
+    let base = m.energy(&ev).total();
+    let tripled = m.energy(&scale_events(&ev, 3)).total();
+    assert!((tripled - 3.0 * base).abs() < 1e-9 * tripled);
+}
+
+#[test]
+fn every_event_class_contributes_energy() {
+    // Zeroing any one per-event energy must strictly reduce the busy run's
+    // total — no event class is silently dropped by the accounting.
+    let ev = busy_events();
+    let full = PowerModel::default().energy(&ev).total();
+    let zero_one = |f: &dyn Fn(&mut PowerParams)| {
+        let mut p = PowerParams::default();
+        f(&mut p);
+        PowerModel::new(p).energy(&ev).total()
+    };
+    type ZeroCase = (&'static str, Box<dyn Fn(&mut PowerParams)>);
+    let cases: Vec<ZeroCase> = vec![
+        ("wide_rf_read", Box::new(|p| p.wide_rf_read = 0.0)),
+        ("helper_rf_write", Box::new(|p| p.helper_rf_write = 0.0)),
+        ("wide_alu", Box::new(|p| p.wide_alu = 0.0)),
+        ("helper_alu", Box::new(|p| p.helper_alu = 0.0)),
+        ("fp_op", Box::new(|p| p.fp_op = 0.0)),
+        ("wide_iq", Box::new(|p| p.wide_iq = 0.0)),
+        ("dl0_access", Box::new(|p| p.dl0_access = 0.0)),
+        ("ul1_access", Box::new(|p| p.ul1_access = 0.0)),
+        ("predictor_access", Box::new(|p| p.predictor_access = 0.0)),
+        ("copy_transfer", Box::new(|p| p.copy_transfer = 0.0)),
+        (
+            "wide_clock_per_cycle",
+            Box::new(|p| p.wide_clock_per_cycle = 0.0),
+        ),
+        (
+            "helper_clock_per_tick",
+            Box::new(|p| p.helper_clock_per_tick = 0.0),
+        ),
+    ];
+    for (name, zero) in cases {
+        assert!(
+            zero_one(&*zero) < full,
+            "{name} events must contribute to the total"
+        );
+    }
+}
+
+#[test]
+fn ed2_is_monotone_in_delay_at_fixed_energy_events() {
+    let m = PowerModel::default();
+    let ev = busy_events();
+    let mut last = 0.0;
+    for cycles in [500, 1_000, 2_000, 4_000] {
+        let v = ed2(&m, &stats(cycles, ev));
+        assert!(v > last, "ED² must grow with delay: {v} after {last}");
+        last = v;
+    }
+}
+
+#[test]
+fn identical_baseline_and_candidate_give_ratio_one() {
+    let m = PowerModel::default();
+    let run = stats(1_234, busy_events());
+    let cmp = Ed2Comparison::compare(&m, &run, &run.clone());
+    assert!(
+        (cmp.ratio() - 1.0).abs() < 1e-12,
+        "ratio was {}",
+        cmp.ratio()
+    );
+    assert!(cmp.improvement.abs() < 1e-12);
+    assert_eq!(cmp.baseline_ed2, cmp.candidate_ed2);
+}
+
+#[test]
+fn improvement_and_ratio_are_monotone_in_candidate_delay() {
+    // Slowing the candidate down (same energy events per unit work, more
+    // cycles) must monotonically worsen both the improvement and the ratio.
+    let m = PowerModel::default();
+    let baseline = stats(2_000, busy_events());
+    let mut last_improvement = f64::INFINITY;
+    let mut last_ratio = f64::INFINITY;
+    for cycles in [1_000, 1_500, 2_000, 3_000] {
+        let cmp = Ed2Comparison::compare(&m, &baseline, &stats(cycles, busy_events()));
+        assert!(cmp.improvement < last_improvement);
+        assert!(cmp.ratio() < last_ratio);
+        last_improvement = cmp.improvement;
+        last_ratio = cmp.ratio();
+    }
+    // And the sign convention holds: a strictly faster candidate wins.
+    let faster = Ed2Comparison::compare(&m, &baseline, &stats(1_000, busy_events()));
+    assert!(faster.improvement > 0.0);
+    assert!(faster.ratio() > 1.0);
+}
+
+#[test]
+fn zero_energy_candidate_degrades_gracefully() {
+    let m = PowerModel::default();
+    let baseline = stats(1_000, busy_events());
+    let idle = stats(1_000, EnergyEvents::default());
+    let cmp = Ed2Comparison::compare(&m, &baseline, &idle);
+    assert_eq!(cmp.candidate_ed2, 0.0);
+    assert_eq!(cmp.improvement, 0.0, "division by zero is defined away");
+    assert_eq!(cmp.ratio(), 1.0);
+}

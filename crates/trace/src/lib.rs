@@ -22,7 +22,7 @@ pub mod spec;
 pub mod stats;
 pub mod trace;
 
-pub use categories::{paper_suite, reduced_suite, WorkloadCategory};
+pub use categories::{paper_suite, reduced_suite, suite_profiles, SuiteProfiles, WorkloadCategory};
 pub use interp::{InterpConfig, Interpreter, MemImage};
 pub use kernels::{Kernel, KernelKind};
 pub use profile::WorkloadProfile;

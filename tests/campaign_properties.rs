@@ -1,0 +1,113 @@
+//! Property-based tests over the campaign layer: `CampaignSpec` JSON
+//! round-trips for arbitrary grids, `TraceSelector::label` uniqueness across
+//! the whole Table 2 suite, and the shard partition laws the merge engine
+//! relies on.
+
+use hc_core::campaign::TraceSelector;
+use hc_core::shard::CampaignShard;
+use hc_trace::WorkloadCategory;
+use helper_cluster::prelude::*;
+use proptest::prelude::*;
+
+/// Assemble a valid spec from sampled raw material: a non-empty policy
+/// subset (bitmask over the 8 kinds) and a non-empty distinct selector
+/// subset drawn from the Table 2 categories.
+fn arbitrary_spec(
+    policy_mask: u8,
+    selector_mask: u16,
+    trace_len: usize,
+    warmup_runs: usize,
+) -> CampaignSpec {
+    let mut builder = CampaignBuilder::new("prop")
+        .trace_len(trace_len)
+        .warmup_runs(warmup_runs);
+    let mut policies = 0;
+    for (bit, &kind) in PolicyKind::ALL.iter().enumerate() {
+        if policy_mask & (1 << bit) != 0 {
+            builder = builder.policy(kind);
+            policies += 1;
+        }
+    }
+    if policies == 0 {
+        builder = builder.policy(PolicyKind::P888);
+    }
+    let mut selectors = 0;
+    for bit in 0..14usize {
+        if selector_mask & (1 << bit) != 0 {
+            let category = WorkloadCategory::ALL[bit % 7];
+            builder = builder.category_app(category, bit / 7 + 5);
+            selectors += 1;
+        }
+    }
+    if selectors == 0 {
+        builder = builder.spec(SpecBenchmark::Gzip);
+    }
+    builder.build().expect("sampled specs are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any valid spec survives the versioned JSON round-trip exactly —
+    /// including every policy subset, selector subset and knob setting.
+    #[test]
+    fn campaign_specs_round_trip_through_json(
+        policy_mask in any::<u8>(),
+        selector_mask in any::<u16>(),
+        trace_len in 1usize..50_000,
+        warmup_runs in 0usize..4,
+    ) {
+        let spec = arbitrary_spec(policy_mask, selector_mask, trace_len, warmup_runs);
+        let decoded = CampaignSpec::from_json(&spec.to_json()).expect("round-trip decodes");
+        prop_assert_eq!(decoded, spec);
+    }
+
+    /// Every selector of the full 409-trace Table 2 suite has a distinct
+    /// label at any trace length, and the label always equals the name of
+    /// the trace the selector generates (labels key report cells to
+    /// baselines, so a collision or mismatch would corrupt joins).
+    #[test]
+    fn table2_suite_labels_are_unique_and_faithful(trace_len in 1usize..100_000) {
+        let mut labels = std::collections::BTreeSet::new();
+        for category in WorkloadCategory::ALL {
+            for app in 0..category.trace_count() {
+                let selector = TraceSelector::CategoryApp { category, app };
+                let label = selector.label(trace_len);
+                prop_assert!(labels.insert(label.clone()), "duplicate label {}", label);
+            }
+        }
+        prop_assert_eq!(labels.len(), 409);
+        // Spot-check label/name agreement with a real generation (cheap at
+        // tiny lengths; generating all 409 per case would dominate the run).
+        let category = WorkloadCategory::ALL[trace_len % 7];
+        let selector = TraceSelector::CategoryApp { category, app: trace_len % category.trace_count() };
+        let generated = selector.generate(64);
+        prop_assert_eq!(selector.label(64), generated.name);
+    }
+
+    /// Shard planning is a partition for every (suite size, shard count):
+    /// disjoint, complete, canonical-per-index — the precondition for
+    /// byte-identical merges.
+    #[test]
+    fn shard_plans_partition_the_rows(
+        selector_mask in 1u16..(1 << 14),
+        shard_count in 1usize..9,
+    ) {
+        let spec = arbitrary_spec(0b10, selector_mask, 1_000, 0);
+        let shards = CampaignShard::plan(&spec, shard_count).expect("plans are valid");
+        prop_assert_eq!(shards.len(), shard_count);
+        let mut owner = vec![usize::MAX; spec.traces.len()];
+        for shard in &shards {
+            for row in shard.trace_indices() {
+                prop_assert_eq!(owner[row], usize::MAX, "row {} claimed twice", row);
+                owner[row] = shard.shard_index();
+            }
+        }
+        for (row, &shard_index) in owner.iter().enumerate() {
+            prop_assert_eq!(shard_index, row % shard_count, "round-robin assignment");
+        }
+        // Cell accounting sums back to the unsharded grid.
+        let cells: usize = shards.iter().map(|s| s.cell_count()).sum();
+        prop_assert_eq!(cells, spec.cell_count());
+    }
+}

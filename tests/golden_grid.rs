@@ -10,7 +10,7 @@
 //! changes) with:
 //!
 //! ```text
-//! GOLDEN_REGEN=1 cargo test --test golden_grid -- --ignored
+//! GOLDEN_REGEN=1 cargo test --test golden_grid
 //! ```
 
 use hc_core::campaign::{CampaignBuilder, CampaignRunner};
