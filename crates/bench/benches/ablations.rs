@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hc_bench::BENCH_TRACE_LEN;
 use hc_core::experiment::Experiment;
 use hc_core::policy::{PolicyKind, SteeringStack};
+use hc_predictors::PredictorConfig;
 use hc_sim::{SimConfig, Simulator};
 use hc_trace::SpecBenchmark;
 
@@ -15,9 +16,9 @@ fn bench_predictor_table_size(c: &mut Criterion) {
     for entries in [64usize, 256, 1024] {
         g.bench_function(format!("entries_{entries}"), |b| {
             b.iter(|| {
-                let mut features = PolicyKind::P888BrLrCr.features();
-                features.width_table_entries = entries;
-                let mut policy = SteeringStack::new(features);
+                let predictors = PredictorConfig::with_all_entries(entries);
+                let mut policy =
+                    SteeringStack::with_predictors(PolicyKind::P888BrLrCr.features(), predictors);
                 let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
                 std::hint::black_box(sim.run(&trace, &mut policy))
             })
@@ -33,9 +34,12 @@ fn bench_confidence(c: &mut Criterion) {
     for use_conf in [false, true] {
         g.bench_function(format!("confidence_{use_conf}"), |b| {
             b.iter(|| {
-                let mut features = PolicyKind::P888.features();
-                features.use_confidence = use_conf;
-                let mut policy = SteeringStack::new(features);
+                let predictors = PredictorConfig {
+                    use_confidence: use_conf,
+                    ..PredictorConfig::paper_default()
+                };
+                let mut policy =
+                    SteeringStack::with_predictors(PolicyKind::P888.features(), predictors);
                 let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
                 std::hint::black_box(sim.run(&trace, &mut policy))
             })

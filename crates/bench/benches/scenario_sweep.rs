@@ -1,0 +1,125 @@
+//! Scenario-sweep throughput: what per-(trace, scenario) baseline
+//! memoization buys on an N-D campaign.
+//!
+//! Two cases over the same 3-policy × 4-trace × 9-scenario grid:
+//!
+//! * `campaign` — one [`CampaignRunner`] run: each (trace, scenario)
+//!   baseline is simulated once and shared across the three policy columns,
+//!   and each trace is synthesized once and shared across all nine
+//!   scenarios.
+//! * `naive` — the pre-campaign shape: one `Experiment::run` per cell, which
+//!   re-simulates the baseline for every policy and regenerates the trace
+//!   for every (scenario, policy) pair.
+//!
+//! Throughput counts *useful* trace µops (cells + the memoized baseline set)
+//! for both cases, so the campaign's advantage shows up as higher µops/sec
+//! on identical work.  Recorded numbers live in `BENCH_scenario_sweep.json`
+//! at the repository root; regenerate with
+//!
+//! ```text
+//! SCENARIO_SWEEP_RECORD=BENCH_scenario_sweep.json \
+//!   cargo bench -p hc-bench --bench scenario_sweep
+//! ```
+
+use hc_core::campaign::{CampaignBuilder, CampaignRunner, CampaignSpec};
+use hc_core::experiment::Experiment;
+use hc_core::policy::PolicyKind;
+use hc_trace::SpecBenchmark;
+use std::time::Instant;
+
+const TRACE_LEN: usize = 1_000;
+const SAMPLES: usize = 5;
+const POLICIES: [PolicyKind; 3] = [PolicyKind::P888, PolicyKind::P888BrLrCr, PolicyKind::Ir];
+const TRACES: [SpecBenchmark; 4] = [
+    SpecBenchmark::Gzip,
+    SpecBenchmark::Gcc,
+    SpecBenchmark::Mcf,
+    SpecBenchmark::Crafty,
+];
+
+fn sweep_spec() -> CampaignSpec {
+    let mut builder = CampaignBuilder::new("bench-scenario-sweep")
+        .policies(POLICIES)
+        .trace_len(TRACE_LEN)
+        .sensitivity_helper_geometry();
+    for benchmark in TRACES {
+        builder = builder.spec(benchmark);
+    }
+    builder
+        .build()
+        .expect("the bench sweep is a valid campaign")
+}
+
+/// Best-of-`SAMPLES` throughput of `f`, which performs `uops` trace µops of
+/// useful simulation per invocation.
+fn measure(uops: u64, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    uops as f64 / best
+}
+
+/// Useful µops: every cell plus one baseline per (trace, scenario).
+fn useful_uops(spec: &CampaignSpec) -> u64 {
+    (spec.cell_count() as u64 + (spec.traces.len() * spec.scenarios.len()) as u64)
+        * TRACE_LEN as u64
+}
+
+fn campaign(spec: &CampaignSpec) -> (f64, usize) {
+    let mut baseline_sims = 0;
+    let rate = measure(useful_uops(spec), || {
+        let report = CampaignRunner::new().run(spec).expect("sweep runs");
+        baseline_sims = report.baseline_runs;
+        std::hint::black_box(report);
+    });
+    (rate, baseline_sims)
+}
+
+fn naive(spec: &CampaignSpec) -> (f64, usize) {
+    let mut baseline_sims = 0;
+    let rate = measure(useful_uops(spec), || {
+        baseline_sims = 0;
+        for scenario in &spec.scenarios {
+            let experiment =
+                Experiment::try_new_with(scenario.machine.clone(), scenario.predictors)
+                    .expect("scenario machines are valid");
+            for benchmark in TRACES {
+                for kind in POLICIES {
+                    // The pre-campaign shape: trace regenerated and baseline
+                    // re-simulated for every single cell.
+                    let trace = benchmark.trace(TRACE_LEN);
+                    baseline_sims += 1;
+                    std::hint::black_box(experiment.run(&trace, kind));
+                }
+            }
+        }
+    });
+    (rate, baseline_sims)
+}
+
+fn main() {
+    let spec = sweep_spec();
+    let (campaign_rate, campaign_baselines) = campaign(&spec);
+    let (naive_rate, naive_baselines) = naive(&spec);
+    println!("scenario_sweep/campaign  {campaign_rate:>12.0} uops/sec  ({campaign_baselines} baseline sims)");
+    println!(
+        "scenario_sweep/naive     {naive_rate:>12.0} uops/sec  ({naive_baselines} baseline sims)"
+    );
+    println!(
+        "scenario_sweep/memoization_speedup {:.2}x  (baseline sims {} -> {})",
+        campaign_rate / naive_rate,
+        naive_baselines,
+        campaign_baselines
+    );
+    if let Some(path) = std::env::var_os("SCENARIO_SWEEP_RECORD") {
+        let json = format!(
+            "{{\n  \"campaign_uops_per_sec\": {campaign_rate:.0},\n  \"naive_uops_per_sec\": {naive_rate:.0},\n  \"campaign_baseline_sims\": {campaign_baselines},\n  \"naive_baseline_sims\": {naive_baselines},\n  \"memoization_speedup\": {:.4}\n}}\n",
+            campaign_rate / naive_rate
+        );
+        std::fs::write(&path, json).expect("write SCENARIO_SWEEP_RECORD file");
+    }
+}

@@ -28,11 +28,20 @@
 //! for any shard count); `--checkpoint DIR` writes each completed shard to
 //! disk and `--resume` skips shards already on disk.  Traces are synthesized
 //! per worker, so even the full suite holds O(threads) traces in memory.
+//!
+//! `sensitivity` is opt-in as well: the paper-grounded hardware sensitivity
+//! study as one N-D scenario campaign — the IR policy over the SPEC suite ×
+//! the helper width {4, 8, 16} × clock ratio {1×, 2×, 4×} plane — run
+//! through the same sharded streaming engine (`--shards`, `--checkpoint`,
+//! `--resume`, `--json`, `--csv` all apply).  Markdown output adds the
+//! width-predictor table-size sweep {256 … 4096} as a second figure.
 
-use hc_core::campaign::{CampaignBuilder, CampaignRunner};
+use hc_core::campaign::{CampaignBuilder, CampaignRunner, CampaignSpec};
 use hc_core::figures;
 use hc_core::policy::PolicyKind;
-use hc_core::report::{campaign_to_markdown, figure_to_markdown, kv_table_to_markdown};
+use hc_core::report::{
+    campaign_to_markdown, figure_to_markdown, kv_table_to_markdown, scenario_summary_to_markdown,
+};
 use hc_core::shard::ShardedCampaignRunner;
 use hc_core::suite::SuiteRunner;
 use hc_power::{Ed2Comparison, PowerModel};
@@ -125,6 +134,49 @@ fn print_curve_summary(curve: &[f64]) {
     );
 }
 
+/// Drive one campaign through the sharded streaming engine with the CLI's
+/// `--shards/--checkpoint/--resume` plumbing and return the merged report.
+fn run_sharded_campaign(
+    mode: &str,
+    opts: &Options,
+    spec: &CampaignSpec,
+) -> hc_core::campaign::CampaignReport {
+    eprintln!(
+        "{mode}: {} traces × {} policies × {} scenario(s) over {} shard(s){}",
+        spec.traces.len(),
+        spec.policies.len(),
+        spec.scenarios.len(),
+        opts.shards,
+        opts.checkpoint
+            .as_deref()
+            .map(|d| format!(", checkpointing to {d}"))
+            .unwrap_or_default()
+    );
+    let mut runner = ShardedCampaignRunner::new(opts.shards)
+        .resume(opts.resume)
+        .with_progress(|p| {
+            eprintln!(
+                "[{}/{}] {} × {} × {}",
+                p.completed_cells, p.total_cells, p.policy, p.trace, p.scenario
+            );
+        });
+    if let Some(dir) = &opts.checkpoint {
+        runner = runner.with_checkpoint(dir);
+    }
+    let outcome = match runner.run(spec) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("{mode}: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "{mode}: executed shards {:?}, resumed shards {:?}",
+        outcome.executed_shards, outcome.resumed_shards
+    );
+    outcome.report
+}
+
 /// The `suite` mode: the Table 2 suite (IR policy) as one sharded,
 /// streaming, checkpointable campaign.
 fn run_suite_mode(opts: &Options, trace_len: usize) {
@@ -145,39 +197,7 @@ fn run_suite_mode(opts: &Options, trace_len: usize) {
             std::process::exit(2);
         }
     };
-    eprintln!(
-        "suite: {} traces × {} policies over {} shard(s){}",
-        spec.traces.len(),
-        spec.policies.len(),
-        opts.shards,
-        opts.checkpoint
-            .as_deref()
-            .map(|d| format!(", checkpointing to {d}"))
-            .unwrap_or_default()
-    );
-    let mut runner = ShardedCampaignRunner::new(opts.shards)
-        .resume(opts.resume)
-        .with_progress(|p| {
-            eprintln!(
-                "[{}/{}] {} × {}",
-                p.completed_cells, p.total_cells, p.policy, p.trace
-            );
-        });
-    if let Some(dir) = &opts.checkpoint {
-        runner = runner.with_checkpoint(dir);
-    }
-    let outcome = match runner.run(&spec) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("suite: {e}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!(
-        "suite: executed shards {:?}, resumed shards {:?}",
-        outcome.executed_shards, outcome.resumed_shards
-    );
-    let report = outcome.report;
+    let report = run_sharded_campaign("suite", opts, &spec);
     if opts.json {
         println!("{}", report.to_json());
     } else if opts.csv {
@@ -192,14 +212,50 @@ fn run_suite_mode(opts: &Options, trace_len: usize) {
     }
 }
 
+/// The `sensitivity` mode: the 3×3 helper width × clock ratio scenario
+/// campaign (IR over the SPEC suite) through the sharded streaming engine;
+/// Markdown output adds the width-predictor table-size sweep.
+fn run_sensitivity_mode(opts: &Options, trace_len: usize) {
+    let spec = figures::sensitivity_geometry_spec(trace_len);
+    let report = run_sharded_campaign("sensitivity", opts, &spec);
+    if opts.json {
+        println!("{}", report.to_json());
+    } else if opts.csv {
+        println!("{}", report.to_csv());
+    } else {
+        println!("{}", campaign_to_markdown(&report));
+        println!(
+            "{}",
+            figure_to_markdown(&figures::sensitivity_figure_from(
+                &report,
+                PolicyKind::Ir,
+                "sens_geometry",
+            ))
+        );
+        println!(
+            "{}",
+            scenario_summary_to_markdown(&report, PolicyKind::Ir.name())
+        );
+        println!(
+            "{}",
+            figure_to_markdown(&figures::sensitivity_width_predictor(trace_len))
+        );
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if let Some(n) = opts.threads {
         rayon::set_thread_cap(n);
     }
     let len = opts.trace_len;
-    if (opts.json || opts.csv) && !opts.figures.iter().any(|f| f == "campaign" || f == "suite") {
-        eprintln!("note: --json/--csv only affect the `campaign` and `suite` outputs; add one to the figure list");
+    if (opts.json || opts.csv)
+        && !opts
+            .figures
+            .iter()
+            .any(|f| f == "campaign" || f == "suite" || f == "sensitivity")
+    {
+        eprintln!("note: --json/--csv only affect the `campaign`, `suite` and `sensitivity` outputs; add one to the figure list");
     }
 
     if wanted(&opts, "table1") {
@@ -263,6 +319,11 @@ fn main() {
     // Opt-in: the §3.8 Table 2 suite as one sharded, streaming campaign.
     if opts.figures.iter().any(|f| f == "suite") {
         run_suite_mode(&opts, len);
+    }
+    // Opt-in: the helper-geometry sensitivity study as one N-D scenario
+    // campaign through the sharded engine.
+    if opts.figures.iter().any(|f| f == "sensitivity") {
+        run_sensitivity_mode(&opts, len);
     }
     // Opt-in: the full 7-policy × 12-trace campaign grid (the `headline`
     // figure's data, exposed through the declarative Campaign API with its

@@ -37,6 +37,8 @@
 
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::policy::PolicyKind;
+use crate::scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};
+use hc_power::{Ed2Comparison, PowerModel, PowerParams};
 use hc_sim::{ConfigError, SimConfig, SimStats};
 use hc_trace::{SpecBenchmark, Trace, WorkloadCategory, WorkloadProfile};
 use rayon::prelude::*;
@@ -49,10 +51,22 @@ use std::sync::Arc;
 
 /// Version of the [`CampaignSpec`] wire schema.  Bumped whenever a
 /// serialized *spec* field changes meaning; decoders reject mismatched
-/// versions with a typed error instead of misreading data.  Specs have not
-/// changed since their introduction, so v1 files keep decoding even as the
-/// report schema evolves.
-pub const CAMPAIGN_SPEC_SCHEMA_VERSION: u32 = 1;
+/// versions with a typed error instead of misreading data.
+///
+/// * v1 — policy × trace grid against a single `config` machine.
+/// * v2 — `config` replaced by a `scenarios` list ([`ScenarioSpec`] overlays:
+///   machine + predictors + power).
+///
+/// A spec whose only scenario is the legacy overlay (default name, paper
+/// predictors, default power — any machine) still **encodes as v1**, so every
+/// pre-scenario spec, shard checkpoint and golden snapshot stays byte-stable;
+/// v2 is emitted exactly when the scenario axis is actually used.  Decoders
+/// accept both.
+pub const CAMPAIGN_SPEC_SCHEMA_VERSION: u32 = 2;
+
+/// The legacy spec wire version still emitted for single-default-scenario
+/// campaigns (see [`CAMPAIGN_SPEC_SCHEMA_VERSION`]).
+pub const LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION: u32 = 1;
 
 /// Version of the [`CampaignReport`] wire schema.  Bumped whenever a
 /// serialized *report* field changes meaning; decoders reject mismatched
@@ -61,7 +75,18 @@ pub const CAMPAIGN_SPEC_SCHEMA_VERSION: u32 = 1;
 /// * v1 — initial schema.
 /// * v2 — [`CampaignReport`] gained `trace_generations` (trace-synthesis
 ///   memoization instrumentation, mirroring `baseline_runs`).
-pub const CAMPAIGN_SCHEMA_VERSION: u32 = 2;
+/// * v3 — scenario axes: the embedded spec may carry `scenarios` (spec v2)
+///   and every cell / baseline carries its `scenario` key.
+///
+/// Mirroring the spec versioning, a report over a single-default-scenario
+/// campaign still **encodes as v2** — cells carry no `scenario` field and
+/// the embedded spec encodes as v1 — keeping the golden snapshots and every
+/// pre-scenario consumer byte-stable.  Decoders accept v2 and v3.
+pub const CAMPAIGN_SCHEMA_VERSION: u32 = 3;
+
+/// The legacy report wire version still emitted for single-default-scenario
+/// campaigns (see [`CAMPAIGN_SCHEMA_VERSION`]).
+pub const LEGACY_CAMPAIGN_SCHEMA_VERSION: u32 = 2;
 
 /// Everything that can go wrong assembling, decoding or running a campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +109,20 @@ pub enum CampaignError {
     /// The same policy appears twice; report cells are keyed by policy
     /// name, so duplicates would double-count in every aggregate.
     DuplicatePolicy(String),
+    /// The spec names no scenarios (a spec always carries at least the
+    /// default overlay; an explicitly empty list is a construction bug).
+    NoScenarios,
+    /// Two scenarios share a name; cells are keyed by it.
+    DuplicateScenario(String),
+    /// A scenario's predictor or power axis was rejected by its owning
+    /// crate's validator (machine rejections keep surfacing as
+    /// [`CampaignError::Config`]).
+    Scenario {
+        /// The offending scenario's name.
+        name: String,
+        /// What its owning crate objected to.
+        error: ScenarioError,
+    },
     /// A serialized spec/report was produced by an incompatible schema.
     UnsupportedSchemaVersion {
         /// Version found in the document.
@@ -146,6 +185,13 @@ impl fmt::Display for CampaignError {
             CampaignError::DuplicatePolicy(name) => {
                 write!(f, "campaign names the policy `{name}` more than once")
             }
+            CampaignError::NoScenarios => write!(f, "campaign names no scenarios"),
+            CampaignError::DuplicateScenario(name) => {
+                write!(f, "campaign names the scenario `{name}` more than once")
+            }
+            CampaignError::Scenario { name, error } => {
+                write!(f, "invalid scenario `{name}`: {error}")
+            }
             CampaignError::UnsupportedSchemaVersion { found, supported } => write!(
                 f,
                 "unsupported campaign schema version {found} (this build supports {supported})"
@@ -183,6 +229,7 @@ impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CampaignError::Config(e) => Some(e),
+            CampaignError::Scenario { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -234,20 +281,24 @@ impl TraceSelector {
     }
 }
 
-/// A declarative policy × trace evaluation grid.
+/// A declarative policy × trace × scenario evaluation grid.
 ///
 /// Serde-round-trippable: `serde::json::to_string` / `from_str` (or
 /// [`CampaignSpec::to_json`] / [`CampaignSpec::from_json`], which also check
-/// the schema version) reproduce the spec exactly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// the schema version) reproduce the spec exactly.  A spec whose only
+/// scenario is the legacy overlay serializes in the v1 wire shape (a
+/// `config` field instead of `scenarios`), so pre-scenario documents keep
+/// round-tripping byte-for-byte; see [`CAMPAIGN_SPEC_SCHEMA_VERSION`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
-    /// Schema version this spec was written with.
+    /// Schema version this spec was written with (1 for single-default-
+    /// scenario specs, 2 once the scenario axis is used).
     pub schema_version: u32,
     /// Campaign name, echoed into the report.
     pub name: String,
-    /// Policies to evaluate (the grid's columns).
+    /// Policies to evaluate (the grid's first axis).
     pub policies: Vec<PolicyKind>,
-    /// Traces to evaluate on (the grid's rows).
+    /// Traces to evaluate on (the grid's second axis).
     pub traces: Vec<TraceSelector>,
     /// Dynamic µops per generated trace.
     pub trace_len: usize,
@@ -255,18 +306,80 @@ pub struct CampaignSpec {
     /// instance (and its predictors) stays warm across them.  `0` reproduces
     /// [`Experiment::run`] exactly.
     pub warmup_runs: usize,
-    /// Whether to simulate the monolithic baseline for every trace (needed
-    /// for speedups; disable for stat-only sweeps to halve the work).
+    /// Whether to simulate the monolithic baseline for every (trace,
+    /// scenario) pair (needed for speedups; disable for stat-only sweeps to
+    /// halve the work).
     pub include_baseline: bool,
-    /// Helper-cluster simulator configuration; the baseline uses the same
-    /// parameters with the helper cluster removed.
-    pub config: SimConfig,
+    /// Machines under test (the grid's third axis).  Every scenario's
+    /// baseline uses that scenario's machine with the helper cluster
+    /// removed.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+/// The wire version a scenario list canonically encodes as: v1 while the
+/// scenario axis is unused (one legacy overlay), v2 otherwise.
+pub(crate) fn spec_wire_version(scenarios: &[ScenarioSpec]) -> u32 {
+    match scenarios {
+        [only] if only.is_legacy_overlay() => LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
+        _ => CAMPAIGN_SPEC_SCHEMA_VERSION,
+    }
+}
+
+/// The report wire version for a spec: legacy v2 for legacy (v1) specs,
+/// v3 once the scenario axis is used.
+pub(crate) fn report_wire_version(spec: &CampaignSpec) -> u32 {
+    if spec.is_single_default_scenario() {
+        LEGACY_CAMPAIGN_SCHEMA_VERSION
+    } else {
+        CAMPAIGN_SCHEMA_VERSION
+    }
 }
 
 impl CampaignSpec {
+    /// The wire version this spec serializes as.  Normally the canonical
+    /// version of its scenario list, but a spec that *declares* v2 (e.g. a
+    /// decoded v2 document whose scenario list happens to be the single
+    /// default overlay — a shape v2 permits) keeps v2, so decode → encode
+    /// is the identity for every accepted document.
+    pub fn wire_version(&self) -> u32 {
+        if self.schema_version == CAMPAIGN_SPEC_SCHEMA_VERSION {
+            CAMPAIGN_SPEC_SCHEMA_VERSION
+        } else {
+            spec_wire_version(&self.scenarios)
+        }
+    }
+
+    /// Whether this spec runs on the legacy single-default-scenario path —
+    /// the case that keeps every wire format (spec, report, shard, cells)
+    /// byte-identical to the pre-scenario engine.  A spec that explicitly
+    /// declares the v2 schema opts out even with a single default overlay.
+    pub fn is_single_default_scenario(&self) -> bool {
+        self.wire_version() == LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION
+    }
+
+    /// The machine of the spec's first scenario — the single machine of
+    /// every pre-scenario campaign, kept as a convenience accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names no scenarios (invalid; [`CampaignSpec::validate`]
+    /// rejects it).
+    pub fn primary_machine(&self) -> &SimConfig {
+        &self
+            .scenarios
+            .first()
+            .expect("validated specs have at least one scenario")
+            .machine
+    }
+
     /// Validate the spec, returning the first problem found.
     pub fn validate(&self) -> Result<(), CampaignError> {
-        if self.schema_version != CAMPAIGN_SPEC_SCHEMA_VERSION {
+        // Accepted versions: the canonical encoding of this scenario list,
+        // or an explicit v2 declaration (v2 is a superset — any scenario
+        // list is expressible in it).  Rejected: v1 claimed for a list that
+        // needs v2, or unknown versions.
+        let canonical = spec_wire_version(&self.scenarios);
+        if self.schema_version != canonical && self.schema_version != CAMPAIGN_SPEC_SCHEMA_VERSION {
             return Err(CampaignError::UnsupportedSchemaVersion {
                 found: self.schema_version,
                 supported: CAMPAIGN_SPEC_SCHEMA_VERSION,
@@ -297,13 +410,30 @@ impl CampaignSpec {
                 return Err(CampaignError::DuplicateTraceLabel(label));
             }
         }
-        self.config.validate()?;
+        if self.scenarios.is_empty() {
+            return Err(CampaignError::NoScenarios);
+        }
+        let mut scenario_names = std::collections::BTreeSet::new();
+        for scenario in &self.scenarios {
+            if !scenario_names.insert(scenario.name.clone()) {
+                return Err(CampaignError::DuplicateScenario(scenario.name.clone()));
+            }
+            scenario.validate().map_err(|error| match error {
+                // Machine rejections keep their pre-scenario shape so
+                // existing error handling (and its source chain) still works.
+                ScenarioError::Machine(e) => CampaignError::Config(e),
+                other => CampaignError::Scenario {
+                    name: scenario.name.clone(),
+                    error: other,
+                },
+            })?;
+        }
         Ok(())
     }
 
-    /// Number of policy × trace cells in the grid.
+    /// Number of policy × trace × scenario cells in the grid.
     pub fn cell_count(&self) -> usize {
-        self.policies.len() * self.traces.len()
+        self.policies.len() * self.traces.len() * self.scenarios.len()
     }
 
     /// Serialize to pretty JSON.
@@ -311,23 +441,108 @@ impl CampaignSpec {
         serde::json::to_string_pretty(self)
     }
 
-    /// Decode from JSON, checking the schema version first.
+    /// Decode from JSON (v1 or v2), checking the schema version first.
     pub fn from_json(text: &str) -> Result<CampaignSpec, CampaignError> {
-        let value = decode_versioned(text, CAMPAIGN_SPEC_SCHEMA_VERSION)?;
+        let value = decode_versioned(
+            text,
+            &[
+                LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
+                CAMPAIGN_SPEC_SCHEMA_VERSION,
+            ],
+        )?;
         Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
     }
 }
 
+impl Serialize for CampaignSpec {
+    fn to_value(&self) -> serde::Value {
+        let version = self.wire_version();
+        let mut fields = vec![
+            (
+                "schema_version".to_string(),
+                serde::Value::UInt(version as u64),
+            ),
+            ("name".to_string(), Serialize::to_value(&self.name)),
+            ("policies".to_string(), Serialize::to_value(&self.policies)),
+            ("traces".to_string(), Serialize::to_value(&self.traces)),
+            (
+                "trace_len".to_string(),
+                Serialize::to_value(&self.trace_len),
+            ),
+            (
+                "warmup_runs".to_string(),
+                Serialize::to_value(&self.warmup_runs),
+            ),
+            (
+                "include_baseline".to_string(),
+                Serialize::to_value(&self.include_baseline),
+            ),
+        ];
+        if version == LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION {
+            // The v1 wire shape: the single legacy scenario's machine as the
+            // `config` field, byte-identical to pre-scenario specs.
+            fields.push((
+                "config".to_string(),
+                Serialize::to_value(&self.scenarios[0].machine),
+            ));
+        } else {
+            fields.push((
+                "scenarios".to_string(),
+                Serialize::to_value(&self.scenarios),
+            ));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for CampaignSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct CampaignSpec"))?;
+        let schema_version: u32 = serde::de_field(m, "schema_version")?;
+        let scenarios = match schema_version {
+            LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION => {
+                let config: SimConfig = serde::de_field(m, "config")?;
+                vec![ScenarioSpec::overlay_of(config)]
+            }
+            CAMPAIGN_SPEC_SCHEMA_VERSION => serde::de_field(m, "scenarios")?,
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "unsupported campaign spec schema version {other}"
+                )))
+            }
+        };
+        Ok(CampaignSpec {
+            schema_version,
+            name: serde::de_field(m, "name")?,
+            policies: serde::de_field(m, "policies")?,
+            traces: serde::de_field(m, "traces")?,
+            trace_len: serde::de_field(m, "trace_len")?,
+            warmup_runs: serde::de_field(m, "warmup_runs")?,
+            include_baseline: serde::de_field(m, "include_baseline")?,
+            scenarios,
+        })
+    }
+}
+
 /// Parse JSON and verify its `schema_version` field against the `supported`
-/// version before full decoding.
-pub(crate) fn decode_versioned(text: &str, supported: u32) -> Result<serde::Value, CampaignError> {
+/// versions before full decoding.  A mismatch reports the newest supported
+/// version.
+pub(crate) fn decode_versioned(
+    text: &str,
+    supported: &[u32],
+) -> Result<serde::Value, CampaignError> {
     let value = serde::json::parse(text).map_err(|e| CampaignError::Decode(e.to_string()))?;
     let found = match value.get("schema_version") {
         Some(serde::Value::UInt(n)) => *n as u32,
         _ => return Err(CampaignError::Decode("missing schema_version".to_string())),
     };
-    if found != supported {
-        return Err(CampaignError::UnsupportedSchemaVersion { found, supported });
+    if !supported.contains(&found) {
+        return Err(CampaignError::UnsupportedSchemaVersion {
+            found,
+            supported: *supported.iter().max().expect("non-empty version list"),
+        });
     }
     Ok(value)
 }
@@ -336,23 +551,76 @@ pub(crate) fn decode_versioned(text: &str, supported: u32) -> Result<serde::Valu
 #[derive(Debug, Clone)]
 pub struct CampaignBuilder {
     spec: CampaignSpec,
+    /// Base machine the implicit default scenario — and every sensitivity
+    /// preset — derives from.
+    machine: SimConfig,
+    /// Requested scenario axis, expanded against the final base machine at
+    /// [`CampaignBuilder::build`] so `.config(..)` works in any call order;
+    /// empty means "the single default overlay of `machine`" (the legacy
+    /// campaign shape).
+    scenarios: Vec<ScenarioRequest>,
+}
+
+/// One deferred scenario-axis request; presets expand at build time so they
+/// see the builder's *final* base machine regardless of call order.
+#[derive(Debug, Clone)]
+enum ScenarioRequest {
+    Explicit(Box<ScenarioSpec>),
+    HelperGeometry,
+    WidthPredictor,
+}
+
+impl ScenarioRequest {
+    fn expand(self, machine: &SimConfig, out: &mut Vec<ScenarioSpec>) {
+        match self {
+            ScenarioRequest::Explicit(scenario) => out.push(*scenario),
+            ScenarioRequest::HelperGeometry => {
+                for width_bits in [4u32, 8, 16] {
+                    for ratio in [1u32, 2, 4] {
+                        out.push(
+                            ScenarioSpec::named(format!("hw{width_bits}_cr{ratio}x")).with_machine(
+                                SimConfig {
+                                    helper_width_bits: width_bits,
+                                    helper_clock_ratio: ratio,
+                                    ..machine.clone()
+                                },
+                            ),
+                        );
+                    }
+                }
+            }
+            ScenarioRequest::WidthPredictor => {
+                for entries in [256usize, 512, 1024, 2048, 4096] {
+                    out.push(
+                        ScenarioSpec::named(format!("wp{entries}"))
+                            .with_machine(machine.clone())
+                            .with_predictors(hc_predictors::PredictorConfig::with_all_entries(
+                                entries,
+                            )),
+                    );
+                }
+            }
+        }
+    }
 }
 
 impl CampaignBuilder {
-    /// Start a campaign with the paper-baseline configuration, no policies
-    /// and no traces.
+    /// Start a campaign with the paper-baseline machine as its single
+    /// (default) scenario, no policies and no traces.
     pub fn new(name: impl Into<String>) -> CampaignBuilder {
         CampaignBuilder {
             spec: CampaignSpec {
-                schema_version: CAMPAIGN_SPEC_SCHEMA_VERSION,
+                schema_version: LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
                 name: name.into(),
                 policies: Vec::new(),
                 traces: Vec::new(),
                 trace_len: 10_000,
                 warmup_runs: 0,
                 include_baseline: true,
-                config: SimConfig::paper_baseline(),
+                scenarios: Vec::new(),
             },
+            machine: SimConfig::paper_baseline(),
+            scenarios: Vec::new(),
         }
     }
 
@@ -444,14 +712,68 @@ impl CampaignBuilder {
         self
     }
 
-    /// Use a custom helper-cluster simulator configuration.
+    /// Use a custom helper-cluster simulator configuration as the base
+    /// machine: it becomes the default scenario's machine, and every
+    /// sensitivity preset derives its machines from it.
     pub fn config(mut self, config: SimConfig) -> Self {
-        self.spec.config = config;
+        self.machine = config;
         self
     }
 
-    /// Validate and produce the spec.
-    pub fn build(self) -> Result<CampaignSpec, CampaignError> {
+    /// Add one explicit scenario (machine + predictors + power overlay).
+    /// The first scenario request replaces the implicit default; add
+    /// [`ScenarioSpec::paper_default`] yourself to keep the paper design
+    /// point as a comparison column.
+    pub fn scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenarios
+            .push(ScenarioRequest::Explicit(Box::new(scenario)));
+        self
+    }
+
+    /// Add several explicit scenarios.
+    pub fn scenarios(mut self, scenarios: impl IntoIterator<Item = ScenarioSpec>) -> Self {
+        self.scenarios.extend(
+            scenarios
+                .into_iter()
+                .map(|s| ScenarioRequest::Explicit(Box::new(s))),
+        );
+        self
+    }
+
+    /// The §2 helper-geometry sensitivity plane: helper datapath width
+    /// {4, 8, 16} bits × helper clock ratio {1×, 2×, 4×}, nine scenarios
+    /// derived from the base machine and named `hw{width}_cr{ratio}x`.  The
+    /// paper's design point is `hw8_cr2x`.  Expansion happens at
+    /// [`CampaignBuilder::build`], so a later `.config(..)` still applies.
+    pub fn sensitivity_helper_geometry(mut self) -> Self {
+        self.scenarios.push(ScenarioRequest::HelperGeometry);
+        self
+    }
+
+    /// The §3.2 width-predictor sizing sensitivity: table entries
+    /// {256, 512, 1024, 2048, 4096} (carry and copy tables scale along, as
+    /// in the paper's complexity study), scenarios named `wp{entries}` over
+    /// the base machine.  The paper's design point is `wp256`.  Expansion
+    /// happens at [`CampaignBuilder::build`], so a later `.config(..)`
+    /// still applies.
+    pub fn sensitivity_width_predictor(mut self) -> Self {
+        self.scenarios.push(ScenarioRequest::WidthPredictor);
+        self
+    }
+
+    /// Validate and produce the spec.  Scenario requests expand here,
+    /// against the final base machine.
+    pub fn build(mut self) -> Result<CampaignSpec, CampaignError> {
+        self.spec.scenarios = if self.scenarios.is_empty() {
+            vec![ScenarioSpec::overlay_of(self.machine)]
+        } else {
+            let mut scenarios = Vec::new();
+            for request in self.scenarios {
+                request.expand(&self.machine, &mut scenarios);
+            }
+            scenarios
+        };
+        self.spec.schema_version = spec_wire_version(&self.spec.scenarios);
         self.spec.validate()?;
         Ok(self.spec)
     }
@@ -468,14 +790,17 @@ pub struct CampaignProgress {
     pub policy: String,
     /// Trace of the cell that just finished.
     pub trace: String,
+    /// Scenario of the cell that just finished (`"default"` on the legacy
+    /// single-scenario path).
+    pub scenario: String,
 }
 
 /// Shared progress-hook type: called once per finished cell, possibly from
 /// worker threads.
 pub type ProgressHook = Arc<dyn Fn(&CampaignProgress) + Send + Sync>;
 
-/// One policy × trace measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One policy × trace × scenario measurement.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignCell {
     /// Policy name (stable report key, from [`PolicyKind::name`]).
     pub policy: String,
@@ -483,49 +808,144 @@ pub struct CampaignCell {
     pub trace: String,
     /// Workload category of the trace, if any.
     pub category: Option<String>,
+    /// Scenario name this cell was measured under; `None` on the legacy
+    /// single-default-scenario path (and omitted from the serialized form,
+    /// keeping pre-scenario documents byte-identical).
+    pub scenario: Option<String>,
     /// Measured statistics of the policy run.
     pub stats: SimStats,
 }
 
-/// One trace's monolithic-baseline measurement (shared by every cell of that
-/// trace).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One (trace, scenario) monolithic-baseline measurement (shared by every
+/// cell of that trace under that scenario).
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineRun {
     /// Trace name.
     pub trace: String,
     /// Workload category of the trace, if any.
     pub category: Option<String>,
+    /// Scenario name; `None` on the legacy single-default-scenario path
+    /// (omitted from the serialized form).
+    pub scenario: Option<String>,
     /// Baseline statistics.
     pub stats: SimStats,
+}
+
+/// Serialize trace/category/[scenario]/stats-shaped rows: the `scenario`
+/// key appears only when set, so legacy documents stay byte-identical.
+fn row_to_value(
+    policy: Option<&String>,
+    trace: &String,
+    category: &Option<String>,
+    scenario: &Option<String>,
+    stats: &SimStats,
+) -> serde::Value {
+    let mut fields = Vec::with_capacity(5);
+    if let Some(policy) = policy {
+        fields.push(("policy".to_string(), Serialize::to_value(policy)));
+    }
+    fields.push(("trace".to_string(), Serialize::to_value(trace)));
+    fields.push(("category".to_string(), Serialize::to_value(category)));
+    if scenario.is_some() {
+        fields.push(("scenario".to_string(), Serialize::to_value(scenario)));
+    }
+    fields.push(("stats".to_string(), Serialize::to_value(stats)));
+    serde::Value::Map(fields)
+}
+
+/// Decode an optional `scenario` key (absent on legacy documents).
+fn scenario_from_map(m: &[(String, serde::Value)]) -> Result<Option<String>, serde::Error> {
+    match m.iter().find(|(k, _)| k == "scenario") {
+        Some((_, v)) => Deserialize::from_value(v),
+        None => Ok(None),
+    }
+}
+
+impl Serialize for CampaignCell {
+    fn to_value(&self) -> serde::Value {
+        row_to_value(
+            Some(&self.policy),
+            &self.trace,
+            &self.category,
+            &self.scenario,
+            &self.stats,
+        )
+    }
+}
+
+impl Deserialize for CampaignCell {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct CampaignCell"))?;
+        Ok(CampaignCell {
+            policy: serde::de_field(m, "policy")?,
+            trace: serde::de_field(m, "trace")?,
+            category: serde::de_field(m, "category")?,
+            scenario: scenario_from_map(m)?,
+            stats: serde::de_field(m, "stats")?,
+        })
+    }
+}
+
+impl Serialize for BaselineRun {
+    fn to_value(&self) -> serde::Value {
+        row_to_value(
+            None,
+            &self.trace,
+            &self.category,
+            &self.scenario,
+            &self.stats,
+        )
+    }
+}
+
+impl Deserialize for BaselineRun {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct BaselineRun"))?;
+        Ok(BaselineRun {
+            trace: serde::de_field(m, "trace")?,
+            category: serde::de_field(m, "category")?,
+            scenario: scenario_from_map(m)?,
+            stats: serde::de_field(m, "stats")?,
+        })
+    }
 }
 
 /// The versioned output of a campaign run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
-    /// Schema version of this report.
+    /// Schema version of this report (legacy v2 for single-default-scenario
+    /// campaigns, v3 once the scenario axis is used).
     pub schema_version: u32,
     /// Campaign name (from the spec).
     pub name: String,
     /// The spec that produced this report, embedded for replayability.
     pub spec: CampaignSpec,
-    /// One baseline run per trace (empty when the spec disabled baselines).
+    /// One baseline run per (trace, scenario), trace-major in spec order
+    /// (empty when the spec disabled baselines).
     pub baselines: Vec<BaselineRun>,
-    /// All policy × trace cells, trace-major in spec order.
+    /// All policy × trace × scenario cells, trace-major then scenario-major
+    /// in spec order.
     pub cells: Vec<CampaignCell>,
     /// Number of monolithic baseline simulations actually executed — the
-    /// memoization instrumentation: always ≤ the number of traces, never
-    /// policies × traces.
+    /// memoization instrumentation: always ≤ traces × scenarios, never
+    /// policies × traces × scenarios.
     pub baseline_runs: usize,
     /// Number of [`TraceSelector::generate`] calls actually performed — the
     /// trace-memoization instrumentation mirroring `baseline_runs`: each
     /// grid row is synthesized exactly once and shared across every policy
-    /// column (and every warmup run), so this is always the number of
-    /// traces, never policies × traces.
+    /// column, every warmup run *and every scenario*, so this is always the
+    /// number of traces.
     pub trace_generations: usize,
 }
 
 impl CampaignReport {
-    /// The baseline statistics for a trace, if baselines were run.
+    /// The baseline statistics for a trace, if baselines were run.  On
+    /// multi-scenario reports this returns the *first* scenario's baseline;
+    /// use [`CampaignReport::baseline_for_scenario`] to pick one.
     pub fn baseline_for(&self, trace: &str) -> Option<&SimStats> {
         self.baselines
             .iter()
@@ -533,15 +953,55 @@ impl CampaignReport {
             .map(|b| &b.stats)
     }
 
-    /// The cell for a (policy, trace) pair.
+    /// The baseline statistics for a (trace, scenario) pair; `None` as the
+    /// scenario selects the legacy default-scenario baselines.
+    pub fn baseline_for_scenario(&self, trace: &str, scenario: Option<&str>) -> Option<&SimStats> {
+        self.baselines
+            .iter()
+            .find(|b| b.trace == trace && b.scenario.as_deref() == scenario)
+            .map(|b| &b.stats)
+    }
+
+    /// The cell for a (policy, trace) pair.  On multi-scenario reports this
+    /// returns the first scenario's cell; use
+    /// [`CampaignReport::cell_for_scenario`] to pick one.
     pub fn cell(&self, policy: &str, trace: &str) -> Option<&CampaignCell> {
         self.cells
             .iter()
             .find(|c| c.policy == policy && c.trace == trace)
     }
 
+    /// The cell for a (policy, trace, scenario) triple.
+    pub fn cell_for_scenario(
+        &self,
+        policy: &str,
+        trace: &str,
+        scenario: Option<&str>,
+    ) -> Option<&CampaignCell> {
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.trace == trace && c.scenario.as_deref() == scenario)
+    }
+
+    /// Display keys of every scenario in this report, in spec order
+    /// (`["default"]` for legacy single-scenario campaigns).
+    pub fn scenario_keys(&self) -> Vec<String> {
+        if self.spec.is_single_default_scenario() {
+            vec![DEFAULT_SCENARIO_NAME.to_string()]
+        } else {
+            self.spec.scenarios.iter().map(|s| s.name.clone()).collect()
+        }
+    }
+
+    /// The cell's own-scenario baseline: the join every aggregate uses, so
+    /// each measurement is compared against the monolithic machine *of its
+    /// scenario*, never against another machine's baseline.
+    fn baseline_for_cell(&self, cell: &CampaignCell) -> Option<&SimStats> {
+        self.baseline_for_scenario(&cell.trace, cell.scenario.as_deref())
+    }
+
     fn join_cell(&self, cell: &CampaignCell) -> Option<ExperimentResult> {
-        let baseline = self.baseline_for(&cell.trace)?;
+        let baseline = self.baseline_for_cell(cell)?;
         Some(ExperimentResult {
             policy: cell.policy.clone(),
             trace: cell.trace.clone(),
@@ -576,7 +1036,7 @@ impl CampaignReport {
     pub fn mean_speedup_by_category(&self, policy: &str) -> BTreeMap<String, f64> {
         let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
         for cell in self.cells.iter().filter(|c| c.policy == policy) {
-            let Some(baseline) = self.baseline_for(&cell.trace) else {
+            let Some(baseline) = self.baseline_for_cell(cell) else {
                 continue;
             };
             let cat = cell
@@ -593,25 +1053,26 @@ impl CampaignReport {
     }
 
     /// One policy's per-trace speedups sorted ascending — the S-curve of
-    /// Figure 14 (right).
+    /// Figure 14 (right).  Each cell is compared against its own scenario's
+    /// baseline; multi-scenario curves pool every scenario's points.
     pub fn speedup_curve(&self, policy: &str) -> Vec<f64> {
         let mut curve: Vec<f64> = self
             .cells
             .iter()
             .filter(|c| c.policy == policy)
-            .filter_map(|c| self.baseline_for(&c.trace).map(|b| c.stats.speedup_over(b)))
+            .filter_map(|c| self.baseline_for_cell(c).map(|b| c.stats.speedup_over(b)))
             .collect();
         curve.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         curve
     }
 
-    /// Arithmetic-mean speedup of one policy over the grid's traces.
-    /// Computed in place — no result vectors are materialized.
+    /// Arithmetic-mean speedup of one policy over the grid's traces (and
+    /// scenarios).  Computed in place — no result vectors are materialized.
     pub fn mean_speedup(&self, policy: &str) -> Option<f64> {
         let mut sum = 0.0;
         let mut n = 0usize;
         for cell in self.cells.iter().filter(|c| c.policy == policy) {
-            if let Some(baseline) = self.baseline_for(&cell.trace) {
+            if let Some(baseline) = self.baseline_for_cell(cell) {
                 sum += cell.stats.speedup_over(baseline);
                 n += 1;
             }
@@ -619,14 +1080,75 @@ impl CampaignReport {
         (n > 0).then(|| sum / n as f64)
     }
 
+    /// Mean speedup of one policy per scenario — the sensitivity-study
+    /// aggregation: each scenario's cells against that scenario's baselines.
+    /// Legacy cells group under `"default"`.
+    pub fn speedup_by_scenario(&self, policy: &str) -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for cell in self.cells.iter().filter(|c| c.policy == policy) {
+            let Some(baseline) = self.baseline_for_cell(cell) else {
+                continue;
+            };
+            let key = cell
+                .scenario
+                .clone()
+                .unwrap_or_else(|| DEFAULT_SCENARIO_NAME.to_string());
+            let e = sums.entry(key).or_insert((0.0, 0));
+            e.0 += cell.stats.speedup_over(baseline);
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+    }
+
+    /// The power parameters a scenario key's energy accounting uses.
+    fn scenario_power(&self, key: &str) -> PowerParams {
+        self.spec
+            .scenarios
+            .iter()
+            .find(|s| s.name == key)
+            .map(|s| s.power)
+            .unwrap_or_default()
+    }
+
+    /// Mean energy-delay² improvement (fraction; positive = the helper
+    /// machine wins) of one policy per scenario, each scenario evaluated
+    /// under **its own** [`PowerParams`] — the §3.7 ED² comparison as a
+    /// sensitivity axis.
+    pub fn ed2_by_scenario(&self, policy: &str) -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for cell in self.cells.iter().filter(|c| c.policy == policy) {
+            let Some(baseline) = self.baseline_for_cell(cell) else {
+                continue;
+            };
+            let key = cell
+                .scenario
+                .clone()
+                .unwrap_or_else(|| DEFAULT_SCENARIO_NAME.to_string());
+            let model = PowerModel::new(self.scenario_power(&key));
+            let cmp = Ed2Comparison::compare(&model, baseline, &cell.stats);
+            let e = sums.entry(key).or_insert((0.0, 0));
+            e.0 += cmp.improvement;
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+    }
+
     /// Serialize to pretty JSON (stable, versioned schema).
     pub fn to_json(&self) -> String {
         serde::json::to_string_pretty(self)
     }
 
-    /// Decode from JSON, checking the schema version first.
+    /// Decode from JSON (legacy v2 or scenario-aware v3), checking the
+    /// schema version first.
     pub fn from_json(text: &str) -> Result<CampaignReport, CampaignError> {
-        let value = decode_versioned(text, CAMPAIGN_SCHEMA_VERSION)?;
+        let value = decode_versioned(
+            text,
+            &[LEGACY_CAMPAIGN_SCHEMA_VERSION, CAMPAIGN_SCHEMA_VERSION],
+        )?;
         Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
     }
 
@@ -669,18 +1191,21 @@ impl CampaignRunner {
     /// Validate and execute a campaign.
     ///
     /// The grid **streams**: each worker synthesizes one row's trace from its
-    /// selector, runs every policy column against it, and drops it before
-    /// picking up the next row — at no point do more than O(worker threads)
-    /// traces exist in memory, so the full 409-trace Table 2 suite runs in
-    /// the same footprint as a 12-trace grid.  Each row's trace is still
-    /// generated exactly once and shared by every policy column; the
-    /// `trace_generations` counter proves the memoization held.
+    /// selector, runs every scenario × policy column against it, and drops it
+    /// before picking up the next row — at no point do more than O(worker
+    /// threads) traces exist in memory, so the full 409-trace Table 2 suite
+    /// runs in the same footprint as a 12-trace grid.  Each row's trace is
+    /// generated exactly once and shared by every scenario and policy
+    /// column; the `trace_generations` counter proves the memoization held.
+    /// Baselines are memoized per (trace, scenario): an N-policy sweep over
+    /// S scenarios simulates `traces × S` baselines, never
+    /// `traces × S × N`.
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
-        let experiment = Experiment::try_new(spec.config.clone())?;
+        let scenarios = scenario_experiments(spec)?;
         let generation_count = AtomicUsize::new(0);
         let grid = run_grid_streaming(
-            &experiment,
+            &scenarios,
             &spec.traces,
             |selector| {
                 generation_count.fetch_add(1, Ordering::Relaxed);
@@ -694,7 +1219,7 @@ impl CampaignRunner {
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
         Ok(CampaignReport {
-            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            schema_version: report_wire_version(spec),
             name: spec.name.clone(),
             spec: spec.clone(),
             baselines,
@@ -705,50 +1230,106 @@ impl CampaignRunner {
     }
 }
 
-/// The raw output of [`run_grid`]: one entry per trace, keeping each trace's
-/// baseline next to its cells so joins are positional — correct even when
-/// two traces share a name (the adapter paths accept arbitrary trace lists;
-/// only [`CampaignSpec::validate`] enforces unique labels).
+/// One scenario's ready-to-run machinery: its report key and the validated
+/// [`Experiment`] (helper + baseline simulators, predictor sizing).
+pub(crate) struct ScenarioExperiment {
+    /// Report key for this scenario's cells and baselines; `None` on the
+    /// legacy single-default-scenario path, which keeps cells byte-identical
+    /// to pre-scenario reports.
+    pub(crate) key: Option<String>,
+    pub(crate) experiment: Experiment,
+}
+
+impl ScenarioExperiment {
+    /// Wrap one bare experiment as the anonymous legacy scenario — the shape
+    /// every pre-scenario adapter path ([`Experiment::run_many`],
+    /// `SuiteRunner`) runs through.
+    pub(crate) fn legacy(experiment: Experiment) -> ScenarioExperiment {
+        ScenarioExperiment {
+            key: None,
+            experiment,
+        }
+    }
+
+    /// Progress-hook display key.
+    fn progress_key(&self) -> &str {
+        self.key.as_deref().unwrap_or(DEFAULT_SCENARIO_NAME)
+    }
+}
+
+/// Build one [`ScenarioExperiment`] per spec scenario.  On the legacy
+/// single-default-scenario path cells stay untagged.
+pub(crate) fn scenario_experiments(
+    spec: &CampaignSpec,
+) -> Result<Vec<ScenarioExperiment>, CampaignError> {
+    let tag_cells = !spec.is_single_default_scenario();
+    spec.scenarios
+        .iter()
+        .map(|scenario| {
+            Ok(ScenarioExperiment {
+                key: tag_cells.then(|| scenario.name.clone()),
+                experiment: Experiment::try_new_with(
+                    scenario.machine.clone(),
+                    scenario.predictors,
+                )?,
+            })
+        })
+        .collect()
+}
+
+/// The raw output of [`run_grid`]: one entry per trace × scenario, keeping
+/// each (trace, scenario)'s baseline next to its cells so joins are
+/// positional — correct even when two traces share a name (the adapter paths
+/// accept arbitrary trace lists; only [`CampaignSpec::validate`] enforces
+/// unique labels).
 pub(crate) struct Grid {
-    per_trace: Vec<(Option<BaselineRun>, Vec<CampaignCell>)>,
+    /// Outer: one entry per row (trace); inner: one entry per scenario, each
+    /// holding the scenario's baseline (if run) and its policy cells.
+    per_trace: Vec<Vec<(Option<BaselineRun>, Vec<CampaignCell>)>>,
     pub baseline_runs: usize,
 }
 
 impl Grid {
-    /// Flatten into the report's baseline and cell lists (trace-major).
+    /// Flatten into the report's baseline and cell lists (trace-major, then
+    /// scenario-major — which degenerates to the exact pre-scenario order on
+    /// single-scenario grids).
     pub(crate) fn into_flat_parts(self) -> (Vec<BaselineRun>, Vec<CampaignCell>) {
         let mut baselines = Vec::with_capacity(self.per_trace.len());
         let mut cells = Vec::new();
-        for (baseline, trace_cells) in self.per_trace {
-            if let Some(b) = baseline {
-                baselines.push(b);
+        for row in self.per_trace {
+            for (baseline, scenario_cells) in row {
+                if let Some(b) = baseline {
+                    baselines.push(b);
+                }
+                cells.extend(scenario_cells);
             }
-            cells.extend(trace_cells);
         }
         (baselines, cells)
     }
 
-    /// Join each trace's cells with *its own* baseline into
-    /// [`ExperimentResult`]s, preserving cell order (trace-major).
+    /// Join each (trace, scenario)'s cells with *its own* baseline into
+    /// [`ExperimentResult`]s, preserving cell order.
     pub fn into_experiment_results(self) -> Vec<ExperimentResult> {
         let mut results = Vec::new();
-        for (baseline, trace_cells) in self.per_trace {
-            let Some(baseline) = baseline else { continue };
-            for c in trace_cells {
-                results.push(ExperimentResult {
-                    policy: c.policy,
-                    trace: c.trace,
-                    category: c.category,
-                    stats: c.stats,
-                    baseline: baseline.stats.clone(),
-                });
+        for row in self.per_trace {
+            for (baseline, scenario_cells) in row {
+                let Some(baseline) = baseline else { continue };
+                for c in scenario_cells {
+                    results.push(ExperimentResult {
+                        policy: c.policy,
+                        trace: c.trace,
+                        category: c.category,
+                        stats: c.stats,
+                        baseline: baseline.stats.clone(),
+                    });
+                }
             }
         }
         results
     }
 }
 
-/// The shared grid engine behind [`CampaignRunner`], [`Experiment::run_many`]
+/// The shared single-machine grid engine behind [`Experiment::run_many`]
 /// and [`crate::suite::SuiteRunner`], over already-materialized traces.
 pub(crate) fn run_grid(
     experiment: &Experiment,
@@ -759,7 +1340,7 @@ pub(crate) fn run_grid(
     progress: Option<&ProgressHook>,
 ) -> Grid {
     run_grid_streaming(
-        experiment,
+        std::slice::from_ref(&ScenarioExperiment::legacy(experiment.clone())),
         traces,
         |t| Cow::Borrowed(t),
         policies,
@@ -771,15 +1352,17 @@ pub(crate) fn run_grid(
 
 /// The streaming grid engine: rows fan out in parallel and each worker
 /// *materializes one row's trace at a time* via `make_trace`, runs every
-/// policy column against it, then drops it.  Peak memory is O(worker
-/// threads) traces regardless of row count — this is what lets the full
-/// 409-trace Table 2 suite run as one campaign.  Each trace's baseline is
-/// simulated at most once and shared across policies.
+/// scenario × policy column against it, then drops it.  Peak memory is
+/// O(worker threads) traces regardless of row count — this is what lets the
+/// full 409-trace Table 2 suite run as one campaign.  Each (trace,
+/// scenario)'s baseline is simulated at most once and shared across
+/// policies; the trace itself is synthesized once and shared across
+/// *scenarios* too.
 ///
 /// `make_trace` returns a [`Cow`] so borrowed-trace callers ([`run_grid`])
 /// pay no clone while streaming callers hand over ownership.
 pub(crate) fn run_grid_streaming<R, F>(
-    experiment: &Experiment,
+    scenarios: &[ScenarioExperiment],
     rows: &[R],
     make_trace: F,
     policies: &[PolicyKind],
@@ -791,54 +1374,69 @@ where
     R: Sync,
     F: for<'r> Fn(&'r R) -> Cow<'r, Trace> + Sync,
 {
-    let total_cells = rows.len() * policies.len();
+    let total_cells = rows.len() * policies.len() * scenarios.len();
     let completed = AtomicUsize::new(0);
     let baseline_count = AtomicUsize::new(0);
     let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
 
     // One `ExecContext` per worker thread, reused across every run that
-    // worker performs: a campaign costs O(threads) simulator arenas instead
-    // of O(cells) — and results stay bit-identical to fresh contexts.
-    let per_trace: Vec<(Option<BaselineRun>, Vec<CampaignCell>)> = rows
+    // worker performs — including runs under different scenario machines
+    // (`ExecContext::prepare` returns it to a cold state per run): a
+    // campaign costs O(threads) simulator arenas instead of O(cells), and
+    // results stay bit-identical to fresh contexts.
+    let per_trace: Vec<Vec<(Option<BaselineRun>, Vec<CampaignCell>)>> = rows
         .par_iter()
         .map_init(hc_sim::ExecContext::new, |ctx, row| {
             let trace = make_trace(row);
             let trace: &Trace = &trace;
-            let baseline = if baseline_needed {
-                baseline_count.fetch_add(1, Ordering::Relaxed);
-                Some(BaselineRun {
-                    trace: trace.name.clone(),
-                    category: trace.category.clone(),
-                    stats: experiment.run_baseline_with(ctx, trace),
-                })
-            } else {
-                None
-            };
-            let cells = policies
+            scenarios
                 .iter()
-                .map(|&kind| {
-                    let stats = match (&baseline, kind) {
-                        (Some(b), PolicyKind::Baseline) => b.stats.clone(),
-                        _ => experiment.run_policy_warmed_with(ctx, trace, kind, warmup_runs),
+                .map(|scenario| {
+                    let baseline = if baseline_needed {
+                        baseline_count.fetch_add(1, Ordering::Relaxed);
+                        Some(BaselineRun {
+                            trace: trace.name.clone(),
+                            category: trace.category.clone(),
+                            scenario: scenario.key.clone(),
+                            stats: scenario.experiment.run_baseline_with(ctx, trace),
+                        })
+                    } else {
+                        None
                     };
-                    let cell = CampaignCell {
-                        policy: kind.name().to_string(),
-                        trace: trace.name.clone(),
-                        category: trace.category.clone(),
-                        stats,
-                    };
-                    if let Some(hook) = progress {
-                        hook(&CampaignProgress {
-                            completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
-                            total_cells,
-                            policy: cell.policy.clone(),
-                            trace: cell.trace.clone(),
-                        });
-                    }
-                    cell
+                    let cells = policies
+                        .iter()
+                        .map(|&kind| {
+                            let stats = match (&baseline, kind) {
+                                (Some(b), PolicyKind::Baseline) => b.stats.clone(),
+                                _ => scenario.experiment.run_policy_warmed_with(
+                                    ctx,
+                                    trace,
+                                    kind,
+                                    warmup_runs,
+                                ),
+                            };
+                            let cell = CampaignCell {
+                                policy: kind.name().to_string(),
+                                trace: trace.name.clone(),
+                                category: trace.category.clone(),
+                                scenario: scenario.key.clone(),
+                                stats,
+                            };
+                            if let Some(hook) = progress {
+                                hook(&CampaignProgress {
+                                    completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                                    total_cells,
+                                    policy: cell.policy.clone(),
+                                    trace: cell.trace.clone(),
+                                    scenario: scenario.progress_key().to_string(),
+                                });
+                            }
+                            cell
+                        })
+                        .collect();
+                    (baseline, cells)
                 })
-                .collect();
-            (baseline, cells)
+                .collect()
         })
         .collect();
 
@@ -1041,16 +1639,298 @@ mod tests {
     }
 
     #[test]
-    fn spec_schema_stays_v1_while_report_schema_evolves() {
-        // The spec wire format has not changed, so spec files written before
-        // the report gained `trace_generations` must keep decoding.
+    fn legacy_specs_keep_the_v1_wire_format() {
+        // A campaign that never touches the scenario axis must keep writing
+        // the pre-scenario wire formats: spec v1 (with a `config` field) and
+        // report v2 — that is what keeps golden snapshots and old tooling
+        // byte-stable.
         let spec = small_spec();
-        assert_eq!(spec.schema_version, CAMPAIGN_SPEC_SCHEMA_VERSION);
-        let decoded = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert!(spec.is_single_default_scenario());
+        assert_eq!(spec.schema_version, LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION);
+        let json = spec.to_json();
+        assert!(json.contains("\"config\""), "v1 shape carries `config`");
+        assert!(!json.contains("\"scenarios\""));
+        let decoded = CampaignSpec::from_json(&json).unwrap();
         assert_eq!(decoded, spec);
         let report = CampaignRunner::new().run(&spec).unwrap();
+        assert_eq!(report.schema_version, LEGACY_CAMPAIGN_SCHEMA_VERSION);
+        assert!(!report.to_json().contains("\"scenario\""));
+    }
+
+    fn geometry_spec() -> CampaignSpec {
+        CampaignBuilder::new("sens")
+            .policy(PolicyKind::P888)
+            .policy(PolicyKind::Baseline)
+            .spec(SpecBenchmark::Gzip)
+            .spec(SpecBenchmark::Mcf)
+            .trace_len(900)
+            .sensitivity_helper_geometry()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn scenario_specs_use_the_v2_wire_format_and_round_trip() {
+        let spec = geometry_spec();
+        assert!(!spec.is_single_default_scenario());
+        assert_eq!(spec.schema_version, CAMPAIGN_SPEC_SCHEMA_VERSION);
+        assert_eq!(spec.scenarios.len(), 9);
+        assert_eq!(spec.cell_count(), 2 * 2 * 9);
+        let json = spec.to_json();
+        assert!(json.contains("\"scenarios\""));
+        assert!(!json.contains("\"config\""));
+        let decoded = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn scenario_campaigns_key_every_cell_and_memoize_per_scenario() {
+        let spec = geometry_spec();
+        let report = CampaignRunner::new().run(&spec).unwrap();
         assert_eq!(report.schema_version, CAMPAIGN_SCHEMA_VERSION);
-        assert_ne!(CAMPAIGN_SPEC_SCHEMA_VERSION, CAMPAIGN_SCHEMA_VERSION);
+        // 2 traces × 9 scenarios baselines; traces synthesized once per row.
+        assert_eq!(report.baseline_runs, 2 * 9);
+        assert_eq!(report.trace_generations, 2);
+        assert_eq!(report.baselines.len(), 2 * 9);
+        assert_eq!(report.cells.len(), 2 * 2 * 9);
+        assert!(report.cells.iter().all(|c| c.scenario.is_some()));
+
+        // The paper's design point is present and joins to its own baseline.
+        let cell = report
+            .cell_for_scenario("8_8_8", "gzip", Some("hw8_cr2x"))
+            .expect("design-point cell");
+        assert_eq!(cell.scenario.as_deref(), Some("hw8_cr2x"));
+        let baseline = report
+            .baseline_for_scenario("gzip", Some("hw8_cr2x"))
+            .expect("design-point baseline");
+        assert_eq!(cell.stats.committed_uops, baseline.committed_uops);
+
+        // Per-scenario aggregates cover every scenario.
+        let by_scenario = report.speedup_by_scenario("8_8_8");
+        assert_eq!(by_scenario.len(), 9);
+        assert!(by_scenario.contains_key("hw4_cr1x"));
+        assert!(by_scenario.values().all(|s| *s > 0.0));
+        let ed2 = report.ed2_by_scenario("8_8_8");
+        assert_eq!(ed2.len(), 9);
+
+        // A faster helper clock at the same width must not slow the machine
+        // down relative to its own baseline aggregates being finite.
+        let round_trip = CampaignReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(round_trip, report);
+    }
+
+    #[test]
+    fn scenario_baselines_differ_across_machines() {
+        // The whole point of per-(trace, scenario) baselines: different
+        // machines measure different monolithic performance... unless the
+        // scenario only changes helper-side knobs, in which case the
+        // baselines legitimately coincide (helper removed).  Sweep a
+        // *wide-side* knob to see distinct baselines.
+        let slow_memory = ScenarioSpec::named("mem900").with_machine(SimConfig {
+            memory_latency: 900,
+            ..SimConfig::paper_baseline()
+        });
+        let spec = CampaignBuilder::new("mem")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Mcf)
+            .trace_len(1_500)
+            .scenario(ScenarioSpec::paper_default())
+            .scenario(slow_memory)
+            .build()
+            .unwrap();
+        let report = CampaignRunner::new().run(&spec).unwrap();
+        let fast = report
+            .baseline_for_scenario("mcf", Some(DEFAULT_SCENARIO_NAME))
+            .unwrap();
+        let slow = report.baseline_for_scenario("mcf", Some("mem900")).unwrap();
+        assert!(
+            slow.cycles > fast.cycles,
+            "doubling memory latency must cost baseline cycles ({} vs {})",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn width_predictor_scenarios_change_policy_behaviour_only() {
+        let spec = CampaignBuilder::new("wp")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gcc)
+            .trace_len(2_000)
+            .sensitivity_width_predictor()
+            .build()
+            .unwrap();
+        assert_eq!(spec.scenarios.len(), 5);
+        let report = CampaignRunner::new().run(&spec).unwrap();
+        // Same machine in every scenario: all baselines identical.
+        let b256 = report.baseline_for_scenario("gcc", Some("wp256")).unwrap();
+        let b4096 = report.baseline_for_scenario("gcc", Some("wp4096")).unwrap();
+        assert_eq!(b256, b4096);
+        // Policy cells exist per scenario and commit the whole trace.
+        for key in ["wp256", "wp512", "wp1024", "wp2048", "wp4096"] {
+            let cell = report.cell_for_scenario("8_8_8", "gcc", Some(key)).unwrap();
+            assert_eq!(cell.stats.committed_uops, 2_000, "{key}");
+        }
+    }
+
+    #[test]
+    fn predictor_sizing_reaches_the_policy() {
+        // A 1-entry width table aliases every PC; its steering decisions (and
+        // so the measured stats) must diverge from the 256-entry table.
+        let tiny = ScenarioSpec::named("wp1")
+            .with_predictors(hc_predictors::PredictorConfig::with_all_entries(1));
+        let spec = CampaignBuilder::new("alias")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gcc)
+            .trace_len(2_000)
+            .scenario(ScenarioSpec::paper_default())
+            .scenario(tiny)
+            .build()
+            .unwrap();
+        let report = CampaignRunner::new().run(&spec).unwrap();
+        let paper = report
+            .cell_for_scenario("8_8_8", "gcc", Some(DEFAULT_SCENARIO_NAME))
+            .unwrap();
+        let tiny = report
+            .cell_for_scenario("8_8_8", "gcc", Some("wp1"))
+            .unwrap();
+        assert_ne!(
+            paper.stats, tiny.stats,
+            "a fully aliased width table must behave differently"
+        );
+    }
+
+    #[test]
+    fn config_applies_to_presets_regardless_of_call_order() {
+        // Presets expand at build() against the final base machine, so
+        // `.config(..)` after the preset must still take effect.
+        let base = SimConfig {
+            memory_latency: 900,
+            ..SimConfig::paper_baseline()
+        };
+        let after = CampaignBuilder::new("order")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .sensitivity_helper_geometry()
+            .config(base.clone())
+            .build()
+            .unwrap();
+        let before = CampaignBuilder::new("order")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .config(base)
+            .sensitivity_helper_geometry()
+            .build()
+            .unwrap();
+        assert_eq!(after.scenarios, before.scenarios);
+        assert!(after
+            .scenarios
+            .iter()
+            .all(|s| s.machine.memory_latency == 900));
+    }
+
+    #[test]
+    fn explicit_v2_specs_with_a_default_scenario_are_accepted() {
+        // v2 is a superset: a v2 document whose scenario list happens to be
+        // the single default overlay must decode, validate, run, and
+        // re-encode as v2 (decode -> encode is the identity).
+        let v2_json = CampaignSpec {
+            schema_version: CAMPAIGN_SPEC_SCHEMA_VERSION,
+            scenarios: vec![ScenarioSpec::paper_default()],
+            ..small_spec()
+        }
+        .to_json();
+        assert!(v2_json.contains("\"schema_version\": 2"));
+        assert!(v2_json.contains("\"scenarios\""));
+        let decoded = CampaignSpec::from_json(&v2_json).unwrap();
+        assert_eq!(decoded.schema_version, CAMPAIGN_SPEC_SCHEMA_VERSION);
+        assert!(decoded.validate().is_ok());
+        assert_eq!(decoded.to_json(), v2_json, "round-trip identity");
+        // Declaring v2 opts into the scenario-aware report format.
+        assert!(!decoded.is_single_default_scenario());
+        let report = CampaignRunner::new().run(&decoded).unwrap();
+        assert_eq!(report.schema_version, CAMPAIGN_SCHEMA_VERSION);
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.scenario.as_deref() == Some(DEFAULT_SCENARIO_NAME)));
+
+        // Claiming v1 for a list that needs v2 is still rejected.
+        let bad = CampaignSpec {
+            schema_version: LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
+            scenarios: vec![ScenarioSpec::named("x"), ScenarioSpec::named("y")],
+            ..small_spec()
+        };
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            CampaignError::UnsupportedSchemaVersion {
+                found: LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
+                supported: CAMPAIGN_SPEC_SCHEMA_VERSION,
+            }
+        );
+    }
+
+    #[test]
+    fn scenario_validation_is_typed() {
+        // Duplicate scenario names.
+        let err = CampaignBuilder::new("dup")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .scenario(ScenarioSpec::named("same"))
+            .scenario(ScenarioSpec::named("same"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CampaignError::DuplicateScenario("same".to_string()));
+
+        // A bad machine inside a scenario keeps the pre-scenario error shape.
+        let mut machine = SimConfig::paper_baseline();
+        machine.helper_width_bits = 7;
+        let err = CampaignBuilder::new("badmachine")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .scenario(ScenarioSpec::named("odd").with_machine(machine))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CampaignError::Config(hc_sim::ConfigError::UnsupportedHelperWidth { width_bits: 7 })
+        );
+
+        // Bad predictors / power surface as scenario errors with the name.
+        let mut predictors = hc_predictors::PredictorConfig::paper_default();
+        predictors.copy_entries = 0;
+        let err = CampaignBuilder::new("badpred")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .scenario(ScenarioSpec::named("tiny").with_predictors(predictors))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            &err,
+            CampaignError::Scenario { name, .. } if name == "tiny"
+        ));
+        assert!(err.to_string().contains("tiny"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn v2_reports_decode_into_the_scenario_model() {
+        // A report produced by the pre-scenario engine (schema v2, spec v1,
+        // cells without scenario keys) must decode: the spec comes back with
+        // the single default overlay and every accessor works.
+        let report = CampaignRunner::new().run(&small_spec()).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 2"));
+        let decoded = CampaignReport::from_json(&json).unwrap();
+        assert_eq!(decoded.spec.scenarios.len(), 1);
+        assert!(decoded.spec.scenarios[0].is_legacy_overlay());
+        assert_eq!(decoded.scenario_keys(), vec!["default".to_string()]);
+        assert!(decoded.cells.iter().all(|c| c.scenario.is_none()));
+        assert_eq!(
+            decoded.speedup_by_scenario("8_8_8").len(),
+            1,
+            "legacy cells aggregate under the default scenario key"
+        );
     }
 
     #[test]

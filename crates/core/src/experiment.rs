@@ -10,6 +10,7 @@
 
 use crate::policy::PolicyKind;
 use hc_power::{Ed2Comparison, PowerModel};
+use hc_predictors::PredictorConfig;
 use hc_sim::{ConfigError, ExecContext, SimConfig, SimStats, Simulator};
 use hc_trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -42,16 +43,23 @@ impl ExperimentResult {
 
     /// Energy-delay² comparison against the baseline under the default power model.
     pub fn ed2(&self) -> Ed2Comparison {
-        Ed2Comparison::compare(&PowerModel::default(), &self.baseline, &self.stats)
+        self.ed2_with(&PowerModel::default())
+    }
+
+    /// Energy-delay² comparison under an explicit power model (scenarios
+    /// carry their own [`hc_power::PowerParams`]).
+    pub fn ed2_with(&self, model: &PowerModel) -> Ed2Comparison {
+        Ed2Comparison::compare(model, &self.baseline, &self.stats)
     }
 }
 
 /// Experiment runner: owns the validated helper-cluster and baseline
-/// simulators.
+/// simulators plus the predictor sizing policies are built with.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     helper_sim: Simulator,
     baseline_sim: Simulator,
+    predictors: PredictorConfig,
 }
 
 impl Default for Experiment {
@@ -62,12 +70,24 @@ impl Default for Experiment {
 
 impl Experiment {
     /// Create an experiment from the helper-cluster configuration; the
-    /// baseline uses the same parameters with the helper cluster removed.
+    /// baseline uses the same parameters with the helper cluster removed,
+    /// and policies are built with the paper's predictor sizing.
     ///
     /// Both configurations are validated here, so every later run is
     /// infallible.  Returns the typed [`ConfigError`] describing the first
     /// problem found.
     pub fn try_new(helper_config: SimConfig) -> Result<Experiment, ConfigError> {
+        Experiment::try_new_with(helper_config, PredictorConfig::paper_default())
+    }
+
+    /// [`Experiment::try_new`] with explicit predictor sizing — every policy
+    /// this experiment builds gets its tables from `predictors`.  The
+    /// predictor configuration is assumed pre-validated (campaign scenarios
+    /// validate it in the owning crate before construction).
+    pub fn try_new_with(
+        helper_config: SimConfig,
+        predictors: PredictorConfig,
+    ) -> Result<Experiment, ConfigError> {
         let baseline_config = SimConfig {
             helper_enabled: false,
             ..helper_config.clone()
@@ -75,6 +95,7 @@ impl Experiment {
         Ok(Experiment {
             helper_sim: Simulator::new(helper_config)?,
             baseline_sim: Simulator::new(baseline_config)?,
+            predictors,
         })
     }
 
@@ -99,6 +120,11 @@ impl Experiment {
     /// The monolithic-baseline configuration (helper cluster removed).
     pub fn baseline_config(&self) -> &SimConfig {
         self.baseline_sim.config()
+    }
+
+    /// The predictor sizing policies are built with.
+    pub fn predictors(&self) -> &PredictorConfig {
+        &self.predictors
     }
 
     /// Run the monolithic baseline on a trace.
@@ -145,7 +171,7 @@ impl Experiment {
         } else {
             &self.helper_sim
         };
-        let mut policy = kind.build();
+        let mut policy = kind.build_with(&self.predictors);
         if kind != PolicyKind::Baseline {
             for _ in 0..warmup_runs {
                 sim.run_with(ctx, trace, policy.as_mut());

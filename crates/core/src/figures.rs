@@ -394,6 +394,83 @@ pub fn fig14_curve(apps_per_category: usize, trace_len: usize) -> Vec<f64> {
     suite_report(apps_per_category, trace_len).speedup_curve(PolicyKind::Ir.name())
 }
 
+/// The helper-geometry sensitivity campaign behind
+/// [`sensitivity_helper_geometry`] and `reproduce sensitivity`: the IR policy
+/// over the 12 SPEC stand-ins × the 3×3 helper width × clock ratio scenario
+/// plane, one streaming campaign with baselines memoized per
+/// (trace, scenario).
+pub fn sensitivity_geometry_report(trace_len: usize) -> CampaignReport {
+    let spec = sensitivity_geometry_spec(trace_len);
+    CampaignRunner::new()
+        .run(&spec)
+        .expect("figure campaign specs are valid")
+}
+
+/// The spec of the 3×3 helper-geometry sensitivity campaign (exposed so the
+/// `reproduce` binary can run it through the sharded engine).
+pub fn sensitivity_geometry_spec(trace_len: usize) -> crate::campaign::CampaignSpec {
+    CampaignBuilder::new("sensitivity-geometry")
+        .policy(PolicyKind::Ir)
+        .spec_suite()
+        .trace_len(trace_len)
+        .sensitivity_helper_geometry()
+        .build()
+        .expect("figure campaign specs are valid")
+}
+
+/// Per-scenario figure over an already-run sensitivity campaign: one row per
+/// scenario, with the policy's mean speedup (%) and mean ED² gain (%) under
+/// that scenario's own baselines and power parameters.
+pub fn sensitivity_figure_from(report: &CampaignReport, policy: PolicyKind, id: &str) -> Figure {
+    let speedups = report.speedup_by_scenario(policy.name());
+    let ed2 = report.ed2_by_scenario(policy.name());
+    let rows = report
+        .scenario_keys()
+        .into_iter()
+        .map(|key| FigureRow {
+            values: vec![
+                (speedups.get(&key).copied().unwrap_or(1.0) - 1.0) * 100.0,
+                ed2.get(&key).copied().unwrap_or(0.0) * 100.0,
+            ],
+            label: key,
+        })
+        .collect();
+    Figure {
+        id: id.into(),
+        title: format!("{} sensitivity per scenario", policy.name()),
+        series: vec!["perf increase %".into(), "ED\u{b2} gain %".into()],
+        rows,
+    }
+}
+
+/// **Sensitivity (helper geometry)** — IR performance and ED² across the
+/// helper width {4, 8, 16} × clock ratio {1×, 2×, 4×} plane; the paper's
+/// design point is the `hw8_cr2x` row.
+pub fn sensitivity_helper_geometry(trace_len: usize) -> Figure {
+    sensitivity_figure_from(
+        &sensitivity_geometry_report(trace_len),
+        PolicyKind::Ir,
+        "sens_geometry",
+    )
+}
+
+/// **Sensitivity (width predictor)** — 8_8_8 performance and ED² across
+/// width-predictor table sizes {256 … 4096} (§3.2's complexity study; 256 is
+/// the paper's design point).
+pub fn sensitivity_width_predictor(trace_len: usize) -> Figure {
+    let spec = CampaignBuilder::new("sensitivity-width-predictor")
+        .policy(PolicyKind::P888)
+        .spec_suite()
+        .trace_len(trace_len)
+        .sensitivity_width_predictor()
+        .build()
+        .expect("figure campaign specs are valid");
+    let report = CampaignRunner::new()
+        .run(&spec)
+        .expect("figure campaign specs are valid");
+    sensitivity_figure_from(&report, PolicyKind::P888, "sens_width_predictor")
+}
+
 /// The §3.2–§3.7 headline numbers: per policy, the SPEC-average helper
 /// fraction, copy fraction, speedup and imbalance.
 ///
@@ -548,6 +625,25 @@ mod tests {
     fn fig13_distances_positive() {
         let f = fig13(LEN);
         assert!(f.avg(0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sensitivity_geometry_covers_the_3x3_plane() {
+        let spec = sensitivity_geometry_spec(500);
+        assert_eq!(spec.scenarios.len(), 9);
+        assert_eq!(spec.cell_count(), 9 * 12);
+        let report = CampaignRunner::new().run(&spec).expect("campaign runs");
+        let fig = sensitivity_figure_from(&report, PolicyKind::Ir, "sens_geometry");
+        assert_eq!(fig.rows.len(), 9);
+        assert_eq!(fig.series.len(), 2);
+        // Rows follow the spec's scenario order, starting at hw4_cr1x and
+        // containing the paper's design point.
+        assert_eq!(fig.rows[0].label, "hw4_cr1x");
+        assert!(fig.rows.iter().any(|r| r.label == "hw8_cr2x"));
+        assert!(fig
+            .rows
+            .iter()
+            .all(|r| r.values.iter().all(|v| v.is_finite())));
     }
 
     #[test]

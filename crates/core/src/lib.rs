@@ -45,17 +45,21 @@ pub mod experiment;
 pub mod figures;
 pub mod policy;
 pub mod report;
+pub mod scenario;
 pub mod shard;
 pub mod suite;
 
 pub use campaign::{
     CampaignBuilder, CampaignError, CampaignProgress, CampaignReport, CampaignRunner, CampaignSpec,
     TraceSelector, CAMPAIGN_SCHEMA_VERSION, CAMPAIGN_SPEC_SCHEMA_VERSION,
+    LEGACY_CAMPAIGN_SCHEMA_VERSION, LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
 };
 pub use experiment::{Experiment, ExperimentResult};
 pub use figures::{Figure, FigureRow};
 pub use policy::{PolicyKind, SteeringFeatures, SteeringStack};
+pub use scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};
 pub use shard::{
-    CampaignShard, ShardReport, ShardedCampaignRunner, ShardedRunOutcome, SHARD_SCHEMA_VERSION,
+    CampaignShard, ShardReport, ShardedCampaignRunner, ShardedRunOutcome,
+    LEGACY_SHARD_SCHEMA_VERSION, SHARD_SCHEMA_VERSION,
 };
 pub use suite::{SuiteResult, SuiteRunner};

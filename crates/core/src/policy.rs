@@ -16,7 +16,7 @@
 
 use hc_isa::uop::{AluOp, UopKind};
 use hc_isa::DynUop;
-use hc_predictors::{CarryPredictor, CopyPredictor, WidthPredictor};
+use hc_predictors::{CarryPredictor, CopyPredictor, PredictorConfig, WidthPredictor};
 use hc_sim::{
     AlwaysWide, Cluster, HelperMode, SteerContext, SteerDecision, SteeringPolicy, WritebackInfo,
 };
@@ -70,11 +70,17 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiate the policy.
+    /// Instantiate the policy with the paper's predictor sizing.
     pub fn build(self) -> Box<dyn SteeringPolicy + Send> {
+        self.build_with(&PredictorConfig::paper_default())
+    }
+
+    /// Instantiate the policy with an explicit predictor configuration — the
+    /// hook campaign scenarios use to sweep table geometry.
+    pub fn build_with(self, predictors: &PredictorConfig) -> Box<dyn SteeringPolicy + Send> {
         match self {
             PolicyKind::Baseline => Box::new(AlwaysWide),
-            _ => Box::new(SteeringStack::new(self.features())),
+            _ => Box::new(SteeringStack::with_predictors(self.features(), *predictors)),
         }
     }
 
@@ -137,10 +143,6 @@ pub struct SteeringFeatures {
     pub ir: bool,
     /// Restrict splitting to µops without a destination register (§3.7 fine tuning).
     pub ir_no_dest_only: bool,
-    /// Width-predictor table entries (256 in the paper).
-    pub width_table_entries: usize,
-    /// Use the 2-bit confidence estimator (§3.2).
-    pub use_confidence: bool,
     /// Wide→narrow NREADY imbalance above which IR starts splitting.
     pub ir_imbalance_threshold: f64,
     /// Narrow→wide imbalance above which narrow µops are steered wide again
@@ -159,8 +161,6 @@ impl Default for SteeringFeatures {
             cp: false,
             ir: false,
             ir_no_dest_only: false,
-            width_table_entries: hc_predictors::width::PAPER_TABLE_ENTRIES,
-            use_confidence: true,
             ir_imbalance_threshold: 0.08,
             overload_threshold: 0.10,
             helper_full_fraction: 0.85,
@@ -192,6 +192,7 @@ pub struct StackStats {
 #[derive(Debug, Clone)]
 pub struct SteeringStack {
     features: SteeringFeatures,
+    predictors: PredictorConfig,
     name: String,
     width_pred: WidthPredictor,
     carry_pred: CarryPredictor,
@@ -200,14 +201,26 @@ pub struct SteeringStack {
 }
 
 impl SteeringStack {
-    /// Create a stack with the given features.
+    /// Create a stack with the given features and the paper's predictor
+    /// sizing (256-entry tables, confidence on).
     pub fn new(features: SteeringFeatures) -> SteeringStack {
+        SteeringStack::with_predictors(features, PredictorConfig::paper_default())
+    }
+
+    /// Create a stack with explicit predictor table sizing — the predictor
+    /// constructor arguments used to be scattered here; they now arrive as
+    /// one [`PredictorConfig`] so scenarios can sweep them.
+    pub fn with_predictors(
+        features: SteeringFeatures,
+        predictors: PredictorConfig,
+    ) -> SteeringStack {
         let name = Self::derive_name(&features);
         SteeringStack {
-            width_pred: WidthPredictor::new(features.width_table_entries, features.use_confidence),
-            carry_pred: CarryPredictor::new(features.width_table_entries),
-            copy_pred: CopyPredictor::new(features.width_table_entries),
+            width_pred: WidthPredictor::new(predictors.width_entries, predictors.use_confidence),
+            carry_pred: CarryPredictor::new(predictors.carry_entries),
+            copy_pred: CopyPredictor::new(predictors.copy_entries),
             features,
+            predictors,
             name,
             stats: StackStats::default(),
         }
@@ -236,6 +249,11 @@ impl SteeringStack {
     /// The features this stack runs with.
     pub fn features(&self) -> &SteeringFeatures {
         &self.features
+    }
+
+    /// The predictor sizing this stack runs with.
+    pub fn predictors(&self) -> &PredictorConfig {
+        &self.predictors
     }
 
     /// Decision statistics accumulated so far.

@@ -51,7 +51,9 @@ pub fn figure_to_csv(fig: &Figure) -> String {
 
 /// Stable CSV column order for campaign reports.  Appending columns is a
 /// compatible change; reordering or renaming requires a schema-version bump.
-pub const CAMPAIGN_CSV_COLUMNS: [&str; 12] = [
+/// `scenario` (appended with the N-D scenario axes) is empty for cells of a
+/// single-default-scenario campaign.
+pub const CAMPAIGN_CSV_COLUMNS: [&str; 13] = [
     "policy",
     "trace",
     "category",
@@ -64,6 +66,7 @@ pub const CAMPAIGN_CSV_COLUMNS: [&str; 12] = [
     "baseline_cycles",
     "speedup",
     "perf_increase_pct",
+    "scenario",
 ];
 
 /// Quote a CSV field per RFC 4180 when it contains a comma, quote or
@@ -84,7 +87,9 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
     out.push('\n');
     for cell in &report.cells {
         let s = &cell.stats;
-        let baseline = report.baseline_for(&cell.trace);
+        // Join against the cell's *own scenario's* baseline, never another
+        // machine's.
+        let baseline = report.baseline_for_scenario(&cell.trace, cell.scenario.as_deref());
         let (baseline_cycles, speedup, pct) = match baseline {
             Some(b) => {
                 let speedup = s.speedup_over(b);
@@ -97,7 +102,7 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             None => (String::new(), String::new(), String::new()),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(&cell.policy),
             csv_field(&cell.trace),
             csv_field(cell.category.as_deref().unwrap_or("")),
@@ -110,6 +115,7 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             baseline_cycles,
             speedup,
             pct,
+            csv_field(cell.scenario.as_deref().unwrap_or("")),
         ));
     }
     out
@@ -118,11 +124,17 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
 /// Render a [`CampaignReport`] as a Markdown summary: one row per policy with
 /// its grid-mean speedup, plus the memoization accounting.
 pub fn campaign_to_markdown(report: &CampaignReport) -> String {
+    let scenario_axis = if report.spec.scenarios.len() > 1 {
+        format!(" × {} scenarios", report.spec.scenarios.len())
+    } else {
+        String::new()
+    };
     let mut out = format!(
-        "### campaign `{}` — {} policies × {} traces (schema v{})\n\n",
+        "### campaign `{}` — {} policies × {} traces{} (schema v{})\n\n",
         report.name,
         report.spec.policies.len(),
         report.spec.traces.len(),
+        scenario_axis,
         report.schema_version
     );
     out.push_str(&format!(
@@ -140,6 +152,28 @@ pub fn campaign_to_markdown(report: &CampaignReport) -> String {
                 (speedup - 1.0) * 100.0
             )),
             None => out.push_str(&format!("| {} | n/a | n/a |\n", kind.name())),
+        }
+    }
+    out
+}
+
+/// Render one policy's per-scenario aggregates (mean speedup and mean ED²
+/// improvement, each scenario under its own baselines and power parameters)
+/// as a Markdown table — the summary view of a sensitivity campaign.
+pub fn scenario_summary_to_markdown(report: &CampaignReport, policy: &str) -> String {
+    let speedups = report.speedup_by_scenario(policy);
+    let ed2 = report.ed2_by_scenario(policy);
+    let mut out = format!(
+        "### `{policy}` per scenario\n\n| scenario | mean speedup | mean perf increase | mean ED\u{b2} gain |\n|---|---|---|---|\n"
+    );
+    for key in report.scenario_keys() {
+        match (speedups.get(&key), ed2.get(&key)) {
+            (Some(speedup), Some(gain)) => out.push_str(&format!(
+                "| {key} | {speedup:.4} | {:+.2}% | {:+.2}% |\n",
+                (speedup - 1.0) * 100.0,
+                gain * 100.0
+            )),
+            _ => out.push_str(&format!("| {key} | n/a | n/a | n/a |\n")),
         }
     }
     out
@@ -247,6 +281,7 @@ mod tests {
                 policy: "8_8_8".into(),
                 trace: "my,weird\n\"trace\"".into(),
                 category: None,
+                scenario: None,
                 stats: SimStats::default(),
             }],
             baseline_runs: 0,

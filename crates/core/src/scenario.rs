@@ -1,0 +1,238 @@
+//! Scenario axes: one overlay naming *the machine under test*.
+//!
+//! The campaign plane of PRs 1–3 swept policy × trace against one hard-coded
+//! machine.  A [`ScenarioSpec`] promotes every hardware knob the paper's
+//! results hinge on to a first-class, serializable sweep axis:
+//!
+//! * **machine** — the full [`hc_sim::SimConfig`]: helper datapath width
+//!   (§2.1's 8 bits), helper clock ratio (§2.2's 2×), window/MOB/cache
+//!   geometry, latencies;
+//! * **predictors** — the [`hc_predictors::PredictorConfig`] extracted from
+//!   the predictors' previously scattered constructor arguments: width-table
+//!   entries and confidence bits (§3.2), carry/copy table sizes;
+//! * **power** — the [`hc_power::PowerParams`] of the Wattch-like model,
+//!   including the 8-bit datapath energy discount (§3.1).
+//!
+//! A `CampaignSpec` then declares policy × trace × scenario; each scenario is
+//! validated by its *owning* crate's typed validator
+//! ([`hc_sim::SimConfig::validate`], [`PredictorConfig::validate`],
+//! [`PowerParams::validate`]) before anything simulates.
+
+use hc_power::{PowerParams, PowerParamsError};
+use hc_predictors::{PredictorConfig, PredictorConfigError};
+use hc_sim::{ConfigError, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Name of the implicit scenario legacy (pre-scenario) campaigns run under.
+pub const DEFAULT_SCENARIO_NAME: &str = "default";
+
+/// Why a [`ScenarioSpec`] was rejected by [`ScenarioSpec::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The scenario has an empty name; report cells are keyed by it.
+    EmptyName,
+    /// The machine configuration was rejected by `hc_sim`.
+    Machine(ConfigError),
+    /// The predictor configuration was rejected by `hc_predictors`.
+    Predictors(PredictorConfigError),
+    /// The power parameters were rejected by `hc_power`.
+    Power(PowerParamsError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::EmptyName => write!(f, "scenario name must be non-empty"),
+            ScenarioError::Machine(e) => write!(f, "invalid scenario machine: {e}"),
+            ScenarioError::Predictors(e) => write!(f, "invalid scenario predictors: {e}"),
+            ScenarioError::Power(e) => write!(f, "invalid scenario power parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::EmptyName => None,
+            ScenarioError::Machine(e) => Some(e),
+            ScenarioError::Predictors(e) => Some(e),
+            ScenarioError::Power(e) => Some(e),
+        }
+    }
+}
+
+/// One machine-under-test overlay: a named (machine, predictors, power)
+/// triple a campaign crosses with its policies and traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Stable report key for this scenario's cells and baselines.
+    pub name: String,
+    /// Simulator configuration (the baseline is derived from it by removing
+    /// the helper cluster, exactly as before).
+    pub machine: SimConfig,
+    /// Predictor table sizing for every policy built under this scenario.
+    pub predictors: PredictorConfig,
+    /// Power parameters used for this scenario's energy / ED² accounting.
+    pub power: PowerParams,
+}
+
+impl ScenarioSpec {
+    /// The paper's design point under the [`DEFAULT_SCENARIO_NAME`]: Table 1
+    /// machine, 256-entry predictors with confidence, default Wattch-like
+    /// energies.
+    pub fn paper_default() -> ScenarioSpec {
+        ScenarioSpec::overlay_of(SimConfig::paper_baseline())
+    }
+
+    /// The overlay a legacy single-machine campaign runs under: the given
+    /// machine with paper-default predictors and power, named
+    /// [`DEFAULT_SCENARIO_NAME`].  Decoding a v1 campaign spec produces
+    /// exactly this from its `config` field.
+    pub fn overlay_of(machine: SimConfig) -> ScenarioSpec {
+        ScenarioSpec {
+            name: DEFAULT_SCENARIO_NAME.to_string(),
+            machine,
+            predictors: PredictorConfig::paper_default(),
+            power: PowerParams::default(),
+        }
+    }
+
+    /// A named scenario starting from the paper's design point; chain the
+    /// `with_*` setters to overlay the axes under study.
+    pub fn named(name: impl Into<String>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            ..ScenarioSpec::paper_default()
+        }
+    }
+
+    /// Replace the machine configuration.
+    pub fn with_machine(mut self, machine: SimConfig) -> ScenarioSpec {
+        self.machine = machine;
+        self
+    }
+
+    /// Replace the predictor sizing.
+    pub fn with_predictors(mut self, predictors: PredictorConfig) -> ScenarioSpec {
+        self.predictors = predictors;
+        self
+    }
+
+    /// Replace the power parameters.
+    pub fn with_power(mut self, power: PowerParams) -> ScenarioSpec {
+        self.power = power;
+        self
+    }
+
+    /// Whether this scenario is exactly the overlay a legacy (v1) campaign
+    /// spec encodes: default name, paper predictors, default power — the
+    /// machine is free, because v1 specs carried an arbitrary `config`.
+    /// Campaigns consisting of one such scenario keep the pre-scenario wire
+    /// format byte-for-byte.
+    pub fn is_legacy_overlay(&self) -> bool {
+        self.name == DEFAULT_SCENARIO_NAME
+            && self.predictors == PredictorConfig::paper_default()
+            && self.power == PowerParams::default()
+    }
+
+    /// Validate each axis with its owning crate's typed validator.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.is_empty() {
+            return Err(ScenarioError::EmptyName);
+        }
+        self.machine.validate().map_err(ScenarioError::Machine)?;
+        self.predictors
+            .validate()
+            .map_err(ScenarioError::Predictors)?;
+        self.power.validate().map_err(ScenarioError::Power)?;
+        Ok(())
+    }
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_the_legacy_overlay() {
+        let s = ScenarioSpec::paper_default();
+        assert_eq!(s.name, DEFAULT_SCENARIO_NAME);
+        assert!(s.is_legacy_overlay());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn any_custom_axis_leaves_the_legacy_overlay() {
+        let renamed = ScenarioSpec::named("hw16");
+        assert!(!renamed.is_legacy_overlay());
+
+        let sized =
+            ScenarioSpec::paper_default().with_predictors(PredictorConfig::with_all_entries(1024));
+        assert!(!sized.is_legacy_overlay());
+
+        let power =
+            ScenarioSpec::paper_default().with_power(PowerParams::with_helper_discount(2.0));
+        assert!(!power.is_legacy_overlay());
+
+        // A custom machine alone stays legacy-encodable: v1 specs carried an
+        // arbitrary `config`.
+        let mut machine = SimConfig::paper_baseline();
+        machine.helper_clock_ratio = 4;
+        assert!(ScenarioSpec::overlay_of(machine).is_legacy_overlay());
+    }
+
+    #[test]
+    fn validation_delegates_to_owning_crates() {
+        assert_eq!(
+            ScenarioSpec::named("").validate(),
+            Err(ScenarioError::EmptyName)
+        );
+
+        let mut bad_machine = ScenarioSpec::named("m");
+        bad_machine.machine.helper_width_bits = 12;
+        assert_eq!(
+            bad_machine.validate(),
+            Err(ScenarioError::Machine(
+                ConfigError::UnsupportedHelperWidth { width_bits: 12 }
+            ))
+        );
+
+        let mut bad_pred = ScenarioSpec::named("p");
+        bad_pred.predictors.width_entries = 0;
+        assert!(matches!(
+            bad_pred.validate(),
+            Err(ScenarioError::Predictors(_))
+        ));
+
+        let mut bad_power = ScenarioSpec::named("w");
+        bad_power.power.wide_alu = -1.0;
+        assert!(matches!(bad_power.validate(), Err(ScenarioError::Power(_))));
+
+        // The error chain names the owning crate's error as the source.
+        let err = bad_machine.validate().unwrap_err();
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("machine"));
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_json() {
+        let s = ScenarioSpec::named("hw4_cr4x")
+            .with_machine(SimConfig {
+                helper_width_bits: 4,
+                helper_clock_ratio: 4,
+                ..SimConfig::paper_baseline()
+            })
+            .with_predictors(PredictorConfig::with_all_entries(4096))
+            .with_power(PowerParams::with_helper_discount(0.5));
+        let json = serde::json::to_string_pretty(&s);
+        let back: ScenarioSpec = serde::json::from_str(&json).expect("decodes");
+        assert_eq!(back, s);
+    }
+}

@@ -54,10 +54,9 @@
 #[allow(unused_imports)] // `CampaignRunner` is referenced by doc links only.
 use crate::campaign::CampaignRunner;
 use crate::campaign::{
-    decode_versioned, run_grid_streaming, BaselineRun, CampaignCell, CampaignError,
-    CampaignProgress, CampaignReport, CampaignSpec, ProgressHook, CAMPAIGN_SCHEMA_VERSION,
+    decode_versioned, report_wire_version, run_grid_streaming, scenario_experiments, BaselineRun,
+    CampaignCell, CampaignError, CampaignProgress, CampaignReport, CampaignSpec, ProgressHook,
 };
-use crate::experiment::Experiment;
 use crate::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -68,7 +67,30 @@ use std::sync::Arc;
 /// Version of the [`ShardReport`] wire schema, independent of the report and
 /// spec schemas.  Bumped whenever a serialized shard field changes meaning;
 /// decoders and [`CampaignReport::merge`] reject mismatched versions.
-pub const SHARD_SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — policy × trace shards over a single machine.
+/// * v2 — scenario axes: the embedded spec may carry `scenarios` and cells /
+///   baselines carry their `scenario` key.
+///
+/// Like the spec and report schemas, shards of a single-default-scenario
+/// campaign still **encode as v1** — their checkpoint files are
+/// byte-identical to pre-scenario runs, so existing checkpoint directories
+/// keep resuming.  Decoders accept both versions.
+pub const SHARD_SCHEMA_VERSION: u32 = 2;
+
+/// The legacy shard wire version still emitted for single-default-scenario
+/// campaigns (see [`SHARD_SCHEMA_VERSION`]).
+pub const LEGACY_SHARD_SCHEMA_VERSION: u32 = 1;
+
+/// The shard wire version for a spec: legacy v1 while the scenario axis is
+/// unused, v2 otherwise.
+fn shard_wire_version(spec: &CampaignSpec) -> u32 {
+    if spec.is_single_default_scenario() {
+        LEGACY_SHARD_SCHEMA_VERSION
+    } else {
+        SHARD_SCHEMA_VERSION
+    }
+}
 
 /// One deterministic slice of a campaign's trace rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,9 +166,9 @@ impl CampaignShard {
             .collect()
     }
 
-    /// Number of policy × trace cells this shard will simulate.
+    /// Number of policy × trace × scenario cells this shard will simulate.
     pub fn cell_count(&self) -> usize {
-        self.trace_indices().len() * self.spec.policies.len()
+        self.trace_indices().len() * self.spec.policies.len() * self.spec.scenarios.len()
     }
 
     /// Execute this shard through the streaming grid engine.
@@ -161,11 +183,11 @@ impl CampaignShard {
         &self,
         progress: Option<&ProgressHook>,
     ) -> Result<ShardReport, CampaignError> {
-        let experiment = Experiment::try_new(self.spec.config.clone())?;
+        let scenarios = scenario_experiments(&self.spec)?;
         let indices = self.trace_indices();
         let generation_count = AtomicUsize::new(0);
         let grid = run_grid_streaming(
-            &experiment,
+            &scenarios,
             &indices,
             |&i| {
                 generation_count.fetch_add(1, Ordering::Relaxed);
@@ -179,7 +201,7 @@ impl CampaignShard {
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
         Ok(ShardReport {
-            schema_version: SHARD_SCHEMA_VERSION,
+            schema_version: shard_wire_version(&self.spec),
             shard_index: self.shard_index,
             shard_count: self.shard_count,
             spec: self.spec.clone(),
@@ -223,9 +245,10 @@ impl ShardReport {
         serde::json::to_string_pretty(self)
     }
 
-    /// Decode from JSON, checking the shard schema version first.
+    /// Decode from JSON (legacy v1 or scenario-aware v2), checking the shard
+    /// schema version first.
     pub fn from_json(text: &str) -> Result<ShardReport, CampaignError> {
-        let value = decode_versioned(text, SHARD_SCHEMA_VERSION)?;
+        let value = decode_versioned(text, &[LEGACY_SHARD_SCHEMA_VERSION, SHARD_SCHEMA_VERSION])?;
         Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
     }
 
@@ -257,20 +280,27 @@ impl ShardReport {
             )));
         }
         let rows = self.trace_indices.len();
-        if self.cells.len() != rows * self.spec.policies.len() {
+        let scenarios = self.spec.scenarios.len();
+        if self.cells.len() != rows * scenarios * self.spec.policies.len() {
             return Err(malformed(format!(
-                "{} cells for {} rows × {} policies",
+                "{} cells for {} rows × {} scenarios × {} policies",
                 self.cells.len(),
                 rows,
+                scenarios,
                 self.spec.policies.len()
             )));
         }
-        let expected_baselines = if self.baseline_needed() { rows } else { 0 };
+        let expected_baselines = if self.baseline_needed() {
+            rows * scenarios
+        } else {
+            0
+        };
         if self.baselines.len() != expected_baselines {
             return Err(malformed(format!(
-                "{} baselines for {} rows",
+                "{} baselines for {} rows × {} scenarios",
                 self.baselines.len(),
-                rows
+                rows,
+                scenarios
             )));
         }
         Ok(())
@@ -299,11 +329,22 @@ impl CampaignReport {
     pub fn merge(shards: &[ShardReport]) -> Result<CampaignReport, CampaignError> {
         let first = shards.first().ok_or(CampaignError::NoShards)?;
         for shard in shards {
-            if shard.schema_version != SHARD_SCHEMA_VERSION {
+            if shard.schema_version != LEGACY_SHARD_SCHEMA_VERSION
+                && shard.schema_version != SHARD_SCHEMA_VERSION
+            {
                 return Err(CampaignError::UnsupportedSchemaVersion {
                     found: shard.schema_version,
                     supported: SHARD_SCHEMA_VERSION,
                 });
+            }
+            if shard.schema_version != first.schema_version {
+                return Err(CampaignError::ShardSetMismatch(format!(
+                    "shard {} was written as schema v{}, shard {} as v{}",
+                    shard.shard_index,
+                    shard.schema_version,
+                    first.shard_index,
+                    first.schema_version
+                )));
             }
             if shard.shard_count != first.shard_count {
                 return Err(CampaignError::ShardSetMismatch(format!(
@@ -337,20 +378,28 @@ impl CampaignReport {
             });
         }
 
-        let policies = first.spec.policies.len();
+        // Per-row strides: each row carries one baseline and `policies`
+        // cells per scenario, scenario-major within the row.
+        let scenarios = first.spec.scenarios.len();
+        let row_cells = first.spec.policies.len() * scenarios;
         let baseline_needed = first.baseline_needed();
-        let mut baselines = Vec::with_capacity(if baseline_needed { n_rows } else { 0 });
-        let mut cells = Vec::with_capacity(n_rows * policies);
+        let mut baselines = Vec::with_capacity(if baseline_needed {
+            n_rows * scenarios
+        } else {
+            0
+        });
+        let mut cells = Vec::with_capacity(n_rows * row_cells);
         for slot in &owner {
             let (shard, pos) = slot.expect("coverage checked above");
             if baseline_needed {
-                baselines.push(shard.baselines[pos].clone());
+                baselines
+                    .extend_from_slice(&shard.baselines[pos * scenarios..(pos + 1) * scenarios]);
             }
-            cells.extend_from_slice(&shard.cells[pos * policies..(pos + 1) * policies]);
+            cells.extend_from_slice(&shard.cells[pos * row_cells..(pos + 1) * row_cells]);
         }
 
         Ok(CampaignReport {
-            schema_version: CAMPAIGN_SCHEMA_VERSION,
+            schema_version: report_wire_version(&first.spec),
             name: first.spec.name.clone(),
             spec: first.spec.clone(),
             baselines,
@@ -469,6 +518,7 @@ impl ShardedCampaignRunner {
                     total_cells,
                     policy: p.policy.clone(),
                     trace: p.trace.clone(),
+                    scenario: p.scenario.clone(),
                 })
             }) as ProgressHook
         });
@@ -509,7 +559,7 @@ impl ShardedCampaignRunner {
             .map_err(|e| CampaignError::Checkpoint(format!("create {}: {e}", dir.display())))?;
         let manifest_path = dir.join(MANIFEST_FILE);
         let manifest = CheckpointManifest {
-            schema_version: SHARD_SCHEMA_VERSION,
+            schema_version: shard_wire_version(spec),
             shard_count: self.shard_count,
             spec: spec.clone(),
         };
@@ -519,17 +569,18 @@ impl ShardedCampaignRunner {
                 // with the file named, so the failure is actionable) — unlike
                 // corrupt *shard* files, whose loss only costs a re-run, a
                 // damaged manifest means the directory can't be trusted.
-                let found: CheckpointManifest = decode_versioned(&text, SHARD_SCHEMA_VERSION)
-                    .and_then(|value| {
-                        Deserialize::from_value(&value)
-                            .map_err(|e| CampaignError::Decode(e.to_string()))
-                    })
-                    .map_err(|e| {
-                        CampaignError::Checkpoint(format!(
-                            "unreadable manifest {}: {e}; delete it to start over",
-                            manifest_path.display()
-                        ))
-                    })?;
+                let found: CheckpointManifest =
+                    decode_versioned(&text, &[LEGACY_SHARD_SCHEMA_VERSION, SHARD_SCHEMA_VERSION])
+                        .and_then(|value| {
+                            Deserialize::from_value(&value)
+                                .map_err(|e| CampaignError::Decode(e.to_string()))
+                        })
+                        .map_err(|e| {
+                            CampaignError::Checkpoint(format!(
+                                "unreadable manifest {}: {e}; delete it to start over",
+                                manifest_path.display()
+                            ))
+                        })?;
                 if found != manifest {
                     return Err(CampaignError::Checkpoint(format!(
                         "{} belongs to a different campaign or shard count; \

@@ -9,7 +9,7 @@
 //! memory, not 409.  Each trace's monolithic baseline is still simulated
 //! exactly once.
 
-use crate::campaign::{run_grid, run_grid_streaming};
+use crate::campaign::{run_grid, run_grid_streaming, ScenarioExperiment};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::policy::PolicyKind;
 use hc_trace::{SpecBenchmark, Trace, WorkloadProfile};
@@ -94,7 +94,7 @@ impl SuiteRunner {
     /// every trace up front.
     pub fn run_profiles(&self, profiles: &[WorkloadProfile], kind: PolicyKind) -> SuiteResult {
         let grid = run_grid_streaming(
-            &self.experiment,
+            std::slice::from_ref(&ScenarioExperiment::legacy(self.experiment.clone())),
             profiles,
             |p| Cow::Owned(p.generate()),
             &[kind],
@@ -112,7 +112,7 @@ impl SuiteRunner {
     /// like [`SuiteRunner::run_profiles`]).
     pub fn run_spec(&self, trace_len: usize, kind: PolicyKind) -> SuiteResult {
         let grid = run_grid_streaming(
-            &self.experiment,
+            std::slice::from_ref(&ScenarioExperiment::legacy(self.experiment.clone())),
             &SpecBenchmark::ALL,
             |b| Cow::Owned(b.trace(trace_len)),
             &[kind],

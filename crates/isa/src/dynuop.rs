@@ -69,39 +69,69 @@ impl DynUop {
     /// Whether every register source value is narrow (immediates have
     /// statically known widths and are checked separately).
     pub fn all_sources_narrow(&self) -> bool {
-        self.src_vals.iter().flatten().all(|v| v.is_narrow())
+        self.all_sources_narrow_within(crate::width::NARROW_BITS)
+    }
+
+    /// [`DynUop::all_sources_narrow`] against an arbitrary helper datapath
+    /// width in bits.
+    pub fn all_sources_narrow_within(&self, bits: u32) -> bool {
+        self.src_vals.iter().flatten().all(|v| v.fits_in(bits))
     }
 
     /// Whether the produced result (if any) is narrow.  µops without a result
     /// are vacuously narrow-result.
     pub fn result_narrow(&self) -> bool {
-        self.result.map(|v| v.is_narrow()).unwrap_or(true)
+        self.result_narrow_within(crate::width::NARROW_BITS)
+    }
+
+    /// [`DynUop::result_narrow`] against an arbitrary helper datapath width.
+    pub fn result_narrow_within(&self, bits: u32) -> bool {
+        self.result.map(|v| v.fits_in(bits)).unwrap_or(true)
     }
 
     /// Whether the immediate (if any) is narrow.
     pub fn imm_narrow(&self) -> bool {
-        self.uop.imm.map(|v| v.is_narrow()).unwrap_or(true)
+        self.imm_narrow_within(crate::width::NARROW_BITS)
+    }
+
+    /// [`DynUop::imm_narrow`] against an arbitrary helper datapath width.
+    pub fn imm_narrow_within(&self, bits: u32) -> bool {
+        self.uop.imm.map(|v| v.fits_in(bits)).unwrap_or(true)
     }
 
     /// The ground truth for the 8-8-8 steering condition of §3.2: all source
     /// operands, the immediate and the output need values of 8 bits or fewer.
     pub fn is_all_narrow(&self) -> bool {
-        self.all_sources_narrow() && self.result_narrow() && self.imm_narrow()
+        self.is_all_narrow_within(crate::width::NARROW_BITS)
+    }
+
+    /// [`DynUop::is_all_narrow`] against an arbitrary helper datapath width:
+    /// the w-w-w steering condition of a w-bit helper cluster.
+    pub fn is_all_narrow_within(&self, bits: u32) -> bool {
+        self.all_sources_narrow_within(bits)
+            && self.result_narrow_within(bits)
+            && self.imm_narrow_within(bits)
     }
 
     /// Ground truth for the CR condition of §3.5: exactly one wide source, a
     /// wide result, and the operation did not change the upper 24 bits of the
     /// wide source (no carry propagated past bit 8).
     pub fn is_carry_free_8_32_32(&self) -> bool {
+        self.is_carry_free_within(crate::width::NARROW_BITS)
+    }
+
+    /// [`DynUop::is_carry_free_8_32_32`] generalised to an arbitrary helper
+    /// datapath width: the w-32-32 carry-free combination of a w-bit helper.
+    pub fn is_carry_free_within(&self, bits: u32) -> bool {
         let result = match self.result {
-            Some(r) if !r.is_narrow() => r,
+            Some(r) if !r.fits_in(bits) => r,
             _ => return false,
         };
         let mut wide: Option<Value> = None;
         let mut wide_count = 0usize;
         let mut has_narrow_src = false;
         for v in self.source_values_iter() {
-            if v.is_narrow() {
+            if v.fits_in(bits) {
                 has_narrow_src = true;
             } else {
                 wide_count += 1;
@@ -109,10 +139,10 @@ impl DynUop {
             }
         }
         let has_narrow_side =
-            has_narrow_src || self.uop.imm.map(|v| v.is_narrow()).unwrap_or(false);
+            has_narrow_src || self.uop.imm.map(|v| v.fits_in(bits)).unwrap_or(false);
         wide_count == 1
             && has_narrow_side
-            && wide.map(|w| w.upper_bits()) == Some(result.upper_bits())
+            && wide.map(|w| w.upper_bits_within(bits)) == Some(result.upper_bits_within(bits))
     }
 }
 

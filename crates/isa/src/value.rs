@@ -124,6 +124,18 @@ impl Value {
         self.0 >> 8
     }
 
+    /// The bits above bit `bits-1` — the generalisation of
+    /// [`Value::upper_bits`] to an arbitrary helper datapath width, used when
+    /// the CR carry check runs on a 4- or 16-bit helper cluster.
+    #[inline]
+    pub const fn upper_bits_within(self, bits: u32) -> u32 {
+        if bits >= 32 {
+            0
+        } else {
+            self.0 >> bits
+        }
+    }
+
     /// Replace the low 8 bits, keeping the upper 24 bits.
     #[inline]
     pub const fn with_low_byte(self, b: u8) -> Value {

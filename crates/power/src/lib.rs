@@ -18,4 +18,4 @@ pub mod ed2;
 pub mod model;
 
 pub use ed2::{ed2, Ed2Comparison};
-pub use model::{EnergyBreakdown, PowerModel, PowerParams};
+pub use model::{EnergyBreakdown, PowerModel, PowerParams, PowerParamsError};

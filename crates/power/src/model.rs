@@ -2,6 +2,39 @@
 
 use hc_sim::EnergyEvents;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`PowerParams`] was rejected by [`PowerParams::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerParamsError {
+    /// A per-event energy is negative (energies are magnitudes; a scenario
+    /// asking for a negative one is a sweep-spec typo, not a free lunch).
+    NegativeEnergy {
+        /// Name of the offending parameter field.
+        field: &'static str,
+    },
+    /// A per-event energy is NaN or infinite, which would poison every ED²
+    /// aggregate downstream.
+    NonFiniteEnergy {
+        /// Name of the offending parameter field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for PowerParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerParamsError::NegativeEnergy { field } => {
+                write!(f, "power parameter `{field}` must be non-negative")
+            }
+            PowerParamsError::NonFiniteEnergy { field } => {
+                write!(f, "power parameter `{field}` must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerParamsError {}
 
 /// Per-event energies in arbitrary energy units (a.u.).  Only *relative*
 /// magnitudes matter for the paper's energy-delay² comparison; the defaults
@@ -40,6 +73,59 @@ pub struct PowerParams {
     pub wide_clock_per_cycle: f64,
     /// Clock-network + idle energy per helper-cluster tick.
     pub helper_clock_per_tick: f64,
+}
+
+impl PowerParams {
+    /// Every parameter as a `(field name, value)` pair, for validation and
+    /// reporting.
+    pub fn fields(&self) -> [(&'static str, f64); 15] {
+        [
+            ("wide_rf_read", self.wide_rf_read),
+            ("wide_rf_write", self.wide_rf_write),
+            ("helper_rf_read", self.helper_rf_read),
+            ("helper_rf_write", self.helper_rf_write),
+            ("wide_alu", self.wide_alu),
+            ("helper_alu", self.helper_alu),
+            ("fp_op", self.fp_op),
+            ("wide_iq", self.wide_iq),
+            ("helper_iq", self.helper_iq),
+            ("dl0_access", self.dl0_access),
+            ("ul1_access", self.ul1_access),
+            ("predictor_access", self.predictor_access),
+            ("copy_transfer", self.copy_transfer),
+            ("wide_clock_per_cycle", self.wide_clock_per_cycle),
+            ("helper_clock_per_tick", self.helper_clock_per_tick),
+        ]
+    }
+
+    /// A parameter set whose helper-side energies are scaled by `factor`
+    /// relative to the defaults — the "8-bit datapath energy discount" knob
+    /// of §3.1 as a sweepable axis (1.0 reproduces the defaults; larger
+    /// factors model a less efficient narrow datapath).
+    pub fn with_helper_discount(factor: f64) -> PowerParams {
+        let d = PowerParams::default();
+        PowerParams {
+            helper_rf_read: d.helper_rf_read * factor,
+            helper_rf_write: d.helper_rf_write * factor,
+            helper_alu: d.helper_alu * factor,
+            helper_iq: d.helper_iq * factor,
+            helper_clock_per_tick: d.helper_clock_per_tick * factor,
+            ..d
+        }
+    }
+
+    /// Validate the parameter set, returning the first problem found.
+    pub fn validate(&self) -> Result<(), PowerParamsError> {
+        for (field, value) in self.fields() {
+            if !value.is_finite() {
+                return Err(PowerParamsError::NonFiniteEnergy { field });
+            }
+            if value < 0.0 {
+                return Err(PowerParamsError::NegativeEnergy { field });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for PowerParams {
@@ -145,6 +231,46 @@ mod tests {
         let m = PowerModel::default();
         let e = m.energy(&EnergyEvents::default());
         assert_eq!(e.total(), 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_negative_and_non_finite_energies() {
+        assert!(PowerParams::default().validate().is_ok());
+        let p = PowerParams {
+            helper_alu: -0.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(PowerParamsError::NegativeEnergy {
+                field: "helper_alu"
+            })
+        );
+        let p = PowerParams {
+            dl0_access: f64::NAN,
+            ..Default::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(PowerParamsError::NonFiniteEnergy {
+                field: "dl0_access"
+            })
+        );
+        let e: Box<dyn std::error::Error> = Box::new(p.validate().unwrap_err());
+        assert!(e.to_string().contains("dl0_access"));
+    }
+
+    #[test]
+    fn helper_discount_scales_only_helper_side_energies() {
+        let doubled = PowerParams::with_helper_discount(2.0);
+        let d = PowerParams::default();
+        assert_eq!(doubled.helper_alu, d.helper_alu * 2.0);
+        assert_eq!(doubled.helper_rf_read, d.helper_rf_read * 2.0);
+        assert_eq!(doubled.helper_clock_per_tick, d.helper_clock_per_tick * 2.0);
+        assert_eq!(doubled.wide_alu, d.wide_alu);
+        assert_eq!(doubled.dl0_access, d.dl0_access);
+        assert_eq!(PowerParams::with_helper_discount(1.0), d);
+        assert!(doubled.validate().is_ok());
     }
 
     #[test]

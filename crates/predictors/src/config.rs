@@ -1,0 +1,214 @@
+//! One serializable bundle for every predictor sizing knob.
+//!
+//! The predictor tables used to be sized through scattered constructor
+//! arguments (`WidthPredictor::new(entries, use_confidence)`,
+//! `CarryPredictor::new(entries)`, `CopyPredictor::new(entries)`); a
+//! [`PredictorConfig`] names them all in one serde-round-trippable value so
+//! campaign scenarios can sweep them declaratively (the paper's §3.2 table
+//! size study: 256 entries was chosen as the complexity/accuracy compromise).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Largest table size a scenario may ask for.  The tables round up to a
+/// power of two, so anything beyond this would silently allocate megabytes
+/// of counter state per policy instance.
+pub const MAX_TABLE_ENTRIES: usize = 1 << 20;
+
+/// Why a [`PredictorConfig`] was rejected by [`PredictorConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorConfigError {
+    /// A predictor table was configured with zero entries.
+    ZeroTableEntries {
+        /// Which table (`"width"`, `"carry"` or `"copy"`).
+        table: TableKind,
+    },
+    /// A predictor table exceeds [`MAX_TABLE_ENTRIES`].
+    TableTooLarge {
+        /// Which table.
+        table: TableKind,
+        /// Requested entry count.
+        entries: usize,
+        /// Largest supported entry count.
+        max: usize,
+    },
+}
+
+/// Names the predictor table an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableKind {
+    /// The last-width predictor of Figure 4.
+    Width,
+    /// The CR carry predictor (§3.5).
+    Carry,
+    /// The CP copy predictor (§3.6).
+    Copy,
+}
+
+impl TableKind {
+    /// Lower-case table name for messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            TableKind::Width => "width",
+            TableKind::Carry => "carry",
+            TableKind::Copy => "copy",
+        }
+    }
+}
+
+impl fmt::Display for PredictorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorConfigError::ZeroTableEntries { table } => {
+                write!(
+                    f,
+                    "{} predictor table must have at least 1 entry",
+                    table.name()
+                )
+            }
+            PredictorConfigError::TableTooLarge {
+                table,
+                entries,
+                max,
+            } => write!(
+                f,
+                "{} predictor table of {entries} entries exceeds the supported maximum {max}",
+                table.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictorConfigError {}
+
+/// Sizing configuration of the steering stack's prediction structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Width-predictor table entries (256 in the paper; rounded up to a
+    /// power of two at construction).
+    pub width_entries: usize,
+    /// Whether the width predictor carries the 2-bit confidence estimator of
+    /// §3.2 (on in the paper's final design).
+    pub use_confidence: bool,
+    /// Carry-predictor table entries (the paper shares the width table's
+    /// size).
+    pub carry_entries: usize,
+    /// Copy-predictor table entries (likewise 256 in the paper).
+    pub copy_entries: usize,
+}
+
+impl PredictorConfig {
+    /// The paper's final design point: 256-entry tables everywhere, with the
+    /// confidence estimator enabled.
+    pub fn paper_default() -> PredictorConfig {
+        PredictorConfig {
+            width_entries: crate::width::PAPER_TABLE_ENTRIES,
+            use_confidence: true,
+            carry_entries: crate::width::PAPER_TABLE_ENTRIES,
+            copy_entries: crate::width::PAPER_TABLE_ENTRIES,
+        }
+    }
+
+    /// A configuration sizing every table to `entries` (the common sweep
+    /// shape: the paper's table-size study scales all three together).
+    pub fn with_all_entries(entries: usize) -> PredictorConfig {
+        PredictorConfig {
+            width_entries: entries,
+            carry_entries: entries,
+            copy_entries: entries,
+            ..PredictorConfig::paper_default()
+        }
+    }
+
+    /// Total storage budget in bits (1 width bit + 2 confidence bits per
+    /// width entry when confidence is on, plus 3 bits per carry entry and 3
+    /// per copy entry) — the hardware-complexity side of the sweep.
+    pub fn storage_bits(&self) -> usize {
+        let width_per_entry = if self.use_confidence { 3 } else { 1 };
+        self.width_entries * width_per_entry + self.carry_entries * 3 + self.copy_entries * 3
+    }
+
+    /// Validate the configuration, returning the first problem found.
+    pub fn validate(&self) -> Result<(), PredictorConfigError> {
+        for (table, entries) in [
+            (TableKind::Width, self.width_entries),
+            (TableKind::Carry, self.carry_entries),
+            (TableKind::Copy, self.copy_entries),
+        ] {
+            if entries == 0 {
+                return Err(PredictorConfigError::ZeroTableEntries { table });
+            }
+            if entries > MAX_TABLE_ENTRIES {
+                return Err(PredictorConfigError::TableTooLarge {
+                    table,
+                    entries,
+                    max: MAX_TABLE_ENTRIES,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_design_point() {
+        let c = PredictorConfig::paper_default();
+        assert_eq!(c.width_entries, 256);
+        assert_eq!(c.carry_entries, 256);
+        assert_eq!(c.copy_entries, 256);
+        assert!(c.use_confidence);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.storage_bits(), 256 * 3 + 256 * 3 + 256 * 3);
+    }
+
+    #[test]
+    fn zero_and_oversized_tables_are_typed_errors() {
+        let mut c = PredictorConfig::paper_default();
+        c.carry_entries = 0;
+        assert_eq!(
+            c.validate(),
+            Err(PredictorConfigError::ZeroTableEntries {
+                table: TableKind::Carry
+            })
+        );
+        let mut c = PredictorConfig::paper_default();
+        c.width_entries = MAX_TABLE_ENTRIES + 1;
+        assert_eq!(
+            c.validate(),
+            Err(PredictorConfigError::TableTooLarge {
+                table: TableKind::Width,
+                entries: MAX_TABLE_ENTRIES + 1,
+                max: MAX_TABLE_ENTRIES,
+            })
+        );
+        let e: Box<dyn std::error::Error> = Box::new(c.validate().unwrap_err());
+        assert!(e.to_string().contains("width predictor table"));
+    }
+
+    #[test]
+    fn with_all_entries_scales_every_table() {
+        let c = PredictorConfig::with_all_entries(1024);
+        assert_eq!(c.width_entries, 1024);
+        assert_eq!(c.carry_entries, 1024);
+        assert_eq!(c.copy_entries, 1024);
+        assert!(c.use_confidence, "confidence stays at the paper default");
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let c = PredictorConfig::with_all_entries(512);
+        let json = serde::json::to_string(&c);
+        let back: PredictorConfig = serde::json::from_str(&json).expect("decodes");
+        assert_eq!(back, c);
+    }
+}

@@ -18,6 +18,9 @@
 //!   simulates a Pentium-4-like frontend).
 //! * [`width_table::WidthTable`] — the 1-bit-per-register width field stored in
 //!   the rename table, updated with actual outcomes at writeback.
+//! * [`config::PredictorConfig`] — every table-sizing knob in one
+//!   serializable, validated value, so campaign scenarios can sweep predictor
+//!   geometry declaratively.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@
 pub mod branch;
 pub mod carry;
 pub mod confidence;
+pub mod config;
 pub mod copy_prefetch;
 pub mod width;
 pub mod width_table;
@@ -32,6 +36,7 @@ pub mod width_table;
 pub use branch::BranchPredictor;
 pub use carry::CarryPredictor;
 pub use confidence::ConfidenceCounter;
+pub use config::{PredictorConfig, PredictorConfigError, TableKind, MAX_TABLE_ENTRIES};
 pub use copy_prefetch::CopyPredictor;
 pub use width::{WidthPrediction, WidthPredictor};
 pub use width_table::WidthTable;

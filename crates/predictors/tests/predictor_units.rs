@@ -1,0 +1,217 @@
+//! Direct unit tests for the prediction structures — previously these
+//! behaviours were only covered indirectly through the cycle simulator.
+//!
+//! Covers the width-table indexing/aliasing of Figure 4, the 2-bit
+//! confidence hysteresis of §3.2, the carry-width predictor of §3.5 and the
+//! [`PredictorConfig`]-driven construction the scenario axes rely on.
+
+use hc_predictors::{
+    CarryPredictor, ConfidenceCounter, PredictorConfig, WidthPredictor, WidthTable,
+};
+
+// ----------------------------------------------------------------- indexing
+
+/// Two PCs whose folded index collides in a small table must share an entry;
+/// growing the table must separate them.  The index fold is
+/// `pc ^ (pc >> 8) ^ (pc >> 16)` masked to the table size.
+#[test]
+fn width_table_aliasing_depends_on_table_size() {
+    // In a 16-entry table, pc=3 and pc=19 fold to the same slot (19 = 3 + 16).
+    let mut small = WidthPredictor::new(16, false);
+    small.update(3, true);
+    assert!(
+        small.predict(19).narrow,
+        "16-entry table: 3 and 19 alias to one entry"
+    );
+
+    // A 256-entry table keeps them apart.
+    let mut big = WidthPredictor::new(256, false);
+    big.update(3, true);
+    assert!(
+        !big.predict(19).narrow,
+        "256-entry table separates 3 and 19"
+    );
+}
+
+/// The fold mixes high PC bits in, so two PCs 256 apart do *not* trivially
+/// alias in a 256-entry table.
+#[test]
+fn width_table_index_folds_high_bits() {
+    let mut p = WidthPredictor::new(256, false);
+    p.update(0x40, true);
+    assert!(
+        !p.predict(0x140).narrow,
+        "0x40 and 0x140 must not alias: the fold xors bit 8 back in"
+    );
+    // Same entry updated at a different aliasing PC class: 0x40 ^ (0x40>>8)
+    // == 0x40; a PC that folds to 0x40 with high bits set shares the entry.
+    // 0x4000 folds to 0x4000 ^ 0x40 = 0x4040 -> masked 0x40.
+    p.update(0x4000, false);
+    assert!(
+        !p.predict(0x40).narrow,
+        "a folded-alias update overwrites the shared entry"
+    );
+}
+
+/// Aliased PCs also share confidence state — the cost the paper's 256-entry
+/// compromise accepts.
+#[test]
+fn aliasing_pcs_fight_over_confidence() {
+    let mut p = WidthPredictor::new(1, true);
+    // PC 10 keeps being narrow, PC 11 keeps being wide; in a 1-entry table
+    // they destroy each other's confidence.
+    for _ in 0..8 {
+        p.update(10, true);
+        p.update(11, false);
+    }
+    assert!(
+        !p.predict(10).confidently_narrow(),
+        "alternating aliased outcomes must never reach high confidence"
+    );
+    let s = p.stats();
+    assert!(s.accuracy() < 0.1, "aliased accuracy collapses: {s:?}");
+}
+
+// -------------------------------------------------------------- confidence
+
+/// The 2-bit counter's hysteresis: two corrects to trust, one miss to reset.
+#[test]
+fn confidence_hysteresis_is_two_up_reset_down() {
+    let mut c = ConfidenceCounter::new();
+    assert!(!c.is_confident());
+    c.correct();
+    assert!(!c.is_confident(), "one correct is not enough");
+    c.correct();
+    assert!(c.is_confident(), "two corrects reach the threshold");
+    c.correct();
+    assert_eq!(c.value(), ConfidenceCounter::MAX, "saturates at 3");
+    c.incorrect();
+    assert_eq!(c.value(), 0, "reset-on-miss, not decrement");
+    assert!(!c.is_confident());
+    // Recovery needs two fresh corrects again.
+    c.correct();
+    assert!(!c.is_confident());
+    c.correct();
+    assert!(c.is_confident());
+}
+
+/// The predictor-level consequence of reset-on-miss: after a phase change,
+/// steering resumes only after HIGH_CONFIDENCE consecutive correct outcomes.
+#[test]
+fn width_predictor_confidence_gates_resteering_after_phase_change() {
+    let mut p = WidthPredictor::new(64, true);
+    for _ in 0..4 {
+        p.update(7, true);
+    }
+    assert!(p.predict(7).confidently_narrow());
+    // Phase change: the instruction goes wide once.
+    p.update(7, false);
+    assert!(!p.predict(7).narrow || !p.predict(7).confident);
+    // Back to narrow: the first update (itself a miss against the stored
+    // wide bit) fixes the bit but not the confidence; the counter then needs
+    // HIGH_CONFIDENCE consecutive correct outcomes to re-arm steering.
+    p.update(7, true);
+    let pred = p.predict(7);
+    assert!(pred.narrow && !pred.confident);
+    p.update(7, true);
+    assert!(!p.predict(7).confident, "one correct outcome is not enough");
+    p.update(7, true);
+    assert!(p.predict(7).confidently_narrow());
+}
+
+// ------------------------------------------------------- rename width table
+
+/// The rename-table width field of §3.2: predictions are provisional,
+/// writeback makes them actual, flushes reset to wide/actual.
+#[test]
+fn rename_width_table_tracks_provenance() {
+    use hc_isa::reg::ArchReg;
+    use hc_predictors::width_table::WidthSource;
+
+    let mut t = WidthTable::new();
+    assert_eq!(t.lookup(ArchReg::Esi), (false, WidthSource::Actual));
+
+    t.set_predicted(ArchReg::Esi, true);
+    assert_eq!(t.lookup(ArchReg::Esi), (true, WidthSource::Predicted));
+
+    // Writeback of the actual (wide) outcome overrides the prediction.
+    t.set_actual(ArchReg::Esi, false);
+    assert_eq!(t.lookup(ArchReg::Esi), (false, WidthSource::Actual));
+
+    // Other registers are untouched throughout.
+    assert_eq!(t.lookup(ArchReg::Edi), (false, WidthSource::Actual));
+
+    t.set_predicted(ArchReg::Edi, true);
+    t.reset();
+    assert_eq!(t.lookup(ArchReg::Edi), (false, WidthSource::Actual));
+}
+
+// ---------------------------------------------------------- carry predictor
+
+/// The CR predictor learns per-PC carry behaviour with the same 2-bit
+/// hysteresis, and a single carry event revokes trust.
+#[test]
+fn carry_predictor_learns_and_revokes() {
+    let mut p = CarryPredictor::new(256);
+    let (free, confident) = p.predict(0x33);
+    assert!(!free && !confident, "cold entries predict carry, untrusted");
+
+    for _ in 0..3 {
+        p.update(0x33, true);
+    }
+    let (free, confident) = p.predict(0x33);
+    assert!(free && confident, "trained carry-free with confidence");
+
+    p.update(0x33, false);
+    let (free, confident) = p.predict(0x33);
+    assert!(!free, "last-value: the carry event flips the bit");
+    assert!(!confident, "and resets confidence");
+}
+
+/// Carry entries alias exactly like width entries (same fold, own table).
+#[test]
+fn carry_predictor_aliases_in_small_tables() {
+    let mut p = CarryPredictor::new(1);
+    for _ in 0..3 {
+        p.update(100, true);
+    }
+    let (free, confident) = p.predict(20_000);
+    assert!(
+        free && confident,
+        "1-entry table: every PC shares the trained entry"
+    );
+}
+
+// ----------------------------------------------------------------- sizing
+
+/// PredictorConfig-driven construction: entries round up to powers of two
+/// independently per table, and the storage accounting follows.
+#[test]
+fn predictor_config_sizes_each_table_independently() {
+    let cfg = PredictorConfig {
+        width_entries: 200,
+        use_confidence: true,
+        carry_entries: 100,
+        copy_entries: 33,
+    };
+    assert!(cfg.validate().is_ok());
+    let width = WidthPredictor::new(cfg.width_entries, cfg.use_confidence);
+    let carry = CarryPredictor::new(cfg.carry_entries);
+    assert_eq!(width.len(), 256);
+    assert_eq!(carry.len(), 128);
+    // Storage accounting uses the requested (pre-rounding) entries — it
+    // budgets what the scenario asked for.
+    assert_eq!(cfg.storage_bits(), 200 * 3 + 100 * 3 + 33 * 3);
+}
+
+/// Disabling confidence makes every prediction trusted immediately — the
+/// ablation the paper uses to justify the 2-bit estimator.
+#[test]
+fn confidence_toggle_changes_steering_eligibility() {
+    let mut gated = WidthPredictor::new(64, true);
+    let mut open = WidthPredictor::new(64, false);
+    gated.update(5, true);
+    open.update(5, true);
+    assert!(!gated.predict(5).confidently_narrow());
+    assert!(open.predict(5).confidently_narrow());
+}

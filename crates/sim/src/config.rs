@@ -5,6 +5,15 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Helper datapath widths the execution model supports: the paper's 8-bit
+/// design point plus the half- and double-width sensitivity neighbours.
+pub const SUPPORTED_HELPER_WIDTHS: [u32; 3] = [4, 8, 16];
+
+/// Largest helper clock ratio the tick-based clocking model accepts.  Beyond
+/// this every wide-cycle latency times out the cycle-bucketed event wheel
+/// (and no silicon ships a 64× faster narrow backend anyway).
+pub const MAX_HELPER_CLOCK_RATIO: u32 = 64;
+
 /// Why a [`SimConfig`] was rejected by [`SimConfig::validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ConfigError {
@@ -22,8 +31,34 @@ pub enum ConfigError {
         /// Offending line size in bytes.
         line_bytes: u32,
     },
+    /// A cache's size, associativity and line size do not produce a non-zero
+    /// power-of-two set count (the index function needs one).
+    CacheGeometryNotPowerOfTwo {
+        /// Configured capacity in bytes.
+        size_bytes: u32,
+        /// Configured associativity.
+        ways: u32,
+        /// Configured line size in bytes.
+        line_bytes: u32,
+    },
     /// The helper cluster is enabled with a clock ratio of zero.
     ZeroHelperClockRatio,
+    /// The helper clock ratio exceeds [`MAX_HELPER_CLOCK_RATIO`]: wide-cycle
+    /// latencies expressed in ticks would overflow the clocking model's
+    /// event-wheel horizon.
+    HelperClockRatioTooLarge {
+        /// Configured ratio.
+        ratio: u32,
+        /// Largest supported ratio.
+        max: u32,
+    },
+    /// The helper datapath width is not one of
+    /// [`SUPPORTED_HELPER_WIDTHS`]; the narrowness detectors and the IR
+    /// split-chunk machinery only model widths that divide 32 evenly.
+    UnsupportedHelperWidth {
+        /// Configured width in bits.
+        width_bits: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -42,9 +77,25 @@ impl fmt::Display for ConfigError {
             ConfigError::CacheLineNotPowerOfTwo { line_bytes } => {
                 write!(f, "cache line sizes must be powers of two (got {line_bytes})")
             }
+            ConfigError::CacheGeometryNotPowerOfTwo {
+                size_bytes,
+                ways,
+                line_bytes,
+            } => write!(
+                f,
+                "cache geometry {size_bytes}B / {ways}-way / {line_bytes}B lines does not \
+                 yield a power-of-two set count"
+            ),
             ConfigError::ZeroHelperClockRatio => {
                 write!(f, "helper clock ratio must be at least 1")
             }
+            ConfigError::HelperClockRatioTooLarge { ratio, max } => {
+                write!(f, "helper clock ratio {ratio} exceeds the supported maximum {max}")
+            }
+            ConfigError::UnsupportedHelperWidth { width_bits } => write!(
+                f,
+                "helper datapath width {width_bits} is unsupported (must be one of {SUPPORTED_HELPER_WIDTHS:?})"
+            ),
         }
     }
 }
@@ -184,6 +235,18 @@ impl SimConfig {
         cycles as u64 * self.ticks_per_wide_cycle()
     }
 
+    /// The helper datapath width the narrowness detectors check against.
+    pub fn narrow_bits(&self) -> u32 {
+        self.helper_width_bits
+    }
+
+    /// Number of chunks the IR scheme splits a wide (32-bit) instruction
+    /// into: one per helper-datapath slice (4 at the paper's 8-bit design
+    /// point, 2 at 16 bits, 8 at 4 bits).
+    pub fn split_chunks(&self) -> usize {
+        (32 / self.helper_width_bits.clamp(1, 32)) as usize
+    }
+
     /// Basic sanity validation.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.commit_width == 0 || self.rename_width == 0 || self.fetch_width == 0 {
@@ -201,9 +264,39 @@ impl SimConfig {
                     line_bytes: cache.line_bytes,
                 });
             }
+            // The index function needs a non-zero power-of-two set count:
+            // capacity must divide evenly into power-of-two-many sets.
+            let geometry_error = ConfigError::CacheGeometryNotPowerOfTwo {
+                size_bytes: cache.size_bytes,
+                ways: cache.ways,
+                line_bytes: cache.line_bytes,
+            };
+            if cache.ways == 0 {
+                return Err(geometry_error);
+            }
+            let way_bytes = cache.ways * cache.line_bytes;
+            if cache.size_bytes == 0
+                || cache.size_bytes % way_bytes != 0
+                || !(cache.size_bytes / way_bytes).is_power_of_two()
+            {
+                return Err(geometry_error);
+            }
         }
-        if self.helper_enabled && self.helper_clock_ratio == 0 {
-            return Err(ConfigError::ZeroHelperClockRatio);
+        if self.helper_enabled {
+            if self.helper_clock_ratio == 0 {
+                return Err(ConfigError::ZeroHelperClockRatio);
+            }
+            if self.helper_clock_ratio > MAX_HELPER_CLOCK_RATIO {
+                return Err(ConfigError::HelperClockRatioTooLarge {
+                    ratio: self.helper_clock_ratio,
+                    max: MAX_HELPER_CLOCK_RATIO,
+                });
+            }
+            if !SUPPORTED_HELPER_WIDTHS.contains(&self.helper_width_bits) {
+                return Err(ConfigError::UnsupportedHelperWidth {
+                    width_bits: self.helper_width_bits,
+                });
+            }
         }
         Ok(())
     }
@@ -290,6 +383,89 @@ mod tests {
         let mut c = SimConfig::paper_baseline();
         c.helper_clock_ratio = 0;
         assert_eq!(c.validate(), Err(ConfigError::ZeroHelperClockRatio));
+    }
+
+    #[test]
+    fn validation_rejects_overflowing_clock_ratios() {
+        let mut c = SimConfig::paper_baseline();
+        c.helper_clock_ratio = MAX_HELPER_CLOCK_RATIO;
+        assert!(c.validate().is_ok(), "the cap itself is legal");
+        c.helper_clock_ratio = MAX_HELPER_CLOCK_RATIO + 1;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::HelperClockRatioTooLarge {
+                ratio: MAX_HELPER_CLOCK_RATIO + 1,
+                max: MAX_HELPER_CLOCK_RATIO,
+            })
+        );
+        // The clock knobs only matter while the helper cluster exists.
+        c.helper_enabled = false;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_unsupported_helper_widths() {
+        for width_bits in [0, 1, 2, 3, 5, 12, 24, 32, 64] {
+            let mut c = SimConfig::paper_baseline();
+            c.helper_width_bits = width_bits;
+            assert_eq!(
+                c.validate(),
+                Err(ConfigError::UnsupportedHelperWidth { width_bits }),
+                "width {width_bits} must be rejected"
+            );
+            c.helper_enabled = false;
+            assert!(
+                c.validate().is_ok(),
+                "monolithic machines ignore the helper width"
+            );
+        }
+        for width_bits in SUPPORTED_HELPER_WIDTHS {
+            let mut c = SimConfig::paper_baseline();
+            c.helper_width_bits = width_bits;
+            assert!(c.validate().is_ok(), "width {width_bits} is a sweep point");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_non_power_of_two_cache_geometry() {
+        // 48KB / 8-way / 64B lines -> 96 sets: line size is a power of two
+        // but the set count is not.
+        let mut c = SimConfig::paper_baseline();
+        c.dl0.size_bytes = 48 * 1024;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CacheGeometryNotPowerOfTwo {
+                size_bytes: 48 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            })
+        );
+
+        // Zero ways would divide by zero in the set computation.
+        let mut c = SimConfig::paper_baseline();
+        c.ul1.ways = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::CacheGeometryNotPowerOfTwo { ways: 0, .. })
+        ));
+
+        // Capacity smaller than one way's worth of lines.
+        let mut c = SimConfig::paper_baseline();
+        c.dl0.size_bytes = 256;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::CacheGeometryNotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn split_chunks_track_helper_width() {
+        let mut c = SimConfig::paper_baseline();
+        assert_eq!(c.split_chunks(), 4);
+        c.helper_width_bits = 4;
+        assert_eq!(c.split_chunks(), 8);
+        c.helper_width_bits = 16;
+        assert_eq!(c.split_chunks(), 2);
     }
 
     #[test]

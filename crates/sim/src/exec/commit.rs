@@ -56,7 +56,8 @@ impl Machine<'_> {
             }
             self.arch_loc[dst.index()] = cluster;
             self.arch_replicated[dst.index()] = replicated;
-            self.arch_narrow[dst.index()] = uop.result.map(|v| v.is_narrow()).unwrap_or(false);
+            self.arch_narrow[dst.index()] =
+                uop.result.map(|v| v.fits_in(self.nbits())).unwrap_or(false);
         }
         if uop.uop.writes_flags {
             if self.flags_map.map(|e| e.seq == seq).unwrap_or(false) {
@@ -79,7 +80,7 @@ impl Machine<'_> {
                 if self.eligible_for_width_accounting(&uop) {
                     if cluster == Cluster::Helper {
                         self.stats.correct_width_predictions += 1;
-                    } else if uop.is_all_narrow() && self.cfg.helper_enabled {
+                    } else if uop.is_all_narrow_within(self.nbits()) && self.cfg.helper_enabled {
                         self.stats.nonfatal_width_mispredicts += 1;
                     } else {
                         self.stats.correct_width_predictions += 1;
@@ -87,8 +88,9 @@ impl Machine<'_> {
                 }
                 let info = WritebackInfo {
                     executed_in: cluster,
-                    result_narrow: uop.result.map(|v| v.is_narrow()).unwrap_or(true),
-                    carry_free: uop.is_carry_free_8_32_32() || Self::address_carry_free(&uop),
+                    result_narrow: uop.result.map(|v| v.fits_in(self.nbits())).unwrap_or(true),
+                    carry_free: uop.is_carry_free_within(self.nbits())
+                        || Self::address_carry_free(&uop, self.nbits()),
                     fatal_mispredict: fatal,
                     incurred_copy,
                 };

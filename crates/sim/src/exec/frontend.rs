@@ -6,7 +6,7 @@
 //! policy for a [`SteerDecision`], sanitizes it against structural limits,
 //! and hands the µop to [`rename`](super::rename) for dispatch.
 
-use super::{Machine, SPLIT_CHUNKS};
+use super::Machine;
 use crate::rob::UopState;
 use crate::steer::{Cluster, SourceWidthInfo, SteerContext, SteerDecision};
 use hc_isa::reg::ArchReg;
@@ -21,7 +21,7 @@ impl Machine<'_> {
         let mut renamed = 0usize;
         while renamed < self.cfg.rename_width && self.next_pos < self.trace.len() {
             // Window space: worst case a split needs chunks + copies entries.
-            if self.ctx.rob.len() + SPLIT_CHUNKS * 2 + 2 > self.cfg.rob_entries {
+            if self.ctx.rob.len() + self.split_chunks() * 2 + 2 > self.cfg.rob_entries {
                 break;
             }
             let pos = self.next_pos;
@@ -86,7 +86,7 @@ impl Machine<'_> {
         } else if d.split {
             // chunks in the helper IQ + copies (also helper IQ, they execute at
             // the producer side).
-            needed_helper = SPLIT_CHUNKS * 2;
+            needed_helper = self.split_chunks() * 2;
         } else {
             match d.cluster {
                 Cluster::Wide => {
@@ -121,7 +121,7 @@ impl Machine<'_> {
         };
         SteerContext {
             sources,
-            imm_narrow: duop.uop.imm.map(|v| v.is_narrow()),
+            imm_narrow: duop.uop.imm.map(|v| v.fits_in(self.nbits())),
             flags_producer,
             wide_iq_occupancy: self.wide_int_iq,
             helper_iq_occupancy: self.helper_iq,
@@ -140,7 +140,11 @@ impl Machine<'_> {
                 let p = &self.ctx.entries[e.seq as usize];
                 if p.state == UopState::Completed {
                     SourceWidthInfo {
-                        narrow: p.uop.result.map(|v| v.is_narrow()).unwrap_or(false),
+                        narrow: p
+                            .uop
+                            .result
+                            .map(|v| v.fits_in(self.nbits()))
+                            .unwrap_or(false),
                         actual: true,
                         producer_cluster: Some(p.cluster),
                     }

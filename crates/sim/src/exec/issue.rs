@@ -165,13 +165,14 @@ impl Machine<'_> {
     }
 
     fn is_fatal_width_violation(&self, idx: usize) -> bool {
+        let nbits = self.nbits();
         let e = &self.ctx.entries[idx];
         match e.helper_mode {
-            Some(HelperMode::AllNarrow) => !e.uop.is_all_narrow(),
+            Some(HelperMode::AllNarrow) => !e.uop.is_all_narrow_within(nbits),
             Some(HelperMode::CarryFree) => {
-                !(e.uop.is_all_narrow()
-                    || e.uop.is_carry_free_8_32_32()
-                    || Self::address_carry_free(&e.uop))
+                !(e.uop.is_all_narrow_within(nbits)
+                    || e.uop.is_carry_free_within(nbits)
+                    || Self::address_carry_free(&e.uop, nbits))
             }
             // Branches, split chunks and copies cannot violate widths.
             _ => false,
@@ -179,8 +180,8 @@ impl Machine<'_> {
     }
 
     /// CR eligibility check for loads/stores: the *address computation* stays
-    /// within the low byte of the wide base.
-    pub(crate) fn address_carry_free(uop: &DynUop) -> bool {
+    /// within the low `nbits` bits of the wide base.
+    pub(crate) fn address_carry_free(uop: &DynUop, nbits: u32) -> bool {
         if !uop.uop.kind.is_mem() {
             return false;
         }
@@ -189,12 +190,13 @@ impl Machine<'_> {
         let mut sum = hc_isa::Value::ZERO;
         for v in uop.source_values_iter().chain(uop.uop.imm) {
             sum = sum + v;
-            if !v.is_narrow() {
+            if !v.fits_in(nbits) {
                 wide_count += 1;
                 wide = Some(v);
             }
         }
-        wide_count == 1 && wide.map(|w| w.upper_bits()) == Some(sum.upper_bits())
+        wide_count == 1
+            && wide.map(|w| w.upper_bits_within(nbits)) == Some(sum.upper_bits_within(nbits))
     }
 
     fn latency_ticks(&mut self, idx: usize, forwarded: bool) -> u64 {

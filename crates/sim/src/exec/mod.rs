@@ -69,9 +69,6 @@ use crate::steer::{Cluster, SteeringPolicy};
 use hc_isa::reg::NUM_ARCH_REGS;
 use hc_trace::Trace;
 
-/// Number of chunks a wide instruction is split into by the IR scheme.
-pub(crate) const SPLIT_CHUNKS: usize = 4;
-
 /// The simulator: construct once per configuration, then run as many traces /
 /// policies as needed — with [`Simulator::run_with`] and a reused
 /// [`ExecContext`] for allocation-free steady state, or [`Simulator::run`]
@@ -213,6 +210,16 @@ impl<'a> Machine<'a> {
 
     pub(crate) fn ratio(&self) -> u64 {
         self.cfg.ticks_per_wide_cycle()
+    }
+
+    /// Helper datapath width every narrowness / carry check runs against.
+    pub(crate) fn nbits(&self) -> u32 {
+        self.cfg.narrow_bits()
+    }
+
+    /// IR split chunk count for the configured helper width.
+    pub(crate) fn split_chunks(&self) -> usize {
+        self.cfg.split_chunks()
     }
 
     // ----------------------------------------------------------------- run

@@ -9,7 +9,7 @@
 //! machine's epoch.
 
 use super::context::NO_LINK;
-use super::{Machine, RenameEntry, SPLIT_CHUNKS};
+use super::{Machine, RenameEntry};
 use crate::rob::{Inflight, Role, Seq, UopState};
 use crate::steer::{Cluster, HelperMode, SteerDecision};
 use hc_isa::reg::ArchReg;
@@ -296,12 +296,14 @@ impl Machine<'_> {
     }
 
     pub(crate) fn dispatch_split(&mut self, pos: usize, duop: &DynUop, decision: &SteerDecision) {
-        // Split a wide ALU µop into SPLIT_CHUNKS chained 8-bit chunks executed
-        // in the helper cluster (§3.7).  Chunk 0 handles the least significant
-        // byte; each chunk depends on the previous one (carry chain).
+        // Split a wide ALU µop into helper-width chunks (4 at the paper's
+        // 8-bit design point) executed in the helper cluster (§3.7).  Chunk 0
+        // handles the least significant slice; each chunk depends on the
+        // previous one (carry chain).
+        let chunks = self.split_chunks();
         let mut prev: Option<Seq> = None;
         let mut last_chunk: Seq = 0;
-        for i in 0..SPLIT_CHUNKS {
+        for i in 0..chunks {
             let mut chunk_uop = *duop;
             chunk_uop.uop.pc = duop.uop.pc;
             let mut e = Inflight::new(
@@ -338,10 +340,10 @@ impl Machine<'_> {
         // full 32-bit value is prefetched to the wide cluster with copy µops.
         if let Some(dst) = duop.uop.dest {
             self.rename_map[dst.index()] = Some(RenameEntry { seq: last_chunk });
-            for _ in 0..SPLIT_CHUNKS {
-                // Four 8-bit copy µops reconstruct the value in the wide RF;
-                // only the most recent copy slot is depended upon by later
-                // wide consumers (they all complete together).
+            for _ in 0..chunks {
+                // One helper-width copy µop per chunk reconstructs the value
+                // in the wide RF; only the most recent copy slot is depended
+                // upon by later wide consumers (they all complete together).
                 self.make_copy(last_chunk, Cluster::Wide, true);
             }
         }

@@ -30,10 +30,13 @@ pub mod prelude {
     };
     pub use hc_core::experiment::{Experiment, ExperimentResult};
     pub use hc_core::policy::{PolicyKind, SteeringStack};
+    pub use hc_core::scenario::ScenarioSpec;
     pub use hc_core::shard::{CampaignShard, ShardReport, ShardedCampaignRunner};
     pub use hc_core::suite::SuiteRunner;
     pub use hc_isa::uop::{Uop, UopKind};
     pub use hc_isa::value::Value;
+    pub use hc_power::PowerParams;
+    pub use hc_predictors::PredictorConfig;
     pub use hc_sim::config::SimConfig;
     pub use hc_sim::exec::{ExecContext, Simulator};
     pub use hc_trace::profile::WorkloadProfile;

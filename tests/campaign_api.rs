@@ -3,7 +3,7 @@
 //! per-experiment path, the baseline-runs-exactly-once guarantee on a full
 //! paper grid, and the typed-error surface.
 
-use hc_core::campaign::{TraceSelector, CAMPAIGN_SPEC_SCHEMA_VERSION};
+use hc_core::campaign::TraceSelector;
 use hc_core::figures;
 use hc_sim::{ConfigError, SimConfig};
 use hc_trace::{SpecBenchmark, WorkloadCategory, WorkloadProfile};
@@ -146,14 +146,14 @@ fn invalid_sim_configs_surface_as_typed_errors() {
 
     // Runner path: a hand-assembled spec is re-validated before running.
     let spec = CampaignSpec {
-        schema_version: CAMPAIGN_SPEC_SCHEMA_VERSION,
+        schema_version: hc_core::LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
         name: "bad".into(),
         policies: vec![PolicyKind::P888],
         traces: vec![TraceSelector::Spec(SpecBenchmark::Gzip)],
         trace_len: 500,
         warmup_runs: 0,
         include_baseline: true,
-        config,
+        scenarios: vec![hc_core::ScenarioSpec::overlay_of(config)],
     };
     let err = CampaignRunner::new().run(&spec).unwrap_err();
     assert!(matches!(err, CampaignError::Config(_)));

@@ -1,0 +1,67 @@
+//! Golden snapshot of the N-D scenario engine on a helper-geometry
+//! sensitivity campaign, analogous to `tests/golden_grid.rs` for the SPEC
+//! grid and `tests/golden_suite.rs` for the Table 2 suite.
+//!
+//! The committed file `tests/golden/sensitivity_3x3.json` pins the IR policy
+//! over two SPEC stand-ins × the 3×3 helper width × clock ratio scenario
+//! plane, captured through the *sharded* path (2 shards) — so the snapshot
+//! pins scenario execution, per-(trace, scenario) baseline memoization, and
+//! shard merge at once.  `tests/shard_merge.rs`-style determinism means any
+//! shard count must reproduce it bit-identically.
+//!
+//! Regenerate (only when the modelled microarchitecture intentionally
+//! changes) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_sensitivity
+//! ```
+
+use hc_core::shard::ShardedCampaignRunner;
+use helper_cluster::prelude::*;
+
+const GOLDEN_PATH: &str = "tests/golden/sensitivity_3x3.json";
+const GOLDEN_TRACE_LEN: usize = 1_000;
+
+fn sensitivity_snapshot() -> String {
+    let spec = CampaignBuilder::new("golden-sensitivity")
+        .policy(PolicyKind::Ir)
+        .spec(SpecBenchmark::Gzip)
+        .spec(SpecBenchmark::Mcf)
+        .trace_len(GOLDEN_TRACE_LEN)
+        .sensitivity_helper_geometry()
+        .build()
+        .expect("the golden sensitivity campaign is valid");
+    assert_eq!(spec.scenarios.len(), 9, "3×3 scenario plane");
+    assert_eq!(spec.cell_count(), 2 * 9);
+    let report = ShardedCampaignRunner::new(2)
+        .run(&spec)
+        .expect("the golden sensitivity campaign runs")
+        .report;
+    assert_eq!(
+        report.baselines.len(),
+        2 * 9,
+        "one baseline per (trace, scenario)"
+    );
+    assert_eq!(report.cells.len(), 2 * 9);
+    assert_eq!(
+        report.trace_generations, 2,
+        "traces shared across scenarios"
+    );
+    serde::json::to_string_pretty(&(&report.baselines, &report.cells))
+}
+
+#[test]
+fn scenario_engine_matches_golden_snapshot() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, sensitivity_snapshot()).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing; regenerate with GOLDEN_REGEN=1");
+    let current = sensitivity_snapshot();
+    assert_eq!(
+        current, golden,
+        "scenario-engine output diverged from the golden snapshot"
+    );
+}
