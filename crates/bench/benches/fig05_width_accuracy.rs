@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("width_prediction_accuracy", |b| {
         b.iter(|| {
-            let fig = figures::fig5(BENCH_TRACE_LEN);
+            let fig = figures::fig5(BENCH_TRACE_LEN).expect("fig5 reproduces");
             assert_eq!(fig.series.len(), 3);
             std::hint::black_box(fig)
         })

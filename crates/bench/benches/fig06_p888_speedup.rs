@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig06");
     g.sample_size(10);
     g.bench_function("p888_speedup_spec", |b| {
-        b.iter(|| std::hint::black_box(figures::fig6(BENCH_TRACE_LEN)))
+        b.iter(|| std::hint::black_box(figures::fig6(BENCH_TRACE_LEN).expect("fig6 reproduces")))
     });
     g.finish();
 }

@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig07");
     g.sample_size(10);
     g.bench_function("steered_and_copies", |b| {
-        b.iter(|| std::hint::black_box(figures::fig7(BENCH_TRACE_LEN)))
+        b.iter(|| std::hint::black_box(figures::fig7(BENCH_TRACE_LEN).expect("fig7 reproduces")))
     });
     g.finish();
 }

@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig08");
     g.sample_size(10);
     g.bench_function("br_copy_reduction", |b| {
-        b.iter(|| std::hint::black_box(figures::fig8(BENCH_TRACE_LEN)))
+        b.iter(|| std::hint::black_box(figures::fig8(BENCH_TRACE_LEN).expect("fig8 reproduces")))
     });
     g.finish();
 }

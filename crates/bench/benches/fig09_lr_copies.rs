@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig09");
     g.sample_size(10);
     g.bench_function("lr_copy_reduction", |b| {
-        b.iter(|| std::hint::black_box(figures::fig9(BENCH_TRACE_LEN)))
+        b.iter(|| std::hint::black_box(figures::fig9(BENCH_TRACE_LEN).expect("fig9 reproduces")))
     });
     g.finish();
 }

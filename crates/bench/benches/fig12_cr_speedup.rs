@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12");
     g.sample_size(10);
     g.bench_function("cr_speedup", |b| {
-        b.iter(|| std::hint::black_box(figures::fig12(BENCH_TRACE_LEN)))
+        b.iter(|| std::hint::black_box(figures::fig12(BENCH_TRACE_LEN).expect("fig12 reproduces")))
     });
     g.finish();
 }

@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("category_speedups", |b| {
         b.iter(|| {
-            let fig = figures::fig14_categories(1, BENCH_TRACE_LEN);
+            let fig = figures::fig14_categories(1, BENCH_TRACE_LEN).expect("fig14 reproduces");
             assert_eq!(fig.rows.len(), 8); // 7 categories + AVG
             std::hint::black_box(fig)
         })

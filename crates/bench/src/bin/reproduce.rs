@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite]
 //!           [--threads N] [--shards N] [--checkpoint DIR] [--resume]
-//!           [--json] [--csv]
+//!           [--cache DIR] [--no-cache] [--json] [--csv]
 //! ```
 //!
 //! `--threads N` caps the worker threads the parallel sweeps fan out over
@@ -29,6 +29,16 @@
 //! disk and `--resume` skips shards already on disk.  Traces are synthesized
 //! per worker, so even the full suite holds O(threads) traces in memory.
 //!
+//! `--cache DIR` opens (or initialises) a content-addressed cell cache for
+//! the campaign modes (`campaign`, `suite`, `sensitivity`): every simulated
+//! cell and baseline is memoized on disk, a repeated invocation replays
+//! cached cells instead of re-simulating them, and the emitted JSON/CSV is
+//! byte-identical either way.  Cache hit/miss counters go to stderr.  The
+//! `REPRODUCE_CACHE` environment variable supplies a default directory;
+//! `--no-cache` disables caching even when it is set.  With a warm cache,
+//! `--shards N` partitions by *observed per-row cost* (LPT bin packing)
+//! instead of round-robin, so one slow trace cannot straggle a shard set.
+//!
 //! `sensitivity` is opt-in as well: the paper-grounded hardware sensitivity
 //! study as one N-D scenario campaign — the IR policy over the SPEC suite ×
 //! the helper width {4, 8, 16} × clock ratio {1×, 2×, 4×} plane — run
@@ -36,7 +46,8 @@
 //! `--resume`, `--json`, `--csv` all apply).  Markdown output adds the
 //! width-predictor table-size sweep {256 … 4096} as a second figure.
 
-use hc_core::campaign::{CampaignBuilder, CampaignRunner, CampaignSpec};
+use hc_core::cache::CellCache;
+use hc_core::campaign::{CampaignBuilder, CampaignError, CampaignRunner, CampaignSpec};
 use hc_core::figures;
 use hc_core::policy::PolicyKind;
 use hc_core::report::{
@@ -46,6 +57,7 @@ use hc_core::shard::ShardedCampaignRunner;
 use hc_core::suite::SuiteRunner;
 use hc_power::{Ed2Comparison, PowerModel};
 use hc_trace::{paper_suite, reduced_suite};
+use std::sync::Arc;
 
 struct Options {
     figures: Vec<String>,
@@ -58,6 +70,8 @@ struct Options {
     shards: usize,
     checkpoint: Option<String>,
     resume: bool,
+    cache: Option<String>,
+    no_cache: bool,
 }
 
 fn parse_args() -> Options {
@@ -75,6 +89,9 @@ fn parse_args() -> Options {
         shards: 1,
         checkpoint: None,
         resume: false,
+        // Environment default; --cache overrides, --no-cache disables.
+        cache: std::env::var("REPRODUCE_CACHE").ok(),
+        no_cache: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -100,12 +117,14 @@ fn parse_args() -> Options {
             }
             "--checkpoint" => opts.checkpoint = args.next().or(opts.checkpoint),
             "--resume" => opts.resume = true,
+            "--cache" => opts.cache = args.next().or(opts.cache),
+            "--no-cache" => opts.no_cache = true,
             "--full-suite" => opts.full_suite = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--shards N] [--checkpoint DIR] [--resume] [--json] [--csv]"
+                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--shards N] [--checkpoint DIR] [--resume] [--cache DIR] [--no-cache] [--json] [--csv]"
                 );
                 std::process::exit(0);
             }
@@ -117,6 +136,41 @@ fn parse_args() -> Options {
 
 fn wanted(opts: &Options, name: &str) -> bool {
     opts.figures.is_empty() || opts.figures.iter().any(|f| f == name)
+}
+
+/// Unwrap a figure/campaign result or exit with the typed error as a usage
+/// error — malformed inputs and reports must never abort via panic.
+fn or_die<T>(mode: &str, result: Result<T, CampaignError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("{mode}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Open the cell cache named by `--cache` / `REPRODUCE_CACHE`, if any.
+fn open_cache(opts: &Options, mode: &str) -> Option<Arc<CellCache>> {
+    if opts.no_cache {
+        return None;
+    }
+    let dir = opts.cache.as_deref()?;
+    Some(Arc::new(or_die(mode, CellCache::open(dir))))
+}
+
+/// Report a cache's activity to stderr (never stdout: the JSON/CSV payloads
+/// must stay byte-identical between cold and warm runs).
+fn report_cache_activity(mode: &str, cache: &CellCache) {
+    let a = cache.activity();
+    eprintln!(
+        "{mode}: cache: {} hits, {} misses, {} inserts, {} evictions ({})",
+        a.hits,
+        a.misses,
+        a.inserts,
+        a.evictions,
+        cache.root().display()
+    );
 }
 
 fn print_curve_summary(curve: &[f64]) {
@@ -163,17 +217,18 @@ fn run_sharded_campaign(
     if let Some(dir) = &opts.checkpoint {
         runner = runner.with_checkpoint(dir);
     }
-    let outcome = match runner.run(spec) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("{mode}: {e}");
-            std::process::exit(2);
-        }
-    };
+    let cache = open_cache(opts, mode);
+    if let Some(cache) = &cache {
+        runner = runner.with_cache(Arc::clone(cache));
+    }
+    let outcome = or_die(mode, runner.run(spec));
     eprintln!(
         "{mode}: executed shards {:?}, resumed shards {:?}",
         outcome.executed_shards, outcome.resumed_shards
     );
+    if let Some(cache) = &cache {
+        report_cache_activity(mode, cache);
+    }
     outcome.report
 }
 
@@ -190,13 +245,7 @@ fn run_suite_mode(opts: &Options, trace_len: usize) {
     };
     // User input (`--apps-per-category 0`, `--shards 0`, …) can make the
     // campaign invalid; report the typed error as a usage error, don't panic.
-    let spec = match builder.build() {
-        Ok(spec) => spec,
-        Err(e) => {
-            eprintln!("suite: invalid campaign: {e}");
-            std::process::exit(2);
-        }
-    };
+    let spec = or_die("suite", builder.build());
     let report = run_sharded_campaign("suite", opts, &spec);
     if opts.json {
         println!("{}", report.to_json());
@@ -216,7 +265,7 @@ fn run_suite_mode(opts: &Options, trace_len: usize) {
 /// campaign (IR over the SPEC suite) through the sharded streaming engine;
 /// Markdown output adds the width-predictor table-size sweep.
 fn run_sensitivity_mode(opts: &Options, trace_len: usize) {
-    let spec = figures::sensitivity_geometry_spec(trace_len);
+    let spec = or_die("sensitivity", figures::sensitivity_geometry_spec(trace_len));
     let report = run_sharded_campaign("sensitivity", opts, &spec);
     if opts.json {
         println!("{}", report.to_json());
@@ -236,9 +285,25 @@ fn run_sensitivity_mode(opts: &Options, trace_len: usize) {
             "{}",
             scenario_summary_to_markdown(&report, PolicyKind::Ir.name())
         );
+        // The width-predictor sweep rides the same cache as the geometry
+        // campaign (it is unsharded: its spec differs, so it cannot share
+        // the geometry campaign's checkpoint directory).
+        let wp_spec = or_die(
+            "sensitivity",
+            figures::sensitivity_width_predictor_spec(trace_len),
+        );
+        let mut runner = CampaignRunner::new();
+        let cache = open_cache(opts, "sensitivity");
+        if let Some(cache) = &cache {
+            runner = runner.with_cache(Arc::clone(cache));
+        }
+        let wp_report = or_die("sensitivity", runner.run(&wp_spec));
+        if let Some(cache) = &cache {
+            report_cache_activity("sensitivity", cache);
+        }
         println!(
             "{}",
-            figure_to_markdown(&figures::sensitivity_width_predictor(trace_len))
+            figure_to_markdown(&figures::sensitivity_width_predictor_from(&wp_report))
         );
     }
 }
@@ -276,39 +341,63 @@ fn main() {
         println!("{}", figure_to_markdown(&figures::fig1(len)));
     }
     if wanted(&opts, "fig5") {
-        println!("{}", figure_to_markdown(&figures::fig5(len)));
+        println!(
+            "{}",
+            figure_to_markdown(&or_die("fig5", figures::fig5(len)))
+        );
     }
     if wanted(&opts, "fig6") {
-        println!("{}", figure_to_markdown(&figures::fig6(len)));
+        println!(
+            "{}",
+            figure_to_markdown(&or_die("fig6", figures::fig6(len)))
+        );
     }
     if wanted(&opts, "fig7") {
-        println!("{}", figure_to_markdown(&figures::fig7(len)));
+        println!(
+            "{}",
+            figure_to_markdown(&or_die("fig7", figures::fig7(len)))
+        );
     }
     if wanted(&opts, "fig8") {
-        println!("{}", figure_to_markdown(&figures::fig8(len)));
+        println!(
+            "{}",
+            figure_to_markdown(&or_die("fig8", figures::fig8(len)))
+        );
     }
     if wanted(&opts, "fig9") {
-        println!("{}", figure_to_markdown(&figures::fig9(len)));
+        println!(
+            "{}",
+            figure_to_markdown(&or_die("fig9", figures::fig9(len)))
+        );
     }
     if wanted(&opts, "fig11") {
         println!("{}", figure_to_markdown(&figures::fig11(len)));
     }
     if wanted(&opts, "fig12") {
-        println!("{}", figure_to_markdown(&figures::fig12(len)));
+        println!(
+            "{}",
+            figure_to_markdown(&or_die("fig12", figures::fig12(len)))
+        );
     }
     if wanted(&opts, "fig13") {
         println!("{}", figure_to_markdown(&figures::fig13(len)));
     }
     if wanted(&opts, "headline") {
-        println!("{}", figure_to_markdown(&figures::headline(len)));
+        println!(
+            "{}",
+            figure_to_markdown(&or_die("headline", figures::headline(len)))
+        );
     }
     if wanted(&opts, "fig14") {
         // One suite campaign feeds both halves of the figure: the
         // per-category bars and the per-application S-curve.
         if opts.apps_per_category == 0 {
-            println!("{}", figure_to_markdown(&figures::fig14_categories(0, len)));
+            println!(
+                "{}",
+                figure_to_markdown(&or_die("fig14", figures::fig14_categories(0, len)))
+            );
         } else {
-            let report = figures::suite_report(opts.apps_per_category, len);
+            let report = or_die("fig14", figures::suite_report(opts.apps_per_category, len));
             println!(
                 "{}",
                 figure_to_markdown(&figures::fig14_categories_from(&report))
@@ -329,19 +418,28 @@ fn main() {
     // figure's data, exposed through the declarative Campaign API with its
     // versioned JSON / stable CSV schema).
     if opts.figures.iter().any(|f| f == "campaign") {
-        let spec = CampaignBuilder::new("spec-grid")
-            .paper_policies()
-            .spec_suite()
-            .trace_len(len)
-            .build()
-            .expect("the paper grid is a valid campaign");
-        let runner = CampaignRunner::new().with_progress(|p| {
+        let spec = or_die(
+            "campaign",
+            CampaignBuilder::new("spec-grid")
+                .paper_policies()
+                .spec_suite()
+                .trace_len(len)
+                .build(),
+        );
+        let mut runner = CampaignRunner::new().with_progress(|p| {
             eprintln!(
                 "[{}/{}] {} × {}",
                 p.completed_cells, p.total_cells, p.policy, p.trace
             );
         });
-        let report = runner.run(&spec).expect("the paper grid campaign runs");
+        let cache = open_cache(&opts, "campaign");
+        if let Some(cache) = &cache {
+            runner = runner.with_cache(Arc::clone(cache));
+        }
+        let report = or_die("campaign", runner.run(&spec));
+        if let Some(cache) = &cache {
+            report_cache_activity("campaign", cache);
+        }
         if opts.json {
             println!("{}", report.to_json());
         } else if opts.csv {
@@ -353,15 +451,15 @@ fn main() {
     if wanted(&opts, "ed2") {
         // §3.7: energy-delay² of the most aggressive configuration (IR) vs
         // the baseline, via a single-policy campaign.
-        let spec = CampaignBuilder::new("ed2")
-            .policy(PolicyKind::Ir)
-            .spec_suite()
-            .trace_len(len)
-            .build()
-            .expect("the ed2 grid is a valid campaign");
-        let report = CampaignRunner::new()
-            .run(&spec)
-            .expect("the ed2 campaign runs");
+        let spec = or_die(
+            "ed2",
+            CampaignBuilder::new("ed2")
+                .policy(PolicyKind::Ir)
+                .spec_suite()
+                .trace_len(len)
+                .build(),
+        );
+        let report = or_die("ed2", CampaignRunner::new().run(&spec));
         let model = PowerModel::default();
         let mut improvements = Vec::new();
         for r in &report.experiment_results() {

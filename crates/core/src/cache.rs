@@ -1,0 +1,720 @@
+//! Content-addressed, on-disk memoization of campaign cells.
+//!
+//! A [`CellCache`] stores the [`SimStats`] of every simulated cell —
+//! policy cells *and* monolithic baselines — keyed by a stable digest of
+//! everything that determines the result:
+//!
+//! * the **trace identity**: the serialized
+//!   [`TraceSelector`](crate::campaign::TraceSelector) plus the
+//!   synthesis length (`trace_len`), which together determine the generated
+//!   trace bit-for-bit;
+//! * the **scenario**: the full serialized
+//!   [`ScenarioSpec`](crate::scenario::ScenarioSpec) (machine, predictors,
+//!   power);
+//! * the **policy** name and the `warmup_runs` count (policy cells only —
+//!   baselines never warm);
+//! * the **schema preamble**: [`CACHE_SCHEMA_VERSION`] and
+//!   [`hc_sim::SIM_BEHAVIOR_VERSION`], so a change to either the entry
+//!   format or the simulator's observable behaviour invalidates every
+//!   entry instead of silently replaying stale results.
+//!
+//! The digest is FNV-1a/128 over the *compact canonical JSON* of that key
+//! document; the document itself is stored inside each entry and compared on
+//! every lookup, so even a digest collision (or a corrupt / foreign entry
+//! file) degrades to a miss, never to wrong data.  Entries are written with
+//! the same tmp-file + rename protocol as shard checkpoints, so concurrent
+//! workers and crashes cannot leave a truncated entry behind; a corrupt
+//! entry found at lookup time is **evicted** (deleted) and re-simulated.
+//!
+//! Because [`SimStats`] round-trips through the workspace JSON codec exactly
+//! (integers verbatim, floats via shortest-round-trip formatting), a report
+//! assembled from cache hits is **byte-identical** to one assembled from
+//! fresh simulation — `tests/cell_cache.rs` pins this.
+//!
+//! Each entry also records the wall-clock nanoseconds the original
+//! simulation took.  Those observations feed the [`CostModel`] behind the
+//! cost-balanced shard planner (`hc_core::shard`): rows whose cells are
+//! known-slow are spread across shards instead of round-robin'd into one
+//! unlucky straggler.
+
+use crate::campaign::{CampaignError, CampaignSpec};
+use crate::policy::PolicyKind;
+use hc_sim::SimStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Version of the on-disk cache layout (manifest + entry files).  Bumped
+/// whenever the entry format changes meaning; mismatched caches are refused
+/// at [`CellCache::open`] time with a typed error.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Name of the manifest file marking a directory as a cell cache.
+const MANIFEST_FILE: &str = "cache.json";
+
+/// Subdirectory holding the content-addressed entry files.
+const CELLS_DIR: &str = "cells";
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// FNV-1a/128 over a byte string.
+fn fnv128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV128_OFFSET;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(FNV128_PRIME);
+    }
+    hash
+}
+
+/// The content-addressed key of one cached cell: the canonical key document
+/// plus its digest (the entry's file name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKey {
+    digest: u128,
+    document: serde::Value,
+}
+
+impl CellKey {
+    fn from_document(document: serde::Value) -> CellKey {
+        let canonical = serde::json::to_string(&document);
+        CellKey {
+            digest: fnv128(canonical.as_bytes()),
+            document,
+        }
+    }
+
+    /// Key of a policy cell: (trace identity, scenario, policy, warmup).
+    pub fn cell(
+        trace: &serde::Value,
+        trace_len: usize,
+        warmup_runs: usize,
+        scenario: &serde::Value,
+        policy: &str,
+    ) -> CellKey {
+        CellKey::from_document(serde::Value::Map(vec![
+            key_preamble(),
+            ("kind".to_string(), serde::Value::Str("cell".to_string())),
+            ("trace".to_string(), trace.clone()),
+            ("trace_len".to_string(), Serialize::to_value(&trace_len)),
+            ("warmup_runs".to_string(), Serialize::to_value(&warmup_runs)),
+            ("scenario".to_string(), scenario.clone()),
+            ("policy".to_string(), serde::Value::Str(policy.to_string())),
+        ]))
+    }
+
+    /// Key of a (trace, scenario) monolithic baseline.  Baselines never run
+    /// warmup passes, so `warmup_runs` is deliberately *not* part of the key:
+    /// campaigns differing only in warmup share baseline entries.
+    pub fn baseline(trace: &serde::Value, trace_len: usize, scenario: &serde::Value) -> CellKey {
+        CellKey::from_document(serde::Value::Map(vec![
+            key_preamble(),
+            (
+                "kind".to_string(),
+                serde::Value::Str("baseline".to_string()),
+            ),
+            ("trace".to_string(), trace.clone()),
+            ("trace_len".to_string(), Serialize::to_value(&trace_len)),
+            ("scenario".to_string(), scenario.clone()),
+        ]))
+    }
+
+    /// The entry file name this key addresses (32 lowercase hex digits).
+    pub fn file_name(&self) -> String {
+        format!("{:032x}.json", self.digest)
+    }
+}
+
+/// The versions-preamble every key document starts with.
+fn key_preamble() -> (String, serde::Value) {
+    (
+        "versions".to_string(),
+        serde::Value::Map(vec![
+            (
+                "cache_schema".to_string(),
+                serde::Value::UInt(CACHE_SCHEMA_VERSION as u64),
+            ),
+            (
+                "sim_behavior".to_string(),
+                serde::Value::UInt(hc_sim::SIM_BEHAVIOR_VERSION as u64),
+            ),
+        ]),
+    )
+}
+
+/// One decoded cache entry: the memoized statistics plus the wall-clock cost
+/// of the original simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedCell {
+    /// The memoized simulation result.
+    pub stats: SimStats,
+    /// Nanoseconds the original (cold) simulation of this cell took —
+    /// the observation the [`CostModel`] planner consumes.
+    pub elapsed_nanos: u64,
+}
+
+/// Counters describing what a cache did over its lifetime (one campaign run,
+/// typically).  Cache *activity is not part of any report* — reports stay
+/// byte-identical whether cells hit or miss; these counters are how callers
+/// (the `reproduce` binary, tests, CI) observe the cache working.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheActivity {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that found no (usable) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub inserts: u64,
+    /// Corrupt or foreign entries deleted during lookup.
+    pub evictions: u64,
+}
+
+/// A content-addressed, on-disk cell cache rooted at one directory.
+///
+/// Open one with [`CellCache::open`]; share it across runners with an
+/// `Arc`.  All operations are safe under concurrent use from multiple
+/// worker threads (and cooperating processes): entries are immutable once
+/// written and writes go through tmp + rename.
+#[derive(Debug)]
+pub struct CellCache {
+    root: PathBuf,
+    /// In-memory memo of entries this handle has already decoded from
+    /// disk: entries are immutable once written, so a cost-model probe and
+    /// the later execution-time lookup of the same cell share one disk
+    /// read + JSON parse instead of two.  Keyed by digest but verified
+    /// against the stored key document on every probe, exactly like the
+    /// on-disk path, so digest collisions still degrade to misses.
+    memo: Mutex<HashMap<u128, (serde::Value, CachedCell)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+/// The manifest marking a directory as a cell cache of a specific layout and
+/// simulator behaviour version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheManifest {
+    schema_version: u32,
+    sim_behavior_version: u32,
+}
+
+impl CacheManifest {
+    fn current() -> CacheManifest {
+        CacheManifest {
+            schema_version: CACHE_SCHEMA_VERSION,
+            sim_behavior_version: hc_sim::SIM_BEHAVIOR_VERSION,
+        }
+    }
+}
+
+impl CellCache {
+    /// Open (or initialise) a cell cache rooted at `dir`.
+    ///
+    /// * A missing or empty directory is initialised: the directory tree is
+    ///   created and a manifest written.
+    /// * A directory with a matching manifest is reused.
+    /// * Anything else is **refused** with [`CampaignError::Cache`]: a
+    ///   manifest from a different cache layout or simulator behaviour
+    ///   version (stale entries must not be replayed), an unreadable
+    ///   manifest, or a non-empty directory with no manifest at all (the
+    ///   path probably names something that is not a cache; silently
+    ///   scattering entry files into it would be destructive).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CellCache, CampaignError> {
+        let root = dir.into();
+        std::fs::create_dir_all(root.join(CELLS_DIR))
+            .map_err(|e| CampaignError::Cache(format!("create {}: {e}", root.display())))?;
+        let manifest_path = root.join(MANIFEST_FILE);
+        match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => {
+                let found: CacheManifest = serde::json::from_str(&text).map_err(|e| {
+                    CampaignError::Cache(format!(
+                        "unreadable cache manifest {}: {e}; delete the directory to start over",
+                        manifest_path.display()
+                    ))
+                })?;
+                if found != CacheManifest::current() {
+                    return Err(CampaignError::Cache(format!(
+                        "{} was written by cache schema v{} / simulator behaviour v{} \
+                         (this build is v{} / v{}); refusing to mix entries — delete the \
+                         directory to rebuild it",
+                        root.display(),
+                        found.schema_version,
+                        found.sim_behavior_version,
+                        CACHE_SCHEMA_VERSION,
+                        hc_sim::SIM_BEHAVIOR_VERSION,
+                    )));
+                }
+            }
+            Err(_) => {
+                // No manifest.  Refuse a directory that already holds
+                // anything other than the (possibly just-created, empty)
+                // cells/ subdirectory — it is not ours to colonise.
+                let foreign = std::fs::read_dir(&root)
+                    .map_err(|e| CampaignError::Cache(format!("read {}: {e}", root.display())))?
+                    .filter_map(|e| e.ok())
+                    .any(|e| e.file_name() != CELLS_DIR);
+                let cells_nonempty = std::fs::read_dir(root.join(CELLS_DIR))
+                    .map(|mut d| d.next().is_some())
+                    .unwrap_or(false);
+                if foreign || cells_nonempty {
+                    return Err(CampaignError::Cache(format!(
+                        "{} is not a cell cache (no {MANIFEST_FILE} manifest) and is not \
+                         empty; refusing to write into it",
+                        root.display()
+                    )));
+                }
+                write_atomic(
+                    &manifest_path,
+                    &serde::json::to_string_pretty(&CacheManifest::current()),
+                    &root.join(format!("{MANIFEST_FILE}.tmp.{}", std::process::id())),
+                )?;
+            }
+        }
+        Ok(CellCache {
+            root,
+            memo: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &CellKey) -> PathBuf {
+        self.root.join(CELLS_DIR).join(key.file_name())
+    }
+
+    /// This handle's in-memory memo (poison-proof: a panicking reader
+    /// cannot take the cache down with it).
+    fn memo(&self) -> std::sync::MutexGuard<'_, HashMap<u128, (serde::Value, CachedCell)>> {
+        self.memo.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Read and verify the entry a key addresses, without touching the
+    /// hit/miss counters.  Corrupt, version-skewed or colliding entries are
+    /// evicted (deleted) and reported as absent.
+    fn read_entry(&self, key: &CellKey) -> Option<CachedCell> {
+        if let Some((document, cell)) = self.memo().get(&key.digest) {
+            // Same stored-key verification as the disk path; a memoized
+            // colliding digest falls through to disk (and is evicted there).
+            if *document == key.document {
+                return Some(cell.clone());
+            }
+        }
+        let path = self.entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let decoded: Option<CachedCell> = (|| {
+            let value = serde::json::parse(&text).ok()?;
+            let m = value.as_map()?;
+            let version: u32 = serde::de_field(m, "schema_version").ok()?;
+            if version != CACHE_SCHEMA_VERSION {
+                return None;
+            }
+            let stored_key: serde::Value = serde::de_field(m, "key").ok()?;
+            // The digest collided or the file was tampered with: the stored
+            // key must be byte-equal to the probe's.
+            if stored_key != key.document {
+                return None;
+            }
+            Some(CachedCell {
+                stats: serde::de_field(m, "stats").ok()?,
+                elapsed_nanos: serde::de_field(m, "elapsed_nanos").ok()?,
+            })
+        })();
+        match &decoded {
+            Some(cell) => {
+                self.memo()
+                    .insert(key.digest, (key.document.clone(), cell.clone()));
+            }
+            None => {
+                // Evict: a later miss re-simulates and overwrites.
+                self.memo().remove(&key.digest);
+                if std::fs::remove_file(&path).is_ok() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        decoded
+    }
+
+    /// Look up a cell, counting a hit or miss.
+    pub fn lookup(&self, key: &CellKey) -> Option<CachedCell> {
+        match self.read_entry(key) {
+            Some(cell) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cell)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The recorded wall-clock cost of a cell, if cached — the cost-model
+    /// probe.  Does not count as a hit or miss.
+    pub fn observed_nanos(&self, key: &CellKey) -> Option<u64> {
+        self.read_entry(key).map(|c| c.elapsed_nanos)
+    }
+
+    /// Insert (or overwrite) a cell entry.  I/O errors are swallowed after
+    /// best effort: the cache is an accelerator, never a correctness
+    /// dependency, so a full disk degrades to slower re-runs.
+    pub fn insert(&self, key: &CellKey, stats: &SimStats, elapsed_nanos: u64) {
+        let entry = serde::Value::Map(vec![
+            (
+                "schema_version".to_string(),
+                serde::Value::UInt(CACHE_SCHEMA_VERSION as u64),
+            ),
+            ("key".to_string(), key.document.clone()),
+            ("stats".to_string(), Serialize::to_value(stats)),
+            (
+                "elapsed_nanos".to_string(),
+                serde::Value::UInt(elapsed_nanos),
+            ),
+        ]);
+        let path = self.entry_path(key);
+        let tmp = self.root.join(CELLS_DIR).join(format!(
+            "{:032x}.tmp.{}.{}",
+            key.digest,
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        if write_atomic(&path, &serde::json::to_string_pretty(&entry), &tmp).is_ok() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Activity counters since this handle was opened.
+    pub fn activity(&self) -> CacheActivity {
+        CacheActivity {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Write `contents` to `path` through `tmp` + rename, so readers never see a
+/// partial file.
+fn write_atomic(path: &Path, contents: &str, tmp: &Path) -> Result<(), CampaignError> {
+    std::fs::write(tmp, contents)
+        .map_err(|e| CampaignError::Cache(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(tmp);
+        CampaignError::Cache(format!("rename to {}: {e}", path.display()))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+/// Per-row simulation-cost estimates for shard planning.
+///
+/// Without observations every cell of a campaign costs the same a-priori
+/// estimate (`trace_len ×` [`CostModel::DEFAULT_NANOS_PER_UOP`]), so the
+/// plan the LPT partitioner produces **degenerates to exactly the legacy
+/// round-robin partition** — which is what keeps uncached sharded runs
+/// byte-and-wire-identical to every previous release.  With a warm
+/// [`CellCache`], each cell's recorded wall-clock time replaces the
+/// estimate, and rows that are known to simulate slowly (high-latency
+/// memory-bound traces take many more simulated cycles per µop) get spread
+/// across shards instead of piling onto one straggler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel<'a> {
+    cache: Option<&'a CellCache>,
+}
+
+impl<'a> CostModel<'a> {
+    /// A-priori cost estimate per trace µop, in nanoseconds.  The absolute
+    /// scale is irrelevant to the partition (only *ratios* matter); it is
+    /// chosen near the observed simulator rate so mixed estimated/observed
+    /// rows compare sanely.
+    pub const DEFAULT_NANOS_PER_UOP: u64 = 200;
+
+    /// A model with no observations: every row costs the same.
+    pub fn uniform() -> CostModel<'static> {
+        CostModel { cache: None }
+    }
+
+    /// A model refined by the timings recorded in `cache`.
+    pub fn observed(cache: &'a CellCache) -> CostModel<'a> {
+        CostModel { cache: Some(cache) }
+    }
+
+    /// Estimated cost (abstract nanoseconds) of simulating one spec row:
+    /// the row's baselines plus every scenario × policy cell.
+    pub fn row_cost(&self, spec: &CampaignSpec, row: usize) -> u64 {
+        let default_cell = (spec.trace_len as u64).saturating_mul(Self::DEFAULT_NANOS_PER_UOP);
+        let baseline_needed =
+            spec.include_baseline || spec.policies.contains(&PolicyKind::Baseline);
+        let Some(cache) = self.cache else {
+            let baselines = if baseline_needed {
+                spec.scenarios.len() as u64
+            } else {
+                0
+            };
+            // The baseline-policy column clones the memoized baseline, so it
+            // costs nothing beyond the baseline itself.
+            let sim_policies = spec
+                .policies
+                .iter()
+                .filter(|&&k| k != PolicyKind::Baseline)
+                .count() as u64;
+            let warm_factor = (spec.warmup_runs as u64).saturating_add(1);
+            return default_cell.saturating_mul(
+                baselines.saturating_add(
+                    sim_policies
+                        .saturating_mul(spec.scenarios.len() as u64)
+                        .saturating_mul(warm_factor),
+                ),
+            );
+        };
+        let trace_doc = Serialize::to_value(&spec.traces[row]);
+        let mut total = 0u64;
+        for scenario in &spec.scenarios {
+            let scenario_doc = Serialize::to_value(scenario);
+            if baseline_needed {
+                let key = CellKey::baseline(&trace_doc, spec.trace_len, &scenario_doc);
+                total = total.saturating_add(cache.observed_nanos(&key).unwrap_or(default_cell));
+            }
+            for kind in &spec.policies {
+                if *kind == PolicyKind::Baseline {
+                    continue; // cloned from the baseline, free
+                }
+                let key = CellKey::cell(
+                    &trace_doc,
+                    spec.trace_len,
+                    spec.warmup_runs,
+                    &scenario_doc,
+                    kind.name(),
+                );
+                total = total.saturating_add(cache.observed_nanos(&key).unwrap_or_else(|| {
+                    default_cell.saturating_mul((spec.warmup_runs as u64).saturating_add(1))
+                }));
+            }
+        }
+        total
+    }
+
+    /// Estimated cost of every spec row, in row order.
+    pub fn row_costs(&self, spec: &CampaignSpec) -> Vec<u64> {
+        (0..spec.traces.len())
+            .map(|row| self.row_cost(spec, row))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignBuilder;
+    use hc_trace::SpecBenchmark;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("hc_cell_cache_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        path
+    }
+
+    fn sample_key(tag: u64) -> CellKey {
+        CellKey::cell(
+            &serde::Value::UInt(tag),
+            1_000,
+            0,
+            &serde::Value::Str("scenario".to_string()),
+            "8_8_8",
+        )
+    }
+
+    #[test]
+    fn digests_are_stable_and_key_sensitive() {
+        let a = sample_key(1);
+        assert_eq!(a, sample_key(1), "same inputs, same key");
+        assert_ne!(a.digest, sample_key(2).digest, "trace identity matters");
+        assert_ne!(
+            a.digest,
+            CellKey::cell(
+                &serde::Value::UInt(1),
+                1_000,
+                1, // warmup differs
+                &serde::Value::Str("scenario".to_string()),
+                "8_8_8",
+            )
+            .digest
+        );
+        assert_ne!(
+            a.digest,
+            CellKey::baseline(
+                &serde::Value::UInt(1),
+                1_000,
+                &serde::Value::Str("scenario".to_string())
+            )
+            .digest,
+            "cell and baseline keys never collide"
+        );
+        assert_eq!(a.file_name().len(), 32 + ".json".len());
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = CellCache::open(&dir).expect("open");
+        let key = sample_key(7);
+        assert!(cache.lookup(&key).is_none());
+        let mut stats = SimStats {
+            cycles: 123,
+            ..SimStats::default()
+        };
+        stats.imbalance.wide_to_narrow = 0.125;
+        cache.insert(&key, &stats, 456);
+        let hit = cache.lookup(&key).expect("hit after insert");
+        assert_eq!(hit.stats, stats);
+        assert_eq!(hit.elapsed_nanos, 456);
+        assert_eq!(cache.observed_nanos(&key), Some(456));
+        let activity = cache.activity();
+        assert_eq!(
+            (activity.hits, activity.misses, activity.inserts),
+            (1, 1, 1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted() {
+        let dir = tmp_dir("evict");
+        let cache = CellCache::open(&dir).expect("open");
+        let key = sample_key(9);
+        cache.insert(&key, &SimStats::default(), 1);
+        std::fs::write(cache.entry_path(&key), "{ truncated").expect("corrupt");
+        assert!(cache.lookup(&key).is_none(), "corrupt entry is a miss");
+        assert!(!cache.entry_path(&key).exists(), "and is deleted");
+        assert_eq!(cache.activity().evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_entries_degrade_to_misses() {
+        // An entry whose stored key differs from the probe (a forged digest
+        // collision) must not be replayed.
+        let dir = tmp_dir("collide");
+        let cache = CellCache::open(&dir).expect("open");
+        let a = sample_key(1);
+        cache.insert(&a, &SimStats::default(), 1);
+        let forged = CellKey {
+            digest: a.digest,
+            document: serde::Value::Str("not the same key".to_string()),
+        };
+        assert!(cache.lookup(&forged).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_directories_are_refused() {
+        let dir = tmp_dir("foreign");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("important.txt"), "do not clobber").expect("seed file");
+        let err = CellCache::open(&dir).expect_err("must refuse");
+        assert!(matches!(err, CampaignError::Cache(_)));
+        assert!(err.to_string().contains("not a cell cache"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skewed_manifests_are_refused() {
+        let dir = tmp_dir("skew");
+        {
+            CellCache::open(&dir).expect("initialise");
+        }
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            serde::json::to_string_pretty(&CacheManifest {
+                schema_version: CACHE_SCHEMA_VERSION + 1,
+                sim_behavior_version: hc_sim::SIM_BEHAVIOR_VERSION,
+            }),
+        )
+        .expect("rewrite manifest");
+        let err = CellCache::open(&dir).expect_err("must refuse");
+        assert!(err.to_string().contains("refusing to mix entries"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_caches_keep_their_entries() {
+        let dir = tmp_dir("reopen");
+        let key = sample_key(3);
+        {
+            let cache = CellCache::open(&dir).expect("open");
+            cache.insert(&key, &SimStats::default(), 42);
+        }
+        let cache = CellCache::open(&dir).expect("reopen");
+        assert!(cache.lookup(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uniform_cost_model_prices_rows_identically() {
+        let spec = CampaignBuilder::new("cost")
+            .policy(PolicyKind::P888)
+            .policy(PolicyKind::Baseline)
+            .spec(SpecBenchmark::Gzip)
+            .spec(SpecBenchmark::Mcf)
+            .trace_len(1_000)
+            .build()
+            .unwrap();
+        let costs = CostModel::uniform().row_costs(&spec);
+        assert_eq!(costs.len(), 2);
+        assert_eq!(costs[0], costs[1]);
+        assert!(costs[0] > 0);
+    }
+
+    #[test]
+    fn observed_timings_refine_row_costs() {
+        let dir = tmp_dir("observed");
+        let cache = CellCache::open(&dir).expect("open");
+        let spec = CampaignBuilder::new("cost")
+            .policy(PolicyKind::P888)
+            .spec(SpecBenchmark::Gzip)
+            .spec(SpecBenchmark::Mcf)
+            .trace_len(1_000)
+            .build()
+            .unwrap();
+        // Record mcf (row 1) as 100× slower than the default estimate.
+        let trace_doc = Serialize::to_value(&spec.traces[1]);
+        let scenario_doc = Serialize::to_value(&spec.scenarios[0]);
+        let slow = 1_000 * CostModel::DEFAULT_NANOS_PER_UOP * 100;
+        cache.insert(
+            &CellKey::baseline(&trace_doc, 1_000, &scenario_doc),
+            &SimStats::default(),
+            slow,
+        );
+        cache.insert(
+            &CellKey::cell(&trace_doc, 1_000, 0, &scenario_doc, "8_8_8"),
+            &SimStats::default(),
+            slow,
+        );
+        let costs = CostModel::observed(&cache).row_costs(&spec);
+        assert!(
+            costs[1] > costs[0] * 50,
+            "observed row must dominate: {costs:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -35,6 +35,7 @@
 //! assert_eq!(report.cells.len(), 2);
 //! ```
 
+use crate::cache::{CellCache, CellKey};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::policy::PolicyKind;
 use crate::scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};
@@ -46,7 +47,7 @@ use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Version of the [`CampaignSpec`] wire schema.  Bumped whenever a
@@ -166,6 +167,23 @@ pub enum CampaignError {
     },
     /// A checkpoint directory could not be read, written or trusted.
     Checkpoint(String),
+    /// A cell-cache directory could not be opened, trusted or written
+    /// (see [`crate::cache::CellCache::open`]).
+    Cache(String),
+    /// A figure asked a report for a (policy, trace) cell the report does
+    /// not contain — the shape a truncated or partially-merged report takes.
+    MissingCell {
+        /// Policy of the absent cell.
+        policy: String,
+        /// Trace of the absent cell.
+        trace: String,
+    },
+    /// A figure needed a trace's baseline but the report carries none —
+    /// either baselines were disabled or the report is malformed.
+    MissingBaseline {
+        /// Trace whose baseline is absent.
+        trace: String,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -221,6 +239,16 @@ impl fmt::Display for CampaignError {
                 write!(f, "shard {index} is malformed: {reason}")
             }
             CampaignError::Checkpoint(msg) => write!(f, "campaign checkpoint error: {msg}"),
+            CampaignError::Cache(msg) => write!(f, "cell cache error: {msg}"),
+            CampaignError::MissingCell { policy, trace } => {
+                write!(
+                    f,
+                    "report has no cell for policy `{policy}` × trace `{trace}`"
+                )
+            }
+            CampaignError::MissingBaseline { trace } => {
+                write!(f, "report has no baseline for trace `{trace}`")
+            }
         }
     }
 }
@@ -930,9 +958,13 @@ pub struct CampaignReport {
     /// All policy × trace × scenario cells, trace-major then scenario-major
     /// in spec order.
     pub cells: Vec<CampaignCell>,
-    /// Number of monolithic baseline simulations actually executed — the
-    /// memoization instrumentation: always ≤ traces × scenarios, never
-    /// policies × traces × scenarios.
+    /// Number of monolithic baseline results materialized — the memoization
+    /// instrumentation: always ≤ traces × scenarios, never
+    /// policies × traces × scenarios.  Counted whether each baseline was
+    /// simulated or restored from a [`CellCache`] (restoring still
+    /// materializes one baseline per (trace, scenario)), so reports stay
+    /// byte-identical between cold and warm cache runs; cache hit/miss
+    /// accounting lives in [`CellCache::activity`], not in the report.
     pub baseline_runs: usize,
     /// Number of [`TraceSelector::generate`] calls actually performed — the
     /// trace-memoization instrumentation mirroring `baseline_runs`: each
@@ -1055,6 +1087,17 @@ impl CampaignReport {
     /// One policy's per-trace speedups sorted ascending — the S-curve of
     /// Figure 14 (right).  Each cell is compared against its own scenario's
     /// baseline; multi-scenario curves pool every scenario's points.
+    ///
+    /// **Degenerate-cell policy:** the sort uses [`f64::total_cmp`], so the
+    /// curve is a deterministic total order for *any* input — the old
+    /// `partial_cmp(..).unwrap_or(Equal)` comparator was not a valid
+    /// ordering in the presence of NaN and could leave NaNs interleaved
+    /// mid-curve (where they silently corrupt the median/percentile
+    /// summaries read off the curve).  Zero-cycle cells (empty runs) measure
+    /// a speedup of `0.0` (see `SimStats::speedup_over`) and sort to the
+    /// front; NaNs cannot be produced by the engine, but a hand-built
+    /// report's negative NaNs sort first and positive NaNs last, never in
+    /// the middle.
     pub fn speedup_curve(&self, policy: &str) -> Vec<f64> {
         let mut curve: Vec<f64> = self
             .cells
@@ -1062,7 +1105,7 @@ impl CampaignReport {
             .filter(|c| c.policy == policy)
             .filter_map(|c| self.baseline_for_cell(c).map(|b| c.stats.speedup_over(b)))
             .collect();
-        curve.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        curve.sort_by(f64::total_cmp);
         curve
     }
 
@@ -1162,12 +1205,17 @@ impl CampaignReport {
 #[derive(Clone, Default)]
 pub struct CampaignRunner {
     progress: Option<ProgressHook>,
+    cache: Option<Arc<CellCache>>,
 }
 
 impl fmt::Debug for CampaignRunner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CampaignRunner")
             .field("progress", &self.progress.is_some())
+            .field(
+                "cache",
+                &self.cache.as_ref().map(|c| c.root().to_path_buf()),
+            )
             .finish()
     }
 }
@@ -1180,11 +1228,25 @@ impl CampaignRunner {
 
     /// Attach a progress hook, called once per finished cell (possibly from
     /// worker threads).
+    ///
+    /// Hook delivery is isolated from the campaign: a hook that **panics**
+    /// is disabled for the rest of the run (its panic is caught per call)
+    /// and the campaign completes normally — observation must never poison
+    /// the runner.
     pub fn with_progress(
         mut self,
         hook: impl Fn(&CampaignProgress) + Send + Sync + 'static,
     ) -> CampaignRunner {
         self.progress = Some(Arc::new(hook));
+        self
+    }
+
+    /// Memoize every simulated cell (and baseline) through a
+    /// [`CellCache`]: cells whose key is already cached are restored from
+    /// disk instead of re-simulated, and fresh simulations are inserted.
+    /// The produced report is **byte-identical** with or without the cache.
+    pub fn with_cache(mut self, cache: Arc<CellCache>) -> CampaignRunner {
+        self.cache = Some(cache);
         self
     }
 
@@ -1204,6 +1266,11 @@ impl CampaignRunner {
         spec.validate()?;
         let scenarios = scenario_experiments(spec)?;
         let generation_count = AtomicUsize::new(0);
+        let row_doc = |selector: &TraceSelector| Serialize::to_value(selector);
+        let grid_cache = self
+            .cache
+            .as_deref()
+            .map(|cache| GridCache::new(cache, spec, &row_doc));
         let grid = run_grid_streaming(
             &scenarios,
             &spec.traces,
@@ -1215,6 +1282,7 @@ impl CampaignRunner {
             spec.warmup_runs,
             spec.include_baseline,
             self.progress.as_ref(),
+            grid_cache.as_ref(),
         );
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
@@ -1347,7 +1415,68 @@ pub(crate) fn run_grid(
         warmup_runs,
         include_baseline,
         progress,
+        // Materialized-trace adapter paths carry no declarative trace
+        // identity to key a cache on, so they never cache.
+        None,
     )
+}
+
+/// The cache binding of one streaming-grid invocation: the [`CellCache`]
+/// plus everything needed to derive each cell's content-addressed key —
+/// the serialized scenario axis (precomputed once, aligned with the
+/// `scenarios` slice) and a projection from a row to its serialized trace
+/// identity.
+pub(crate) struct GridCache<'a, R: ?Sized> {
+    cache: &'a CellCache,
+    trace_len: usize,
+    warmup_runs: usize,
+    scenario_docs: Vec<serde::Value>,
+    row_doc: &'a (dyn Fn(&R) -> serde::Value + Sync),
+}
+
+impl<'a, R: ?Sized> GridCache<'a, R> {
+    /// Bind `cache` to one campaign's key space.
+    pub(crate) fn new(
+        cache: &'a CellCache,
+        spec: &CampaignSpec,
+        row_doc: &'a (dyn Fn(&R) -> serde::Value + Sync),
+    ) -> GridCache<'a, R> {
+        GridCache {
+            cache,
+            trace_len: spec.trace_len,
+            warmup_runs: spec.warmup_runs,
+            scenario_docs: spec.scenarios.iter().map(Serialize::to_value).collect(),
+            row_doc,
+        }
+    }
+}
+
+/// Restore a cell from the cache or simulate it, recording the fresh run's
+/// wall-clock cost into the cache for the cost-model planner.
+fn run_cached(cache: &CellCache, key: &CellKey, simulate: impl FnOnce() -> SimStats) -> SimStats {
+    if let Some(hit) = cache.lookup(key) {
+        return hit.stats;
+    }
+    let start = std::time::Instant::now();
+    let stats = simulate();
+    let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    cache.insert(key, &stats, elapsed);
+    stats
+}
+
+/// Deliver one progress event, isolating the engine from a panicking user
+/// hook: the panic is caught and the hook is disabled for the rest of the
+/// run, so observation can never abort (or poison state shared with) the
+/// campaign.  `AssertUnwindSafe` is sound here because the engine never
+/// touches hook-owned state afterwards — the hook is simply not called
+/// again.
+fn deliver_progress(hook: &ProgressHook, disabled: &AtomicBool, progress: &CampaignProgress) {
+    if disabled.load(Ordering::Relaxed) {
+        return;
+    }
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(progress))).is_err() {
+        disabled.store(true, Ordering::Relaxed);
+    }
 }
 
 /// The streaming grid engine: rows fan out in parallel and each worker
@@ -1361,6 +1490,16 @@ pub(crate) fn run_grid(
 ///
 /// `make_trace` returns a [`Cow`] so borrowed-trace callers ([`run_grid`])
 /// pay no clone while streaming callers hand over ownership.
+///
+/// With a [`GridCache`] bound, every simulation is first looked up by its
+/// content-addressed key and only executed on a miss (fresh results are
+/// inserted, with their wall-clock cost, for later runs and the cost-model
+/// planner).  The trace itself is still synthesized per row even on a
+/// full-hit row — synthesis is cheap, and it keeps the report's
+/// `trace_generations` counter (and with it the report bytes) identical
+/// between cold and warm runs; the cache elides *simulation*, not
+/// synthesis.
+#[allow(clippy::too_many_arguments)] // pub(crate) engine; every caller is in this crate.
 pub(crate) fn run_grid_streaming<R, F>(
     scenarios: &[ScenarioExperiment],
     rows: &[R],
@@ -1369,6 +1508,7 @@ pub(crate) fn run_grid_streaming<R, F>(
     warmup_runs: usize,
     include_baseline: bool,
     progress: Option<&ProgressHook>,
+    cache: Option<&GridCache<'_, R>>,
 ) -> Grid
 where
     R: Sync,
@@ -1376,6 +1516,7 @@ where
 {
     let total_cells = rows.len() * policies.len() * scenarios.len();
     let completed = AtomicUsize::new(0);
+    let hook_disabled = AtomicBool::new(false);
     let baseline_count = AtomicUsize::new(0);
     let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
 
@@ -1389,16 +1530,30 @@ where
         .map_init(hc_sim::ExecContext::new, |ctx, row| {
             let trace = make_trace(row);
             let trace: &Trace = &trace;
+            let row_doc = cache.map(|gc| (gc.row_doc)(row));
             scenarios
                 .iter()
-                .map(|scenario| {
+                .enumerate()
+                .map(|(scenario_index, scenario)| {
                     let baseline = if baseline_needed {
                         baseline_count.fetch_add(1, Ordering::Relaxed);
+                        let stats = match (cache, &row_doc) {
+                            (Some(gc), Some(doc)) => run_cached(
+                                gc.cache,
+                                &CellKey::baseline(
+                                    doc,
+                                    gc.trace_len,
+                                    &gc.scenario_docs[scenario_index],
+                                ),
+                                || scenario.experiment.run_baseline_with(ctx, trace),
+                            ),
+                            _ => scenario.experiment.run_baseline_with(ctx, trace),
+                        };
                         Some(BaselineRun {
                             trace: trace.name.clone(),
                             category: trace.category.clone(),
                             scenario: scenario.key.clone(),
-                            stats: scenario.experiment.run_baseline_with(ctx, trace),
+                            stats,
                         })
                     } else {
                         None
@@ -1408,12 +1563,34 @@ where
                         .map(|&kind| {
                             let stats = match (&baseline, kind) {
                                 (Some(b), PolicyKind::Baseline) => b.stats.clone(),
-                                _ => scenario.experiment.run_policy_warmed_with(
-                                    ctx,
-                                    trace,
-                                    kind,
-                                    warmup_runs,
-                                ),
+                                _ => match (cache, &row_doc) {
+                                    (Some(gc), Some(doc)) if kind != PolicyKind::Baseline => {
+                                        run_cached(
+                                            gc.cache,
+                                            &CellKey::cell(
+                                                doc,
+                                                gc.trace_len,
+                                                gc.warmup_runs,
+                                                &gc.scenario_docs[scenario_index],
+                                                kind.name(),
+                                            ),
+                                            || {
+                                                scenario.experiment.run_policy_warmed_with(
+                                                    ctx,
+                                                    trace,
+                                                    kind,
+                                                    warmup_runs,
+                                                )
+                                            },
+                                        )
+                                    }
+                                    _ => scenario.experiment.run_policy_warmed_with(
+                                        ctx,
+                                        trace,
+                                        kind,
+                                        warmup_runs,
+                                    ),
+                                },
                             };
                             let cell = CampaignCell {
                                 policy: kind.name().to_string(),
@@ -1423,13 +1600,18 @@ where
                                 stats,
                             };
                             if let Some(hook) = progress {
-                                hook(&CampaignProgress {
-                                    completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
-                                    total_cells,
-                                    policy: cell.policy.clone(),
-                                    trace: cell.trace.clone(),
-                                    scenario: scenario.progress_key().to_string(),
-                                });
+                                deliver_progress(
+                                    hook,
+                                    &hook_disabled,
+                                    &CampaignProgress {
+                                        completed_cells: completed.fetch_add(1, Ordering::Relaxed)
+                                            + 1,
+                                        total_cells,
+                                        policy: cell.policy.clone(),
+                                        trace: cell.trace.clone(),
+                                        scenario: scenario.progress_key().to_string(),
+                                    },
+                                );
                             }
                             cell
                         })
@@ -1620,6 +1802,72 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|p| p.total_cells == 2));
         assert!(events.iter().any(|p| p.completed_cells == 2));
+    }
+
+    #[test]
+    fn panicking_progress_hooks_do_not_poison_the_campaign() {
+        // A user hook that panics (here: while it would be holding a lock in
+        // real code) must not abort the run or corrupt the report; it is
+        // disabled and the campaign completes.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let runner = CampaignRunner::new().with_progress(move |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            panic!("user hook exploded");
+        });
+        let spec = small_spec();
+        let report = runner
+            .run(&spec)
+            .expect("campaign survives a panicking hook");
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "the hook is disabled after its first panic"
+        );
+        // The report is identical to a hook-less run.
+        let plain = CampaignRunner::new().run(&spec).unwrap();
+        assert_eq!(report, plain);
+    }
+
+    #[test]
+    fn hooks_that_panic_while_holding_a_lock_do_not_poison_later_holders() {
+        // The classic poisoning shape: the hook panics *while holding* a
+        // mutex shared with the caller.  The engine catches the panic, so
+        // the caller's later lock() sees a poisoned-but-recoverable mutex at
+        // worst — and the campaign itself never notices.
+        let shared = Arc::new(std::sync::Mutex::new(0usize));
+        let hook_side = Arc::clone(&shared);
+        let runner = CampaignRunner::new().with_progress(move |_| {
+            let mut guard = hook_side.lock().unwrap_or_else(|e| e.into_inner());
+            *guard += 1;
+            panic!("panic while holding the lock");
+        });
+        let report = runner.run(&small_spec()).expect("campaign completes");
+        assert_eq!(report.cells.len(), 2);
+        let count = *shared.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn speedup_curve_keeps_zero_cycle_cells_at_the_front() {
+        // Regression: the old `partial_cmp(..).unwrap_or(Equal)` comparator
+        // was not a total order; `total_cmp` is, and the documented policy
+        // places zero-cycle cells (speedup 0.0) at the curve's start.
+        let mut report = CampaignRunner::new().run(&small_spec()).unwrap();
+        let mut dead = report.cells[0].clone();
+        dead.trace = "dead".to_string();
+        dead.stats.cycles = 0;
+        let mut dead_baseline = report.baselines[0].clone();
+        dead_baseline.trace = "dead".to_string();
+        report.cells.push(dead);
+        report.baselines.push(dead_baseline);
+        let curve = report.speedup_curve("8_8_8");
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], 0.0, "zero-cycle cell sorts first");
+        assert!(curve[1] > 0.0);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+        assert!(curve.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! regardless of how many policies the figure compares.  Figures 1, 11 and
 //! 13 are pure trace characterisation and do not simulate at all.
 
-use crate::campaign::{CampaignBuilder, CampaignReport, CampaignRunner};
+use crate::campaign::{CampaignBuilder, CampaignError, CampaignReport, CampaignRunner};
 use crate::policy::PolicyKind;
 use hc_trace::{stats as tstats, SpecBenchmark, WorkloadCategory};
 use rayon::prelude::*;
@@ -85,7 +85,7 @@ fn spec_campaign(
     kinds: &[PolicyKind],
     trace_len: usize,
     with_baseline: bool,
-) -> CampaignReport {
+) -> Result<CampaignReport, CampaignError> {
     let mut builder = CampaignBuilder::new(id)
         .policies(kinds.iter().copied())
         .spec_suite()
@@ -93,45 +93,55 @@ fn spec_campaign(
     if !with_baseline {
         builder = builder.without_baseline();
     }
-    let spec = builder.build().expect("figure campaign specs are valid");
-    CampaignRunner::new()
-        .run(&spec)
-        .expect("figure campaign specs are valid")
+    CampaignRunner::new().run(&builder.build()?)
 }
 
 /// Turn a campaign over the SPEC suite into per-benchmark rows: one row per
 /// trace in spec order, with one value per policy derived by `value`.
+///
+/// A report missing a (policy, trace) cell — truncated, hand-edited or
+/// incompletely merged — yields [`CampaignError::MissingCell`] instead of
+/// aborting the caller; `value` likewise propagates any error it hits.
 fn rows_from_campaign(
     report: &CampaignReport,
     kinds: &[PolicyKind],
-    value: impl Fn(&crate::campaign::CampaignCell, &CampaignReport) -> Vec<f64>,
-) -> Vec<FigureRow> {
+    value: impl Fn(&crate::campaign::CampaignCell, &CampaignReport) -> Result<Vec<f64>, CampaignError>,
+) -> Result<Vec<FigureRow>, CampaignError> {
     report
         .spec
         .traces
         .iter()
         .map(|selector| {
             let label = selector.label(report.spec.trace_len);
-            let values = kinds
-                .iter()
-                .flat_map(|k| {
-                    let cell = report
+            let mut values = Vec::new();
+            for k in kinds {
+                let cell =
+                    report
                         .cell(k.name(), &label)
-                        .expect("campaign grid covers every (policy, trace) cell");
-                    value(cell, report)
-                })
-                .collect();
-            FigureRow { label, values }
+                        .ok_or_else(|| CampaignError::MissingCell {
+                            policy: k.name().to_string(),
+                            trace: label.clone(),
+                        })?;
+                values.extend(value(cell, report)?);
+            }
+            Ok(FigureRow { label, values })
         })
         .collect()
 }
 
-/// Performance increase of a cell over its trace's shared baseline.
-fn perf_increase(cell: &crate::campaign::CampaignCell, report: &CampaignReport) -> f64 {
-    let baseline = report
-        .baseline_for(&cell.trace)
-        .expect("speedup campaigns include baselines");
-    (cell.stats.speedup_over(baseline) - 1.0) * 100.0
+/// Performance increase of a cell over its trace's shared baseline; a report
+/// without that baseline yields [`CampaignError::MissingBaseline`].
+fn perf_increase(
+    cell: &crate::campaign::CampaignCell,
+    report: &CampaignReport,
+) -> Result<f64, CampaignError> {
+    let baseline =
+        report
+            .baseline_for(&cell.trace)
+            .ok_or_else(|| CampaignError::MissingBaseline {
+                trace: cell.trace.clone(),
+            })?;
+    Ok((cell.stats.speedup_over(baseline) - 1.0) * 100.0)
 }
 
 /// **Figure 1** — percentage of register operands that are narrow
@@ -155,22 +165,22 @@ pub fn fig1(trace_len: usize) -> Figure {
 
 /// **Figure 5** — width prediction accuracy: correct / non-fatal / fatal, per
 /// benchmark, under the 8_8_8 policy.
-pub fn fig5(trace_len: usize) -> Figure {
+pub fn fig5(trace_len: usize) -> Result<Figure, CampaignError> {
     let kinds = [PolicyKind::P888];
-    let report = spec_campaign("fig5", &kinds, trace_len, false);
+    let report = spec_campaign("fig5", &kinds, trace_len, false)?;
     let rows = rows_from_campaign(&report, &kinds, |cell, _| {
         let stats = &cell.stats;
         let total = (stats.correct_width_predictions
             + stats.fatal_width_mispredicts
             + stats.nonfatal_width_mispredicts)
             .max(1) as f64;
-        vec![
+        Ok(vec![
             stats.correct_width_predictions as f64 / total * 100.0,
             stats.nonfatal_width_mispredicts as f64 / total * 100.0,
             stats.fatal_width_mispredicts as f64 / total * 100.0,
-        ]
-    });
-    Figure {
+        ])
+    })?;
+    Ok(Figure {
         id: "fig5".into(),
         title: "Width prediction accuracy (%)".into(),
         series: vec![
@@ -180,27 +190,32 @@ pub fn fig5(trace_len: usize) -> Figure {
         ],
         rows,
     }
-    .with_avg()
+    .with_avg())
 }
 
-fn speedup_figure(id: &str, title: &str, kind: PolicyKind, trace_len: usize) -> Figure {
+fn speedup_figure(
+    id: &str,
+    title: &str,
+    kind: PolicyKind,
+    trace_len: usize,
+) -> Result<Figure, CampaignError> {
     let kinds = [kind];
-    let report = spec_campaign(id, &kinds, trace_len, true);
+    let report = spec_campaign(id, &kinds, trace_len, true)?;
     let rows = rows_from_campaign(&report, &kinds, |cell, report| {
-        vec![perf_increase(cell, report)]
-    });
-    Figure {
+        Ok(vec![perf_increase(cell, report)?])
+    })?;
+    Ok(Figure {
         id: id.into(),
         title: title.into(),
         series: vec![format!("{} perf increase %", kind.name())],
         rows,
     }
-    .with_avg()
+    .with_avg())
 }
 
 /// **Figure 6** — performance increase of the 8_8_8 scheme over the monolithic
 /// baseline, per benchmark.
-pub fn fig6(trace_len: usize) -> Figure {
+pub fn fig6(trace_len: usize) -> Result<Figure, CampaignError> {
     speedup_figure(
         "fig6",
         "Performance of 8_8_8 scheme (%)",
@@ -211,31 +226,36 @@ pub fn fig6(trace_len: usize) -> Figure {
 
 /// **Figure 7** — percentage of instructions steered to the helper cluster and
 /// percentage of inter-cluster copies, under 8_8_8.
-pub fn fig7(trace_len: usize) -> Figure {
+pub fn fig7(trace_len: usize) -> Result<Figure, CampaignError> {
     let kinds = [PolicyKind::P888];
-    let report = spec_campaign("fig7", &kinds, trace_len, false);
+    let report = spec_campaign("fig7", &kinds, trace_len, false)?;
     let rows = rows_from_campaign(&report, &kinds, |cell, _| {
-        vec![
+        Ok(vec![
             cell.stats.helper_fraction() * 100.0,
             cell.stats.copy_fraction() * 100.0,
-        ]
-    });
-    Figure {
+        ])
+    })?;
+    Ok(Figure {
         id: "fig7".into(),
         title: "Helper-cluster instructions and copies under 8_8_8 (%)".into(),
         series: vec!["helper instructions %".into(), "copy instructions %".into()],
         rows,
     }
-    .with_avg()
+    .with_avg())
 }
 
 /// Copy percentage per benchmark for a set of policies (Figures 8 and 9).
-fn copy_figure(id: &str, title: &str, kinds: &[PolicyKind], trace_len: usize) -> Figure {
-    let report = spec_campaign(id, kinds, trace_len, false);
+fn copy_figure(
+    id: &str,
+    title: &str,
+    kinds: &[PolicyKind],
+    trace_len: usize,
+) -> Result<Figure, CampaignError> {
+    let report = spec_campaign(id, kinds, trace_len, false)?;
     let rows = rows_from_campaign(&report, kinds, |cell, _| {
-        vec![cell.stats.copy_fraction() * 100.0]
-    });
-    Figure {
+        Ok(vec![cell.stats.copy_fraction() * 100.0])
+    })?;
+    Ok(Figure {
         id: id.into(),
         title: title.into(),
         series: kinds
@@ -244,11 +264,11 @@ fn copy_figure(id: &str, title: &str, kinds: &[PolicyKind], trace_len: usize) ->
             .collect(),
         rows,
     }
-    .with_avg()
+    .with_avg())
 }
 
 /// **Figure 8** — decrease in copy percentage due to the BR scheme.
-pub fn fig8(trace_len: usize) -> Figure {
+pub fn fig8(trace_len: usize) -> Result<Figure, CampaignError> {
     copy_figure(
         "fig8",
         "Copy percentage: 8_8_8 vs 8_8_8+BR",
@@ -258,7 +278,7 @@ pub fn fig8(trace_len: usize) -> Figure {
 }
 
 /// **Figure 9** — further decrease in copy percentage due to the LR scheme.
-pub fn fig9(trace_len: usize) -> Figure {
+pub fn fig9(trace_len: usize) -> Result<Figure, CampaignError> {
     copy_figure(
         "fig9",
         "Copy percentage: 8_8_8 vs +BR vs +BR+LR",
@@ -290,13 +310,13 @@ pub fn fig11(trace_len: usize) -> Figure {
 }
 
 /// **Figure 12** — performance of the CR scheme (8_8_8 vs 8_8_8+BR+LR+CR).
-pub fn fig12(trace_len: usize) -> Figure {
+pub fn fig12(trace_len: usize) -> Result<Figure, CampaignError> {
     let kinds = [PolicyKind::P888, PolicyKind::P888BrLrCr];
-    let report = spec_campaign("fig12", &kinds, trace_len, true);
+    let report = spec_campaign("fig12", &kinds, trace_len, true)?;
     let rows = rows_from_campaign(&report, &kinds, |cell, report| {
-        vec![perf_increase(cell, report)]
-    });
-    Figure {
+        Ok(vec![perf_increase(cell, report)?])
+    })?;
+    Ok(Figure {
         id: "fig12".into(),
         title: "Performance of the Carry Not Propagated (CR) scheme (%)".into(),
         series: kinds
@@ -305,7 +325,7 @@ pub fn fig12(trace_len: usize) -> Figure {
             .collect(),
         rows,
     }
-    .with_avg()
+    .with_avg())
 }
 
 /// **Figure 13** — average producer-consumer distance per benchmark.
@@ -331,20 +351,19 @@ pub fn fig13(trace_len: usize) -> Figure {
 /// streamed through the campaign engine (each trace is synthesized inside
 /// the worker that simulates it and its baseline runs exactly once).
 ///
-/// # Panics
-///
-/// Panics when `apps_per_category == 0` (the spec would name no traces);
-/// [`fig14_categories`] and [`fig14_curve`] degrade gracefully instead.
-pub fn suite_report(apps_per_category: usize, trace_len: usize) -> CampaignReport {
+/// `apps_per_category == 0` names no traces and yields the typed
+/// [`CampaignError::NoTraces`]; [`fig14_categories`] and [`fig14_curve`]
+/// degrade to empty figures instead.
+pub fn suite_report(
+    apps_per_category: usize,
+    trace_len: usize,
+) -> Result<CampaignReport, CampaignError> {
     let spec = CampaignBuilder::new("fig14-suite")
         .policy(PolicyKind::Ir)
         .category_suite(apps_per_category)
         .trace_len(trace_len)
-        .build()
-        .expect("figure campaign specs are valid");
-    CampaignRunner::new()
-        .run(&spec)
-        .expect("figure campaign specs are valid")
+        .build()?;
+    CampaignRunner::new().run(&spec)
 }
 
 /// The fig14 envelope over per-category mean speedups; categories absent
@@ -377,21 +396,27 @@ pub fn fig14_categories_from(report: &CampaignReport) -> Figure {
 /// **Figure 14 (left)** — performance increase of the IR mechanism per Table 2
 /// workload category.  `apps_per_category` bounds run time; the paper used
 /// every trace in Table 2.
-pub fn fig14_categories(apps_per_category: usize, trace_len: usize) -> Figure {
+pub fn fig14_categories(
+    apps_per_category: usize,
+    trace_len: usize,
+) -> Result<Figure, CampaignError> {
     // `apps_per_category == 0` selects no traces at all; degrade to empty
-    // per-category rows (as the seed did) instead of panicking on NoTraces.
+    // per-category rows (as the seed did) instead of failing on NoTraces.
     if apps_per_category == 0 {
-        return fig14_figure(&std::collections::BTreeMap::new());
+        return Ok(fig14_figure(&std::collections::BTreeMap::new()));
     }
-    fig14_categories_from(&suite_report(apps_per_category, trace_len))
+    Ok(fig14_categories_from(&suite_report(
+        apps_per_category,
+        trace_len,
+    )?))
 }
 
 /// **Figure 14 (right)** — the per-application speedup S-curve over the suite.
-pub fn fig14_curve(apps_per_category: usize, trace_len: usize) -> Vec<f64> {
+pub fn fig14_curve(apps_per_category: usize, trace_len: usize) -> Result<Vec<f64>, CampaignError> {
     if apps_per_category == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    suite_report(apps_per_category, trace_len).speedup_curve(PolicyKind::Ir.name())
+    Ok(suite_report(apps_per_category, trace_len)?.speedup_curve(PolicyKind::Ir.name()))
 }
 
 /// The helper-geometry sensitivity campaign behind
@@ -399,23 +424,21 @@ pub fn fig14_curve(apps_per_category: usize, trace_len: usize) -> Vec<f64> {
 /// over the 12 SPEC stand-ins × the 3×3 helper width × clock ratio scenario
 /// plane, one streaming campaign with baselines memoized per
 /// (trace, scenario).
-pub fn sensitivity_geometry_report(trace_len: usize) -> CampaignReport {
-    let spec = sensitivity_geometry_spec(trace_len);
-    CampaignRunner::new()
-        .run(&spec)
-        .expect("figure campaign specs are valid")
+pub fn sensitivity_geometry_report(trace_len: usize) -> Result<CampaignReport, CampaignError> {
+    CampaignRunner::new().run(&sensitivity_geometry_spec(trace_len)?)
 }
 
 /// The spec of the 3×3 helper-geometry sensitivity campaign (exposed so the
 /// `reproduce` binary can run it through the sharded engine).
-pub fn sensitivity_geometry_spec(trace_len: usize) -> crate::campaign::CampaignSpec {
+pub fn sensitivity_geometry_spec(
+    trace_len: usize,
+) -> Result<crate::campaign::CampaignSpec, CampaignError> {
     CampaignBuilder::new("sensitivity-geometry")
         .policy(PolicyKind::Ir)
         .spec_suite()
         .trace_len(trace_len)
         .sensitivity_helper_geometry()
         .build()
-        .expect("figure campaign specs are valid")
 }
 
 /// Per-scenario figure over an already-run sensitivity campaign: one row per
@@ -446,29 +469,39 @@ pub fn sensitivity_figure_from(report: &CampaignReport, policy: PolicyKind, id: 
 /// **Sensitivity (helper geometry)** — IR performance and ED² across the
 /// helper width {4, 8, 16} × clock ratio {1×, 2×, 4×} plane; the paper's
 /// design point is the `hw8_cr2x` row.
-pub fn sensitivity_helper_geometry(trace_len: usize) -> Figure {
-    sensitivity_figure_from(
-        &sensitivity_geometry_report(trace_len),
+pub fn sensitivity_helper_geometry(trace_len: usize) -> Result<Figure, CampaignError> {
+    Ok(sensitivity_figure_from(
+        &sensitivity_geometry_report(trace_len)?,
         PolicyKind::Ir,
         "sens_geometry",
-    )
+    ))
 }
 
 /// **Sensitivity (width predictor)** — 8_8_8 performance and ED² across
 /// width-predictor table sizes {256 … 4096} (§3.2's complexity study; 256 is
 /// the paper's design point).
-pub fn sensitivity_width_predictor(trace_len: usize) -> Figure {
-    let spec = CampaignBuilder::new("sensitivity-width-predictor")
+pub fn sensitivity_width_predictor(trace_len: usize) -> Result<Figure, CampaignError> {
+    let report = CampaignRunner::new().run(&sensitivity_width_predictor_spec(trace_len)?)?;
+    Ok(sensitivity_width_predictor_from(&report))
+}
+
+/// The spec of the width-predictor table-size sweep (exposed so the
+/// `reproduce` binary can run it through a cache-aware runner).
+pub fn sensitivity_width_predictor_spec(
+    trace_len: usize,
+) -> Result<crate::campaign::CampaignSpec, CampaignError> {
+    CampaignBuilder::new("sensitivity-width-predictor")
         .policy(PolicyKind::P888)
         .spec_suite()
         .trace_len(trace_len)
         .sensitivity_width_predictor()
         .build()
-        .expect("figure campaign specs are valid");
-    let report = CampaignRunner::new()
-        .run(&spec)
-        .expect("figure campaign specs are valid");
-    sensitivity_figure_from(&report, PolicyKind::P888, "sens_width_predictor")
+}
+
+/// The width-predictor figure over an already-run
+/// [`sensitivity_width_predictor_spec`] campaign.
+pub fn sensitivity_width_predictor_from(report: &CampaignReport) -> Figure {
+    sensitivity_figure_from(report, PolicyKind::P888, "sens_width_predictor")
 }
 
 /// The §3.2–§3.7 headline numbers: per policy, the SPEC-average helper
@@ -476,7 +509,7 @@ pub fn sensitivity_width_predictor(trace_len: usize) -> Figure {
 ///
 /// One 7-policy × 12-trace campaign: the twelve baselines are simulated once
 /// and shared across all seven policies.
-pub fn headline(trace_len: usize) -> Figure {
+pub fn headline(trace_len: usize) -> Result<Figure, CampaignError> {
     let kinds = [
         PolicyKind::P888,
         PolicyKind::P888Br,
@@ -486,12 +519,14 @@ pub fn headline(trace_len: usize) -> Figure {
         PolicyKind::Ir,
         PolicyKind::IrNoDest,
     ];
-    let report = spec_campaign("headline", &kinds, trace_len, true);
+    let report = spec_campaign("headline", &kinds, trace_len, true)?;
     let rows = kinds
         .iter()
         .map(|&kind| {
             let results = report.results_for_policy(kind.name());
-            let n = results.len() as f64;
+            // `max(1)` keeps a policy with no joinable cells (a malformed
+            // report) at 0.0 rows instead of NaN.
+            let n = results.len().max(1) as f64;
             let mean = |f: &dyn Fn(&crate::experiment::ExperimentResult) -> f64| {
                 results.iter().map(f).sum::<f64>() / n
             };
@@ -508,7 +543,7 @@ pub fn headline(trace_len: usize) -> Figure {
             }
         })
         .collect();
-    Figure {
+    Ok(Figure {
         id: "headline".into(),
         title: "SPEC-average headline numbers per policy".into(),
         series: vec![
@@ -520,7 +555,7 @@ pub fn headline(trace_len: usize) -> Figure {
             "n->w imbalance %".into(),
         ],
         rows,
-    }
+    })
 }
 
 /// **Table 1** — the baseline processor parameters, rendered as rows.
@@ -605,7 +640,7 @@ mod tests {
 
     #[test]
     fn fig5_percentages_sum_to_100() {
-        let f = fig5(LEN);
+        let f = fig5(LEN).expect("fig5 reproduces");
         for row in &f.rows {
             let sum: f64 = row.values.iter().sum();
             assert!((sum - 100.0).abs() < 1.0, "{}: {sum}", row.label);
@@ -614,7 +649,7 @@ mod tests {
 
     #[test]
     fn fig7_fractions_are_bounded() {
-        let f = fig7(LEN);
+        let f = fig7(LEN).expect("fig7 reproduces");
         for row in &f.rows {
             assert!(row.values[0] >= 0.0 && row.values[0] <= 100.0);
             assert!(row.values[1] >= 0.0);
@@ -629,7 +664,7 @@ mod tests {
 
     #[test]
     fn sensitivity_geometry_covers_the_3x3_plane() {
-        let spec = sensitivity_geometry_spec(500);
+        let spec = sensitivity_geometry_spec(500).expect("valid spec");
         assert_eq!(spec.scenarios.len(), 9);
         assert_eq!(spec.cell_count(), 9 * 12);
         let report = CampaignRunner::new().run(&spec).expect("campaign runs");
@@ -644,6 +679,35 @@ mod tests {
             .rows
             .iter()
             .all(|r| r.values.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn malformed_reports_yield_typed_errors_not_panics() {
+        // A partially-merged / truncated report: drop one cell and the
+        // baselines, then push it through the figure adapters.
+        let spec = CampaignBuilder::new("broken")
+            .policy(PolicyKind::P888)
+            .spec_suite()
+            .trace_len(600)
+            .build()
+            .expect("valid spec");
+        let mut report = CampaignRunner::new().run(&spec).expect("runs");
+        report.cells.pop();
+        let err = rows_from_campaign(&report, &[PolicyKind::P888], |cell, report| {
+            Ok(vec![perf_increase(cell, report)?])
+        })
+        .expect_err("missing cell must be a typed error");
+        assert!(matches!(err, CampaignError::MissingCell { .. }));
+        assert!(err.to_string().contains("no cell"));
+
+        // Cells intact but baselines gone: the speedup join fails typed too.
+        let mut report = CampaignRunner::new().run(&spec).expect("runs");
+        report.baselines.clear();
+        let err = rows_from_campaign(&report, &[PolicyKind::P888], |cell, report| {
+            Ok(vec![perf_increase(cell, report)?])
+        })
+        .expect_err("missing baseline must be a typed error");
+        assert!(matches!(err, CampaignError::MissingBaseline { .. }));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   per row, so suite size does not bound memory.
 //! * [`shard`] — deterministic partitions of a campaign with mergeable
 //!   [`ShardReport`]s and checkpoint/resume, for the 409-trace Table 2 suite
-//!   and beyond.
+//!   and beyond; partitions are planned by a cost model (LPT bin packing
+//!   over observed cell timings) when a cell cache is attached.
+//! * [`cache`] — the content-addressed, on-disk [`CellCache`]: repeated
+//!   campaigns replay cached cells instead of re-simulating, with
+//!   byte-identical reports either way.
 //! * [`experiment`] — run one trace under one policy against the monolithic
 //!   baseline (adapter over [`campaign`]).
 //! * [`suite`] — run the SPEC stand-ins or the Table 2 categories in parallel
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
 pub mod experiment;
 pub mod figures;
@@ -49,6 +54,7 @@ pub mod scenario;
 pub mod shard;
 pub mod suite;
 
+pub use cache::{CacheActivity, CachedCell, CellCache, CellKey, CostModel, CACHE_SCHEMA_VERSION};
 pub use campaign::{
     CampaignBuilder, CampaignError, CampaignProgress, CampaignReport, CampaignRunner, CampaignSpec,
     TraceSelector, CAMPAIGN_SCHEMA_VERSION, CAMPAIGN_SPEC_SCHEMA_VERSION,
@@ -59,7 +65,7 @@ pub use figures::{Figure, FigureRow};
 pub use policy::{PolicyKind, SteeringFeatures, SteeringStack};
 pub use scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};
 pub use shard::{
-    CampaignShard, ShardReport, ShardedCampaignRunner, ShardedRunOutcome,
-    LEGACY_SHARD_SCHEMA_VERSION, SHARD_SCHEMA_VERSION,
+    CampaignShard, ShardPlan, ShardReport, ShardStrategy, ShardedCampaignRunner, ShardedRunOutcome,
+    LEGACY_SHARD_SCHEMA_VERSION, SCENARIO_SHARD_SCHEMA_VERSION, SHARD_SCHEMA_VERSION,
 };
 pub use suite::{SuiteResult, SuiteRunner};

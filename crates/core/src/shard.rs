@@ -51,17 +51,19 @@
 //! );
 //! ```
 
+use crate::cache::{CellCache, CostModel};
 #[allow(unused_imports)] // `CampaignRunner` is referenced by doc links only.
 use crate::campaign::CampaignRunner;
 use crate::campaign::{
     decode_versioned, report_wire_version, run_grid_streaming, scenario_experiments, BaselineRun,
-    CampaignCell, CampaignError, CampaignProgress, CampaignReport, CampaignSpec, ProgressHook,
+    CampaignCell, CampaignError, CampaignProgress, CampaignReport, CampaignSpec, GridCache,
+    ProgressHook,
 };
 use crate::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Version of the [`ShardReport`] wire schema, independent of the report and
@@ -71,37 +73,238 @@ use std::sync::Arc;
 /// * v1 — policy × trace shards over a single machine.
 /// * v2 — scenario axes: the embedded spec may carry `scenarios` and cells /
 ///   baselines carry their `scenario` key.
+/// * v3 — cost-balanced partitions: the shard carries a `plan` naming the
+///   partition strategy and the full row assignment (round-robin stopped
+///   being the only possible partition).
 ///
-/// Like the spec and report schemas, shards of a single-default-scenario
-/// campaign still **encode as v1** — their checkpoint files are
-/// byte-identical to pre-scenario runs, so existing checkpoint directories
-/// keep resuming.  Decoders accept both versions.
-pub const SHARD_SCHEMA_VERSION: u32 = 2;
+/// Like the spec and report schemas, the *newest* version is only emitted
+/// when its feature is used: shards of a round-robin partition keep encoding
+/// as v1 (single default scenario) or v2 (scenario axes) with no `plan`
+/// field — their checkpoint files are byte-identical to pre-plan runs, so
+/// existing checkpoint directories keep resuming.  v3 is emitted exactly
+/// when the partition is cost-balanced.  Decoders accept all three.
+pub const SHARD_SCHEMA_VERSION: u32 = 3;
 
 /// The legacy shard wire version still emitted for single-default-scenario
-/// campaigns (see [`SHARD_SCHEMA_VERSION`]).
+/// round-robin campaigns (see [`SHARD_SCHEMA_VERSION`]).
 pub const LEGACY_SHARD_SCHEMA_VERSION: u32 = 1;
 
-/// The shard wire version for a spec: legacy v1 while the scenario axis is
-/// unused, v2 otherwise.
-fn shard_wire_version(spec: &CampaignSpec) -> u32 {
-    if spec.is_single_default_scenario() {
-        LEGACY_SHARD_SCHEMA_VERSION
-    } else {
-        SHARD_SCHEMA_VERSION
+/// The shard wire version emitted for scenario-axis round-robin campaigns
+/// (see [`SHARD_SCHEMA_VERSION`]).
+pub const SCENARIO_SHARD_SCHEMA_VERSION: u32 = 2;
+
+/// The shard wire version for a (spec, plan) pair: v3 once the partition is
+/// cost-balanced, otherwise legacy v1 while the scenario axis is unused and
+/// v2 beyond.
+fn shard_wire_version(spec: &CampaignSpec, plan: &ShardPlan) -> u32 {
+    match plan.strategy() {
+        ShardStrategy::CostBalanced => SHARD_SCHEMA_VERSION,
+        ShardStrategy::RoundRobin if spec.is_single_default_scenario() => {
+            LEGACY_SHARD_SCHEMA_VERSION
+        }
+        ShardStrategy::RoundRobin => SCENARIO_SHARD_SCHEMA_VERSION,
     }
 }
 
-/// One deterministic slice of a campaign's trace rows.
+/// How a [`ShardPlan`] assigned rows to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// The legacy deterministic partition: shard `k` of `N` owns every row
+    /// `i` with `i % N == k`.
+    RoundRobin,
+    /// LPT (longest-processing-time-first) greedy bin packing over per-row
+    /// cost estimates from a [`CostModel`]: rows are taken in descending
+    /// cost order and each goes to the currently least-loaded shard, so one
+    /// known-slow trace can no longer straggle a whole shard set.
+    CostBalanced,
+}
+
+impl ShardStrategy {
+    fn wire_name(&self) -> &'static str {
+        match self {
+            ShardStrategy::RoundRobin => "round_robin",
+            ShardStrategy::CostBalanced => "cost_balanced",
+        }
+    }
+}
+
+/// A complete, validated assignment of a campaign's trace rows to shards.
+///
+/// Plans are value objects shared by every [`CampaignShard`] of a partition
+/// (and embedded in v3 [`ShardReport`]s and checkpoint manifests, so a
+/// resumed run re-executes **the same partition** even if cost observations
+/// have changed since the plan was made).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    strategy: ShardStrategy,
+    /// `assignments[k]` = the ascending spec row indices shard `k` owns.
+    assignments: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// The legacy round-robin partition of `n_rows` rows into `shard_count`
+    /// shards.
+    pub fn round_robin(n_rows: usize, shard_count: usize) -> Result<ShardPlan, CampaignError> {
+        if shard_count == 0 {
+            return Err(CampaignError::ZeroShardCount);
+        }
+        Ok(ShardPlan {
+            strategy: ShardStrategy::RoundRobin,
+            assignments: (0..shard_count)
+                .map(|k| (k..n_rows).step_by(shard_count).collect())
+                .collect(),
+        })
+    }
+
+    /// An LPT partition of rows with the given cost estimates.
+    ///
+    /// When every row costs the same — the shape a [`CostModel`] with no
+    /// observations produces — LPT with stable tie-breaking assigns row `i`
+    /// to shard `i % N`, i.e. exactly the round-robin partition; the plan is
+    /// then **canonicalised** to [`ShardStrategy::RoundRobin`] so the wire
+    /// format (and every golden byte) of uncached runs is unchanged.
+    pub fn cost_balanced(costs: &[u64], shard_count: usize) -> Result<ShardPlan, CampaignError> {
+        if shard_count == 0 {
+            return Err(CampaignError::ZeroShardCount);
+        }
+        // LPT: rows in descending cost order (stable, so equal costs keep
+        // spec order), each to the least-loaded shard (ties to the lowest
+        // shard index).
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+        let mut loads = vec![0u128; shard_count];
+        let mut assignments = vec![Vec::new(); shard_count];
+        for row in order {
+            let k = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(k, &load)| (load, k))
+                .map(|(k, _)| k)
+                .expect("shard_count > 0");
+            loads[k] += costs[row] as u128;
+            assignments[k].push(row);
+        }
+        for rows in &mut assignments {
+            rows.sort_unstable();
+        }
+        let round_robin = ShardPlan::round_robin(costs.len(), shard_count)?;
+        if assignments == round_robin.assignments {
+            return Ok(round_robin);
+        }
+        Ok(ShardPlan {
+            strategy: ShardStrategy::CostBalanced,
+            assignments,
+        })
+    }
+
+    /// Plan a partition of `spec` with per-row costs from `model` —
+    /// the planner behind [`ShardedCampaignRunner`].
+    pub fn for_spec(
+        spec: &CampaignSpec,
+        shard_count: usize,
+        model: &CostModel<'_>,
+    ) -> Result<ShardPlan, CampaignError> {
+        spec.validate()?;
+        ShardPlan::cost_balanced(&model.row_costs(spec), shard_count)
+    }
+
+    /// The partition strategy.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Total shards in the partition.
+    pub fn shard_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The ascending spec row indices shard `shard_index` owns.
+    pub fn rows(&self, shard_index: usize) -> &[usize] {
+        &self.assignments[shard_index]
+    }
+
+    /// The estimated per-shard work under `costs`, for balance diagnostics.
+    pub fn shard_loads(&self, costs: &[u64]) -> Vec<u128> {
+        self.assignments
+            .iter()
+            .map(|rows| rows.iter().map(|&r| costs[r] as u128).sum())
+            .collect()
+    }
+
+    /// Structural validity: every row index in `0..n_rows` appears in
+    /// exactly one shard, ascending within its shard.
+    fn validate(&self, n_rows: usize) -> Result<(), String> {
+        let mut seen = vec![false; n_rows];
+        for rows in &self.assignments {
+            if !rows.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("shard rows {rows:?} are not strictly ascending"));
+            }
+            for &row in rows {
+                if row >= n_rows {
+                    return Err(format!("row {row} out of range for {n_rows} rows"));
+                }
+                if seen[row] {
+                    return Err(format!("row {row} assigned to more than one shard"));
+                }
+                seen[row] = true;
+            }
+        }
+        match seen.iter().position(|&s| !s) {
+            Some(missing) => Err(format!("row {missing} is not assigned to any shard")),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Serialize for ShardPlan {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "strategy".to_string(),
+                serde::Value::Str(self.strategy.wire_name().to_string()),
+            ),
+            (
+                "assignments".to_string(),
+                Serialize::to_value(&self.assignments),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ShardPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct ShardPlan"))?;
+        let strategy: String = serde::de_field(m, "strategy")?;
+        let strategy = match strategy.as_str() {
+            "round_robin" => ShardStrategy::RoundRobin,
+            "cost_balanced" => ShardStrategy::CostBalanced,
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "unknown shard plan strategy `{other}`"
+                )))
+            }
+        };
+        Ok(ShardPlan {
+            strategy,
+            assignments: serde::de_field(m, "assignments")?,
+        })
+    }
+}
+
+/// One deterministic slice of a campaign's trace rows, per its partition's
+/// [`ShardPlan`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignShard {
     spec: CampaignSpec,
-    shard_count: usize,
+    plan: Arc<ShardPlan>,
     shard_index: usize,
 }
 
 impl CampaignShard {
-    /// Shard `shard_index` of a `shard_count`-way partition of `spec`.
+    /// Shard `shard_index` of a round-robin `shard_count`-way partition of
+    /// `spec`.
     pub fn new(
         spec: CampaignSpec,
         shard_count: usize,
@@ -117,30 +320,46 @@ impl CampaignShard {
             });
         }
         spec.validate()?;
+        let plan = Arc::new(ShardPlan::round_robin(spec.traces.len(), shard_count)?);
         Ok(CampaignShard {
             spec,
-            shard_count,
+            plan,
             shard_index,
         })
     }
 
-    /// The full `shard_count`-way partition of `spec`, in shard order.
-    /// Shards beyond the trace count are valid but own no rows.
+    /// The full round-robin `shard_count`-way partition of `spec`, in shard
+    /// order.  Shards beyond the trace count are valid but own no rows.
     pub fn plan(
         spec: &CampaignSpec,
         shard_count: usize,
     ) -> Result<Vec<CampaignShard>, CampaignError> {
-        if shard_count == 0 {
-            return Err(CampaignError::ZeroShardCount);
-        }
         spec.validate()?;
-        Ok((0..shard_count)
+        let plan = ShardPlan::round_robin(spec.traces.len(), shard_count)?;
+        Ok(CampaignShard::from_plan(spec, plan))
+    }
+
+    /// The full cost-balanced partition of `spec` under `model`, in shard
+    /// order (see [`ShardPlan::cost_balanced`]).
+    pub fn plan_balanced(
+        spec: &CampaignSpec,
+        shard_count: usize,
+        model: &CostModel<'_>,
+    ) -> Result<Vec<CampaignShard>, CampaignError> {
+        let plan = ShardPlan::for_spec(spec, shard_count, model)?;
+        Ok(CampaignShard::from_plan(spec, plan))
+    }
+
+    /// Materialize every shard of an already-validated plan.
+    fn from_plan(spec: &CampaignSpec, plan: ShardPlan) -> Vec<CampaignShard> {
+        let plan = Arc::new(plan);
+        (0..plan.shard_count())
             .map(|shard_index| CampaignShard {
                 spec: spec.clone(),
-                shard_count,
+                plan: Arc::clone(&plan),
                 shard_index,
             })
-            .collect())
+            .collect()
     }
 
     /// The campaign spec this shard slices.
@@ -148,9 +367,14 @@ impl CampaignShard {
         &self.spec
     }
 
+    /// The partition plan this shard belongs to.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
     /// Total shards in the partition.
     pub fn shard_count(&self) -> usize {
-        self.shard_count
+        self.plan.shard_count()
     }
 
     /// This shard's index within the partition.
@@ -158,22 +382,22 @@ impl CampaignShard {
         self.shard_index
     }
 
-    /// The spec trace rows this shard owns: every `i` with
-    /// `i % shard_count == shard_index`, ascending.
+    /// The spec trace rows this shard owns, ascending: `i % N == k` under a
+    /// round-robin plan, the LPT assignment under a cost-balanced one.
     pub fn trace_indices(&self) -> Vec<usize> {
-        (self.shard_index..self.spec.traces.len())
-            .step_by(self.shard_count)
-            .collect()
+        self.plan.rows(self.shard_index).to_vec()
     }
 
     /// Number of policy × trace × scenario cells this shard will simulate.
     pub fn cell_count(&self) -> usize {
-        self.trace_indices().len() * self.spec.policies.len() * self.spec.scenarios.len()
+        self.plan.rows(self.shard_index).len()
+            * self.spec.policies.len()
+            * self.spec.scenarios.len()
     }
 
     /// Execute this shard through the streaming grid engine.
     pub fn run(&self) -> Result<ShardReport, CampaignError> {
-        self.run_with_progress(None)
+        self.run_with(None, None)
     }
 
     /// [`CampaignShard::run`] with an optional progress hook.  The hook sees
@@ -183,9 +407,22 @@ impl CampaignShard {
         &self,
         progress: Option<&ProgressHook>,
     ) -> Result<ShardReport, CampaignError> {
+        self.run_with(progress, None)
+    }
+
+    /// [`CampaignShard::run`] with an optional progress hook and an optional
+    /// [`CellCache`] memoizing every simulated cell (shard reports stay
+    /// byte-identical with or without it).
+    pub fn run_with(
+        &self,
+        progress: Option<&ProgressHook>,
+        cache: Option<&CellCache>,
+    ) -> Result<ShardReport, CampaignError> {
         let scenarios = scenario_experiments(&self.spec)?;
         let indices = self.trace_indices();
         let generation_count = AtomicUsize::new(0);
+        let row_doc = |&i: &usize| Serialize::to_value(&self.spec.traces[i]);
+        let grid_cache = cache.map(|cache| GridCache::new(cache, &self.spec, &row_doc));
         let grid = run_grid_streaming(
             &scenarios,
             &indices,
@@ -197,14 +434,16 @@ impl CampaignShard {
             self.spec.warmup_runs,
             self.spec.include_baseline,
             progress,
+            grid_cache.as_ref(),
         );
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
         Ok(ShardReport {
-            schema_version: shard_wire_version(&self.spec),
+            schema_version: shard_wire_version(&self.spec, &self.plan),
             shard_index: self.shard_index,
-            shard_count: self.shard_count,
+            shard_count: self.plan.shard_count(),
             spec: self.spec.clone(),
+            plan: (*self.plan).clone(),
             trace_indices: indices,
             baselines,
             cells,
@@ -216,7 +455,7 @@ impl CampaignShard {
 
 /// The serializable result of one shard's execution — a mergeable,
 /// checkpointable slice of a [`CampaignReport`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardReport {
     /// Shard wire-schema version ([`SHARD_SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -226,6 +465,10 @@ pub struct ShardReport {
     pub shard_count: usize,
     /// The full campaign spec (identical across all shards of a partition).
     pub spec: CampaignSpec,
+    /// The partition plan (identical across all shards).  Serialized only
+    /// in v3 documents; v1/v2 documents decode to the implied round-robin
+    /// plan.
+    pub plan: ShardPlan,
     /// The spec trace rows this shard covered, ascending.
     pub trace_indices: Vec<usize>,
     /// One baseline per covered row (empty when the spec disabled baselines).
@@ -239,16 +482,99 @@ pub struct ShardReport {
     pub trace_generations: usize,
 }
 
+impl Serialize for ShardReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (
+                "schema_version".to_string(),
+                serde::Value::UInt(self.schema_version as u64),
+            ),
+            (
+                "shard_index".to_string(),
+                Serialize::to_value(&self.shard_index),
+            ),
+            (
+                "shard_count".to_string(),
+                Serialize::to_value(&self.shard_count),
+            ),
+            ("spec".to_string(), Serialize::to_value(&self.spec)),
+        ];
+        if self.schema_version >= SHARD_SCHEMA_VERSION {
+            // The `plan` field exists only in the v3 wire shape; round-robin
+            // shards keep the exact pre-plan bytes.
+            fields.push(("plan".to_string(), Serialize::to_value(&self.plan)));
+        }
+        fields.extend([
+            (
+                "trace_indices".to_string(),
+                Serialize::to_value(&self.trace_indices),
+            ),
+            (
+                "baselines".to_string(),
+                Serialize::to_value(&self.baselines),
+            ),
+            ("cells".to_string(), Serialize::to_value(&self.cells)),
+            (
+                "baseline_runs".to_string(),
+                Serialize::to_value(&self.baseline_runs),
+            ),
+            (
+                "trace_generations".to_string(),
+                Serialize::to_value(&self.trace_generations),
+            ),
+        ]);
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for ShardReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct ShardReport"))?;
+        let schema_version: u32 = serde::de_field(m, "schema_version")?;
+        let shard_count: usize = serde::de_field(m, "shard_count")?;
+        let spec: CampaignSpec = serde::de_field(m, "spec")?;
+        let plan = if schema_version >= SHARD_SCHEMA_VERSION {
+            serde::de_field(m, "plan")?
+        } else {
+            // v1/v2 shards predate explicit plans: round-robin was the only
+            // partition, so the plan is fully implied by the shard count.
+            ShardPlan::round_robin(spec.traces.len(), shard_count.max(1))
+                .map_err(|e| serde::Error::custom(e.to_string()))?
+        };
+        Ok(ShardReport {
+            schema_version,
+            shard_index: serde::de_field(m, "shard_index")?,
+            shard_count,
+            spec,
+            plan,
+            trace_indices: serde::de_field(m, "trace_indices")?,
+            baselines: serde::de_field(m, "baselines")?,
+            cells: serde::de_field(m, "cells")?,
+            baseline_runs: serde::de_field(m, "baseline_runs")?,
+            trace_generations: serde::de_field(m, "trace_generations")?,
+        })
+    }
+}
+
 impl ShardReport {
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string_pretty(self)
     }
 
-    /// Decode from JSON (legacy v1 or scenario-aware v2), checking the shard
+    /// Decode from JSON (legacy v1/v2 or plan-aware v3), checking the shard
     /// schema version first.
     pub fn from_json(text: &str) -> Result<ShardReport, CampaignError> {
-        let value = decode_versioned(text, &[LEGACY_SHARD_SCHEMA_VERSION, SHARD_SCHEMA_VERSION])?;
+        let value = decode_versioned(
+            text,
+            &[
+                LEGACY_SHARD_SCHEMA_VERSION,
+                SCENARIO_SHARD_SCHEMA_VERSION,
+                SHARD_SCHEMA_VERSION,
+            ],
+        )?;
         Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
     }
 
@@ -257,8 +583,9 @@ impl ShardReport {
         self.spec.include_baseline || self.spec.policies.contains(&PolicyKind::Baseline)
     }
 
-    /// Structural self-consistency: right row/cell/baseline counts, indices
-    /// in range and canonical for `(shard_index, shard_count)`.
+    /// Structural self-consistency: right row/cell/baseline counts, a valid
+    /// partition plan, and rows matching the plan's slice for
+    /// `(shard_index, shard_count)`.
     fn check(&self) -> Result<(), CampaignError> {
         let malformed = |reason: String| CampaignError::MalformedShard {
             index: self.shard_index,
@@ -270,12 +597,20 @@ impl ShardReport {
                 count: self.shard_count,
             });
         }
-        let expected: Vec<usize> = (self.shard_index..self.spec.traces.len())
-            .step_by(self.shard_count)
-            .collect();
+        if self.plan.shard_count() != self.shard_count {
+            return Err(malformed(format!(
+                "plan covers {} shards but the shard claims {}",
+                self.plan.shard_count(),
+                self.shard_count
+            )));
+        }
+        self.plan
+            .validate(self.spec.traces.len())
+            .map_err(|reason| malformed(format!("invalid partition plan: {reason}")))?;
+        let expected = self.plan.rows(self.shard_index);
         if self.trace_indices != expected {
             return Err(malformed(format!(
-                "rows {:?} are not the canonical partition slice {:?}",
+                "rows {:?} are not the plan's partition slice {:?}",
                 self.trace_indices, expected
             )));
         }
@@ -330,6 +665,7 @@ impl CampaignReport {
         let first = shards.first().ok_or(CampaignError::NoShards)?;
         for shard in shards {
             if shard.schema_version != LEGACY_SHARD_SCHEMA_VERSION
+                && shard.schema_version != SCENARIO_SHARD_SCHEMA_VERSION
                 && shard.schema_version != SHARD_SCHEMA_VERSION
             {
                 return Err(CampaignError::UnsupportedSchemaVersion {
@@ -355,6 +691,12 @@ impl CampaignReport {
             if shard.spec != first.spec {
                 return Err(CampaignError::ShardSetMismatch(format!(
                     "shard {} was run against a different spec than shard {}",
+                    shard.shard_index, first.shard_index
+                )));
+            }
+            if shard.plan != first.plan {
+                return Err(CampaignError::ShardSetMismatch(format!(
+                    "shard {} was run under a different partition plan than shard {}",
                     shard.shard_index, first.shard_index
                 )));
             }
@@ -412,12 +754,59 @@ impl CampaignReport {
 
 /// The checkpoint manifest written next to the shard files, so a resumed run
 /// can refuse a directory that belongs to a different campaign before
-/// touching any shard.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// touching any shard.  The manifest also **pins the partition plan**: a
+/// resumed run re-executes the manifest's plan even if cost observations
+/// have changed since (re-planning mid-campaign would orphan completed
+/// shard files).
+#[derive(Debug, Clone, PartialEq)]
 struct CheckpointManifest {
     schema_version: u32,
     shard_count: usize,
     spec: CampaignSpec,
+    plan: ShardPlan,
+}
+
+impl Serialize for CheckpointManifest {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (
+                "schema_version".to_string(),
+                serde::Value::UInt(self.schema_version as u64),
+            ),
+            (
+                "shard_count".to_string(),
+                Serialize::to_value(&self.shard_count),
+            ),
+            ("spec".to_string(), Serialize::to_value(&self.spec)),
+        ];
+        if self.schema_version >= SHARD_SCHEMA_VERSION {
+            fields.push(("plan".to_string(), Serialize::to_value(&self.plan)));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for CheckpointManifest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct CheckpointManifest"))?;
+        let schema_version: u32 = serde::de_field(m, "schema_version")?;
+        let shard_count: usize = serde::de_field(m, "shard_count")?;
+        let spec: CampaignSpec = serde::de_field(m, "spec")?;
+        let plan = if schema_version >= SHARD_SCHEMA_VERSION {
+            serde::de_field(m, "plan")?
+        } else {
+            ShardPlan::round_robin(spec.traces.len(), shard_count.max(1))
+                .map_err(|e| serde::Error::custom(e.to_string()))?
+        };
+        Ok(CheckpointManifest {
+            schema_version,
+            shard_count,
+            spec,
+            plan,
+        })
+    }
 }
 
 /// Name of the manifest file inside a checkpoint directory.
@@ -443,12 +832,20 @@ pub struct ShardedRunOutcome {
 /// Drives a whole shard partition — sequentially over shards, with the
 /// streaming parallel fan-out *inside* each shard — with optional
 /// checkpointing and resume.
+///
+/// Partitioning is **cost-model-driven**: the runner plans with
+/// [`ShardPlan::for_spec`], so with a [`CellCache`] attached
+/// ([`ShardedCampaignRunner::with_cache`]) rows are LPT-packed by their
+/// recorded simulation times, and without one (no observations) the plan
+/// canonicalises to the legacy round-robin partition — wire formats,
+/// checkpoint bytes and golden snapshots of uncached runs are unchanged.
 #[derive(Clone)]
 pub struct ShardedCampaignRunner {
     shard_count: usize,
     checkpoint: Option<PathBuf>,
     resume: bool,
     progress: Option<ProgressHook>,
+    cache: Option<Arc<CellCache>>,
 }
 
 impl std::fmt::Debug for ShardedCampaignRunner {
@@ -458,6 +855,10 @@ impl std::fmt::Debug for ShardedCampaignRunner {
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume)
             .field("progress", &self.progress.is_some())
+            .field(
+                "cache",
+                &self.cache.as_ref().map(|c| c.root().to_path_buf()),
+            )
             .finish()
     }
 }
@@ -471,7 +872,17 @@ impl ShardedCampaignRunner {
             checkpoint: None,
             resume: false,
             progress: None,
+            cache: None,
         }
+    }
+
+    /// Memoize every simulated cell through a [`CellCache`] and let its
+    /// recorded timings drive the cost-balanced partition (see
+    /// [`ShardPlan::cost_balanced`]).  Reports stay byte-identical with or
+    /// without the cache.
+    pub fn with_cache(mut self, cache: Arc<CellCache>) -> ShardedCampaignRunner {
+        self.cache = Some(cache);
+        self
     }
 
     /// Write every completed shard to `dir` (created on demand), making the
@@ -501,25 +912,45 @@ impl ShardedCampaignRunner {
 
     /// Execute (or resume) the partition and merge the shards.
     pub fn run(&self, spec: &CampaignSpec) -> Result<ShardedRunOutcome, CampaignError> {
-        let shards = CampaignShard::plan(spec, self.shard_count)?;
+        // Plan with observed costs when a cache is attached (uniform costs —
+        // and therefore the canonical round-robin plan — otherwise).
+        let model = match self.cache.as_deref() {
+            Some(cache) => CostModel::observed(cache),
+            None => CostModel::uniform(),
+        };
+        let mut plan = ShardPlan::for_spec(spec, self.shard_count, &model)?;
         if let Some(dir) = &self.checkpoint {
-            self.prepare_checkpoint_dir(dir, spec)?;
+            // A resumed directory pins its original plan: completed shard
+            // files were cut along it, so re-planning would orphan them.
+            plan = self.prepare_checkpoint_dir(dir, spec, plan)?;
         }
+        let shards = CampaignShard::from_plan(spec, plan);
 
         // Remap shard-local progress to campaign-global cell counts; resumed
-        // shards advance the counter without firing the hook per cell.
+        // shards advance the counter without firing the hook per cell.  The
+        // panic isolation inside the grid engine is per shard, so a
+        // run-level disable flag lives out here: a user hook that panics is
+        // disabled for the rest of the *run*, not re-tried on every shard.
         let total_cells = spec.cell_count();
         let completed = Arc::new(AtomicUsize::new(0));
         let global_hook: Option<ProgressHook> = self.progress.clone().map(|user| {
             let completed = Arc::clone(&completed);
+            let disabled = Arc::new(AtomicBool::new(false));
             Arc::new(move |p: &CampaignProgress| {
-                user(&CampaignProgress {
+                let global = CampaignProgress {
                     completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
                     total_cells,
                     policy: p.policy.clone(),
                     trace: p.trace.clone(),
                     scenario: p.scenario.clone(),
-                })
+                };
+                if disabled.load(Ordering::Relaxed) {
+                    return;
+                }
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| user(&global))).is_err()
+                {
+                    disabled.store(true, Ordering::Relaxed);
+                }
             }) as ProgressHook
         });
 
@@ -533,7 +964,7 @@ impl ShardedCampaignRunner {
                 reports.push(report);
                 continue;
             }
-            let report = shard.run_with_progress(global_hook.as_ref())?;
+            let report = shard.run_with(global_hook.as_ref(), self.cache.as_deref())?;
             if let Some(dir) = &self.checkpoint {
                 write_checkpoint_file(
                     &dir.join(shard_file_name(shard.shard_index())),
@@ -553,45 +984,67 @@ impl ShardedCampaignRunner {
 
     /// Create the checkpoint directory and reconcile its manifest: a resumed
     /// run refuses a directory whose manifest belongs to a different
-    /// campaign or partition; a fresh run overwrites it.
-    fn prepare_checkpoint_dir(&self, dir: &Path, spec: &CampaignSpec) -> Result<(), CampaignError> {
+    /// campaign or shard count, **adopts** a matching manifest's partition
+    /// plan (completed shard files were cut along it), and a fresh run
+    /// overwrites the manifest with the newly planned partition.
+    fn prepare_checkpoint_dir(
+        &self,
+        dir: &Path,
+        spec: &CampaignSpec,
+        planned: ShardPlan,
+    ) -> Result<ShardPlan, CampaignError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| CampaignError::Checkpoint(format!("create {}: {e}", dir.display())))?;
         let manifest_path = dir.join(MANIFEST_FILE);
-        let manifest = CheckpointManifest {
-            schema_version: shard_wire_version(spec),
-            shard_count: self.shard_count,
-            spec: spec.clone(),
-        };
         if self.resume {
             if let Ok(text) = std::fs::read_to_string(&manifest_path) {
                 // An undecodable manifest is refused like a foreign one (and
                 // with the file named, so the failure is actionable) — unlike
                 // corrupt *shard* files, whose loss only costs a re-run, a
                 // damaged manifest means the directory can't be trusted.
-                let found: CheckpointManifest =
-                    decode_versioned(&text, &[LEGACY_SHARD_SCHEMA_VERSION, SHARD_SCHEMA_VERSION])
-                        .and_then(|value| {
-                            Deserialize::from_value(&value)
-                                .map_err(|e| CampaignError::Decode(e.to_string()))
-                        })
-                        .map_err(|e| {
-                            CampaignError::Checkpoint(format!(
-                                "unreadable manifest {}: {e}; delete it to start over",
-                                manifest_path.display()
-                            ))
-                        })?;
-                if found != manifest {
+                let found: CheckpointManifest = decode_versioned(
+                    &text,
+                    &[
+                        LEGACY_SHARD_SCHEMA_VERSION,
+                        SCENARIO_SHARD_SCHEMA_VERSION,
+                        SHARD_SCHEMA_VERSION,
+                    ],
+                )
+                .and_then(|value| {
+                    Deserialize::from_value(&value)
+                        .map_err(|e| CampaignError::Decode(e.to_string()))
+                })
+                .map_err(|e| {
+                    CampaignError::Checkpoint(format!(
+                        "unreadable manifest {}: {e}; delete it to start over",
+                        manifest_path.display()
+                    ))
+                })?;
+                if found.spec != *spec || found.shard_count != self.shard_count {
                     return Err(CampaignError::Checkpoint(format!(
                         "{} belongs to a different campaign or shard count; \
                          refusing to resume over it",
                         dir.display()
                     )));
                 }
-                return Ok(());
+                found.plan.validate(spec.traces.len()).map_err(|reason| {
+                    CampaignError::Checkpoint(format!(
+                        "manifest {} carries an invalid partition plan ({reason}); \
+                         delete the directory to start over",
+                        manifest_path.display()
+                    ))
+                })?;
+                return Ok(found.plan);
             }
         }
-        write_checkpoint_file(&manifest_path, &serde::json::to_string_pretty(&manifest))
+        let manifest = CheckpointManifest {
+            schema_version: shard_wire_version(spec, &planned),
+            shard_count: self.shard_count,
+            spec: spec.clone(),
+            plan: planned,
+        };
+        write_checkpoint_file(&manifest_path, &serde::json::to_string_pretty(&manifest))?;
+        Ok(manifest.plan)
     }
 
     /// Load one shard's checkpoint file if resuming and the file still
@@ -619,6 +1072,7 @@ impl ShardedCampaignRunner {
         let matches = report.shard_index == shard.shard_index()
             && report.shard_count == shard.shard_count()
             && report.spec == *shard.spec()
+            && report.plan == *shard.shard_plan()
             && report.check().is_ok();
         Ok(matches.then_some(report))
     }
@@ -672,6 +1126,112 @@ mod tests {
         let shards = CampaignShard::plan(&spec, 3).unwrap();
         let sizes: Vec<usize> = shards.iter().map(|s| s.trace_indices().len()).collect();
         assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn sharded_hooks_that_panic_are_disabled_for_the_whole_run() {
+        // The disable must be run-scoped, not shard-scoped: a hook that
+        // panics on its first call is never invoked again, even though the
+        // engine restarts per shard.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let outcome = ShardedCampaignRunner::new(3)
+            .with_progress(move |_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                panic!("user hook exploded");
+            })
+            .run(&spec(6))
+            .expect("run survives a panicking hook");
+        assert_eq!(outcome.report.cells.len(), 6);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "hook disabled after its first panic, across all shards"
+        );
+    }
+
+    #[test]
+    fn lpt_balances_skewed_costs_better_than_round_robin() {
+        // One heavy row (row 0) plus light rows: round-robin piles the
+        // heavy row onto shard 0 together with rows 3 and 6, while LPT
+        // isolates it.
+        let costs = [1_000u64, 10, 10, 10, 10, 10, 10];
+        let balanced = ShardPlan::cost_balanced(&costs, 3).unwrap();
+        assert_eq!(balanced.strategy(), ShardStrategy::CostBalanced);
+        let round_robin = ShardPlan::round_robin(costs.len(), 3).unwrap();
+        let max = |plan: &ShardPlan| plan.shard_loads(&costs).into_iter().max().unwrap();
+        assert_eq!(max(&round_robin), 1_020, "rr stacks rows 0+3+6");
+        assert_eq!(
+            max(&balanced),
+            1_000,
+            "LPT gives the heavy row its own shard"
+        );
+    }
+
+    #[test]
+    fn uniform_costs_canonicalise_to_round_robin() {
+        // The wire-compatibility cornerstone: an unobserved cost model
+        // prices every row identically, and the LPT plan for identical
+        // costs *is* the round-robin plan — strategy included, so the
+        // legacy v1/v2 bytes keep being emitted.
+        for (n_rows, shard_count) in [(7, 3), (12, 5), (1, 4), (0, 2)] {
+            let balanced = ShardPlan::cost_balanced(&vec![17; n_rows], shard_count).unwrap();
+            let round_robin = ShardPlan::round_robin(n_rows, shard_count).unwrap();
+            assert_eq!(
+                balanced, round_robin,
+                "{n_rows} rows × {shard_count} shards"
+            );
+            assert_eq!(balanced.strategy(), ShardStrategy::RoundRobin);
+        }
+    }
+
+    #[test]
+    fn shard_plans_round_trip_through_json() {
+        let plan = ShardPlan::cost_balanced(&[100, 1, 1, 1, 50, 2], 3).unwrap();
+        assert_eq!(plan.strategy(), ShardStrategy::CostBalanced);
+        let json = serde::json::to_string_pretty(&plan);
+        let back: ShardPlan = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn legacy_shards_decode_to_the_implied_round_robin_plan() {
+        // A single-default-scenario round-robin shard still writes the v1
+        // wire shape with no `plan` field; decoding re-derives the implied
+        // round-robin plan from the shard count.
+        let report = CampaignShard::new(spec(3), 2, 1).unwrap().run().unwrap();
+        assert_eq!(report.schema_version, LEGACY_SHARD_SCHEMA_VERSION);
+        let json = report.to_json();
+        assert!(
+            !json.contains("\"plan\""),
+            "round-robin shards keep the pre-plan bytes"
+        );
+        let decoded = ShardReport::from_json(&json).unwrap();
+        assert_eq!(
+            decoded.plan,
+            ShardPlan::round_robin(3, 2).unwrap(),
+            "the implied partition is round-robin"
+        );
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn merge_rejects_mixed_partition_plans() {
+        // Both shards are structurally valid, but shard 1 claims it was cut
+        // along a different (here: differently-labelled) plan: merging them
+        // could interleave rows from incompatible partitions.
+        let spec = spec(4);
+        let shards = CampaignShard::plan(&spec, 2).unwrap();
+        let a = shards[0].run().unwrap();
+        let mut b = shards[1].run().unwrap();
+        b.plan = ShardPlan {
+            strategy: ShardStrategy::CostBalanced,
+            assignments: b.plan.assignments.clone(),
+        };
+        assert!(matches!(
+            CampaignReport::merge(&[a, b]).unwrap_err(),
+            CampaignError::ShardSetMismatch(_)
+        ));
     }
 
     #[test]

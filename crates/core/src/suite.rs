@@ -59,9 +59,13 @@ impl SuiteResult {
     }
 
     /// Per-application speedups sorted ascending — the S-curve of Figure 14.
+    /// Sorted with [`f64::total_cmp`] (a true total order), matching the
+    /// degenerate-cell policy of `CampaignReport::speedup_curve`: zero-cycle
+    /// runs measure 0.0 and sort first, and no input can destabilise the
+    /// sort.
     pub fn speedup_curve(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.per_trace.iter().map(|r| r.speedup()).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(f64::total_cmp);
         v
     }
 }
@@ -101,6 +105,7 @@ impl SuiteRunner {
             0,
             true,
             None,
+            None,
         );
         SuiteResult {
             policy: kind.name().to_string(),
@@ -118,6 +123,7 @@ impl SuiteRunner {
             &[kind],
             0,
             true,
+            None,
             None,
         );
         SuiteResult {

@@ -13,6 +13,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Version of the simulator's *observable behaviour*: the mapping from
+/// (trace, configuration, policy) to [`SimStats`].  Consumers that memoize
+/// simulation results on disk (the `hc_core::cache` cell cache) fold this
+/// constant into their keys, so bumping it invalidates every cached cell.
+///
+/// Bump it whenever a change alters the statistics a run produces — new
+/// timing behaviour, counter semantics, predictor defaults.  Pure refactors
+/// that keep runs bit-identical (the `tests/golden_*.rs` snapshots prove
+/// this) must **not** bump it, or caches lose their contents for nothing.
+pub const SIM_BEHAVIOR_VERSION: u32 = 1;
+
 pub mod cache;
 pub mod config;
 pub mod exec;

@@ -25,6 +25,7 @@ pub use hc_trace as trace;
 
 /// Convenience prelude re-exporting the most commonly used types.
 pub mod prelude {
+    pub use hc_core::cache::{CellCache, CostModel};
     pub use hc_core::campaign::{
         CampaignBuilder, CampaignError, CampaignReport, CampaignRunner, CampaignSpec, TraceSelector,
     };

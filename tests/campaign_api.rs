@@ -105,7 +105,7 @@ fn figures_agree_with_the_direct_experiment_path() {
     // The seed computed fig6 rows as one Experiment::run per benchmark; the
     // campaign-backed figure must produce the same values.
     const LEN: usize = 1_000;
-    let fig = figures::fig6(LEN);
+    let fig = figures::fig6(LEN).expect("fig6 reproduces");
     let experiment = Experiment::default();
     for benchmark in SpecBenchmark::ALL {
         let trace = benchmark.trace(LEN);

@@ -27,8 +27,8 @@ fn figure_1_reports_all_spec_benchmarks_in_paper_order() {
 fn copy_figures_share_the_8_8_8_series() {
     // Figure 9 extends Figure 8 with the LR series; the common 8_8_8 column
     // must agree between the two (same policy, same traces, same simulator).
-    let f8 = figures::fig8(LEN);
-    let f9 = figures::fig9(LEN);
+    let f8 = figures::fig8(LEN).expect("fig8 reproduces");
+    let f9 = figures::fig9(LEN).expect("fig9 reproduces");
     for (r8, r9) in f8.rows.iter().zip(f9.rows.iter()) {
         assert_eq!(r8.label, r9.label);
         assert!((r8.values[0] - r9.values[0]).abs() < 1e-9);
@@ -38,7 +38,7 @@ fn copy_figures_share_the_8_8_8_series() {
 
 #[test]
 fn headline_contains_every_non_baseline_policy() {
-    let f = figures::headline(LEN);
+    let f = figures::headline(LEN).expect("headline reproduces");
     let labels: Vec<&str> = f.rows.iter().map(|r| r.label.as_str()).collect();
     for kind in [
         PolicyKind::P888,
@@ -53,7 +53,7 @@ fn headline_contains_every_non_baseline_policy() {
 
 #[test]
 fn fig14_covers_all_seven_categories() {
-    let f = figures::fig14_categories(1, LEN);
+    let f = figures::fig14_categories(1, LEN).expect("fig14 reproduces");
     let labels: Vec<&str> = f.rows.iter().map(|r| r.label.as_str()).collect();
     for cat in ["enc", "sfp", "kernels", "mm", "office", "prod", "ws"] {
         assert!(labels.contains(&cat), "{cat} missing from {labels:?}");
