@@ -45,8 +45,27 @@
 //! through the same sharded streaming engine (`--shards`, `--checkpoint`,
 //! `--resume`, `--json`, `--csv` all apply).  Markdown output adds the
 //! width-predictor table-size sweep {256 … 4096} as a second figure.
+//!
+//! `serve` turns the campaign engine into a long-lived daemon
+//! (`hc_serve`): it binds `--addr` (default `127.0.0.1:0`; the bound
+//! address goes to stderr and, tmp+rename atomically, to `--addr-file`),
+//! shares one `--cache` directory and one worker pool across every
+//! request, and streams campaign results back as NDJSON.  `--max-requests
+//! N` drains and exits after N campaign submissions settle; `POST
+//! /shutdown` does the same on demand.  `submit` is the client: it sends
+//! the spec in `--spec FILE` (default: the `campaign` mode's 7×12 grid at
+//! `--trace-len`) to `--addr` (or the address read from `--addr-file`),
+//! mirrors progress frames to stderr, and prints the final report JSON to
+//! stdout — byte-identical to offline `reproduce campaign --json`.
+//! `submit --metrics` prints the daemon's `/metrics` document instead;
+//! `submit --shutdown` asks it to drain.
+//!
+//! `cache-gc` sweeps a `--cache` directory: `--max-age-secs S` evicts
+//! entries unused for longer than S, then `--max-bytes N` evicts
+//! least-recently-used entries until at most N bytes remain; `--dry-run`
+//! reports what would go without deleting anything.
 
-use hc_core::cache::CellCache;
+use hc_core::cache::{CellCache, GcPolicy};
 use hc_core::campaign::{CampaignBuilder, CampaignError, CampaignRunner, CampaignSpec};
 use hc_core::figures;
 use hc_core::policy::PolicyKind;
@@ -72,6 +91,15 @@ struct Options {
     resume: bool,
     cache: Option<String>,
     no_cache: bool,
+    addr: Option<String>,
+    addr_file: Option<String>,
+    max_requests: Option<u64>,
+    spec: Option<String>,
+    metrics: bool,
+    shutdown: bool,
+    max_bytes: Option<u64>,
+    max_age_secs: Option<u64>,
+    dry_run: bool,
 }
 
 fn parse_args() -> Options {
@@ -92,6 +120,15 @@ fn parse_args() -> Options {
         // Environment default; --cache overrides, --no-cache disables.
         cache: std::env::var("REPRODUCE_CACHE").ok(),
         no_cache: false,
+        addr: None,
+        addr_file: None,
+        max_requests: None,
+        spec: None,
+        metrics: false,
+        shutdown: false,
+        max_bytes: None,
+        max_age_secs: None,
+        dry_run: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -119,12 +156,28 @@ fn parse_args() -> Options {
             "--resume" => opts.resume = true,
             "--cache" => opts.cache = args.next().or(opts.cache),
             "--no-cache" => opts.no_cache = true,
+            "--addr" => opts.addr = args.next().or(opts.addr),
+            "--addr-file" => opts.addr_file = args.next().or(opts.addr_file),
+            "--max-requests" => opts.max_requests = args.next().and_then(|v| v.parse().ok()),
+            "--spec" => opts.spec = args.next().or(opts.spec),
+            "--metrics" => opts.metrics = true,
+            "--shutdown" => opts.shutdown = true,
+            "--max-bytes" => opts.max_bytes = args.next().and_then(|v| v.parse().ok()),
+            "--max-age-secs" => opts.max_age_secs = args.next().and_then(|v| v.parse().ok()),
+            "--dry-run" => opts.dry_run = true,
             "--full-suite" => opts.full_suite = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--shards N] [--checkpoint DIR] [--resume] [--cache DIR] [--no-cache] [--json] [--csv]"
+                    "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--shards N] [--checkpoint DIR] [--resume] [--cache DIR] [--no-cache] [--json] [--csv]\n\
+                     \n\
+                     campaign service:\n\
+                     \x20      reproduce serve    [--addr HOST:PORT] [--addr-file PATH] [--cache DIR] [--max-requests N] [--threads N]\n\
+                     \x20      reproduce submit   (--addr HOST:PORT | --addr-file PATH) [--spec FILE | --trace-len N] [--metrics] [--shutdown]\n\
+                     \n\
+                     cache maintenance:\n\
+                     \x20      reproduce cache-gc --cache DIR [--max-bytes N] [--max-age-secs S] [--dry-run]"
                 );
                 std::process::exit(0);
             }
@@ -159,16 +212,19 @@ fn open_cache(opts: &Options, mode: &str) -> Option<Arc<CellCache>> {
     Some(Arc::new(or_die(mode, CellCache::open(dir))))
 }
 
-/// Report a cache's activity to stderr (never stdout: the JSON/CSV payloads
+/// Report a cache's counters to stderr (never stdout: the JSON/CSV payloads
 /// must stay byte-identical between cold and warm runs).
 fn report_cache_activity(mode: &str, cache: &CellCache) {
-    let a = cache.activity();
+    let s = cache.stats();
     eprintln!(
-        "{mode}: cache: {} hits, {} misses, {} inserts, {} evictions ({})",
-        a.hits,
-        a.misses,
-        a.inserts,
-        a.evictions,
+        "{mode}: cache: {} hits, {} misses, {} inserts, {} evictions, {} dedupe joins; {} entries, {} bytes ({})",
+        s.hits,
+        s.misses,
+        s.inserts,
+        s.evictions,
+        s.dedupe_joins,
+        s.entries,
+        s.bytes,
         cache.root().display()
     );
 }
@@ -185,6 +241,175 @@ fn print_curve_summary(curve: &[f64]) {
         curve[n / 2],
         curve[3 * n / 4],
         curve[n - 1]
+    );
+}
+
+/// The `campaign` mode's spec — also what `submit` sends when no `--spec`
+/// file is given, so the served stream can be diffed against the offline
+/// `campaign --json` output directly.
+fn grid_spec(len: usize) -> Result<CampaignSpec, CampaignError> {
+    CampaignBuilder::new("spec-grid")
+        .paper_policies()
+        .spec_suite()
+        .trace_len(len)
+        .build()
+}
+
+/// The `serve` mode: stand the campaign daemon up and run it until it
+/// drains (`POST /shutdown` or `--max-requests`).
+fn run_serve_mode(opts: &Options) {
+    let addr = opts
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let cache_dir = if opts.no_cache {
+        None
+    } else {
+        opts.cache.clone().map(std::path::PathBuf::from)
+    };
+    let server = match hc_serve::Server::bind(hc_serve::ServeOptions {
+        addr,
+        cache_dir,
+        max_requests: opts.max_requests,
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bound = server.local_addr();
+    eprintln!(
+        "serve: listening on {bound}{}",
+        match server.cache() {
+            Some(cache) => format!(", cache {}", cache.root().display()),
+            None => ", no cache (dedupe off)".to_string(),
+        }
+    );
+    if let Some(path) = &opts.addr_file {
+        // tmp+rename, so a submitter polling for the file never reads a
+        // half-written address.
+        let tmp = format!("{path}.tmp");
+        let written =
+            std::fs::write(&tmp, format!("{bound}\n")).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = written {
+            eprintln!("serve: cannot write --addr-file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let cache = server.cache().map(Arc::clone);
+    if let Err(e) = server.serve() {
+        eprintln!("serve: {e}");
+        std::process::exit(2);
+    }
+    if let Some(cache) = &cache {
+        report_cache_activity("serve", cache);
+    }
+    eprintln!("serve: drained");
+}
+
+/// Resolve the daemon address for `submit`: `--addr` wins, then the
+/// contents of `--addr-file` (as written by `serve`).
+fn submit_addr(opts: &Options) -> String {
+    if let Some(addr) = &opts.addr {
+        return addr.clone();
+    }
+    if let Some(path) = &opts.addr_file {
+        match std::fs::read_to_string(path) {
+            Ok(contents) => return contents.trim().to_string(),
+            Err(e) => {
+                eprintln!("submit: cannot read --addr-file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("submit: provide --addr HOST:PORT or --addr-file PATH");
+    std::process::exit(2);
+}
+
+/// The `submit` mode: stream a campaign through a running daemon (or fetch
+/// its `/metrics`, or ask it to drain).
+fn run_submit_mode(opts: &Options, len: usize) {
+    let addr = submit_addr(opts);
+    let mut acted = false;
+    if opts.metrics {
+        match hc_serve::client::get(&addr, "/metrics") {
+            Ok(body) => print!("{body}"),
+            Err(e) => {
+                eprintln!("submit: {e}");
+                std::process::exit(2);
+            }
+        }
+        acted = true;
+    }
+    if opts.shutdown {
+        if let Err(e) = hc_serve::client::shutdown(&addr) {
+            eprintln!("submit: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("submit: daemon at {addr} is draining");
+        acted = true;
+    }
+    if acted {
+        return;
+    }
+    let spec_json = match &opts.spec {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(e) => {
+                eprintln!("submit: cannot read --spec {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => or_die("submit", grid_spec(len)).to_json(),
+    };
+    // Progress frames mirror the offline progress hook's stderr format;
+    // the report goes to stdout via `println!`, exactly like the offline
+    // `campaign --json` path, so the two outputs are byte-identical.
+    let report = hc_serve::client::submit(&addr, &spec_json, |frame| {
+        use hc_serve::protocol;
+        if protocol::frame_event(frame) == protocol::EVENT_CELL {
+            let field = |key: &str| frame.get(key).and_then(serde::Value::as_str).unwrap_or("?");
+            eprintln!(
+                "[{}/{}] {} × {} × {}",
+                protocol::frame_uint(frame, "completed").unwrap_or(0),
+                protocol::frame_uint(frame, "total").unwrap_or(0),
+                field("policy"),
+                field("trace"),
+                field("scenario")
+            );
+        }
+    });
+    match report {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("submit: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `cache-gc` mode: size/age-capped LRU sweep of a cell cache.
+fn run_cache_gc_mode(opts: &Options) {
+    let Some(dir) = opts.cache.as_deref() else {
+        eprintln!("cache-gc: provide --cache DIR (or set REPRODUCE_CACHE)");
+        std::process::exit(2);
+    };
+    let cache = or_die("cache-gc", CellCache::open(dir));
+    let policy = GcPolicy {
+        max_bytes: opts.max_bytes,
+        max_age: opts.max_age_secs.map(std::time::Duration::from_secs),
+        dry_run: opts.dry_run,
+    };
+    let outcome = or_die("cache-gc", cache.gc(&policy));
+    println!(
+        "{}: {}evicted {} entries ({} bytes), kept {} entries ({} bytes)",
+        cache.root().display(),
+        if opts.dry_run { "would have " } else { "" },
+        outcome.evicted,
+        outcome.evicted_bytes,
+        outcome.kept,
+        outcome.kept_bytes
     );
 }
 
@@ -314,6 +539,20 @@ fn main() {
         rayon::set_thread_cap(n);
     }
     let len = opts.trace_len;
+    // The service and maintenance modes are exclusive: they do their one
+    // job and exit instead of joining the figure sweep.
+    if opts.figures.iter().any(|f| f == "serve") {
+        run_serve_mode(&opts);
+        return;
+    }
+    if opts.figures.iter().any(|f| f == "submit") {
+        run_submit_mode(&opts, len);
+        return;
+    }
+    if opts.figures.iter().any(|f| f == "cache-gc") {
+        run_cache_gc_mode(&opts);
+        return;
+    }
     if (opts.json || opts.csv)
         && !opts
             .figures
@@ -418,14 +657,7 @@ fn main() {
     // figure's data, exposed through the declarative Campaign API with its
     // versioned JSON / stable CSV schema).
     if opts.figures.iter().any(|f| f == "campaign") {
-        let spec = or_die(
-            "campaign",
-            CampaignBuilder::new("spec-grid")
-                .paper_policies()
-                .spec_suite()
-                .trace_len(len)
-                .build(),
-        );
+        let spec = or_die("campaign", grid_spec(len));
         let mut runner = CampaignRunner::new().with_progress(|p| {
             eprintln!(
                 "[{}/{}] {} × {}",

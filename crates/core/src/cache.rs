@@ -36,6 +36,29 @@
 //! cost-balanced shard planner (`hc_core::shard`): rows whose cells are
 //! known-slow are spread across shards instead of round-robin'd into one
 //! unlucky straggler.
+//!
+//! ## In-flight dedupe (singleflight)
+//!
+//! [`CellCache::get_or_compute`] is the miss path every cache-mediated
+//! simulation funnels through.  It keeps a keyed singleflight table
+//! (`HashMap<digest, Arc<Flight>>` guarded by a mutex, one condvar per
+//! flight): the first caller to miss on a key becomes the **leader** and
+//! simulates; every concurrent caller of the same key **joins** — it blocks
+//! on the flight's condvar and receives a clone of the leader's result
+//! instead of re-simulating.  N identical in-flight campaigns therefore cost
+//! one simulation per unique cell, which is what lets a long-lived campaign
+//! service (`hc_serve`) coalesce repeat traffic *across* users, not just
+//! across runs.  The [`CacheStats::dedupe_leads`] counter is exactly the
+//! number of simulations executed through the cache; `dedupe_joins` counts
+//! the coalesced waits.
+//!
+//! ## Lifecycle (GC)
+//!
+//! Entries record their last use through the entry file's mtime (touched on
+//! every lookup hit).  [`CellCache::gc`] evicts entries older than a given
+//! age and then, LRU by recorded last-use, evicts the oldest entries until
+//! the cache fits a byte budget — the `reproduce cache-gc` subcommand is a
+//! thin wrapper over it.
 
 use crate::campaign::{CampaignError, CampaignSpec};
 use crate::policy::PolicyKind;
@@ -44,7 +67,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Version of the on-disk cache layout (manifest + entry files).  Bumped
 /// whenever the entry format changes meaning; mismatched caches are refused
@@ -175,6 +199,87 @@ pub struct CacheActivity {
     pub evictions: u64,
 }
 
+/// Cumulative statistics of one [`CellCache`] handle: the
+/// [`CacheActivity`] counters plus the in-flight dedupe counters and the
+/// cache's current on-disk footprint.  This is the one accessor the
+/// `reproduce` CLI counters and the `hc_serve` `/metrics` endpoint both
+/// read from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no (usable) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub inserts: u64,
+    /// Entries deleted — corrupt/foreign entries evicted during lookup plus
+    /// entries reclaimed by [`CellCache::gc`].
+    pub evictions: u64,
+    /// Simulations actually executed through
+    /// [`CellCache::get_or_compute`] — under in-flight dedupe, exactly one
+    /// per unique missing cell key, however many callers raced.
+    pub dedupe_leads: u64,
+    /// Callers that coalesced onto another caller's in-flight simulation
+    /// instead of re-simulating.
+    pub dedupe_joins: u64,
+    /// Entry files currently on disk.
+    pub entries: u64,
+    /// Bytes of entry files currently on disk.
+    pub bytes: u64,
+}
+
+/// One in-flight simulation that concurrent callers of the same key can
+/// join instead of repeating.
+#[derive(Debug)]
+struct Flight {
+    /// The full key document of the in-flight simulation; joiners verify it
+    /// so two distinct keys colliding on a digest degrade to independent
+    /// simulations, never to one caller receiving the other's result.
+    document: serde::Value,
+    slot: Mutex<FlightOutcome>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightOutcome {
+    /// The leader is still simulating.
+    Pending,
+    /// The leader published its result (boxed: the enum lives in a
+    /// shared slot and `SimStats` is large).
+    Done(Box<SimStats>),
+    /// The leader unwound without publishing (its simulation panicked);
+    /// joiners must simulate for themselves.
+    Abandoned,
+}
+
+/// Poison-proof lock: a panicking holder cannot take the cache down.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The leader's registration in the singleflight table.  Dropping it — on
+/// the normal path *or* during an unwind — removes the table entry and
+/// wakes every joiner; if the leader never published, the outcome is marked
+/// [`FlightOutcome::Abandoned`] so joiners fall back to simulating.
+struct FlightLead<'a> {
+    flights: &'a Mutex<HashMap<u128, Arc<Flight>>>,
+    digest: u128,
+    flight: &'a Arc<Flight>,
+}
+
+impl Drop for FlightLead<'_> {
+    fn drop(&mut self) {
+        lock(self.flights).remove(&self.digest);
+        {
+            let mut slot = lock(&self.flight.slot);
+            if matches!(*slot, FlightOutcome::Pending) {
+                *slot = FlightOutcome::Abandoned;
+            }
+        }
+        self.flight.ready.notify_all();
+    }
+}
+
 /// A content-addressed, on-disk cell cache rooted at one directory.
 ///
 /// Open one with [`CellCache::open`]; share it across runners with an
@@ -191,10 +296,15 @@ pub struct CellCache {
     /// against the stored key document on every probe, exactly like the
     /// on-disk path, so digest collisions still degrade to misses.
     memo: Mutex<HashMap<u128, (serde::Value, CachedCell)>>,
+    /// The keyed singleflight table behind [`CellCache::get_or_compute`]:
+    /// one `Flight` per key currently being simulated by some caller.
+    flights: Mutex<HashMap<u128, Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    dedupe_leads: AtomicU64,
+    dedupe_joins: AtomicU64,
     tmp_seq: AtomicU64,
 }
 
@@ -281,10 +391,13 @@ impl CellCache {
         Ok(CellCache {
             root,
             memo: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            dedupe_leads: AtomicU64::new(0),
+            dedupe_joins: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
         })
     }
@@ -300,8 +413,21 @@ impl CellCache {
 
     /// This handle's in-memory memo (poison-proof: a panicking reader
     /// cannot take the cache down with it).
-    fn memo(&self) -> std::sync::MutexGuard<'_, HashMap<u128, (serde::Value, CachedCell)>> {
-        self.memo.lock().unwrap_or_else(|e| e.into_inner())
+    fn memo(&self) -> MutexGuard<'_, HashMap<u128, (serde::Value, CachedCell)>> {
+        lock(&self.memo)
+    }
+
+    /// Record a use of `key`'s entry by bumping its file mtime — the
+    /// last-use clock [`CellCache::gc`]'s LRU eviction order runs on.
+    /// Best-effort: a read-only or vanished entry simply keeps its old
+    /// timestamp.
+    fn touch(&self, key: &CellKey) {
+        if let Ok(file) = std::fs::File::options()
+            .write(true)
+            .open(self.entry_path(key))
+        {
+            let _ = file.set_modified(SystemTime::now());
+        }
     }
 
     /// Read and verify the entry a key addresses, without touching the
@@ -351,11 +477,13 @@ impl CellCache {
         decoded
     }
 
-    /// Look up a cell, counting a hit or miss.
+    /// Look up a cell, counting a hit or miss.  A hit also records the use
+    /// (bumps the entry's last-use timestamp for [`CellCache::gc`]).
     pub fn lookup(&self, key: &CellKey) -> Option<CachedCell> {
         match self.read_entry(key) {
             Some(cell) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(key);
                 Some(cell)
             }
             None => {
@@ -399,6 +527,97 @@ impl CellCache {
         }
     }
 
+    /// Simulate a cell and insert the result, timing the run for the
+    /// cost-model planner.  Every counted "lead" goes through here.
+    fn simulate_and_insert(&self, key: &CellKey, simulate: impl FnOnce() -> SimStats) -> SimStats {
+        self.dedupe_leads.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let stats = simulate();
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.insert(key, &stats, elapsed);
+        stats
+    }
+
+    /// Return `key`'s cached result, or run `simulate` to produce (and
+    /// insert) it — coalescing concurrent callers of the same key onto a
+    /// **single** simulation.
+    ///
+    /// The first caller to miss becomes the key's leader: it registers an
+    /// in-flight `Flight` in the singleflight table, simulates, inserts
+    /// the entry and publishes the result.  Any caller that misses on the
+    /// same key while the flight is open blocks on the flight's condvar and
+    /// receives a clone of the leader's result — N concurrent identical
+    /// campaigns cost one simulation per unique cell.  Degradations are
+    /// always toward *more* simulation, never wrong data: a digest collision
+    /// between two distinct in-flight keys bypasses the table, and a leader
+    /// that unwinds without publishing (panicking simulation) marks the
+    /// flight abandoned so joiners simulate for themselves.
+    ///
+    /// This is the one miss path the campaign engine's cached simulations
+    /// funnel through; [`CacheStats::dedupe_leads`] counts exactly the
+    /// simulations executed here.
+    pub fn get_or_compute(&self, key: &CellKey, simulate: impl FnOnce() -> SimStats) -> SimStats {
+        if let Some(hit) = self.lookup(key) {
+            return hit.stats;
+        }
+        enum Role {
+            Lead(Arc<Flight>),
+            Join(Arc<Flight>),
+            Bypass,
+        }
+        let role = {
+            let mut flights = lock(&self.flights);
+            match flights.get(&key.digest) {
+                Some(flight) if flight.document == key.document => Role::Join(Arc::clone(flight)),
+                // A different key is in flight under the same digest: a
+                // forged/freak FNV collision.  Simulate independently.
+                Some(_) => Role::Bypass,
+                None => {
+                    let flight = Arc::new(Flight {
+                        document: key.document.clone(),
+                        slot: Mutex::new(FlightOutcome::Pending),
+                        ready: Condvar::new(),
+                    });
+                    flights.insert(key.digest, Arc::clone(&flight));
+                    Role::Lead(flight)
+                }
+            }
+        };
+        match role {
+            Role::Lead(flight) => {
+                // Deregisters the flight and wakes joiners even if
+                // `simulate` unwinds.
+                let lead = FlightLead {
+                    flights: &self.flights,
+                    digest: key.digest,
+                    flight: &flight,
+                };
+                let stats = self.simulate_and_insert(key, simulate);
+                *lock(&flight.slot) = FlightOutcome::Done(Box::new(stats.clone()));
+                drop(lead);
+                stats
+            }
+            Role::Join(flight) => {
+                let mut slot = lock(&flight.slot);
+                loop {
+                    match &*slot {
+                        FlightOutcome::Pending => {
+                            slot = flight.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+                        }
+                        FlightOutcome::Done(stats) => {
+                            self.dedupe_joins.fetch_add(1, Ordering::Relaxed);
+                            return (**stats).clone();
+                        }
+                        FlightOutcome::Abandoned => break,
+                    }
+                }
+                drop(slot);
+                self.simulate_and_insert(key, simulate)
+            }
+            Role::Bypass => self.simulate_and_insert(key, simulate),
+        }
+    }
+
     /// Activity counters since this handle was opened.
     pub fn activity(&self) -> CacheActivity {
         CacheActivity {
@@ -408,6 +627,133 @@ impl CellCache {
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+
+    /// Cumulative statistics: the [`CacheActivity`] counters, the in-flight
+    /// dedupe counters, and the cache's current on-disk footprint (entry
+    /// count and bytes, scanned at call time).
+    pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = self
+            .scan_entries()
+            .map(|list| {
+                list.iter()
+                    .fold((0u64, 0u64), |(n, b), e| (n + 1, b + e.bytes))
+            })
+            .unwrap_or((0, 0));
+        let activity = self.activity();
+        CacheStats {
+            hits: activity.hits,
+            misses: activity.misses,
+            inserts: activity.inserts,
+            evictions: activity.evictions,
+            dedupe_leads: self.dedupe_leads.load(Ordering::Relaxed),
+            dedupe_joins: self.dedupe_joins.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Enumerate the on-disk entry files (skipping in-progress `.tmp.`
+    /// writes), with their sizes and last-use timestamps.
+    fn scan_entries(&self) -> Result<Vec<DiskEntry>, CampaignError> {
+        let cells = self.root.join(CELLS_DIR);
+        let dir = std::fs::read_dir(&cells)
+            .map_err(|e| CampaignError::Cache(format!("read {}: {e}", cells.display())))?;
+        let mut entries = Vec::new();
+        for entry in dir.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".json") || name.contains(".tmp.") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            entries.push(DiskEntry {
+                digest: u128::from_str_radix(&name[..name.len() - ".json".len()], 16).ok(),
+                path: entry.path(),
+                bytes: meta.len(),
+                last_use: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Reclaim cache space: evict every entry older than
+    /// [`GcPolicy::max_age`], then — least-recently-used first — evict
+    /// entries until the survivors fit [`GcPolicy::max_bytes`].  Last use is
+    /// the entry file's mtime, which [`CellCache::lookup`] bumps on every
+    /// hit.  With [`GcPolicy::dry_run`] set, nothing is deleted; the
+    /// returned [`GcOutcome`] reports what *would* happen.
+    ///
+    /// Eviction order is deterministic: oldest first, ties broken by file
+    /// name.  Evicted entries count into [`CacheStats::evictions`].
+    pub fn gc(&self, policy: &GcPolicy) -> Result<GcOutcome, CampaignError> {
+        let now = SystemTime::now();
+        let mut entries = self.scan_entries()?;
+        entries.sort_by(|a, b| (a.last_use, &a.path).cmp(&(b.last_use, &b.path)));
+        let mut remaining: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut outcome = GcOutcome::default();
+        for entry in &entries {
+            let expired = policy.max_age.is_some_and(|max| {
+                now.duration_since(entry.last_use)
+                    .is_ok_and(|age| age > max)
+            });
+            let over_budget = policy.max_bytes.is_some_and(|max| remaining > max);
+            if expired || over_budget {
+                if !policy.dry_run {
+                    if std::fs::remove_file(&entry.path).is_err() {
+                        // Already gone (concurrent GC / eviction): count it
+                        // as kept-nothing rather than failing the sweep.
+                        continue;
+                    }
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(digest) = entry.digest {
+                        self.memo().remove(&digest);
+                    }
+                }
+                remaining -= entry.bytes;
+                outcome.evicted += 1;
+                outcome.evicted_bytes += entry.bytes;
+            } else {
+                outcome.kept += 1;
+                outcome.kept_bytes += entry.bytes;
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// One on-disk entry file as seen by [`CellCache::scan_entries`].
+struct DiskEntry {
+    /// Digest parsed back from the file name, for memo invalidation;
+    /// `None` for unparseable (foreign) names.
+    digest: Option<u128>,
+    path: PathBuf,
+    bytes: u64,
+    last_use: SystemTime,
+}
+
+/// What [`CellCache::gc`] is allowed to reclaim.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcPolicy {
+    /// Evict least-recently-used entries until the cache holds at most this
+    /// many bytes of entries.  `None` = no byte budget.
+    pub max_bytes: Option<u64>,
+    /// Evict entries not used for longer than this.  `None` = no age limit.
+    pub max_age: Option<Duration>,
+    /// Report what would be evicted without deleting anything.
+    pub dry_run: bool,
+}
+
+/// What one [`CellCache::gc`] sweep did (or, dry-run, would do).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entries that survived the sweep.
+    pub kept: u64,
+    /// Bytes of surviving entries.
+    pub kept_bytes: u64,
+    /// Entries evicted (or, dry-run, that would be evicted).
+    pub evicted: u64,
+    /// Bytes of evicted entries.
+    pub evicted_bytes: u64,
 }
 
 /// Write `contents` to `path` through `tmp` + rename, so readers never see a
@@ -666,6 +1012,194 @@ mod tests {
         }
         let cache = CellCache::open(&dir).expect("reopen");
         assert!(cache.lookup(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_or_compute_hits_skip_simulation_and_misses_lead() {
+        let dir = tmp_dir("singleflight_basic");
+        let cache = CellCache::open(&dir).expect("open");
+        let key = sample_key(11);
+        let stats = SimStats {
+            cycles: 77,
+            ..SimStats::default()
+        };
+        let produced = cache.get_or_compute(&key, || stats.clone());
+        assert_eq!(produced, stats);
+        let replayed = cache.get_or_compute(&key, || panic!("must not re-simulate a cached cell"));
+        assert_eq!(replayed, stats);
+        let s = cache.stats();
+        assert_eq!((s.dedupe_leads, s.dedupe_joins), (1, 0));
+        assert_eq!((s.hits, s.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_identical_keys_coalesce_onto_one_simulation() {
+        let dir = tmp_dir("singleflight_coalesce");
+        let cache = CellCache::open(&dir).expect("open");
+        let key = sample_key(13);
+        let sims = AtomicU64::new(0);
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    barrier.wait();
+                    let stats = cache.get_or_compute(&key, || {
+                        sims.fetch_add(1, Ordering::Relaxed);
+                        // Hold the flight open long enough that the other
+                        // threads' lookups miss and join.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        SimStats {
+                            cycles: 42,
+                            ..SimStats::default()
+                        }
+                    });
+                    assert_eq!(stats.cycles, 42);
+                });
+            }
+        });
+        assert_eq!(
+            sims.load(Ordering::Relaxed),
+            1,
+            "exactly one simulation must run for one key"
+        );
+        let s = cache.stats();
+        assert_eq!(s.dedupe_leads, 1);
+        assert_eq!(
+            s.dedupe_joins + s.hits,
+            3,
+            "every other caller joined the flight or hit the fresh entry: {s:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_inflight_keys_do_not_share_results() {
+        // Two *different* documents under one digest must simulate
+        // independently even while one is in flight.
+        let dir = tmp_dir("singleflight_collide");
+        let cache = CellCache::open(&dir).expect("open");
+        let a = sample_key(21);
+        let forged = CellKey {
+            digest: a.digest,
+            document: serde::Value::Str("different document".to_string()),
+        };
+        let gate = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cache.get_or_compute(&a, || {
+                    gate.wait(); // a's flight is registered; let the forger probe
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    SimStats {
+                        cycles: 1,
+                        ..SimStats::default()
+                    }
+                });
+            });
+            gate.wait();
+            let forged_stats = cache.get_or_compute(&forged, || SimStats {
+                cycles: 2,
+                ..SimStats::default()
+            });
+            assert_eq!(forged_stats.cycles, 2, "collision must not share results");
+        });
+        assert_eq!(cache.stats().dedupe_leads, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_reclaims_lru_entries_under_a_byte_budget() {
+        let dir = tmp_dir("gc_lru");
+        let cache = CellCache::open(&dir).expect("open");
+        let old = sample_key(1);
+        let mid = sample_key(2);
+        let new = sample_key(3);
+        for key in [&old, &mid, &new] {
+            cache.insert(key, &SimStats::default(), 1);
+        }
+        // Backdate last-use: `old` two hours ago, `mid` one hour ago.
+        let now = SystemTime::now();
+        for (key, age_secs) in [(&old, 7_200), (&mid, 3_600)] {
+            std::fs::File::options()
+                .write(true)
+                .open(cache.entry_path(key))
+                .expect("open entry")
+                .set_modified(now - Duration::from_secs(age_secs))
+                .expect("backdate");
+        }
+        let per_entry = std::fs::metadata(cache.entry_path(&new)).unwrap().len();
+
+        // Dry run first: nothing deleted, outcome reported.
+        let dry = cache
+            .gc(&GcPolicy {
+                max_bytes: Some(per_entry * 2),
+                max_age: None,
+                dry_run: true,
+            })
+            .expect("dry gc");
+        assert_eq!((dry.evicted, dry.kept), (1, 2));
+        assert!(cache.entry_path(&old).exists(), "dry run must not delete");
+
+        // Budget for two entries: the LRU entry (`old`) goes.
+        let swept = cache
+            .gc(&GcPolicy {
+                max_bytes: Some(per_entry * 2),
+                max_age: None,
+                dry_run: false,
+            })
+            .expect("gc");
+        assert_eq!((swept.evicted, swept.kept), (1, 2));
+        assert!(!cache.entry_path(&old).exists());
+        assert!(cache.entry_path(&mid).exists());
+        assert!(cache.entry_path(&new).exists());
+        assert_eq!(swept.kept_bytes, per_entry * 2);
+
+        // Age cap: `mid` (one hour old) expires under a 30-minute limit.
+        let aged = cache
+            .gc(&GcPolicy {
+                max_bytes: None,
+                max_age: Some(Duration::from_secs(1_800)),
+                dry_run: false,
+            })
+            .expect("age gc");
+        assert_eq!((aged.evicted, aged.kept), (1, 1));
+        assert!(!cache.entry_path(&mid).exists());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2, "gc evictions are counted");
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, per_entry);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_bumps_last_use_so_hot_entries_survive_gc() {
+        let dir = tmp_dir("gc_touch");
+        let cache = CellCache::open(&dir).expect("open");
+        let hot = sample_key(4);
+        let cold = sample_key(5);
+        let now = SystemTime::now();
+        for key in [&hot, &cold] {
+            cache.insert(key, &SimStats::default(), 1);
+            std::fs::File::options()
+                .write(true)
+                .open(cache.entry_path(key))
+                .expect("open entry")
+                .set_modified(now - Duration::from_secs(7_200))
+                .expect("backdate");
+        }
+        // A hit records the use, rescuing `hot` from the age sweep.
+        assert!(cache.lookup(&hot).is_some());
+        let swept = cache
+            .gc(&GcPolicy {
+                max_bytes: None,
+                max_age: Some(Duration::from_secs(3_600)),
+                dry_run: false,
+            })
+            .expect("gc");
+        assert_eq!((swept.evicted, swept.kept), (1, 1));
+        assert!(cache.entry_path(&hot).exists(), "used entry must survive");
+        assert!(!cache.entry_path(&cold).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1452,16 +1452,13 @@ impl<'a, R: ?Sized> GridCache<'a, R> {
 }
 
 /// Restore a cell from the cache or simulate it, recording the fresh run's
-/// wall-clock cost into the cache for the cost-model planner.
+/// wall-clock cost into the cache for the cost-model planner.  Misses go
+/// through the cache's keyed singleflight
+/// ([`CellCache::get_or_compute`]), so concurrent campaigns — e.g. N
+/// requests in flight inside one `hc_serve` daemon — that need the same
+/// cell coalesce onto a single simulation.
 fn run_cached(cache: &CellCache, key: &CellKey, simulate: impl FnOnce() -> SimStats) -> SimStats {
-    if let Some(hit) = cache.lookup(key) {
-        return hit.stats;
-    }
-    let start = std::time::Instant::now();
-    let stats = simulate();
-    let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    cache.insert(key, &stats, elapsed);
-    stats
+    cache.get_or_compute(key, simulate)
 }
 
 /// Deliver one progress event, isolating the engine from a panicking user

@@ -17,7 +17,9 @@
 //!   over observed cell timings) when a cell cache is attached.
 //! * [`cache`] — the content-addressed, on-disk [`CellCache`]: repeated
 //!   campaigns replay cached cells instead of re-simulating, with
-//!   byte-identical reports either way.
+//!   byte-identical reports either way.  Concurrent misses on the same key
+//!   coalesce onto one simulation (keyed singleflight), and LRU/age GC
+//!   keeps long-lived caches bounded.
 //! * [`experiment`] — run one trace under one policy against the monolithic
 //!   baseline (adapter over [`campaign`]).
 //! * [`suite`] — run the SPEC stand-ins or the Table 2 categories in parallel
@@ -54,7 +56,10 @@ pub mod scenario;
 pub mod shard;
 pub mod suite;
 
-pub use cache::{CacheActivity, CachedCell, CellCache, CellKey, CostModel, CACHE_SCHEMA_VERSION};
+pub use cache::{
+    CacheActivity, CacheStats, CachedCell, CellCache, CellKey, CostModel, GcOutcome, GcPolicy,
+    CACHE_SCHEMA_VERSION,
+};
 pub use campaign::{
     CampaignBuilder, CampaignError, CampaignProgress, CampaignReport, CampaignRunner, CampaignSpec,
     TraceSelector, CAMPAIGN_SCHEMA_VERSION, CAMPAIGN_SPEC_SCHEMA_VERSION,

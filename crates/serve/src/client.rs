@@ -1,0 +1,121 @@
+//! The submit side: a blocking client for the campaign service.
+//!
+//! [`submit`] streams a campaign and hands every progress frame to a
+//! caller-supplied observer; the returned report string is byte-identical
+//! to the offline `reproduce campaign --json` output for the same spec.
+
+use crate::http;
+use crate::{protocol, ServeError};
+use serde::Value;
+use std::io::{BufReader, Read};
+use std::net::TcpStream;
+
+/// Connect, send one request, and return a buffered reader over the
+/// response along with its status and headers.
+fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(BufReader<TcpStream>, u16), ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    http::write_request(&mut stream, method, path, body)?;
+    let mut reader = BufReader::new(stream);
+    let (status, _headers) = http::read_response_head(&mut reader)?;
+    Ok((reader, status))
+}
+
+/// Read the remainder of a `Connection: close` body to EOF as UTF-8.
+fn read_to_end(reader: &mut BufReader<TcpStream>) -> Result<String, ServeError> {
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok(body)
+}
+
+/// Submit a campaign spec (JSON text) and stream the response.
+///
+/// Every NDJSON event frame (`accepted`, `cell`) is handed to `on_frame`
+/// as it arrives; the final report's raw JSON is returned once the
+/// `report` frame lands.  Pre-stream rejections surface as
+/// [`ServeError::Rejected`], in-band failures as [`ServeError::Stream`].
+pub fn submit(
+    addr: &str,
+    spec_json: &str,
+    mut on_frame: impl FnMut(&Value),
+) -> Result<String, ServeError> {
+    let (mut reader, status) = exchange(addr, "POST", "/campaign", spec_json.as_bytes())?;
+    if status != 200 {
+        let body = read_to_end(&mut reader)?;
+        let (kind, message) = protocol::parse_error_envelope(&body);
+        return Err(ServeError::Rejected {
+            status,
+            kind,
+            message,
+        });
+    }
+    loop {
+        let mut line = String::new();
+        use std::io::BufRead;
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::Protocol(
+                "stream ended before a report or error frame".to_string(),
+            ));
+        }
+        let frame = protocol::parse_frame(&line)?;
+        match protocol::frame_event(&frame) {
+            protocol::EVENT_REPORT => {
+                let bytes = protocol::frame_uint(&frame, "bytes")?;
+                let mut report = vec![0u8; usize::try_from(bytes).unwrap_or(usize::MAX)];
+                reader.read_exact(&mut report)?;
+                return String::from_utf8(report)
+                    .map_err(|e| ServeError::Protocol(format!("report is not UTF-8: {e}")));
+            }
+            protocol::EVENT_ERROR => {
+                let field = |key: &str| {
+                    frame
+                        .get(key)
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_string()
+                };
+                return Err(ServeError::Stream {
+                    kind: field("kind"),
+                    message: field("message"),
+                });
+            }
+            _ => on_frame(&frame),
+        }
+    }
+}
+
+/// Fetch a plain JSON endpoint (`/healthz`, `/metrics`) and return its
+/// body.
+pub fn get(addr: &str, path: &str) -> Result<String, ServeError> {
+    let (mut reader, status) = exchange(addr, "GET", path, b"")?;
+    let body = read_to_end(&mut reader)?;
+    if status != 200 {
+        let (kind, message) = protocol::parse_error_envelope(&body);
+        return Err(ServeError::Rejected {
+            status,
+            kind,
+            message,
+        });
+    }
+    Ok(body)
+}
+
+/// Ask the daemon to drain: in-flight campaigns finish streaming, then the
+/// accept loop exits.
+pub fn shutdown(addr: &str) -> Result<(), ServeError> {
+    let (mut reader, status) = exchange(addr, "POST", "/shutdown", b"")?;
+    let body = read_to_end(&mut reader)?;
+    if status != 200 {
+        let (kind, message) = protocol::parse_error_envelope(&body);
+        return Err(ServeError::Rejected {
+            status,
+            kind,
+            message,
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! The minimal HTTP/1.1 subset the campaign service speaks.
+//!
+//! One request per connection, `Connection: close` on every response: the
+//! campaign stream has no predictable length, so the body simply runs to
+//! EOF (no chunked transfer encoding to implement on either side).  Bodies
+//! are framed by `Content-Length` on requests; header blocks and bodies are
+//! size-capped so a hostile peer cannot balloon the daemon.
+
+use crate::ServeError;
+use std::io::{BufRead, Write};
+
+/// Hard cap on a request's header block (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Hard cap on a request body.  The largest legitimate payload — a full
+/// 409-trace Table 2 scenario campaign spec — is well under 1 MiB; 16 MiB
+/// leaves room for generated suites without letting a peer exhaust memory.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request path (query strings are not part of this protocol).
+    pub path: String,
+    /// Header name/value pairs, in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one size-capped CRLF line (the terminator is stripped).
+fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<String, ServeError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ServeError::Protocol(
+            "connection closed mid-header".to_string(),
+        ));
+    }
+    *budget = budget.checked_sub(n).ok_or_else(|| {
+        ServeError::Protocol(format!("header block exceeds {MAX_HEAD_BYTES} bytes"))
+    })?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Parse a header block (everything after the start line, up to and
+/// including the blank line) into lowercased name/value pairs.
+fn read_headers<R: BufRead>(
+    reader: &mut R,
+    budget: &mut usize,
+) -> Result<Vec<(String, String)>, ServeError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, budget)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::Protocol(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+/// Read a body of `Content-Length` bytes (0 when the header is absent).
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &[(String, String)],
+) -> Result<Vec<u8>, ServeError> {
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ServeError::Protocol(format!("unparseable Content-Length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Read and parse one request (head + body) from a connection.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let start = read_line(reader, &mut budget)?;
+    let mut parts = start.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ServeError::Protocol(format!(
+            "malformed request line `{start}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Protocol(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let headers = read_headers(reader, &mut budget)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Read and parse a response's status line and header block (the body, if
+/// any, stays in the reader).  Returns the status code and the headers.
+pub fn read_response_head<R: BufRead>(
+    reader: &mut R,
+) -> Result<(u16, Vec<(String, String)>), ServeError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let start = read_line(reader, &mut budget)?;
+    let mut parts = start.split_whitespace();
+    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+        return Err(ServeError::Protocol(format!(
+            "malformed status line `{start}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Protocol(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let status = status
+        .parse::<u16>()
+        .map_err(|_| ServeError::Protocol(format!("unparseable status `{status}`")))?;
+    let headers = read_headers(reader, &mut budget)?;
+    Ok((status, headers))
+}
+
+/// Write one complete request with an optional JSON body.
+pub fn write_request<W: Write>(
+    writer: &mut W,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(), ServeError> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: hc-serve\r\nConnection: close\r\n"
+    )?;
+    if body.is_empty() {
+        write!(writer, "\r\n")?;
+    } else {
+        write!(
+            writer,
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        writer.write_all(body)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Write one complete response with a known body.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<(), ServeError> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Commit the head of a streaming (unknown-length) NDJSON response; the
+/// caller then writes frames and closes the connection to end the body.
+pub fn write_stream_head<W: Write>(writer: &mut W) -> Result<(), ServeError> {
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/campaign", br#"{"x":1}"#).expect("write");
+        let req = read_request(&mut BufReader::new(wire.as_slice())).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/campaign");
+        assert_eq!(req.header("content-type"), Some("application/json"));
+        assert_eq!(req.header("Content-Type"), Some("application/json"));
+        assert_eq!(req.body, br#"{"x":1}"#);
+    }
+
+    #[test]
+    fn bodyless_request_round_trips() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/healthz", b"").expect("write");
+        let req = read_request(&mut BufReader::new(wire.as_slice())).expect("parse");
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn response_head_round_trips() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 404, "Not Found", "application/json", b"{}").expect("write");
+        let (status, headers) =
+            read_response_head(&mut BufReader::new(wire.as_slice())).expect("parse");
+        assert_eq!(status, 404);
+        assert!(headers
+            .iter()
+            .any(|(k, v)| k == "content-length" && v == "2"));
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused() {
+        let wire = format!(
+            "POST /campaign HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut BufReader::new(wire.as_bytes())).expect_err("must refuse");
+        assert!(matches!(err, ServeError::Protocol(_)));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_refused() {
+        for wire in ["nonsense\r\n\r\n", "GET /x SPDY/3\r\n\r\n"] {
+            let err = read_request(&mut BufReader::new(wire.as_bytes())).expect_err("must refuse");
+            assert!(matches!(err, ServeError::Protocol(_)), "{wire}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! In-flight dedupe: concurrent campaigns sharing one [`CellCache`]
+//! coalesce identical cells onto a single simulation.
+//!
+//! The cache's `dedupe_leads` counter increments exactly once per
+//! simulation actually executed (see `hc_core::cache`), so these tests can
+//! assert the headline property directly: N concurrent submissions of the
+//! same uncached spec cost **one** simulation per unique cell key, and
+//! every submission still gets a byte-identical report.
+
+use hc_core::cache::CellCache;
+use hc_core::campaign::{CampaignBuilder, CampaignRunner, CampaignSpec};
+use hc_trace::SpecBenchmark;
+use std::sync::{Arc, Barrier};
+
+/// A small 2-policy × 2-trace grid (4 cells + 2 baselines = 6 unique keys).
+fn small_spec(name: &str, benchmarks: &[SpecBenchmark]) -> CampaignSpec {
+    let mut builder = CampaignBuilder::new(name)
+        .policies([
+            hc_core::policy::PolicyKind::Ir,
+            hc_core::policy::PolicyKind::P888,
+        ])
+        .trace_len(600);
+    for &b in benchmarks {
+        builder = builder.spec(b);
+    }
+    builder.build().expect("valid spec")
+}
+
+/// Race `threads_per_spec` concurrent runners per spec — all released by
+/// one barrier — against the same cache.  Returns the report JSONs in
+/// spec-major order (all of spec 0's reports first).
+fn race(cache: &Arc<CellCache>, specs: &[CampaignSpec], threads_per_spec: usize) -> Vec<String> {
+    let barrier = Arc::new(Barrier::new(specs.len() * threads_per_spec));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for spec in specs {
+            for _ in 0..threads_per_spec {
+                let barrier = Arc::clone(&barrier);
+                let cache = Arc::clone(cache);
+                handles.push(scope.spawn(move || {
+                    barrier.wait();
+                    let report = CampaignRunner::new()
+                        .with_cache(cache)
+                        .run(spec)
+                        .expect("campaign runs");
+                    report.to_json()
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn concurrent_identical_campaigns_simulate_each_cell_once() {
+    let dir = std::env::temp_dir().join(format!("hc-dedupe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(CellCache::open(&dir).expect("open cache"));
+    let spec = small_spec("dedupe-race", &[SpecBenchmark::Gzip, SpecBenchmark::Mcf]);
+
+    let reports = race(&cache, std::slice::from_ref(&spec), 4);
+
+    let stats = cache.stats();
+    // 4 cells + 2 baselines: one lead (= one executed simulation) each, no
+    // matter how many threads raced.
+    assert_eq!(stats.dedupe_leads, 6, "one simulation per unique cell key");
+    assert_eq!(stats.inserts, 6, "one cache insert per unique cell key");
+    // Every lookup settled as a hit, a coalesced join, or the miss that
+    // became the lead; nothing simulated twice.
+    assert_eq!(stats.misses, stats.dedupe_leads + stats.dedupe_joins);
+
+    // All four racers converged on byte-identical reports.
+    assert_eq!(reports.len(), 4);
+    for report in &reports[1..] {
+        assert_eq!(report, &reports[0], "coalesced reports must not diverge");
+    }
+
+    // And the served bytes equal a cacheless (offline) run of the same spec.
+    let offline = CampaignRunner::new()
+        .run(&spec)
+        .expect("offline run")
+        .to_json();
+    assert_eq!(reports[0], offline, "dedupe must not change report bytes");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overlapping_campaigns_dedupe_only_their_shared_cells() {
+    let dir = std::env::temp_dir().join(format!("hc-dedupe-overlap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = Arc::new(CellCache::open(&dir).expect("open cache"));
+    // gzip is shared; mcf and vpr are each private to one spec.
+    let specs = [
+        small_spec("overlap-a", &[SpecBenchmark::Gzip, SpecBenchmark::Mcf]),
+        small_spec("overlap-b", &[SpecBenchmark::Gzip, SpecBenchmark::Vpr]),
+    ];
+
+    let reports = race(&cache, &specs, 2);
+
+    // Unique keys: 3 traces × (2 policy cells + 1 baseline) = 9 — the
+    // shared gzip column counts once even though all four runs needed it.
+    let stats = cache.stats();
+    assert_eq!(stats.dedupe_leads, 9, "shared cells simulate once");
+    assert_eq!(stats.inserts, 9);
+    assert_eq!(stats.misses, stats.dedupe_leads + stats.dedupe_joins);
+
+    // Both submissions of each spec agree with an offline run of that spec.
+    for (spec, pair) in specs.iter().zip(reports.chunks(2)) {
+        let offline = CampaignRunner::new()
+            .run(spec)
+            .expect("offline run")
+            .to_json();
+        assert_eq!(pair[0], offline);
+        assert_eq!(pair[1], offline);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
