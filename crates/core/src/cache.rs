@@ -257,26 +257,114 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// The leader's registration in the singleflight table.  Dropping it — on
-/// the normal path *or* during an unwind — removes the table entry and
-/// wakes every joiner; if the leader never published, the outcome is marked
-/// [`FlightOutcome::Abandoned`] so joiners fall back to simulating.
-struct FlightLead<'a> {
-    flights: &'a Mutex<HashMap<u128, Arc<Flight>>>,
-    digest: u128,
-    flight: &'a Arc<Flight>,
+/// How a caller of [`CellCache::claim`] obtains one cell: already cached,
+/// elected leader (must simulate and [`CellLead::publish`]), or joining
+/// another caller's in-flight simulation.
+///
+/// This is the non-blocking decomposition of
+/// [`CellCache::get_or_compute`]; the batched campaign engine uses it to
+/// decide, per cell, whether the cell needs a simulator lane at all —
+/// cached and in-flight cells never occupy one.
+pub enum CellClaim<'a> {
+    /// The cell was cached (or already published by a concurrent leader);
+    /// no simulation is needed.
+    Hit(Box<SimStats>),
+    /// This caller leads the key's singleflight: it must simulate the cell
+    /// and hand the result to [`CellLead::publish`].  Dropping the lead
+    /// without publishing (a panicking simulation) abandons the flight so
+    /// joiners simulate for themselves.
+    Lead(CellLead<'a>),
+    /// Another caller is simulating the key right now; [`CellJoin::wait`]
+    /// blocks for its result.
+    Join(CellJoin<'a>),
 }
 
-impl Drop for FlightLead<'_> {
+/// The leader's registration in the singleflight table, keyed to one cell.
+/// Dropping it — on the normal path *or* during an unwind — removes the
+/// table entry and wakes every joiner; if the leader never published, the
+/// outcome is marked [`FlightOutcome::Abandoned`] so joiners fall back to
+/// simulating.  A lead with no flight is a collision **bypass**: the digest
+/// is occupied by a *different* key document, so the caller simulates and
+/// inserts without touching the table.
+pub struct CellLead<'a> {
+    cache: &'a CellCache,
+    key: CellKey,
+    flight: Option<Arc<Flight>>,
+    started: Instant,
+}
+
+impl CellLead<'_> {
+    /// Publish the simulated result: insert the cache entry (recording the
+    /// wall-clock since this lead was claimed, the cost-model observation),
+    /// mark the flight done and wake every joiner.  Returns the stats for
+    /// convenience.
+    ///
+    /// Under batched execution the recorded wall-clock spans the whole
+    /// lockstep batch the cell rode in, not just its own lane's work — an
+    /// upper bound that inflates every cell of a batch about equally, so
+    /// the cost-model's *ratios* (all the planner uses) survive.
+    pub fn publish(self, stats: SimStats) -> SimStats {
+        self.cache.dedupe_leads.fetch_add(1, Ordering::Relaxed);
+        let elapsed = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.cache.insert(&self.key, &stats, elapsed);
+        if let Some(flight) = &self.flight {
+            *lock(&flight.slot) = FlightOutcome::Done(Box::new(stats.clone()));
+        }
+        // Drop deregisters the flight and wakes joiners; the outcome is
+        // already `Done`, so nobody sees `Abandoned`.
+        stats
+    }
+}
+
+impl Drop for CellLead<'_> {
     fn drop(&mut self) {
-        lock(self.flights).remove(&self.digest);
+        let Some(flight) = &self.flight else { return };
+        lock(&self.cache.flights).remove(&self.key.digest);
         {
-            let mut slot = lock(&self.flight.slot);
+            let mut slot = lock(&flight.slot);
             if matches!(*slot, FlightOutcome::Pending) {
                 *slot = FlightOutcome::Abandoned;
             }
         }
-        self.flight.ready.notify_all();
+        flight.ready.notify_all();
+    }
+}
+
+/// A joiner's handle on another caller's in-flight simulation of one cell.
+pub struct CellJoin<'a> {
+    cache: &'a CellCache,
+    key: CellKey,
+    flight: Arc<Flight>,
+}
+
+impl<'a> CellJoin<'a> {
+    /// Block until the leader publishes and return a clone of its result.
+    /// If the leader abandoned the flight (its simulation panicked), the
+    /// joiner is handed a fresh [`CellLead`] and must simulate for itself.
+    pub fn wait(self) -> Result<SimStats, CellLead<'a>> {
+        let mut slot = lock(&self.flight.slot);
+        loop {
+            match &*slot {
+                FlightOutcome::Pending => {
+                    slot = self.flight.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+                FlightOutcome::Done(stats) => {
+                    self.cache.dedupe_joins.fetch_add(1, Ordering::Relaxed);
+                    return Ok((**stats).clone());
+                }
+                FlightOutcome::Abandoned => break,
+            }
+        }
+        drop(slot);
+        // The abandoned-flight fallback simulates outside the table, like
+        // the collision bypass: re-registering would serialize the joiners
+        // behind each other for no benefit.
+        Err(CellLead {
+            cache: self.cache,
+            key: self.key,
+            flight: None,
+            started: Instant::now(),
+        })
     }
 }
 
@@ -527,15 +615,50 @@ impl CellCache {
         }
     }
 
-    /// Simulate a cell and insert the result, timing the run for the
-    /// cost-model planner.  Every counted "lead" goes through here.
-    fn simulate_and_insert(&self, key: &CellKey, simulate: impl FnOnce() -> SimStats) -> SimStats {
-        self.dedupe_leads.fetch_add(1, Ordering::Relaxed);
-        let start = Instant::now();
-        let stats = simulate();
-        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.insert(key, &stats, elapsed);
-        stats
+    /// Decide how `key`'s cell is obtained, without blocking: a cached cell
+    /// is returned immediately, a novel key elects this caller **leader**
+    /// (simulate, then [`CellLead::publish`]), and a key already being
+    /// simulated hands back a [`CellJoin`] to wait on.
+    ///
+    /// This is [`CellCache::get_or_compute`] with the simulation inverted
+    /// out: the batched campaign engine claims every cell of a row first,
+    /// routes only the leads into simulator lanes, and waits on joins after
+    /// the batch — so cached and deduped cells never occupy a lane.
+    pub fn claim(&self, key: &CellKey) -> CellClaim<'_> {
+        if let Some(hit) = self.lookup(key) {
+            return CellClaim::Hit(Box::new(hit.stats));
+        }
+        let mut flights = lock(&self.flights);
+        match flights.get(&key.digest) {
+            Some(flight) if flight.document == key.document => CellClaim::Join(CellJoin {
+                cache: self,
+                key: key.clone(),
+                flight: Arc::clone(flight),
+            }),
+            // A different key is in flight under the same digest: a
+            // forged/freak FNV collision.  Simulate independently, without
+            // registering in (or publishing through) the table.
+            Some(_) => CellClaim::Lead(CellLead {
+                cache: self,
+                key: key.clone(),
+                flight: None,
+                started: Instant::now(),
+            }),
+            None => {
+                let flight = Arc::new(Flight {
+                    document: key.document.clone(),
+                    slot: Mutex::new(FlightOutcome::Pending),
+                    ready: Condvar::new(),
+                });
+                flights.insert(key.digest, Arc::clone(&flight));
+                CellClaim::Lead(CellLead {
+                    cache: self,
+                    key: key.clone(),
+                    flight: Some(flight),
+                    started: Instant::now(),
+                })
+            }
+        }
     }
 
     /// Return `key`'s cached result, or run `simulate` to produce (and
@@ -557,64 +680,13 @@ impl CellCache {
     /// funnel through; [`CacheStats::dedupe_leads`] counts exactly the
     /// simulations executed here.
     pub fn get_or_compute(&self, key: &CellKey, simulate: impl FnOnce() -> SimStats) -> SimStats {
-        if let Some(hit) = self.lookup(key) {
-            return hit.stats;
-        }
-        enum Role {
-            Lead(Arc<Flight>),
-            Join(Arc<Flight>),
-            Bypass,
-        }
-        let role = {
-            let mut flights = lock(&self.flights);
-            match flights.get(&key.digest) {
-                Some(flight) if flight.document == key.document => Role::Join(Arc::clone(flight)),
-                // A different key is in flight under the same digest: a
-                // forged/freak FNV collision.  Simulate independently.
-                Some(_) => Role::Bypass,
-                None => {
-                    let flight = Arc::new(Flight {
-                        document: key.document.clone(),
-                        slot: Mutex::new(FlightOutcome::Pending),
-                        ready: Condvar::new(),
-                    });
-                    flights.insert(key.digest, Arc::clone(&flight));
-                    Role::Lead(flight)
-                }
-            }
-        };
-        match role {
-            Role::Lead(flight) => {
-                // Deregisters the flight and wakes joiners even if
-                // `simulate` unwinds.
-                let lead = FlightLead {
-                    flights: &self.flights,
-                    digest: key.digest,
-                    flight: &flight,
-                };
-                let stats = self.simulate_and_insert(key, simulate);
-                *lock(&flight.slot) = FlightOutcome::Done(Box::new(stats.clone()));
-                drop(lead);
-                stats
-            }
-            Role::Join(flight) => {
-                let mut slot = lock(&flight.slot);
-                loop {
-                    match &*slot {
-                        FlightOutcome::Pending => {
-                            slot = flight.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
-                        }
-                        FlightOutcome::Done(stats) => {
-                            self.dedupe_joins.fetch_add(1, Ordering::Relaxed);
-                            return (**stats).clone();
-                        }
-                        FlightOutcome::Abandoned => break,
-                    }
-                }
-                drop(slot);
-                self.simulate_and_insert(key, simulate)
-            }
-            Role::Bypass => self.simulate_and_insert(key, simulate),
+        match self.claim(key) {
+            CellClaim::Hit(stats) => *stats,
+            CellClaim::Lead(lead) => lead.publish(simulate()),
+            CellClaim::Join(join) => match join.wait() {
+                Ok(stats) => stats,
+                Err(lead) => lead.publish(simulate()),
+            },
         }
     }
 

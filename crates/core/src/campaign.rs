@@ -35,12 +35,13 @@
 //! assert_eq!(report.cells.len(), 2);
 //! ```
 
-use crate::cache::{CellCache, CellKey};
+use crate::cache::{CellCache, CellClaim, CellJoin, CellKey, CellLead};
 use crate::experiment::{Experiment, ExperimentResult};
-use crate::policy::PolicyKind;
+use crate::policy::{PolicyKind, PolicyPool};
 use crate::scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};
 use hc_power::{Ed2Comparison, PowerModel, PowerParams};
-use hc_sim::{ConfigError, SimConfig, SimStats};
+use hc_predictors::PredictorConfig;
+use hc_sim::{BatchJob, ConfigError, SimConfig, SimStats, Simulator, SteeringPolicy};
 use hc_trace::{SpecBenchmark, Trace, WorkloadCategory, WorkloadProfile};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -1206,6 +1207,7 @@ impl CampaignReport {
 pub struct CampaignRunner {
     progress: Option<ProgressHook>,
     cache: Option<Arc<CellCache>>,
+    batch: Option<usize>,
 }
 
 impl fmt::Debug for CampaignRunner {
@@ -1216,6 +1218,7 @@ impl fmt::Debug for CampaignRunner {
                 "cache",
                 &self.cache.as_ref().map(|c| c.root().to_path_buf()),
             )
+            .field("batch", &self.batch)
             .finish()
     }
 }
@@ -1247,6 +1250,16 @@ impl CampaignRunner {
     /// The produced report is **byte-identical** with or without the cache.
     pub fn with_cache(mut self, cache: Arc<CellCache>) -> CampaignRunner {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Set the number of simulator lanes each worker steps in lockstep
+    /// (see [`hc_sim::BatchContext`]).  `1` forces the scalar engine;
+    /// without this call the width is sized automatically from the grid
+    /// shape.  Reports are **byte-identical at every batch width** — lanes
+    /// never interact — so this is purely a throughput knob.
+    pub fn with_batch(mut self, lanes: usize) -> CampaignRunner {
+        self.batch = Some(lanes);
         self
     }
 
@@ -1283,6 +1296,12 @@ impl CampaignRunner {
             spec.include_baseline,
             self.progress.as_ref(),
             grid_cache.as_ref(),
+            resolve_batch(
+                self.batch,
+                scenarios.len(),
+                &spec.policies,
+                spec.include_baseline,
+            ),
         );
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
@@ -1418,7 +1437,40 @@ pub(crate) fn run_grid(
         // Materialized-trace adapter paths carry no declarative trace
         // identity to key a cache on, so they never cache.
         None,
+        resolve_batch(None, 1, policies, include_baseline),
     )
+}
+
+/// Maximum lane width the automatic batch sizing picks.  Wider batches keep
+/// amortizing per-cycle dispatch overhead, but on the benchmarked reference
+/// machine the uops/sec curve is flat past four lanes while per-worker
+/// memory keeps growing (each lane owns a full window slab + event wheel),
+/// so auto stops here; explicit `--batch N` overrides are uncapped.
+const MAX_AUTO_BATCH: usize = 4;
+
+/// Resolve a requested batch width: an explicit request is clamped to at
+/// least one lane, and `None` ("auto") sizes the batch to the number of
+/// *simulated* columns per row — every scenario's baseline plus its
+/// non-baseline policy cells (the `baseline` policy column clones the
+/// scenario baseline and never occupies a lane) — capped at
+/// [`MAX_AUTO_BATCH`].  Reports are byte-identical at every width, so this
+/// only chooses a throughput/memory trade-off.
+pub(crate) fn resolve_batch(
+    requested: Option<usize>,
+    scenario_count: usize,
+    policies: &[PolicyKind],
+    include_baseline: bool,
+) -> usize {
+    if let Some(lanes) = requested {
+        return lanes.max(1);
+    }
+    let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
+    let sim_columns = policies
+        .iter()
+        .filter(|&&k| k != PolicyKind::Baseline)
+        .count()
+        + usize::from(baseline_needed);
+    (scenario_count.max(1) * sim_columns).clamp(1, MAX_AUTO_BATCH)
 }
 
 /// The cache binding of one streaming-grid invocation: the [`CellCache`]
@@ -1496,6 +1548,13 @@ fn deliver_progress(hook: &ProgressHook, disabled: &AtomicBool, progress: &Campa
 /// `trace_generations` counter (and with it the report bytes) identical
 /// between cold and warm runs; the cache elides *simulation*, not
 /// synthesis.
+/// With `batch > 1`, each worker instead owns a [`hc_sim::BatchContext`] of
+/// `batch` lanes plus a [`PolicyPool`], and steps every *fresh* simulation
+/// of a row — across all its scenarios and policy columns — in lockstep.
+/// Cached cells and cells another worker is already simulating (the cache's
+/// keyed singleflight) **never occupy a lane**: they are claimed up front
+/// via [`CellCache::claim`] and resolved without simulation.  Lanes never
+/// interact, so the produced grid is byte-identical at every batch width.
 #[allow(clippy::too_many_arguments)] // pub(crate) engine; every caller is in this crate.
 pub(crate) fn run_grid_streaming<R, F>(
     scenarios: &[ScenarioExperiment],
@@ -1506,6 +1565,7 @@ pub(crate) fn run_grid_streaming<R, F>(
     include_baseline: bool,
     progress: Option<&ProgressHook>,
     cache: Option<&GridCache<'_, R>>,
+    batch: usize,
 ) -> Grid
 where
     R: Sync,
@@ -1516,6 +1576,47 @@ where
     let hook_disabled = AtomicBool::new(false);
     let baseline_count = AtomicUsize::new(0);
     let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
+
+    if batch > 1 {
+        let per_trace: Vec<Vec<(Option<BaselineRun>, Vec<CampaignCell>)>> = rows
+            .par_iter()
+            .map_init(
+                || BatchWorker::new(batch),
+                |worker, row| {
+                    let trace = make_trace(row);
+                    let row_doc = cache.map(|gc| (gc.row_doc)(row));
+                    let binding = match (cache, &row_doc) {
+                        (Some(gc), Some(doc)) => Some(CacheBinding {
+                            cache: gc.cache,
+                            trace_len: gc.trace_len,
+                            warmup_runs: gc.warmup_runs,
+                            scenario_docs: &gc.scenario_docs,
+                            row_doc: doc,
+                        }),
+                        _ => None,
+                    };
+                    run_row_batched(
+                        worker,
+                        scenarios,
+                        &trace,
+                        policies,
+                        warmup_runs,
+                        baseline_needed,
+                        binding,
+                        progress,
+                        &hook_disabled,
+                        &completed,
+                        total_cells,
+                        &baseline_count,
+                    )
+                },
+            )
+            .collect();
+        return Grid {
+            per_trace,
+            baseline_runs: baseline_count.load(Ordering::Relaxed),
+        };
+    }
 
     // One `ExecContext` per worker thread, reused across every run that
     // worker performs — including runs under different scenario machines
@@ -1623,6 +1724,276 @@ where
         per_trace,
         baseline_runs: baseline_count.load(Ordering::Relaxed),
     }
+}
+
+/// Per-worker state of the batched grid path: `B` lockstep simulator lanes,
+/// a scalar context for the rare abandoned-singleflight fallback, and the
+/// policy reuse pool.  Created once per worker thread and reused across
+/// rows, so steady-state lane refills build nothing.
+struct BatchWorker {
+    lanes: hc_sim::BatchContext,
+    scalar: hc_sim::ExecContext,
+    pool: PolicyPool,
+}
+
+impl BatchWorker {
+    fn new(lanes: usize) -> BatchWorker {
+        BatchWorker {
+            lanes: hc_sim::BatchContext::new(lanes),
+            scalar: hc_sim::ExecContext::new(),
+            pool: PolicyPool::new(),
+        }
+    }
+}
+
+/// One planned fresh simulation of a batched row: which machine runs it,
+/// which policy steers it, and how many passes (warmup runs + 1).
+struct JobPlan<'s> {
+    sim: &'s Simulator,
+    kind: PolicyKind,
+    predictors: PredictorConfig,
+    runs: usize,
+}
+
+/// Where one column of a batched row gets its statistics.
+enum CellSource {
+    /// Known before any lane ran: a cache hit.
+    Ready(SimStats),
+    /// Simulated in this row's batch (index into the job list).
+    Lane(usize),
+    /// In flight on another worker's singleflight (index into the join
+    /// list); waited on after the batch so it never occupies a lane.
+    Pending(usize),
+    /// The `baseline` policy column: cloned from its scenario's baseline.
+    FromBaseline,
+}
+
+/// The cache pieces one batched row needs: the cache itself plus this row's
+/// serialized trace identity and the campaign-level key components (the
+/// fields of [`GridCache`], with the row projection already applied).
+struct CacheBinding<'a> {
+    cache: &'a CellCache,
+    trace_len: usize,
+    warmup_runs: usize,
+    scenario_docs: &'a [serde::Value],
+    row_doc: &'a serde::Value,
+}
+
+/// Claim one column: cached → `Ready`, in flight elsewhere → `Pending`,
+/// otherwise (leader or no cache) append a lane job.  `leads` stays aligned
+/// with `jobs` so each fresh result can be published after the batch.
+fn claim_or_enqueue<'s, 'c>(
+    plan: JobPlan<'s>,
+    key: Option<(&'c CellCache, CellKey)>,
+    jobs: &mut Vec<JobPlan<'s>>,
+    leads: &mut Vec<Option<CellLead<'c>>>,
+    joins: &mut Vec<(JobPlan<'s>, CellJoin<'c>)>,
+) -> CellSource {
+    let Some((cache, key)) = key else {
+        jobs.push(plan);
+        leads.push(None);
+        return CellSource::Lane(jobs.len() - 1);
+    };
+    match cache.claim(&key) {
+        CellClaim::Hit(stats) => CellSource::Ready(*stats),
+        CellClaim::Lead(lead) => {
+            jobs.push(plan);
+            leads.push(Some(lead));
+            CellSource::Lane(jobs.len() - 1)
+        }
+        CellClaim::Join(join) => {
+            joins.push((plan, join));
+            CellSource::Pending(joins.len() - 1)
+        }
+    }
+}
+
+/// Run one row of the grid through the worker's lockstep lanes: claim every
+/// column in scalar order, ride every fresh simulation (baselines included)
+/// through [`hc_sim::BatchContext::run_batch`], publish the results into
+/// the cache's singleflight, then assemble baselines and cells in exactly
+/// the scalar path's order.  Cached and joined cells never occupy a lane.
+#[allow(clippy::too_many_arguments)]
+fn run_row_batched(
+    worker: &mut BatchWorker,
+    scenarios: &[ScenarioExperiment],
+    trace: &Trace,
+    policies: &[PolicyKind],
+    warmup_runs: usize,
+    baseline_needed: bool,
+    cache: Option<CacheBinding<'_>>,
+    progress: Option<&ProgressHook>,
+    hook_disabled: &AtomicBool,
+    completed: &AtomicUsize,
+    total_cells: usize,
+    baseline_count: &AtomicUsize,
+) -> Vec<(Option<BaselineRun>, Vec<CampaignCell>)> {
+    // --- Plan: claim every column in scalar order.
+    let mut jobs: Vec<JobPlan> = Vec::new();
+    let mut leads: Vec<Option<CellLead>> = Vec::new();
+    let mut joins: Vec<(JobPlan, CellJoin)> = Vec::new();
+    let mut sources: Vec<(Option<CellSource>, Vec<CellSource>)> =
+        Vec::with_capacity(scenarios.len());
+    for (scenario_index, scenario) in scenarios.iter().enumerate() {
+        let experiment = &scenario.experiment;
+        let baseline_src = if baseline_needed {
+            baseline_count.fetch_add(1, Ordering::Relaxed);
+            let plan = JobPlan {
+                sim: experiment.baseline_sim(),
+                kind: PolicyKind::Baseline,
+                predictors: *experiment.predictors(),
+                runs: 1,
+            };
+            let key = cache.as_ref().map(|b| {
+                (
+                    b.cache,
+                    CellKey::baseline(b.row_doc, b.trace_len, &b.scenario_docs[scenario_index]),
+                )
+            });
+            Some(claim_or_enqueue(
+                plan, key, &mut jobs, &mut leads, &mut joins,
+            ))
+        } else {
+            None
+        };
+        let cell_srcs = policies
+            .iter()
+            .map(|&kind| {
+                if kind == PolicyKind::Baseline {
+                    // Clones the scenario baseline (spec validation
+                    // guarantees the baseline exists); never a lane job.
+                    return CellSource::FromBaseline;
+                }
+                let plan = JobPlan {
+                    sim: experiment.helper_sim(),
+                    kind,
+                    predictors: *experiment.predictors(),
+                    runs: warmup_runs + 1,
+                };
+                let key = cache.as_ref().map(|b| {
+                    (
+                        b.cache,
+                        CellKey::cell(
+                            b.row_doc,
+                            b.trace_len,
+                            b.warmup_runs,
+                            &b.scenario_docs[scenario_index],
+                            kind.name(),
+                        ),
+                    )
+                });
+                claim_or_enqueue(plan, key, &mut jobs, &mut leads, &mut joins)
+            })
+            .collect();
+        sources.push((baseline_src, cell_srcs));
+    }
+
+    // --- Execute: every fresh column rides a lane; lanes refill from the
+    // job queue as cells drain, so mixed-length cells keep all lanes busy.
+    let mut policies_in_flight: Vec<Box<dyn SteeringPolicy + Send>> = jobs
+        .iter()
+        .map(|j| worker.pool.acquire(j.kind, &j.predictors))
+        .collect();
+    let batch_jobs: Vec<BatchJob> = jobs
+        .iter()
+        .zip(policies_in_flight.iter_mut())
+        .map(|(j, policy)| BatchJob {
+            sim: j.sim,
+            trace,
+            policy: policy.as_mut(),
+            runs: j.runs,
+        })
+        .collect();
+    let mut lane_stats = worker.lanes.run_batch(batch_jobs);
+    for (j, policy) in jobs.iter().zip(policies_in_flight) {
+        worker.pool.release(j.kind, &j.predictors, policy);
+    }
+    // Publish every lead before waiting on any join: cross-worker waits can
+    // then always terminate, whatever order workers reach this point in.
+    for (stats, lead) in lane_stats.iter().zip(leads) {
+        if let Some(lead) = lead {
+            lead.publish(stats.clone());
+        }
+    }
+
+    // --- Resolve joins (another worker was simulating the same key).
+    let mut join_stats: Vec<SimStats> = joins
+        .into_iter()
+        .map(|(plan, join)| match join.wait() {
+            Ok(stats) => stats,
+            Err(lead) => {
+                // The leader's simulation panicked; run the cell scalar on
+                // this worker's fallback context.
+                let mut policy = worker.pool.acquire(plan.kind, &plan.predictors);
+                let mut stats = None;
+                for _ in 0..plan.runs {
+                    stats = Some(plan.sim.run_with(&mut worker.scalar, trace, policy.as_mut()));
+                }
+                worker.pool.release(plan.kind, &plan.predictors, policy);
+                lead.publish(stats.expect("a job has at least one pass"))
+            }
+        })
+        .collect();
+
+    // --- Assemble in scalar order (each lane/join result is consumed
+    // exactly once, so moves replace clones).
+    let mut resolve = |src: CellSource| -> SimStats {
+        match src {
+            CellSource::Ready(stats) => stats,
+            CellSource::Lane(i) => std::mem::take(&mut lane_stats[i]),
+            CellSource::Pending(i) => std::mem::take(&mut join_stats[i]),
+            CellSource::FromBaseline => unreachable!("resolved against the scenario baseline"),
+        }
+    };
+    sources
+        .into_iter()
+        .zip(scenarios.iter())
+        .map(|((baseline_src, cell_srcs), scenario)| {
+            let baseline = baseline_src.map(|src| BaselineRun {
+                trace: trace.name.clone(),
+                category: trace.category.clone(),
+                scenario: scenario.key.clone(),
+                stats: resolve(src),
+            });
+            let cells = cell_srcs
+                .into_iter()
+                .zip(policies.iter())
+                .map(|(src, &kind)| {
+                    let stats = match src {
+                        CellSource::FromBaseline => {
+                            let b = baseline
+                                .as_ref()
+                                .expect("a baseline-policy column implies a baseline");
+                            b.stats.clone()
+                        }
+                        src => resolve(src),
+                    };
+                    let cell = CampaignCell {
+                        policy: kind.name().to_string(),
+                        trace: trace.name.clone(),
+                        category: trace.category.clone(),
+                        scenario: scenario.key.clone(),
+                        stats,
+                    };
+                    if let Some(hook) = progress {
+                        deliver_progress(
+                            hook,
+                            hook_disabled,
+                            &CampaignProgress {
+                                completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                                total_cells,
+                                policy: cell.policy.clone(),
+                                trace: cell.trace.clone(),
+                                scenario: scenario.progress_key().to_string(),
+                            },
+                        );
+                    }
+                    cell
+                })
+                .collect();
+            (baseline, cells)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -122,6 +122,18 @@ impl Experiment {
         self.baseline_sim.config()
     }
 
+    /// The validated helper-cluster simulator — the machine policy cells
+    /// run on.  Exposed so batch schedulers can drive runs through
+    /// [`hc_sim::BatchContext`] instead of the scalar entry points.
+    pub fn helper_sim(&self) -> &Simulator {
+        &self.helper_sim
+    }
+
+    /// The validated monolithic-baseline simulator (helper removed).
+    pub fn baseline_sim(&self) -> &Simulator {
+        &self.baseline_sim
+    }
+
     /// The predictor sizing policies are built with.
     pub fn predictors(&self) -> &PredictorConfig {
         &self.predictors

@@ -57,8 +57,8 @@ pub mod shard;
 pub mod suite;
 
 pub use cache::{
-    CacheActivity, CacheStats, CachedCell, CellCache, CellKey, CostModel, GcOutcome, GcPolicy,
-    CACHE_SCHEMA_VERSION,
+    CacheActivity, CacheStats, CachedCell, CellCache, CellClaim, CellJoin, CellKey, CellLead,
+    CostModel, GcOutcome, GcPolicy, CACHE_SCHEMA_VERSION,
 };
 pub use campaign::{
     CampaignBuilder, CampaignError, CampaignProgress, CampaignReport, CampaignRunner, CampaignSpec,
@@ -67,7 +67,7 @@ pub use campaign::{
 };
 pub use experiment::{Experiment, ExperimentResult};
 pub use figures::{Figure, FigureRow};
-pub use policy::{PolicyKind, SteeringFeatures, SteeringStack};
+pub use policy::{PolicyKind, PolicyPool, SteeringFeatures, SteeringStack};
 pub use scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};
 pub use shard::{
     CampaignShard, ShardPlan, ShardReport, ShardStrategy, ShardedCampaignRunner, ShardedRunOutcome,

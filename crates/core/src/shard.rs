@@ -55,7 +55,8 @@ use crate::cache::{CellCache, CostModel};
 #[allow(unused_imports)] // `CampaignRunner` is referenced by doc links only.
 use crate::campaign::CampaignRunner;
 use crate::campaign::{
-    decode_versioned, report_wire_version, run_grid_streaming, scenario_experiments, BaselineRun,
+    decode_versioned, report_wire_version, resolve_batch, run_grid_streaming,
+    scenario_experiments, BaselineRun,
     CampaignCell, CampaignError, CampaignProgress, CampaignReport, CampaignSpec, GridCache,
     ProgressHook,
 };
@@ -397,7 +398,7 @@ impl CampaignShard {
 
     /// Execute this shard through the streaming grid engine.
     pub fn run(&self) -> Result<ShardReport, CampaignError> {
-        self.run_with(None, None)
+        self.run_with(None, None, None)
     }
 
     /// [`CampaignShard::run`] with an optional progress hook.  The hook sees
@@ -407,16 +408,19 @@ impl CampaignShard {
         &self,
         progress: Option<&ProgressHook>,
     ) -> Result<ShardReport, CampaignError> {
-        self.run_with(progress, None)
+        self.run_with(progress, None, None)
     }
 
-    /// [`CampaignShard::run`] with an optional progress hook and an optional
-    /// [`CellCache`] memoizing every simulated cell (shard reports stay
-    /// byte-identical with or without it).
+    /// [`CampaignShard::run`] with an optional progress hook, an optional
+    /// [`CellCache`] memoizing every simulated cell, and an optional batch
+    /// width (lockstep simulator lanes per worker; `None` sizes it
+    /// automatically).  Shard reports stay byte-identical with or without
+    /// the cache and at every batch width.
     pub fn run_with(
         &self,
         progress: Option<&ProgressHook>,
         cache: Option<&CellCache>,
+        batch: Option<usize>,
     ) -> Result<ShardReport, CampaignError> {
         let scenarios = scenario_experiments(&self.spec)?;
         let indices = self.trace_indices();
@@ -435,6 +439,12 @@ impl CampaignShard {
             self.spec.include_baseline,
             progress,
             grid_cache.as_ref(),
+            resolve_batch(
+                batch,
+                self.spec.scenarios.len(),
+                &self.spec.policies,
+                self.spec.include_baseline,
+            ),
         );
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
@@ -846,6 +856,7 @@ pub struct ShardedCampaignRunner {
     resume: bool,
     progress: Option<ProgressHook>,
     cache: Option<Arc<CellCache>>,
+    batch: Option<usize>,
 }
 
 impl std::fmt::Debug for ShardedCampaignRunner {
@@ -859,6 +870,7 @@ impl std::fmt::Debug for ShardedCampaignRunner {
                 "cache",
                 &self.cache.as_ref().map(|c| c.root().to_path_buf()),
             )
+            .field("batch", &self.batch)
             .finish()
     }
 }
@@ -873,7 +885,16 @@ impl ShardedCampaignRunner {
             resume: false,
             progress: None,
             cache: None,
+            batch: None,
         }
+    }
+
+    /// Set the lockstep simulator lane count each worker batches cells
+    /// over (`1` forces the scalar engine; unset sizes it automatically).
+    /// Shard and merged reports are byte-identical at every width.
+    pub fn with_batch(mut self, lanes: usize) -> ShardedCampaignRunner {
+        self.batch = Some(lanes);
+        self
     }
 
     /// Memoize every simulated cell through a [`CellCache`] and let its
@@ -964,7 +985,7 @@ impl ShardedCampaignRunner {
                 reports.push(report);
                 continue;
             }
-            let report = shard.run_with(global_hook.as_ref(), self.cache.as_deref())?;
+            let report = shard.run_with(global_hook.as_ref(), self.cache.as_deref(), self.batch)?;
             if let Some(dir) = &self.checkpoint {
                 write_checkpoint_file(
                     &dir.join(shard_file_name(shard.shard_index())),

@@ -9,7 +9,7 @@
 //! memory, not 409.  Each trace's monolithic baseline is still simulated
 //! exactly once.
 
-use crate::campaign::{run_grid, run_grid_streaming, ScenarioExperiment};
+use crate::campaign::{resolve_batch, run_grid, run_grid_streaming, ScenarioExperiment};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::policy::PolicyKind;
 use hc_trace::{SpecBenchmark, Trace, WorkloadProfile};
@@ -106,6 +106,7 @@ impl SuiteRunner {
             true,
             None,
             None,
+            resolve_batch(None, 1, &[kind], true),
         );
         SuiteResult {
             policy: kind.name().to_string(),
@@ -125,6 +126,7 @@ impl SuiteRunner {
             true,
             None,
             None,
+            resolve_batch(None, 1, &[kind], true),
         );
         SuiteResult {
             policy: kind.name().to_string(),

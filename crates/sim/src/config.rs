@@ -14,6 +14,15 @@ pub const SUPPORTED_HELPER_WIDTHS: [u32; 3] = [4, 8, 16];
 /// (and no silicon ships a 64× faster narrow backend anyway).
 pub const MAX_HELPER_CLOCK_RATIO: u32 = 64;
 
+/// Largest worst-case completion latency (in ticks) a configuration may
+/// produce.  The execution engine's event wheel is sized at run start to the
+/// next power of two covering [`SimConfig::worst_case_completion_ticks`], so
+/// this cap bounds the wheel at 2²⁰ buckets (~24 MB of empty buckets per
+/// lane at the extreme — the paper machine needs 2¹⁰); a configuration whose
+/// single longest µop latency exceeds a million helper cycles is a typo, not
+/// a machine.
+pub const MAX_COMPLETION_LATENCY_TICKS: u64 = 1 << 20;
+
 /// Why a [`SimConfig`] was rejected by [`SimConfig::validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ConfigError {
@@ -59,6 +68,16 @@ pub enum ConfigError {
         /// Configured width in bits.
         width_bits: u32,
     },
+    /// The worst-case completion latency of a single µop (a full cache-miss
+    /// load at the configured clock ratio) exceeds
+    /// [`MAX_COMPLETION_LATENCY_TICKS`]: the event wheel cannot be sized to
+    /// cover the configuration's scheduling horizon.
+    CompletionLatencyBeyondHorizon {
+        /// The configuration's worst-case single-µop latency in ticks.
+        worst_case_ticks: u64,
+        /// The supported maximum.
+        max: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -95,6 +114,15 @@ impl fmt::Display for ConfigError {
             ConfigError::UnsupportedHelperWidth { width_bits } => write!(
                 f,
                 "helper datapath width {width_bits} is unsupported (must be one of {SUPPORTED_HELPER_WIDTHS:?})"
+            ),
+            ConfigError::CompletionLatencyBeyondHorizon {
+                worst_case_ticks,
+                max,
+            } => write!(
+                f,
+                "worst-case completion latency of {worst_case_ticks} ticks exceeds the \
+                 event-wheel horizon cap of {max} (check memory/functional-unit latencies \
+                 against the helper clock ratio)"
             ),
         }
     }
@@ -247,6 +275,28 @@ impl SimConfig {
         (32 / self.helper_width_bits.clamp(1, 32)) as usize
     }
 
+    /// Worst-case completion latency of a single µop in ticks: the upper
+    /// bound on how far ahead of the current tick the issue stage can ever
+    /// schedule a completion event.  The execution engine sizes its event
+    /// wheel to cover this, so no reachable latency wraps a wheel bucket.
+    ///
+    /// The bound is a wide-cluster µop's own issue cycle plus the longest
+    /// latency class — a load missing every cache level (`dl0 + ul1 + main
+    /// memory`, the levels are additive on a full miss) or the slowest
+    /// functional unit — converted to ticks at the configured clock ratio.
+    pub fn worst_case_completion_ticks(&self) -> u64 {
+        let own_cycle = self.ticks_per_wide_cycle();
+        let full_miss =
+            self.dl0.latency as u64 + self.ul1.latency as u64 + self.memory_latency as u64;
+        let slowest_unit = (self.mul_latency as u64)
+            .max(self.div_latency as u64)
+            .max(self.fp_latency as u64)
+            .max(self.forward_latency as u64);
+        let longest_wide_cycles = full_miss.max(slowest_unit);
+        let copy = (self.copy_latency as u64).max(1);
+        (own_cycle + longest_wide_cycles.saturating_mul(own_cycle)).max(copy)
+    }
+
     /// Basic sanity validation.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.commit_width == 0 || self.rename_width == 0 || self.fetch_width == 0 {
@@ -297,6 +347,13 @@ impl SimConfig {
                     width_bits: self.helper_width_bits,
                 });
             }
+        }
+        let worst_case_ticks = self.worst_case_completion_ticks();
+        if worst_case_ticks > MAX_COMPLETION_LATENCY_TICKS {
+            return Err(ConfigError::CompletionLatencyBeyondHorizon {
+                worst_case_ticks,
+                max: MAX_COMPLETION_LATENCY_TICKS,
+            });
         }
         Ok(())
     }
@@ -472,5 +529,44 @@ mod tests {
     fn config_errors_display_and_implement_error() {
         let e: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroHelperClockRatio);
         assert!(e.to_string().contains("clock ratio"));
+    }
+
+    #[test]
+    fn worst_case_latency_covers_a_full_miss_load() {
+        let c = SimConfig::paper_baseline();
+        // Wide own cycle (2 ticks at ratio 2) + (3 + 13 + 450) wide cycles
+        // of memory, converted to ticks.
+        assert_eq!(c.worst_case_completion_ticks(), 2 + (3 + 13 + 450) * 2);
+        // The monolithic baseline disables the helper but keeps the same
+        // tick clocking (ratio 2), so its bound is identical.
+        let mono = SimConfig::monolithic_baseline();
+        assert_eq!(mono.worst_case_completion_ticks(), 2 + 466 * 2);
+    }
+
+    #[test]
+    fn validation_rejects_latencies_beyond_the_event_horizon() {
+        // Every in-range clock ratio keeps the paper latencies well inside
+        // the horizon — the new check must not reject previously valid
+        // machines.
+        for ratio in [1, 2, 4, 8, MAX_HELPER_CLOCK_RATIO] {
+            let mut c = SimConfig::paper_baseline();
+            c.helper_clock_ratio = ratio;
+            assert!(c.validate().is_ok(), "ratio {ratio} stays valid");
+        }
+        // A pathological memory latency overflows the wheel horizon and is
+        // rejected with the typed error instead of silently degrading.
+        let mut c = SimConfig::paper_baseline();
+        c.memory_latency = 3_000_000;
+        let worst = c.worst_case_completion_ticks();
+        assert!(worst > MAX_COMPLETION_LATENCY_TICKS);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CompletionLatencyBeyondHorizon {
+                worst_case_ticks: worst,
+                max: MAX_COMPLETION_LATENCY_TICKS,
+            })
+        );
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("event-wheel horizon"));
     }
 }

@@ -1,0 +1,335 @@
+//! Batched lockstep execution: B independent cells stepped wide cycle by
+//! wide cycle through B lanes of SoA simulator state.
+//!
+//! # Layout and lifecycle
+//!
+//! A [`BatchContext`] owns `B` [`ExecContext`] lanes — each lane is one
+//! column of structure-of-arrays per-cell state (window slab, dep-link
+//! arena, event wheel, ready queues, occupancy counters, clocks, stats).
+//! [`BatchContext::run_batch`] takes a queue of [`BatchJob`]s (simulator +
+//! trace + policy + run count), fills every lane with a job, and then loops
+//! rounds: each round gives every active lane a block of `TURN_CYCLES`
+//! wide cycles, so the stage code (complete → issue →
+//! commit → rename) runs repeatedly over one lane's hot window and
+//! predictor state before rotating, amortizing dispatch costs while keeping
+//! each lane's working set resident in the closest cache levels.
+//!
+//! Retirement is **per lane**: cells of different trace lengths drain
+//! independently, and a drained lane immediately refills from the pending
+//! queue — there is no end-of-batch barrier, so a batch of one long and many
+//! short cells keeps all lanes busy.  A job with `runs > 1` (predictor
+//! warmup) restarts in place on the same lane.
+//!
+//! # Determinism
+//!
+//! Lanes never interact: a lane's wide cycle reads and writes only that
+//! lane's `ExecContext` and its job's policy.  The interleaving order
+//! therefore cannot influence per-lane results, and every cell's statistics
+//! are **byte-identical to a scalar [`Simulator::run_with`] run at every
+//! batch size** — pinned by `reused_context_is_bit_identical_to_fresh_contexts`-style
+//! tests in this module and the golden campaign snapshots upstream.
+//!
+//! [`Simulator::run_with`]: crate::exec::Simulator::run_with
+
+use super::{ExecContext, Machine, Simulator};
+use crate::stats::SimStats;
+use crate::steer::SteeringPolicy;
+use hc_trace::Trace;
+
+/// One pending cell for a batch: which simulator/trace to run under which
+/// policy, and how many times (warmup passes + 1 measured pass; only the
+/// last pass's statistics are returned, matching the scalar warmed-run
+/// shape where warmup passes train the policy and are discarded).
+pub struct BatchJob<'a> {
+    /// The validated simulator (configuration) this cell runs under.
+    pub sim: &'a Simulator,
+    /// The trace to replay.
+    pub trace: &'a Trace,
+    /// The steering policy — trained across all `runs` passes.
+    pub policy: &'a mut dyn SteeringPolicy,
+    /// Total passes (warmup runs + 1).  Must be at least 1.
+    pub runs: usize,
+}
+
+/// Wide cycles a lane executes per lockstep turn before the scheduler
+/// rotates to the next lane.  Larger blocks keep one lane's window slab and
+/// event wheel hot in L1/L2 for the whole turn; the value is invisible in
+/// the results (lanes are independent) and only shapes cache behaviour.
+const TURN_CYCLES: usize = 64;
+
+/// Per-lane bookkeeping: which job occupies the lane and how many of its
+/// passes have finished.
+#[derive(Clone, Copy)]
+struct LaneState {
+    job: usize,
+    passes_done: usize,
+}
+
+/// B lanes of SoA simulator state plus the lockstep scheduler.  Create one
+/// per worker thread and reuse it across batches: lanes keep their arena
+/// allocations, so steady-state batch refills allocate nothing.
+pub struct BatchContext {
+    lanes: Vec<ExecContext>,
+}
+
+impl BatchContext {
+    /// Create a batch context with `lanes` lanes (clamped to at least 1).
+    pub fn new(lanes: usize) -> BatchContext {
+        BatchContext {
+            lanes: (0..lanes.max(1)).map(|_| ExecContext::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Run every job to completion, lockstep across lanes, and return each
+    /// job's final-pass statistics **in job order**.
+    ///
+    /// Jobs beyond the lane count wait in the pending queue and are taken in
+    /// order as lanes drain.  With one lane this degenerates to sequential
+    /// scalar execution; results are identical at every lane count.
+    pub fn run_batch(&mut self, mut jobs: Vec<BatchJob<'_>>) -> Vec<SimStats> {
+        let mut results: Vec<Option<SimStats>> = Vec::with_capacity(jobs.len());
+        results.resize_with(jobs.len(), || None);
+        let mut active: Vec<Option<LaneState>> = vec![None; self.lanes.len()];
+        let mut next_job = 0usize;
+        let mut running = 0usize;
+
+        // Fill every lane from the head of the queue.
+        for (lane, slot) in active.iter_mut().enumerate() {
+            if next_job >= jobs.len() {
+                break;
+            }
+            let job = &jobs[next_job];
+            debug_assert!(job.runs >= 1, "a batch job needs at least one pass");
+            self.lanes[lane].begin_run(job.sim.config(), job.trace, job.policy.name());
+            *slot = Some(LaneState {
+                job: next_job,
+                passes_done: 0,
+            });
+            next_job += 1;
+            running += 1;
+        }
+
+        // Lockstep rounds: one block of `TURN_CYCLES` wide cycles per active
+        // lane per round.  Lanes are independent, so this schedule is
+        // invisible in the results; it exists purely to keep the stage code
+        // and each lane's tables hot while draining B cells concurrently.
+        while running > 0 {
+            for lane in 0..self.lanes.len() {
+                let Some(state) = active[lane] else { continue };
+                let job = &mut jobs[state.job];
+                let ctx = &mut self.lanes[lane];
+                if !ctx.run_done() {
+                    let mut machine =
+                        Machine::attach(job.sim.config(), job.trace, job.policy, ctx);
+                    for _ in 0..TURN_CYCLES {
+                        machine.step_wide_cycle();
+                        if machine.ctx.run_done() {
+                            break;
+                        }
+                    }
+                    if !ctx.run_done() {
+                        continue;
+                    }
+                }
+                // Lane drained: finish the pass, then restart (warmup) or
+                // retire the job and refill from the pending queue.
+                let passes_done = state.passes_done + 1;
+                if passes_done < job.runs {
+                    ctx.begin_run(job.sim.config(), job.trace, job.policy.name());
+                    active[lane] = Some(LaneState {
+                        job: state.job,
+                        passes_done,
+                    });
+                } else {
+                    results[state.job] = Some(ctx.take_stats());
+                    if next_job < jobs.len() {
+                        let next = &mut jobs[next_job];
+                        debug_assert!(next.runs >= 1, "a batch job needs at least one pass");
+                        ctx.begin_run(next.sim.config(), next.trace, next.policy.name());
+                        active[lane] = Some(LaneState {
+                            job: next_job,
+                            passes_done: 0,
+                        });
+                        next_job += 1;
+                    } else {
+                        active[lane] = None;
+                        running -= 1;
+                    }
+                }
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every job ran to completion"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::steer::{
+        AlwaysWide, HelperMode, SteerContext, SteerDecision, SteeringPolicy, WritebackInfo,
+    };
+    use hc_isa::DynUop;
+    use hc_trace::{KernelKind, SpecBenchmark, WorkloadProfile};
+    use std::collections::HashMap;
+
+    /// A stateful test policy: steers a µop narrow iff its last committed
+    /// result fit — it trains across passes, so warmup runs genuinely change
+    /// the measured pass and the batched warmup order is exercised.
+    #[derive(Default)]
+    struct LastOutcome {
+        last_narrow: HashMap<u64, bool>,
+    }
+
+    impl SteeringPolicy for LastOutcome {
+        fn name(&self) -> &str {
+            "last-outcome"
+        }
+        fn steer(&mut self, uop: &DynUop, ctx: &SteerContext) -> SteerDecision {
+            let narrow = *self.last_narrow.get(&uop.uop.pc).unwrap_or(&false);
+            if ctx.helper_available && !ctx.forced_wide && narrow && !uop.uop.kind.wide_only() {
+                SteerDecision::helper(HelperMode::AllNarrow).with_dest_prediction(true)
+            } else {
+                SteerDecision::wide()
+            }
+        }
+        fn on_writeback(&mut self, uop: &DynUop, info: WritebackInfo) {
+            self.last_narrow.insert(uop.uop.pc, info.result_narrow);
+        }
+    }
+
+    fn traces() -> Vec<Trace> {
+        vec![
+            WorkloadProfile::new("batch-a", vec![(KernelKind::ByteHistogram, 1.0)])
+                .with_trace_len(900)
+                .generate(),
+            SpecBenchmark::Gzip.trace(1_400),
+            WorkloadProfile::new("batch-b", vec![(KernelKind::TokenScan, 1.0)])
+                .with_trace_len(300)
+                .generate(),
+            SpecBenchmark::Mcf.trace(1_100),
+            WorkloadProfile::new("batch-c", vec![(KernelKind::WordSum, 1.0)])
+                .with_trace_len(700)
+                .generate(),
+        ]
+    }
+
+    fn scalar_reference(traces: &[Trace], runs: usize) -> Vec<SimStats> {
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let mut ctx = ExecContext::new();
+        traces
+            .iter()
+            .map(|t| {
+                let mut policy = LastOutcome::default();
+                let mut last = None;
+                for _ in 0..runs {
+                    last = Some(sim.run_with(&mut ctx, t, &mut policy));
+                }
+                last.unwrap()
+            })
+            .collect()
+    }
+
+    fn batched(traces: &[Trace], runs: usize, lanes: usize) -> Vec<SimStats> {
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let mut policies: Vec<LastOutcome> = traces.iter().map(|_| LastOutcome::default()).collect();
+        let jobs: Vec<BatchJob> = traces
+            .iter()
+            .zip(policies.iter_mut())
+            .map(|(trace, policy)| BatchJob {
+                sim: &sim,
+                trace,
+                policy,
+                runs,
+            })
+            .collect();
+        BatchContext::new(lanes).run_batch(jobs)
+    }
+
+    #[test]
+    fn every_lane_count_matches_scalar_execution() {
+        let traces = traces();
+        let reference = scalar_reference(&traces, 1);
+        for lanes in [1, 2, 3, 8] {
+            assert_eq!(
+                batched(&traces, 1, lanes),
+                reference,
+                "lane count {lanes} must be bit-identical to scalar runs"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_passes_match_scalar_warmed_runs() {
+        let traces = traces();
+        let reference = scalar_reference(&traces, 3);
+        for lanes in [1, 2, 4] {
+            assert_eq!(
+                batched(&traces, 3, lanes),
+                reference,
+                "warmed batch at {lanes} lanes must match scalar warmed runs"
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_refill_from_the_pending_queue() {
+        let traces = traces();
+        // 2 lanes, 5 jobs: refill must happen and order must be preserved.
+        let out = batched(&traces, 1, 2);
+        assert_eq!(out.len(), traces.len());
+        for (stats, trace) in out.iter().zip(&traces) {
+            assert_eq!(stats.trace, trace.name);
+            assert_eq!(stats.committed_uops as usize, trace.len());
+        }
+    }
+
+    #[test]
+    fn mixed_configs_share_a_batch() {
+        // Different machines (different clock ratios and helper presence) in
+        // one batch: lanes must not bleed configuration into each other.
+        let trace = SpecBenchmark::Gzip.trace(1_000);
+        let helper = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let mono = Simulator::new(SimConfig::monolithic_baseline()).unwrap();
+        let scalar: Vec<SimStats> = {
+            let mut ctx = ExecContext::new();
+            let mut a = LastOutcome::default();
+            let mut b = AlwaysWide;
+            vec![
+                helper.run_with(&mut ctx, &trace, &mut a),
+                mono.run_with(&mut ctx, &trace, &mut b),
+            ]
+        };
+        let mut a = LastOutcome::default();
+        let mut b = AlwaysWide;
+        let jobs = vec![
+            BatchJob {
+                sim: &helper,
+                trace: &trace,
+                policy: &mut a,
+                runs: 1,
+            },
+            BatchJob {
+                sim: &mono,
+                trace: &trace,
+                policy: &mut b,
+                runs: 1,
+            },
+        ];
+        assert_eq!(BatchContext::new(2).run_batch(jobs), scalar);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        assert!(BatchContext::new(4).run_batch(Vec::new()).is_empty());
+    }
+}

@@ -11,11 +11,11 @@ impl Machine<'_> {
         let mut committed = 0usize;
         while let Some(&seq) = self.ctx.rob.front() {
             let idx = seq as usize;
-            if !self.ctx.entries[idx].alive() {
+            if !self.ctx.ctl[idx].alive() {
                 self.ctx.rob.pop_front();
                 continue;
             }
-            if self.ctx.entries[idx].state != UopState::Completed {
+            if self.ctx.ctl[idx].state != UopState::Completed {
                 break;
             }
             if committed >= self.cfg.commit_width {
@@ -36,11 +36,11 @@ impl Machine<'_> {
                 if s == seq {
                     break;
                 }
-                debug_assert!(!self.ctx.entries[s as usize].alive());
+                debug_assert!(!self.ctx.ctl[s as usize].alive());
             }
         }
-        let cluster = self.ctx.entries[idx].cluster;
-        let replicated = self.ctx.entries[idx].replicated;
+        let cluster = self.ctx.ctl[idx].cluster;
+        let replicated = self.ctx.ctl[idx].replicated;
         let incurred_copy = self.ctx.entries[idx].incurred_copy;
         let fatal = self.ctx.entries[idx].fatal_mispredict;
         let uop = self.ctx.entries[idx].uop;
@@ -48,42 +48,42 @@ impl Machine<'_> {
 
         // Free the rename mapping if this entry is still the current producer.
         if let Some(dst) = uop.uop.dest {
-            if self.rename_map[dst.index()]
+            if self.ctx.rename_map[dst.index()]
                 .map(|e: RenameEntry| e.seq == seq)
                 .unwrap_or(false)
             {
-                self.rename_map[dst.index()] = None;
+                self.ctx.rename_map[dst.index()] = None;
             }
-            self.arch_loc[dst.index()] = cluster;
-            self.arch_replicated[dst.index()] = replicated;
-            self.arch_narrow[dst.index()] =
+            self.ctx.arch_loc[dst.index()] = cluster;
+            self.ctx.arch_replicated[dst.index()] = replicated;
+            self.ctx.arch_narrow[dst.index()] =
                 uop.result.map(|v| v.fits_in(self.nbits())).unwrap_or(false);
         }
         if uop.uop.writes_flags {
-            if self.flags_map.map(|e| e.seq == seq).unwrap_or(false) {
-                self.flags_map = None;
+            if self.ctx.flags_map.map(|e| e.seq == seq).unwrap_or(false) {
+                self.ctx.flags_map = None;
             }
-            self.flags_loc = cluster;
+            self.ctx.flags_loc = cluster;
         }
 
         match role {
             Role::Trace { .. } => {
-                self.committed_trace_uops += 1;
-                self.stats.committed_uops += 1;
+                self.ctx.committed_trace_uops += 1;
+                self.ctx.stats.committed_uops += 1;
                 match cluster {
-                    Cluster::Wide => self.stats.wide_uops += 1,
-                    Cluster::Helper => self.stats.helper_uops += 1,
+                    Cluster::Wide => self.ctx.stats.wide_uops += 1,
+                    Cluster::Helper => self.ctx.stats.helper_uops += 1,
                 }
                 // Width-prediction outcome accounting (Figure 5 semantics):
                 // helper-steered µops that survived are correct; wide-steered
                 // µops that could have gone narrow are missed opportunities.
                 if self.eligible_for_width_accounting(&uop) {
                     if cluster == Cluster::Helper {
-                        self.stats.correct_width_predictions += 1;
+                        self.ctx.stats.correct_width_predictions += 1;
                     } else if uop.is_all_narrow_within(self.nbits()) && self.cfg.helper_enabled {
-                        self.stats.nonfatal_width_mispredicts += 1;
+                        self.ctx.stats.nonfatal_width_mispredicts += 1;
                     } else {
-                        self.stats.correct_width_predictions += 1;
+                        self.ctx.stats.correct_width_predictions += 1;
                     }
                 }
                 let info = WritebackInfo {
@@ -97,7 +97,7 @@ impl Machine<'_> {
                 self.policy.on_writeback(&uop, info);
             }
             Role::SplitChunk { .. } => {
-                self.stats.split_uops += 1;
+                self.ctx.stats.split_uops += 1;
             }
             Role::Copy { .. } => {}
         }

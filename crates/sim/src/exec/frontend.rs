@@ -15,19 +15,19 @@ use hc_isa::DynUop;
 
 impl Machine<'_> {
     pub(crate) fn rename_and_dispatch(&mut self) {
-        if self.tick < self.frontend_stall_until || self.branch_stall.is_some() {
+        if self.ctx.tick < self.ctx.frontend_stall_until || self.ctx.branch_stall.is_some() {
             return;
         }
         let mut renamed = 0usize;
-        while renamed < self.cfg.rename_width && self.next_pos < self.trace.len() {
+        while renamed < self.cfg.rename_width && self.ctx.next_pos < self.trace.len() {
             // Window space: worst case a split needs chunks + copies entries.
             if self.ctx.rob.len() + self.split_chunks() * 2 + 2 > self.cfg.rob_entries {
                 break;
             }
-            let pos = self.next_pos;
+            let pos = self.ctx.next_pos;
             let duop = self.trace.uops[pos];
             let sctx = self.build_context(&duop, pos);
-            self.stats.energy.predictor_accesses += 1;
+            self.ctx.stats.energy.predictor_accesses += 1;
             let mut decision = self.policy.steer(&duop, &sctx);
             // Reclaim the source-info buffer so the next µop fills it in place.
             self.ctx.steer_sources = sctx.sources;
@@ -43,10 +43,10 @@ impl Machine<'_> {
             } else {
                 self.dispatch_normal(pos, &duop, &decision);
             }
-            self.next_pos += 1;
+            self.ctx.next_pos += 1;
             renamed += 1;
 
-            if self.branch_stall.is_some() {
+            if self.ctx.branch_stall.is_some() {
                 break; // mispredicted branch: stop fetching younger work
             }
         }
@@ -60,7 +60,7 @@ impl Machine<'_> {
     }
 
     fn sanitize_decision(&self, duop: &DynUop, d: &mut SteerDecision) {
-        if self.forced_wide(duop, self.next_pos) {
+        if self.forced_wide(duop, self.ctx.next_pos) {
             d.cluster = Cluster::Wide;
             d.helper_mode = None;
             d.split = false;
@@ -97,10 +97,10 @@ impl Machine<'_> {
             }
         }
         // Conservative slack of 2 for source copies that dispatch may create.
-        self.wide_int_iq + needed_wide_int + 2 <= self.cfg.int_iq_entries
-            && self.wide_fp_iq + needed_wide_fp <= self.cfg.fp_iq_entries
+        self.ctx.wide_int_iq + needed_wide_int + 2 <= self.cfg.int_iq_entries
+            && self.ctx.wide_fp_iq + needed_wide_fp <= self.cfg.fp_iq_entries
             && (!self.cfg.helper_enabled
-                || self.helper_iq + needed_helper + 2 <= self.cfg.helper_iq_entries)
+                || self.ctx.helper_iq + needed_helper + 2 <= self.cfg.helper_iq_entries)
     }
 
     /// Fill a [`SteerContext`] for `duop`, reusing the context's source-info
@@ -112,9 +112,9 @@ impl Machine<'_> {
             sources.push(self.source_info(src));
         }
         let flags_producer = if duop.uop.reads_flags {
-            match self.flags_map {
-                Some(e) => Some(self.ctx.entries[e.seq as usize].cluster),
-                None => Some(self.flags_loc),
+            match self.ctx.flags_map {
+                Some(e) => Some(self.ctx.ctl[e.seq as usize].cluster),
+                None => Some(self.ctx.flags_loc),
             }
         } else {
             None
@@ -123,22 +123,23 @@ impl Machine<'_> {
             sources,
             imm_narrow: duop.uop.imm.map(|v| v.fits_in(self.nbits())),
             flags_producer,
-            wide_iq_occupancy: self.wide_int_iq,
-            helper_iq_occupancy: self.helper_iq,
+            wide_iq_occupancy: self.ctx.wide_int_iq,
+            helper_iq_occupancy: self.ctx.helper_iq,
             wide_iq_capacity: self.cfg.int_iq_entries,
             helper_iq_capacity: self.cfg.helper_iq_entries,
-            wide_to_narrow_imbalance: self.nready.recent_wide_to_narrow(),
-            narrow_to_wide_imbalance: self.nready.recent_narrow_to_wide(),
+            wide_to_narrow_imbalance: self.ctx.nready.recent_wide_to_narrow(),
+            narrow_to_wide_imbalance: self.ctx.nready.recent_narrow_to_wide(),
             helper_available: self.cfg.helper_enabled && self.policy.uses_helper(),
             forced_wide: self.ctx.forced_wide.contains(pos),
         }
     }
 
     fn source_info(&self, src: ArchReg) -> SourceWidthInfo {
-        match self.rename_map[src.index()] {
+        match self.ctx.rename_map[src.index()] {
             Some(e) => {
+                let c = self.ctx.ctl[e.seq as usize];
                 let p = &self.ctx.entries[e.seq as usize];
-                if p.state == UopState::Completed {
+                if c.state == UopState::Completed {
                     SourceWidthInfo {
                         narrow: p
                             .uop
@@ -146,20 +147,20 @@ impl Machine<'_> {
                             .map(|v| v.fits_in(self.nbits()))
                             .unwrap_or(false),
                         actual: true,
-                        producer_cluster: Some(p.cluster),
+                        producer_cluster: Some(c.cluster),
                     }
                 } else {
                     SourceWidthInfo {
                         narrow: p.predicted_narrow.unwrap_or(false),
                         actual: false,
-                        producer_cluster: Some(p.cluster),
+                        producer_cluster: Some(c.cluster),
                     }
                 }
             }
             None => SourceWidthInfo {
-                narrow: self.arch_narrow[src.index()],
+                narrow: self.ctx.arch_narrow[src.index()],
                 actual: true,
-                producer_cluster: Some(self.arch_loc[src.index()]),
+                producer_cluster: Some(self.ctx.arch_loc[src.index()]),
             },
         }
     }

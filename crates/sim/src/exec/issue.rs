@@ -1,10 +1,14 @@
 //! Issue/backend: per-cluster wakeup and select, execution latencies, fatal
 //! width-violation detection at issue, and completion-event processing.
 //!
-//! The select loop walks the reorder buffer *in place* (the ROB is not
-//! mutated during issue), and completion events are drained from the
-//! context's cycle-bucketed event wheel into a reused scratch buffer — the
-//! old per-tick ROB snapshot vector and `BinaryHeap` churn are gone.
+//! The select loop walks the cluster's **ready queues** (ascending sequence
+//! order, maintained by dispatch/wakeup/flush) instead of scanning the
+//! reorder buffer: because the ROB holds sequence numbers in ascending
+//! dispatch order, the merged ready walk visits entries in exactly the order
+//! the O(window) scan encountered them — same select outcome, without
+//! stepping over waiting and issued entries.  Completion events are drained
+//! from the context's cycle-bucketed event wheel into a reused scratch
+//! buffer.
 
 use super::Machine;
 use crate::rob::{Role, Seq, UopState};
@@ -20,35 +24,36 @@ impl Machine<'_> {
         self.ctx.events.drain_due(now, &mut due);
         for &seq in &due {
             let idx = seq as usize;
-            if self.ctx.entries[idx].state != UopState::Issued {
+            if self.ctx.ctl[idx].state != UopState::Issued {
                 continue; // squashed after issue
             }
-            self.ctx.entries[idx].state = UopState::Completed;
+            self.ctx.ctl[idx].state = UopState::Completed;
             // Register-file write energy.
             if self.ctx.entries[idx].uop.uop.has_dest() {
-                match self.ctx.entries[idx].cluster {
-                    Cluster::Wide => self.stats.energy.wide_rf_writes += 1,
-                    Cluster::Helper => self.stats.energy.helper_rf_writes += 1,
+                match self.ctx.ctl[idx].cluster {
+                    Cluster::Wide => self.ctx.stats.energy.wide_rf_writes += 1,
+                    Cluster::Helper => self.ctx.stats.energy.helper_rf_writes += 1,
                 }
             }
             if matches!(self.ctx.entries[idx].role, Role::Copy { .. }) {
-                self.stats.energy.copy_transfers += 1;
+                self.ctx.stats.energy.copy_transfers += 1;
             }
             // Wake dependents by walking this entry's chain in the link arena.
             let mut link = self.ctx.dep_head[idx];
             self.ctx.dep_head[idx] = super::context::NO_LINK;
             while link != super::context::NO_LINK {
                 let (consumer, next) = self.ctx.dep_pool[link];
-                let entry = &mut self.ctx.entries[consumer as usize];
-                if entry.alive() && entry.satisfy_dep() {
-                    self.ready_count[entry.cluster.index()][entry.is_fp as usize] += 1;
+                let c = &mut self.ctx.ctl[consumer as usize];
+                if c.alive() && c.satisfy_dep() {
+                    let (cl, fp) = (c.cluster, c.is_fp);
+                    self.ctx.ready.insert(cl, fp, consumer);
                 }
                 link = next;
             }
             // Branch-stall release.
-            if self.branch_stall == Some(seq) {
-                self.branch_stall = None;
-                self.frontend_stall_until = self.frontend_stall_until.max(
+            if self.ctx.branch_stall == Some(seq) {
+                self.ctx.branch_stall = None;
+                self.ctx.frontend_stall_until = self.ctx.frontend_stall_until.max(
                     now + self
                         .cfg
                         .wide_cycles_to_ticks(self.cfg.branch_mispredict_penalty),
@@ -68,31 +73,28 @@ impl Machine<'_> {
         let mut int_used = 0usize;
         let mut fp_used = 0usize;
         let mut fatal: Option<(Seq, usize)> = None;
-        // Ready entries of this cluster not yet encountered by the scan;
-        // once it reaches zero the remaining (younger) window holds nothing
-        // issuable and the walk can stop without changing the select order.
-        let mut unseen_ready =
-            self.ready_count[cluster.index()][0] + self.ready_count[cluster.index()][1];
-
-        // The ROB is only mutated by commit and recovery, never during issue,
-        // so the select loop can walk it by index without a snapshot.
-        for rob_idx in 0..self.ctx.rob.len() {
-            if unseen_ready == 0 {
-                break;
-            }
+        if self.ctx.ready.count(cluster, false) + self.ctx.ready.count(cluster, true) == 0 {
+            return;
+        }
+        // Snapshot the cluster's ready entries in ascending sequence order —
+        // exactly the subsequence of the ROB the old scan would have selected
+        // from.  The queues themselves are mutated as entries issue, so the
+        // walk runs over the reused scratch snapshot.
+        let mut walk = std::mem::take(&mut self.ctx.select_scratch);
+        self.ctx.ready.merged(cluster, &mut walk);
+        for wi in 0..walk.len() {
             if int_used >= int_width && (fp_width == 0 || fp_used >= fp_width) {
                 break;
             }
-            let seq = self.ctx.rob[rob_idx];
+            let seq = walk[wi];
             let idx = seq as usize;
-            if !self.ctx.entries[idx].alive()
-                || self.ctx.entries[idx].cluster != cluster
-                || self.ctx.entries[idx].state != UopState::Ready
-            {
-                continue;
-            }
-            unseen_ready -= 1;
-            let is_fp = self.ctx.entries[idx].is_fp;
+            debug_assert!(
+                self.ctx.ctl[idx].alive()
+                    && self.ctx.ctl[idx].cluster == cluster
+                    && self.ctx.ctl[idx].state == UopState::Ready,
+                "ready queues must hold exactly the alive Ready entries"
+            );
+            let is_fp = self.ctx.ctl[idx].is_fp;
             // Copy µops have their own scheduling resources (Canal/Parcerisa/
             // González scheme, see §4): they do not compete with regular µops
             // for issue slots.
@@ -122,34 +124,41 @@ impl Machine<'_> {
             if cluster == Cluster::Helper && self.is_fatal_width_violation(idx) {
                 fatal = Some((
                     seq,
-                    self.ctx.entries[idx].trace_pos().unwrap_or(self.next_pos),
+                    self.ctx.entries[idx].trace_pos().unwrap_or(self.ctx.next_pos),
                 ));
                 break;
             }
 
             // Issue.
             let latency = self.latency_ticks(idx, forward);
-            self.ctx.entries[idx].state = UopState::Issued;
-            self.ctx.entries[idx].complete_tick = self.tick + latency;
-            self.ready_count[cluster.index()][is_fp as usize] -= 1;
-            self.ctx.events.push(self.tick + latency, seq);
+            debug_assert!(
+                latency < self.ctx.events.horizon(),
+                "completion latency {latency} would wrap the {}-bucket event wheel; \
+                 SimConfig::validate and EventWheel::ensure_horizon must keep the \
+                 wheel larger than any reachable latency",
+                self.ctx.events.horizon()
+            );
+            self.ctx.ctl[idx].state = UopState::Issued;
+            self.ctx.ready.remove(cluster, is_fp, seq);
+            self.ctx.events.push(self.ctx.tick + latency, seq);
             self.release_iq_slot(idx);
             if is_fp {
                 fp_used += 1;
-                self.stats.energy.fp_ops += 1;
+                self.ctx.stats.energy.fp_ops += 1;
             } else if !is_copy {
                 int_used += 1;
                 match cluster {
-                    Cluster::Wide => self.stats.energy.wide_alu_ops += 1,
-                    Cluster::Helper => self.stats.energy.helper_alu_ops += 1,
+                    Cluster::Wide => self.ctx.stats.energy.wide_alu_ops += 1,
+                    Cluster::Helper => self.ctx.stats.energy.helper_alu_ops += 1,
                 }
             }
             let nsrc = self.ctx.entries[idx].uop.uop.num_sources() as u64;
             match cluster {
-                Cluster::Wide => self.stats.energy.wide_rf_reads += nsrc,
-                Cluster::Helper => self.stats.energy.helper_rf_reads += nsrc,
+                Cluster::Wide => self.ctx.stats.energy.wide_rf_reads += nsrc,
+                Cluster::Helper => self.ctx.stats.energy.helper_rf_reads += nsrc,
             }
         }
+        self.ctx.select_scratch = walk;
 
         if let Some((seq, pos)) = fatal {
             self.handle_fatal_width_mispredict(seq, pos);
@@ -157,10 +166,10 @@ impl Machine<'_> {
     }
 
     pub(crate) fn release_iq_slot(&mut self, idx: usize) {
-        match (self.ctx.entries[idx].cluster, self.ctx.entries[idx].is_fp) {
-            (Cluster::Wide, false) => self.wide_int_iq = self.wide_int_iq.saturating_sub(1),
-            (Cluster::Wide, true) => self.wide_fp_iq = self.wide_fp_iq.saturating_sub(1),
-            (Cluster::Helper, _) => self.helper_iq = self.helper_iq.saturating_sub(1),
+        match (self.ctx.ctl[idx].cluster, self.ctx.ctl[idx].is_fp) {
+            (Cluster::Wide, false) => self.ctx.wide_int_iq = self.ctx.wide_int_iq.saturating_sub(1),
+            (Cluster::Wide, true) => self.ctx.wide_fp_iq = self.ctx.wide_fp_iq.saturating_sub(1),
+            (Cluster::Helper, _) => self.ctx.helper_iq = self.ctx.helper_iq.saturating_sub(1),
         }
     }
 
@@ -200,7 +209,7 @@ impl Machine<'_> {
     }
 
     fn latency_ticks(&mut self, idx: usize, forwarded: bool) -> u64 {
-        let cluster = self.ctx.entries[idx].cluster;
+        let cluster = self.ctx.ctl[idx].cluster;
         let ratio = self.ratio();
         let own_cycle = match cluster {
             Cluster::Wide => ratio,

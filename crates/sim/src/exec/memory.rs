@@ -30,13 +30,13 @@ impl Machine<'_> {
                 break;
             }
             let idx = seq as usize;
-            let e = &self.ctx.entries[idx];
-            if !e.alive() {
+            let c = self.ctx.ctl[idx];
+            if !c.alive() {
                 continue;
             }
-            if let Some(smem) = e.uop.mem {
+            if let Some(smem) = self.ctx.entries[idx].uop.mem {
                 if smem.overlaps(&load_mem) {
-                    return if e.state == UopState::Completed {
+                    return if c.state == UopState::Completed {
                         MemOrder::Forwarded
                     } else {
                         MemOrder::Blocked

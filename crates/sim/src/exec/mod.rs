@@ -51,6 +51,7 @@
 //! the slab or an arena, not in per-entry `Vec`s, and per-tick scratch
 //! belongs in [`ExecContext`].
 
+pub mod batch;
 pub mod commit;
 pub mod context;
 pub mod frontend;
@@ -59,14 +60,13 @@ pub mod memory;
 pub mod recovery;
 pub mod rename;
 
+pub use batch::{BatchContext, BatchJob};
 pub use context::ExecContext;
 
 use crate::config::{ConfigError, SimConfig};
-use crate::imbalance::NReadyAccumulator;
 use crate::rob::Seq;
 use crate::stats::SimStats;
 use crate::steer::{Cluster, SteeringPolicy};
-use hc_isa::reg::NUM_ARCH_REGS;
 use hc_trace::Trace;
 
 /// The simulator: construct once per configuration, then run as many traces /
@@ -112,10 +112,9 @@ impl Simulator {
         trace: &Trace,
         policy: &mut dyn SteeringPolicy,
     ) -> SimStats {
-        ctx.prepare(&self.config, trace);
-        let mut m = Machine::new(&self.config, trace, policy, ctx);
-        m.run();
-        m.into_stats()
+        ctx.begin_run(&self.config, trace, policy.name());
+        Machine::attach(&self.config, trace, policy, ctx).run_to_completion();
+        ctx.take_stats()
     }
 }
 
@@ -125,86 +124,31 @@ pub(crate) struct RenameEntry {
     pub(crate) seq: Seq,
 }
 
-/// One run's machine state: borrows the configuration, trace, policy and the
-/// reusable [`ExecContext`] arena; owns only the fixed-size per-run scalars
-/// (rename tables, clocks, counters).
+/// One run's stage driver: a *view* that borrows the configuration, trace,
+/// policy and the [`ExecContext`] lane holding **all** mutable state.
+/// Because the machine owns nothing, it can be attached and dropped between
+/// wide cycles — which is how the batched mode interleaves lanes.
 pub(crate) struct Machine<'a> {
     pub(crate) cfg: &'a SimConfig,
     pub(crate) trace: &'a Trace,
     pub(crate) policy: &'a mut dyn SteeringPolicy,
     pub(crate) ctx: &'a mut ExecContext,
-
-    // Rename state.
-    pub(crate) rename_map: [Option<RenameEntry>; NUM_ARCH_REGS],
-    pub(crate) flags_map: Option<RenameEntry>,
-    pub(crate) arch_loc: [Cluster; NUM_ARCH_REGS],
-    pub(crate) arch_replicated: [bool; NUM_ARCH_REGS],
-    pub(crate) arch_narrow: [bool; NUM_ARCH_REGS],
-    pub(crate) flags_loc: Cluster,
-    /// Current copy-slot epoch; a flush bumps it to invalidate every cached
-    /// copy mapping at once (see [`crate::rob::Inflight`]).
-    pub(crate) copy_epoch: u32,
-
-    // Issue-queue occupancy.
-    pub(crate) wide_int_iq: usize,
-    pub(crate) wide_fp_iq: usize,
-    pub(crate) helper_iq: usize,
-    /// Alive `Ready` (not yet issued) entries, indexed `[cluster][is_fp]`.
-    /// Lets the select loop stop scanning once every ready entry of a
-    /// cluster has been seen, and makes the NREADY sample O(1).
-    pub(crate) ready_count: [[usize; 2]; 2],
-
-    // Frontend.
-    pub(crate) next_pos: usize,
-    pub(crate) frontend_stall_until: u64,
-    pub(crate) branch_stall: Option<Seq>,
-
-    // Time.
-    pub(crate) tick: u64,
-    pub(crate) cycles: u64,
-
-    // Measurement.
-    pub(crate) nready: NReadyAccumulator,
-    pub(crate) stats: SimStats,
-    pub(crate) committed_trace_uops: usize,
 }
 
 impl<'a> Machine<'a> {
-    fn new(
+    /// Attach a stage driver to a lane mid-run.  The lane must have been
+    /// started with [`ExecContext::begin_run`] for this `(cfg, trace)` pair.
+    pub(crate) fn attach(
         cfg: &'a SimConfig,
         trace: &'a Trace,
         policy: &'a mut dyn SteeringPolicy,
         ctx: &'a mut ExecContext,
     ) -> Self {
-        let stats = SimStats {
-            policy: policy.name().to_string(),
-            trace: trace.name.clone(),
-            ..SimStats::default()
-        };
         Machine {
             cfg,
             trace,
             policy,
             ctx,
-            rename_map: [None; NUM_ARCH_REGS],
-            flags_map: None,
-            arch_loc: [Cluster::Wide; NUM_ARCH_REGS],
-            arch_replicated: [false; NUM_ARCH_REGS],
-            arch_narrow: [false; NUM_ARCH_REGS],
-            flags_loc: Cluster::Wide,
-            copy_epoch: 1, // entries start at epoch 0 = "no cached copies"
-            wide_int_iq: 0,
-            wide_fp_iq: 0,
-            helper_iq: 0,
-            ready_count: [[0; 2]; 2],
-            next_pos: 0,
-            frontend_stall_until: 0,
-            branch_stall: None,
-            tick: 0,
-            cycles: 0,
-            nready: NReadyAccumulator::new(4096),
-            stats,
-            committed_trace_uops: 0,
         }
     }
 
@@ -224,39 +168,31 @@ impl<'a> Machine<'a> {
 
     // ----------------------------------------------------------------- run
 
-    fn run(&mut self) {
-        if self.trace.is_empty() {
-            return;
-        }
-        // Hard bound so a modelling bug can never hang the caller.
-        let max_cycles = (self.trace.len() as u64 + 1_000) * 600;
-        while self.committed_trace_uops < self.trace.len() && self.cycles < max_cycles {
+    /// Drive the lane until its trace has fully retired.
+    pub(crate) fn run_to_completion(&mut self) {
+        while !self.ctx.run_done() {
             self.step_wide_cycle();
         }
-        debug_assert!(
-            self.committed_trace_uops >= self.trace.len(),
-            "simulation did not retire the whole trace within the cycle bound"
-        );
     }
 
-    fn step_wide_cycle(&mut self) {
+    pub(crate) fn step_wide_cycle(&mut self) {
         let ratio = self.ratio();
         for sub in 0..ratio {
-            self.complete_at(self.tick);
+            self.complete_at(self.ctx.tick);
             if self.cfg.helper_enabled && self.policy.uses_helper() {
                 self.issue_cluster(Cluster::Helper);
             }
             if sub == 0 {
                 self.issue_cluster(Cluster::Wide);
             }
-            self.tick += 1;
+            self.ctx.tick += 1;
         }
         self.commit();
         self.rename_and_dispatch();
         self.sample_nready();
-        self.cycles += 1;
-        self.stats.energy.wide_cycles += 1;
-        self.stats.energy.helper_cycles += ratio;
+        self.ctx.cycles += 1;
+        self.ctx.stats.energy.wide_cycles += 1;
+        self.ctx.stats.energy.helper_cycles += ratio;
     }
 
     // ------------------------------------------------------------- metrics
@@ -265,30 +201,20 @@ impl<'a> Machine<'a> {
         if !self.cfg.helper_enabled || !self.policy.uses_helper() {
             return;
         }
-        // The occupancy and ready counters maintained by dispatch/issue/flush
-        // are exactly the quantities the old O(window) ROB walk recomputed:
-        // `wide_int_iq`/`helper_iq` count alive integer entries still holding
-        // an IQ slot, `ready_count` the alive not-yet-issued ready entries.
-        let wide_ready = self.ready_count[Cluster::Wide.index()][0];
-        let helper_ready = self.ready_count[Cluster::Helper.index()][0];
-        let considered = self.wide_int_iq + self.helper_iq;
+        // The occupancy counters maintained by dispatch/issue/flush and the
+        // ready-queue lengths are exactly the quantities the old O(window)
+        // ROB walk recomputed: `wide_int_iq`/`helper_iq` count alive integer
+        // entries still holding an IQ slot, the ready queues the alive
+        // not-yet-issued ready entries.
+        let wide_ready = self.ctx.ready.count(Cluster::Wide, false);
+        let helper_ready = self.ctx.ready.count(Cluster::Helper, false);
+        let considered = self.ctx.wide_int_iq + self.ctx.helper_iq;
         // Free slots next cycle approximated by the issue widths.
         let wide_free = self.cfg.int_issue_width;
         let helper_free = self.cfg.helper_issue_width * self.ratio() as usize;
-        self.nready
+        self.ctx
+            .nready
             .record(wide_ready, wide_free, helper_ready, helper_free, considered);
-    }
-
-    fn into_stats(self) -> SimStats {
-        let mut stats = self.stats;
-        stats.cycles = self.cycles;
-        stats.ticks = self.tick;
-        stats.imbalance = self.nready.stats();
-        stats.dl0 = self.ctx.mem.dl0_stats();
-        stats.ul1 = self.ctx.mem.ul1_stats();
-        stats.energy.dl0_accesses = stats.dl0.accesses;
-        stats.energy.ul1_accesses = stats.ul1.accesses;
-        stats
     }
 }
 

@@ -8,7 +8,7 @@ use crate::rob::UopState;
 
 impl Machine<'_> {
     pub(crate) fn handle_fatal_width_mispredict(&mut self, seq: Seq, resteer_pos: usize) {
-        self.stats.fatal_width_mispredicts += 1;
+        self.ctx.stats.fatal_width_mispredicts += 1;
         self.ctx.entries[seq as usize].fatal_mispredict = true;
         self.ctx.forced_wide.insert(resteer_pos);
 
@@ -21,44 +21,45 @@ impl Machine<'_> {
         for &s in &snapshot {
             if s >= seq {
                 let idx = s as usize;
-                if self.ctx.entries[idx].occupies_iq() {
+                if self.ctx.ctl[idx].occupies_iq() {
                     self.release_iq_slot(idx);
                 }
-                if self.ctx.entries[idx].state == UopState::Ready {
-                    let e = &self.ctx.entries[idx];
-                    self.ready_count[e.cluster.index()][e.is_fp as usize] -= 1;
-                }
-                self.ctx.entries[idx].state = UopState::Squashed;
+                self.ctx.ctl[idx].state = UopState::Squashed;
             } else {
                 self.ctx.rob.push_back(s);
             }
         }
         self.ctx.seq_scratch = snapshot;
+        // Everything squashed is at or above `seq` (the window is allocated
+        // in sequence order), so one retain pass drops all of it from the
+        // ready queues.
+        self.ctx.ready.retain(|s| s < seq);
         // Invalidate every cached copy mapping at once (the staged engine's
         // O(1) equivalent of the old `copy_map.clear()`).
-        self.copy_epoch += 1;
-        if let Some(b) = self.branch_stall {
+        self.ctx.copy_epoch += 1;
+        if let Some(b) = self.ctx.branch_stall {
             if b >= seq {
-                self.branch_stall = None;
+                self.ctx.branch_stall = None;
             }
         }
 
         // Rebuild the rename map from the surviving window.
-        self.rename_map = [None; hc_isa::reg::NUM_ARCH_REGS];
-        self.flags_map = None;
-        for &s in self.ctx.rob.iter() {
+        self.ctx.rename_map = [None; hc_isa::reg::NUM_ARCH_REGS];
+        self.ctx.flags_map = None;
+        for i in 0..self.ctx.rob.len() {
+            let s = self.ctx.rob[i];
             let e = &self.ctx.entries[s as usize];
             if let Some(dst) = e.uop.uop.dest {
-                self.rename_map[dst.index()] = Some(RenameEntry { seq: s });
+                self.ctx.rename_map[dst.index()] = Some(RenameEntry { seq: s });
             }
             if e.uop.uop.writes_flags {
-                self.flags_map = Some(RenameEntry { seq: s });
+                self.ctx.flags_map = Some(RenameEntry { seq: s });
             }
         }
 
         // Restart fetch at the offending µop after the flush penalty.
-        self.next_pos = resteer_pos;
-        self.frontend_stall_until = self.tick.max(self.frontend_stall_until)
+        self.ctx.next_pos = resteer_pos;
+        self.ctx.frontend_stall_until = self.ctx.tick.max(self.ctx.frontend_stall_until)
             + self.cfg.wide_cycles_to_ticks(self.cfg.width_flush_penalty);
     }
 }

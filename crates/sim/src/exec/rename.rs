@@ -10,17 +10,19 @@
 
 use super::context::NO_LINK;
 use super::{Machine, RenameEntry};
-use crate::rob::{Inflight, Role, Seq, UopState};
+use crate::rob::{Inflight, Role, Seq, UopCtl, UopState};
 use crate::steer::{Cluster, HelperMode, SteerDecision};
 use hc_isa::reg::ArchReg;
 use hc_isa::uop::{Uop, UopKind};
 use hc_isa::DynUop;
 
 impl Machine<'_> {
-    pub(crate) fn alloc_entry(&mut self, mut e: Inflight) -> Seq {
+    pub(crate) fn alloc_entry(&mut self, mut e: Inflight, cluster: Cluster) -> Seq {
         let seq = self.ctx.entries.len() as Seq;
         e.seq = seq;
+        let is_fp = matches!(e.uop.uop.kind, UopKind::Fp);
         self.ctx.entries.push(e);
+        self.ctx.ctl.push(UopCtl::new(cluster, is_fp));
         self.ctx.dep_head.push(NO_LINK);
         seq
     }
@@ -28,10 +30,11 @@ impl Machine<'_> {
     /// Record that `consumer` must wait for `producer` to complete.
     pub(crate) fn add_dep(&mut self, consumer: Seq, producer: Seq) {
         let pidx = producer as usize;
-        if self.ctx.entries[pidx].state == UopState::Completed || !self.ctx.entries[pidx].alive() {
+        let p = self.ctx.ctl[pidx];
+        if p.state == UopState::Completed || !p.alive() {
             return;
         }
-        self.ctx.entries[consumer as usize].add_pending_dep();
+        self.ctx.ctl[consumer as usize].add_pending_dep();
         let link = self.ctx.dep_pool.len();
         self.ctx.dep_pool.push((consumer, self.ctx.dep_head[pidx]));
         self.ctx.dep_head[pidx] = link;
@@ -40,27 +43,30 @@ impl Machine<'_> {
     fn charge_iq(&mut self, cluster: Cluster, is_fp: bool) {
         match (cluster, is_fp) {
             (Cluster::Wide, false) => {
-                self.wide_int_iq += 1;
-                self.stats.energy.wide_iq_ops += 1;
+                self.ctx.wide_int_iq += 1;
+                self.ctx.stats.energy.wide_iq_ops += 1;
             }
             (Cluster::Wide, true) => {
-                self.wide_fp_iq += 1;
-                self.stats.energy.wide_iq_ops += 1;
+                self.ctx.wide_fp_iq += 1;
+                self.ctx.stats.energy.wide_iq_ops += 1;
             }
             (Cluster::Helper, _) => {
-                self.helper_iq += 1;
-                self.stats.energy.helper_iq_ops += 1;
+                self.ctx.helper_iq += 1;
+                self.ctx.stats.energy.helper_iq_ops += 1;
             }
         }
     }
 
     pub(crate) fn finish_dispatch(&mut self, seq: Seq) {
         let idx = seq as usize;
-        let cluster = self.ctx.entries[idx].cluster;
-        let is_fp = self.ctx.entries[idx].is_fp;
-        if self.ctx.entries[idx].pending_dep_count == 0 {
-            self.ctx.entries[idx].state = UopState::Ready;
-            self.ready_count[cluster.index()][is_fp as usize] += 1;
+        let c = &mut self.ctx.ctl[idx];
+        let (cluster, is_fp) = (c.cluster, c.is_fp);
+        let ready_now = c.pending_deps == 0;
+        if ready_now {
+            c.state = UopState::Ready;
+        }
+        if ready_now {
+            self.ctx.ready.insert(cluster, is_fp, seq);
         }
         self.ctx.rob.push_back(seq);
         if self.ctx.entries[idx].is_store {
@@ -73,7 +79,7 @@ impl Machine<'_> {
     /// for the current epoch.
     fn cached_copy(&self, producer: Seq, cluster: Cluster) -> Option<Seq> {
         let p = &self.ctx.entries[producer as usize];
-        if p.copy_epoch != self.copy_epoch {
+        if p.copy_epoch != self.ctx.copy_epoch {
             return None;
         }
         let seq = p.copy_to[cluster.index()];
@@ -81,7 +87,7 @@ impl Machine<'_> {
     }
 
     fn record_copy(&mut self, producer: Seq, cluster: Cluster, copy: Seq) {
-        let epoch = self.copy_epoch;
+        let epoch = self.ctx.copy_epoch;
         let p = &mut self.ctx.entries[producer as usize];
         if p.copy_epoch != epoch {
             p.copy_to = [Seq::MAX; 2];
@@ -95,13 +101,13 @@ impl Machine<'_> {
     /// copy µop if necessary.  Returns the seq the consumer must wait for, if
     /// any.
     pub(crate) fn route_source(&mut self, src: ArchReg, cluster: Cluster) -> Option<Seq> {
-        match self.rename_map[src.index()] {
+        match self.ctx.rename_map[src.index()] {
             Some(e) => {
                 let pseq = e.seq;
                 let pidx = pseq as usize;
-                let pcluster = self.ctx.entries[pidx].cluster;
-                if pcluster == cluster || self.ctx.entries[pidx].replicated {
-                    if self.ctx.entries[pidx].state == UopState::Completed {
+                let p = self.ctx.ctl[pidx];
+                if p.cluster == cluster || p.replicated {
+                    if p.state == UopState::Completed {
                         None
                     } else {
                         Some(pseq)
@@ -109,8 +115,9 @@ impl Machine<'_> {
                 } else {
                     // Need the value in the other cluster: reuse or create a copy.
                     if let Some(cseq) = self.cached_copy(pseq, cluster) {
-                        if self.ctx.entries[cseq as usize].alive() {
-                            return if self.ctx.entries[cseq as usize].state == UopState::Completed {
+                        let c = self.ctx.ctl[cseq as usize];
+                        if c.alive() {
+                            return if c.state == UopState::Completed {
                                 None
                             } else {
                                 Some(cseq)
@@ -123,7 +130,8 @@ impl Machine<'_> {
             }
             None => {
                 // Architectural value.
-                if self.arch_loc[src.index()] == cluster || self.arch_replicated[src.index()] {
+                if self.ctx.arch_loc[src.index()] == cluster || self.ctx.arch_replicated[src.index()]
+                {
                     None
                 } else {
                     let cseq = self.make_arch_copy(src, cluster);
@@ -134,20 +142,21 @@ impl Machine<'_> {
     }
 
     pub(crate) fn route_flags(&mut self, cluster: Cluster) -> Option<Seq> {
-        match self.flags_map {
+        match self.ctx.flags_map {
             Some(e) => {
                 let pseq = e.seq;
-                let pcluster = self.ctx.entries[pseq as usize].cluster;
-                if pcluster == cluster || self.ctx.entries[pseq as usize].replicated {
-                    if self.ctx.entries[pseq as usize].state == UopState::Completed {
+                let p = self.ctx.ctl[pseq as usize];
+                if p.cluster == cluster || p.replicated {
+                    if p.state == UopState::Completed {
                         None
                     } else {
                         Some(pseq)
                     }
                 } else {
                     if let Some(cseq) = self.cached_copy(pseq, cluster) {
-                        if self.ctx.entries[cseq as usize].alive() {
-                            return if self.ctx.entries[cseq as usize].state == UopState::Completed {
+                        let c = self.ctx.ctl[cseq as usize];
+                        if c.alive() {
+                            return if c.state == UopState::Completed {
                                 None
                             } else {
                                 Some(cseq)
@@ -159,7 +168,7 @@ impl Machine<'_> {
                 }
             }
             None => {
-                if self.flags_loc == cluster {
+                if self.ctx.flags_loc == cluster {
                     None
                 } else {
                     // The flags value lives in the other cluster's committed
@@ -174,9 +183,9 @@ impl Machine<'_> {
     /// Create a copy µop for in-flight producer `producer` targeting `target`.
     pub(crate) fn make_copy(&mut self, producer: Seq, target: Cluster, prefetched: bool) -> Seq {
         let pidx = producer as usize;
-        let pcluster = self.ctx.entries[pidx].cluster;
+        let pcluster = self.ctx.ctl[pidx].cluster;
         let uop = DynUop::from_uop(Uop::new(self.ctx.entries[pidx].uop.uop.pc, UopKind::Copy));
-        let mut e = Inflight::new(
+        let e = Inflight::new(
             0,
             Role::Copy {
                 producer,
@@ -184,21 +193,20 @@ impl Machine<'_> {
                 prefetched,
             },
             uop,
-            pcluster, // copies execute in the producer's backend
         );
-        e.state = UopState::Waiting;
-        let seq = self.alloc_entry(e);
+        // Copies execute in the producer's backend.
+        let seq = self.alloc_entry(e, pcluster);
         self.add_dep(seq, producer);
         self.finish_dispatch(seq);
         self.record_copy(producer, target, seq);
         self.ctx.entries[pidx].incurred_copy = true;
-        self.stats.copy_uops += 1;
+        self.ctx.stats.copy_uops += 1;
         seq
     }
 
     /// Copy of an already-committed architectural value.
     fn make_arch_copy(&mut self, src: ArchReg, target: Cluster) -> Seq {
-        let source_cluster = self.arch_loc[src.index()];
+        let source_cluster = self.ctx.arch_loc[src.index()];
         let uop = DynUop::from_uop(Uop::new(0, UopKind::Copy).with_src(src));
         let e = Inflight::new(
             0,
@@ -208,19 +216,18 @@ impl Machine<'_> {
                 prefetched: false,
             },
             uop,
-            source_cluster,
         );
-        let seq = self.alloc_entry(e);
+        let seq = self.alloc_entry(e, source_cluster);
         self.finish_dispatch(seq);
         // Mark the architectural value as now replicated so we do not generate
         // the same copy again next cycle.
-        self.arch_replicated[src.index()] = true;
-        self.stats.copy_uops += 1;
+        self.ctx.arch_replicated[src.index()] = true;
+        self.ctx.stats.copy_uops += 1;
         seq
     }
 
     fn make_flags_copy(&mut self, target: Cluster) -> Seq {
-        let source_cluster = self.flags_loc;
+        let source_cluster = self.ctx.flags_loc;
         let uop = DynUop::from_uop(Uop::new(0, UopKind::Copy).with_src(ArchReg::Eflags));
         let e = Inflight::new(
             0,
@@ -230,25 +237,25 @@ impl Machine<'_> {
                 prefetched: false,
             },
             uop,
-            source_cluster,
         );
-        let seq = self.alloc_entry(e);
+        let seq = self.alloc_entry(e, source_cluster);
         self.finish_dispatch(seq);
-        self.flags_loc = target; // value now present in both; track target
-        self.stats.copy_uops += 1;
+        self.ctx.flags_loc = target; // value now present in both; track target
+        self.ctx.stats.copy_uops += 1;
         seq
     }
 
     pub(crate) fn dispatch_normal(&mut self, pos: usize, duop: &DynUop, decision: &SteerDecision) {
         let cluster = decision.cluster;
-        let mut e = Inflight::new(0, Role::Trace { pos }, *duop, cluster);
+        let mut e = Inflight::new(0, Role::Trace { pos }, *duop);
         e.helper_mode = decision.helper_mode;
         e.predicted_narrow = decision.predicted_dest_narrow;
-        if decision.replicate_load && duop.uop.kind.is_load() {
-            e.replicated = true;
-            self.stats.replicated_loads += 1;
+        let replicate = decision.replicate_load && duop.uop.kind.is_load();
+        let seq = self.alloc_entry(e, cluster);
+        if replicate {
+            self.ctx.ctl[seq as usize].replicated = true;
+            self.ctx.stats.replicated_loads += 1;
         }
-        let seq = self.alloc_entry(e);
 
         // Source routing.
         for src in duop.uop.sources() {
@@ -264,10 +271,10 @@ impl Machine<'_> {
 
         // Rename the destination / flags.
         if let Some(dst) = duop.uop.dest {
-            self.rename_map[dst.index()] = Some(RenameEntry { seq });
+            self.ctx.rename_map[dst.index()] = Some(RenameEntry { seq });
         }
         if duop.uop.writes_flags {
-            self.flags_map = Some(RenameEntry { seq });
+            self.ctx.flags_map = Some(RenameEntry { seq });
         }
 
         self.finish_dispatch(seq);
@@ -282,15 +289,15 @@ impl Machine<'_> {
 
         // Branch prediction and frontend redirect stalls.
         if duop.uop.kind.is_cond_branch() {
-            self.stats.branches += 1;
+            self.ctx.stats.branches += 1;
             let predicted = self.ctx.branch_pred.predict(duop.uop.pc);
             let actual = duop.taken.unwrap_or(false);
             self.ctx
                 .branch_pred
                 .update(duop.uop.pc, actual, duop.target);
             if predicted != actual {
-                self.stats.branch_mispredicts += 1;
-                self.branch_stall = Some(seq);
+                self.ctx.stats.branch_mispredicts += 1;
+                self.ctx.branch_stall = Some(seq);
             }
         }
     }
@@ -313,10 +320,9 @@ impl Machine<'_> {
                     index: i as u8,
                 },
                 chunk_uop,
-                Cluster::Helper,
             );
             e.helper_mode = Some(HelperMode::SplitChunk);
-            let seq = self.alloc_entry(e);
+            let seq = self.alloc_entry(e, Cluster::Helper);
             if i == 0 {
                 for src in duop.uop.sources() {
                     if let Some(dep) = self.route_source(src, Cluster::Helper) {
@@ -339,7 +345,7 @@ impl Machine<'_> {
         // The architectural destination maps to the chain's last chunk.  The
         // full 32-bit value is prefetched to the wide cluster with copy µops.
         if let Some(dst) = duop.uop.dest {
-            self.rename_map[dst.index()] = Some(RenameEntry { seq: last_chunk });
+            self.ctx.rename_map[dst.index()] = Some(RenameEntry { seq: last_chunk });
             for _ in 0..chunks {
                 // One helper-width copy µop per chunk reconstructs the value
                 // in the wide RF; only the most recent copy slot is depended
@@ -348,7 +354,7 @@ impl Machine<'_> {
             }
         }
         if duop.uop.writes_flags {
-            self.flags_map = Some(RenameEntry { seq: last_chunk });
+            self.ctx.flags_map = Some(RenameEntry { seq: last_chunk });
         }
 
         // The original wide µop itself is accounted as a helper-steered trace
