@@ -117,13 +117,14 @@ fn main() {
     for (b, rate) in &batched {
         println!("sim_hotpath/batched_b{b}        {:>12.0} uops/sec", rate);
     }
-    println!("sim_hotpath/full_grid_scalar  {:>12.0} uops/sec", grid_scalar);
+    println!(
+        "sim_hotpath/full_grid_scalar  {:>12.0} uops/sec",
+        grid_scalar
+    );
     println!("sim_hotpath/full_grid         {:>12.0} uops/sec", grid);
     if let Some(path) = std::env::var_os("SIM_HOTPATH_RECORD") {
         let mut json = String::from("{\n");
-        json.push_str(&format!(
-            "  \"single_cell_uops_per_sec\": {single:.0},\n"
-        ));
+        json.push_str(&format!("  \"single_cell_uops_per_sec\": {single:.0},\n"));
         for (b, rate) in &batched {
             json.push_str(&format!("  \"batched_b{b}_uops_per_sec\": {rate:.0},\n"));
         }

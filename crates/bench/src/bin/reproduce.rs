@@ -45,6 +45,27 @@
 //! `--shards N` partitions by *observed per-row cost* (LPT bin packing)
 //! instead of round-robin, so one slow trace cannot straggle a shard set.
 //!
+//! `suite --of N` switches to the multi-process **fan-out worker** mode:
+//! the process joins (or, first arrival, plans) an N-way partition rooted
+//! at `--checkpoint DIR`, claims shards through heartbeat-renewed lease
+//! files, executes each claimed shard and writes its `shard_NNNN.json`
+//! via the checkpoint protocol's tmp+rename path, then exits.
+//! `--shard-index K` names the worker's home shard (claimed first);
+//! stealing — picking up a straggler's or crashed peer's unfinished
+//! shards, most expensive first per recorded cost — is on by default and
+//! disabled with `--no-steal` (the worker then executes exactly its home
+//! shard).  `--lease-timeout-secs S` sets the staleness window after
+//! which a dead worker's lease may be broken.  Run one worker per
+//! shard (or fewer — stealing covers the rest) across any number of
+//! machines sharing the directory.
+//!
+//! `merge` is the fan-out's coordinator: it validates the checkpoint
+//! directory's shard set against its manifest (typed conflict errors;
+//! mixed-plan directories are refused) and emits a merged report
+//! **byte-identical** to the single-process `suite` run.  `--wait` polls
+//! until every shard lands (bound it with `--merge-timeout-secs S`);
+//! without it, missing shards are an immediate error.
+//!
 //! `sensitivity` is opt-in as well: the paper-grounded hardware sensitivity
 //! study as one N-D scenario campaign — the IR policy over the SPEC suite ×
 //! the helper width {4, 8, 16} × clock ratio {1×, 2×, 4×} plane — run
@@ -73,6 +94,7 @@
 
 use hc_core::cache::{CellCache, GcPolicy};
 use hc_core::campaign::{CampaignBuilder, CampaignError, CampaignRunner, CampaignSpec};
+use hc_core::fanout::{FanoutWorker, MergeCoordinator, MergeWait};
 use hc_core::figures;
 use hc_core::policy::PolicyKind;
 use hc_core::report::{
@@ -96,6 +118,13 @@ struct Options {
     shards: usize,
     checkpoint: Option<String>,
     resume: bool,
+    shard_index: Option<usize>,
+    of: Option<usize>,
+    no_steal: bool,
+    lease_timeout_secs: u64,
+    worker_id: Option<String>,
+    wait: bool,
+    merge_timeout_secs: Option<u64>,
     cache: Option<String>,
     no_cache: bool,
     addr: Option<String>,
@@ -129,6 +158,13 @@ fn parse_args() -> Options {
         shards: 1,
         checkpoint: None,
         resume: false,
+        shard_index: None,
+        of: None,
+        no_steal: false,
+        lease_timeout_secs: 30,
+        worker_id: None,
+        wait: false,
+        merge_timeout_secs: None,
         // Environment default; --cache overrides, --no-cache disables.
         cache: std::env::var("REPRODUCE_CACHE").ok(),
         no_cache: false,
@@ -167,6 +203,20 @@ fn parse_args() -> Options {
             }
             "--checkpoint" => opts.checkpoint = args.next().or(opts.checkpoint),
             "--resume" => opts.resume = true,
+            "--shard-index" => opts.shard_index = args.next().and_then(|v| v.parse().ok()),
+            "--of" => opts.of = args.next().and_then(|v| v.parse().ok()),
+            "--no-steal" => opts.no_steal = true,
+            "--lease-timeout-secs" => {
+                opts.lease_timeout_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(opts.lease_timeout_secs)
+            }
+            "--worker-id" => opts.worker_id = args.next().or(opts.worker_id),
+            "--wait" => opts.wait = true,
+            "--merge-timeout-secs" => {
+                opts.merge_timeout_secs = args.next().and_then(|v| v.parse().ok())
+            }
             "--cache" => opts.cache = args.next().or(opts.cache),
             "--no-cache" => opts.no_cache = true,
             "--addr" => opts.addr = args.next().or(opts.addr),
@@ -184,6 +234,10 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: reproduce [FIGURE ...] [--trace-len N] [--apps-per-category N] [--full-suite] [--threads N] [--batch N] [--shards N] [--checkpoint DIR] [--resume] [--cache DIR] [--no-cache] [--json] [--csv]\n\
+                     \n\
+                     multi-process fan-out:\n\
+                     \x20      reproduce suite    --of N [--shard-index K] --checkpoint DIR [--no-steal] [--lease-timeout-secs S] [--worker-id NAME]\n\
+                     \x20      reproduce merge    --checkpoint DIR [--wait] [--merge-timeout-secs S] [--json] [--csv]\n\
                      \n\
                      campaign service:\n\
                      \x20      reproduce serve    [--addr HOST:PORT] [--addr-file PATH] [--cache DIR] [--max-requests N] [--threads N]\n\
@@ -473,9 +527,10 @@ fn run_sharded_campaign(
     outcome.report
 }
 
-/// The `suite` mode: the Table 2 suite (IR policy) as one sharded,
-/// streaming, checkpointable campaign.
-fn run_suite_mode(opts: &Options, trace_len: usize) {
+/// The `suite` mode's spec — shared by the in-process sharded run, the
+/// fan-out worker mode and (via the checkpoint manifest) `merge`, so every
+/// path over the same flags simulates the identical campaign.
+fn suite_spec(opts: &Options, trace_len: usize) -> CampaignSpec {
     let mut builder = CampaignBuilder::new("table2-suite")
         .policy(PolicyKind::Ir)
         .trace_len(trace_len);
@@ -486,7 +541,102 @@ fn run_suite_mode(opts: &Options, trace_len: usize) {
     };
     // User input (`--apps-per-category 0`, `--shards 0`, …) can make the
     // campaign invalid; report the typed error as a usage error, don't panic.
-    let spec = or_die("suite", builder.build());
+    or_die("suite", builder.build())
+}
+
+/// The `suite --shard-index/--of` worker mode: one process of a fan-out
+/// fleet over a shared checkpoint directory.  The worker claims shards
+/// through lease files, executes them, writes each `shard_NNNN.json` and
+/// exits; `reproduce merge` assembles the report.
+fn run_suite_worker_mode(opts: &Options, spec: &CampaignSpec) {
+    let Some(of) = opts.of else {
+        eprintln!("suite: --shard-index requires --of N (the fleet's shard count)");
+        std::process::exit(2);
+    };
+    let Some(dir) = opts.checkpoint.as_deref() else {
+        eprintln!("suite: worker mode requires --checkpoint DIR (the shared fan-out directory)");
+        std::process::exit(2);
+    };
+    let mut worker = FanoutWorker::new(of, dir)
+        .steal(!opts.no_steal)
+        .lease_timeout(std::time::Duration::from_secs(
+            opts.lease_timeout_secs.max(1),
+        ))
+        .with_progress(|p| {
+            eprintln!(
+                "[{}/{}] {} × {} × {}",
+                p.completed_cells, p.total_cells, p.policy, p.trace, p.scenario
+            );
+        });
+    if let Some(home) = opts.shard_index {
+        worker = worker.home_shard(home);
+    }
+    if let Some(id) = &opts.worker_id {
+        worker = worker.worker_id(id.clone());
+    }
+    if let Some(lanes) = opts.batch {
+        worker = worker.with_batch(lanes);
+    }
+    let cache = open_cache(opts, "suite");
+    if let Some(cache) = &cache {
+        worker = worker.with_cache(Arc::clone(cache));
+    }
+    eprintln!(
+        "suite: worker{} over {dir} ({} shards, stealing {})",
+        opts.shard_index
+            .map(|k| format!(" for shard {k}"))
+            .unwrap_or_default(),
+        of,
+        if opts.no_steal { "off" } else { "on" },
+    );
+    let outcome = or_die("suite", worker.run(spec));
+    eprintln!(
+        "suite: worker executed shards {:?} (stolen: {:?})",
+        outcome.executed_shards, outcome.stolen_shards
+    );
+    if let Some(cache) = &cache {
+        report_cache_activity("suite", cache);
+    }
+}
+
+/// The `merge` mode: watch a fan-out checkpoint directory, validate the
+/// shard set, and emit the merged report — byte-identical to the
+/// single-process `suite` run over the same spec.
+fn run_merge_mode(opts: &Options) {
+    let Some(dir) = opts.checkpoint.as_deref() else {
+        eprintln!("merge: provide --checkpoint DIR (the fan-out directory to merge)");
+        std::process::exit(2);
+    };
+    let wait = match (opts.wait, opts.merge_timeout_secs) {
+        (_, Some(secs)) => MergeWait::Timeout(std::time::Duration::from_secs(secs)),
+        (true, None) => MergeWait::Forever,
+        (false, None) => MergeWait::NoWait,
+    };
+    let outcome = or_die("merge", MergeCoordinator::new(dir).wait(wait).run());
+    eprintln!("merge: {} shards merged from {dir}", outcome.shard_count);
+    let report = outcome.report;
+    if opts.json {
+        println!("{}", report.to_json());
+    } else if opts.csv {
+        println!("{}", report.to_csv());
+    } else {
+        println!("{}", campaign_to_markdown(&report));
+        println!(
+            "{}",
+            figure_to_markdown(&figures::fig14_categories_from(&report))
+        );
+        print_curve_summary(&report.speedup_curve(PolicyKind::Ir.name()));
+    }
+}
+
+/// The `suite` mode: the Table 2 suite (IR policy) as one sharded,
+/// streaming, checkpointable campaign.
+fn run_suite_mode(opts: &Options, trace_len: usize) {
+    let spec = suite_spec(opts, trace_len);
+    if opts.shard_index.is_some() || opts.of.is_some() {
+        run_suite_worker_mode(opts, &spec);
+        return;
+    }
     let report = run_sharded_campaign("suite", opts, &spec);
     if opts.json {
         println!("{}", report.to_json());
@@ -570,6 +720,10 @@ fn main() {
     }
     if opts.figures.iter().any(|f| f == "cache-gc") {
         run_cache_gc_mode(&opts);
+        return;
+    }
+    if opts.figures.iter().any(|f| f == "merge") {
+        run_merge_mode(&opts);
         return;
     }
     if (opts.json || opts.csv)

@@ -282,7 +282,7 @@ pub enum CellClaim<'a> {
 /// The leader's registration in the singleflight table, keyed to one cell.
 /// Dropping it — on the normal path *or* during an unwind — removes the
 /// table entry and wakes every joiner; if the leader never published, the
-/// outcome is marked [`FlightOutcome::Abandoned`] so joiners fall back to
+/// outcome is marked `FlightOutcome::Abandoned` so joiners fall back to
 /// simulating.  A lead with no flight is a collision **bypass**: the digest
 /// is occupied by a *different* key document, so the caller simulates and
 /// inserts without touching the table.
@@ -346,7 +346,11 @@ impl<'a> CellJoin<'a> {
         loop {
             match &*slot {
                 FlightOutcome::Pending => {
-                    slot = self.flight.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+                    slot = self
+                        .flight
+                        .ready
+                        .wait(slot)
+                        .unwrap_or_else(|e| e.into_inner());
                 }
                 FlightOutcome::Done(stats) => {
                     self.cache.dedupe_joins.fetch_add(1, Ordering::Relaxed);
@@ -742,7 +746,10 @@ impl CellCache {
                 digest: u128::from_str_radix(&name[..name.len() - ".json".len()], 16).ok(),
                 path: entry.path(),
                 bytes: meta.len(),
-                last_use: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                // Unreadable mtime must read as "used just now": defaulting
+                // to the epoch would put the entry at the *front* of the LRU
+                // eviction order on no evidence at all.
+                last_use: meta.modified().unwrap_or_else(|_| SystemTime::now()),
             });
         }
         Ok(entries)
@@ -755,12 +762,16 @@ impl CellCache {
     /// hit.  With [`GcPolicy::dry_run`] set, nothing is deleted; the
     /// returned [`GcOutcome`] reports what *would* happen.
     ///
-    /// Eviction order is deterministic: oldest first, ties broken by file
-    /// name.  Evicted entries count into [`CacheStats::evictions`].
+    /// Eviction order is deterministic even under coarse filesystem mtime
+    /// granularity (where whole insert bursts share one timestamp): oldest
+    /// first, ties broken by ascending digest, then by file name for
+    /// foreign (digest-less) files.  Evicted entries count into
+    /// [`CacheStats::evictions`].
     pub fn gc(&self, policy: &GcPolicy) -> Result<GcOutcome, CampaignError> {
         let now = SystemTime::now();
         let mut entries = self.scan_entries()?;
-        entries.sort_by(|a, b| (a.last_use, &a.path).cmp(&(b.last_use, &b.path)));
+        entries
+            .sort_by(|a, b| (a.last_use, a.digest, &a.path).cmp(&(b.last_use, b.digest, &b.path)));
         let mut remaining: u64 = entries.iter().map(|e| e.bytes).sum();
         let mut outcome = GcOutcome::default();
         for entry in &entries {
@@ -1241,6 +1252,47 @@ mod tests {
         assert_eq!(stats.evictions, 2, "gc evictions are counted");
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.bytes, per_entry);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_breaks_mtime_ties_by_digest() {
+        // Coarse filesystem timestamps make whole insert bursts share one
+        // mtime; eviction order must stay deterministic anyway.  Pin every
+        // entry to the *same* last-use instant and sweep down to one
+        // survivor: the entries must go in ascending digest order, leaving
+        // the largest digest alive — on every filesystem, every run.
+        let dir = tmp_dir("gc_ties");
+        let cache = CellCache::open(&dir).expect("open");
+        let keys: Vec<CellKey> = (0..4).map(sample_key).collect();
+        let stamp = SystemTime::now() - Duration::from_secs(3_600);
+        for key in &keys {
+            cache.insert(key, &SimStats::default(), 1);
+            std::fs::File::options()
+                .write(true)
+                .open(cache.entry_path(key))
+                .expect("open entry")
+                .set_modified(stamp)
+                .expect("pin mtime");
+        }
+        let per_entry = std::fs::metadata(cache.entry_path(&keys[0])).unwrap().len();
+        let swept = cache
+            .gc(&GcPolicy {
+                max_bytes: Some(per_entry),
+                max_age: None,
+                dry_run: false,
+            })
+            .expect("gc");
+        assert_eq!((swept.evicted, swept.kept), (3, 1));
+        let survivor = keys.iter().max_by_key(|k| k.digest).expect("non-empty");
+        for key in &keys {
+            assert_eq!(
+                cache.entry_path(key).exists(),
+                key.digest == survivor.digest,
+                "tie-break must evict ascending by digest (digest {:032x})",
+                key.digest
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

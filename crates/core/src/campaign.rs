@@ -168,6 +168,10 @@ pub enum CampaignError {
     },
     /// A checkpoint directory could not be read, written or trusted.
     Checkpoint(String),
+    /// The distributed fan-out coordination layer (lease files, manifest
+    /// adoption, merge watching — see [`crate::fanout`]) failed in a way
+    /// that is not attributable to any single shard payload.
+    Fanout(String),
     /// A cell-cache directory could not be opened, trusted or written
     /// (see [`crate::cache::CellCache::open`]).
     Cache(String),
@@ -240,6 +244,7 @@ impl fmt::Display for CampaignError {
                 write!(f, "shard {index} is malformed: {reason}")
             }
             CampaignError::Checkpoint(msg) => write!(f, "campaign checkpoint error: {msg}"),
+            CampaignError::Fanout(msg) => write!(f, "distributed fan-out error: {msg}"),
             CampaignError::Cache(msg) => write!(f, "cell cache error: {msg}"),
             CampaignError::MissingCell { policy, trace } => {
                 write!(
@@ -1927,7 +1932,10 @@ fn run_row_batched(
                 let mut policy = worker.pool.acquire(plan.kind, &plan.predictors);
                 let mut stats = None;
                 for _ in 0..plan.runs {
-                    stats = Some(plan.sim.run_with(&mut worker.scalar, trace, policy.as_mut()));
+                    stats = Some(
+                        plan.sim
+                            .run_with(&mut worker.scalar, trace, policy.as_mut()),
+                    );
                 }
                 worker.pool.release(plan.kind, &plan.predictors, policy);
                 lead.publish(stats.expect("a job has at least one pass"))

@@ -15,6 +15,10 @@
 //!   [`ShardReport`]s and checkpoint/resume, for the 409-trace Table 2 suite
 //!   and beyond; partitions are planned by a cost model (LPT bin packing
 //!   over observed cell timings) when a cell cache is attached.
+//! * [`fanout`] — multi-process shard fan-out over one checkpoint
+//!   directory: lease-file claims with heartbeat renewal and staleness
+//!   reclaim, cost-steered work-stealing, and a merge coordinator whose
+//!   report is byte-identical to the single-process run.
 //! * [`cache`] — the content-addressed, on-disk [`CellCache`]: repeated
 //!   campaigns replay cached cells instead of re-simulating, with
 //!   byte-identical reports either way.  Concurrent misses on the same key
@@ -49,6 +53,7 @@
 pub mod cache;
 pub mod campaign;
 pub mod experiment;
+pub mod fanout;
 pub mod figures;
 pub mod policy;
 pub mod report;
@@ -66,6 +71,10 @@ pub use campaign::{
     LEGACY_CAMPAIGN_SCHEMA_VERSION, LEGACY_CAMPAIGN_SPEC_SCHEMA_VERSION,
 };
 pub use experiment::{Experiment, ExperimentResult};
+pub use fanout::{
+    lease_file_name, FanoutWorker, MergeCoordinator, MergeOutcome, MergeWait, ShardLease,
+    WorkerOutcome,
+};
 pub use figures::{Figure, FigureRow};
 pub use policy::{PolicyKind, PolicyPool, SteeringFeatures, SteeringStack};
 pub use scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};

@@ -55,10 +55,9 @@ use crate::cache::{CellCache, CostModel};
 #[allow(unused_imports)] // `CampaignRunner` is referenced by doc links only.
 use crate::campaign::CampaignRunner;
 use crate::campaign::{
-    decode_versioned, report_wire_version, resolve_batch, run_grid_streaming,
-    scenario_experiments, BaselineRun,
-    CampaignCell, CampaignError, CampaignProgress, CampaignReport, CampaignSpec, GridCache,
-    ProgressHook,
+    decode_versioned, report_wire_version, resolve_batch, run_grid_streaming, scenario_experiments,
+    BaselineRun, CampaignCell, CampaignError, CampaignProgress, CampaignReport, CampaignSpec,
+    GridCache, ProgressHook,
 };
 use crate::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
@@ -97,7 +96,7 @@ pub const SCENARIO_SHARD_SCHEMA_VERSION: u32 = 2;
 /// The shard wire version for a (spec, plan) pair: v3 once the partition is
 /// cost-balanced, otherwise legacy v1 while the scenario axis is unused and
 /// v2 beyond.
-fn shard_wire_version(spec: &CampaignSpec, plan: &ShardPlan) -> u32 {
+pub(crate) fn shard_wire_version(spec: &CampaignSpec, plan: &ShardPlan) -> u32 {
     match plan.strategy() {
         ShardStrategy::CostBalanced => SHARD_SCHEMA_VERSION,
         ShardStrategy::RoundRobin if spec.is_single_default_scenario() => {
@@ -234,7 +233,7 @@ impl ShardPlan {
 
     /// Structural validity: every row index in `0..n_rows` appears in
     /// exactly one shard, ascending within its shard.
-    fn validate(&self, n_rows: usize) -> Result<(), String> {
+    pub(crate) fn validate(&self, n_rows: usize) -> Result<(), String> {
         let mut seen = vec![false; n_rows];
         for rows in &self.assignments {
             if !rows.windows(2).all(|w| w[0] < w[1]) {
@@ -352,7 +351,7 @@ impl CampaignShard {
     }
 
     /// Materialize every shard of an already-validated plan.
-    fn from_plan(spec: &CampaignSpec, plan: ShardPlan) -> Vec<CampaignShard> {
+    pub(crate) fn from_plan(spec: &CampaignSpec, plan: ShardPlan) -> Vec<CampaignShard> {
         let plan = Arc::new(plan);
         (0..plan.shard_count())
             .map(|shard_index| CampaignShard {
@@ -596,7 +595,7 @@ impl ShardReport {
     /// Structural self-consistency: right row/cell/baseline counts, a valid
     /// partition plan, and rows matching the plan's slice for
     /// `(shard_index, shard_count)`.
-    fn check(&self) -> Result<(), CampaignError> {
+    pub(crate) fn check(&self) -> Result<(), CampaignError> {
         let malformed = |reason: String| CampaignError::MalformedShard {
             index: self.shard_index,
             reason,
@@ -769,11 +768,26 @@ impl CampaignReport {
 /// have changed since (re-planning mid-campaign would orphan completed
 /// shard files).
 #[derive(Debug, Clone, PartialEq)]
-struct CheckpointManifest {
-    schema_version: u32,
-    shard_count: usize,
-    spec: CampaignSpec,
-    plan: ShardPlan,
+pub(crate) struct CheckpointManifest {
+    pub(crate) schema_version: u32,
+    pub(crate) shard_count: usize,
+    pub(crate) spec: CampaignSpec,
+    pub(crate) plan: ShardPlan,
+}
+
+impl CheckpointManifest {
+    /// Decode a manifest document, accepting every shard wire version.
+    pub(crate) fn from_json(text: &str) -> Result<CheckpointManifest, CampaignError> {
+        let value = decode_versioned(
+            text,
+            &[
+                LEGACY_SHARD_SCHEMA_VERSION,
+                SCENARIO_SHARD_SCHEMA_VERSION,
+                SHARD_SCHEMA_VERSION,
+            ],
+        )?;
+        Deserialize::from_value(&value).map_err(|e| CampaignError::Decode(e.to_string()))
+    }
 }
 
 impl Serialize for CheckpointManifest {
@@ -820,10 +834,10 @@ impl Deserialize for CheckpointManifest {
 }
 
 /// Name of the manifest file inside a checkpoint directory.
-const MANIFEST_FILE: &str = "campaign.json";
+pub(crate) const MANIFEST_FILE: &str = "campaign.json";
 
 /// File name for one shard's checkpoint.
-fn shard_file_name(index: usize) -> String {
+pub(crate) fn shard_file_name(index: usize) -> String {
     format!("shard_{index:04}.json")
 }
 
@@ -1023,19 +1037,7 @@ impl ShardedCampaignRunner {
                 // with the file named, so the failure is actionable) — unlike
                 // corrupt *shard* files, whose loss only costs a re-run, a
                 // damaged manifest means the directory can't be trusted.
-                let found: CheckpointManifest = decode_versioned(
-                    &text,
-                    &[
-                        LEGACY_SHARD_SCHEMA_VERSION,
-                        SCENARIO_SHARD_SCHEMA_VERSION,
-                        SHARD_SCHEMA_VERSION,
-                    ],
-                )
-                .and_then(|value| {
-                    Deserialize::from_value(&value)
-                        .map_err(|e| CampaignError::Decode(e.to_string()))
-                })
-                .map_err(|e| {
+                let found = CheckpointManifest::from_json(&text).map_err(|e| {
                     CampaignError::Checkpoint(format!(
                         "unreadable manifest {}: {e}; delete it to start over",
                         manifest_path.display()
@@ -1102,7 +1104,7 @@ impl ShardedCampaignRunner {
 /// Write a checkpoint file through a temporary sibling + rename, so a crash
 /// mid-write never leaves a truncated JSON file a later resume would trip
 /// over.
-fn write_checkpoint_file(path: &Path, contents: &str) -> Result<(), CampaignError> {
+pub(crate) fn write_checkpoint_file(path: &Path, contents: &str) -> Result<(), CampaignError> {
     let tmp = path.with_extension("json.tmp");
     std::fs::write(&tmp, contents)
         .map_err(|e| CampaignError::Checkpoint(format!("write {}: {e}", tmp.display())))?;

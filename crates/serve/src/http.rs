@@ -83,15 +83,27 @@ fn read_body<R: BufRead>(
     reader: &mut R,
     headers: &[(String, String)],
 ) -> Result<Vec<u8>, ServeError> {
-    let length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| ServeError::Protocol(format!("unparseable Content-Length `{v}`")))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    // Every Content-Length header must agree.  Taking the first (or any
+    // single) value of a conflicting set is the classic request-smuggling
+    // shape — two parsers framing the same bytes differently — so a request
+    // carrying differing values is refused outright.  RFC 9110 §8.6 allows
+    // repeated *identical* values, and those are accepted.
+    let mut length = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let parsed = v
+            .parse::<usize>()
+            .map_err(|_| ServeError::Protocol(format!("unparseable Content-Length `{v}`")))?;
+        match length {
+            None => length = Some(parsed),
+            Some(seen) if seen == parsed => {}
+            Some(seen) => {
+                return Err(ServeError::Protocol(format!(
+                    "conflicting Content-Length headers ({seen} vs {parsed})"
+                )))
+            }
+        }
+    }
+    let length = length.unwrap_or(0);
     if length > MAX_BODY_BYTES {
         return Err(ServeError::Protocol(format!(
             "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
@@ -253,6 +265,23 @@ mod tests {
         );
         let err = read_request(&mut BufReader::new(wire.as_bytes())).expect_err("must refuse");
         assert!(matches!(err, ServeError::Protocol(_)));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_refused() {
+        let wire = "POST /campaign HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n{}x";
+        let err = read_request(&mut BufReader::new(wire.as_bytes())).expect_err("must refuse");
+        match err {
+            ServeError::Protocol(msg) => assert!(msg.contains("conflicting"), "{msg}"),
+            other => panic!("expected a protocol error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn repeated_identical_content_lengths_are_accepted() {
+        let wire = "POST /campaign HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}";
+        let req = read_request(&mut BufReader::new(wire.as_bytes())).expect("identical repeats");
+        assert_eq!(req.body, b"{}");
     }
 
     #[test]

@@ -124,8 +124,7 @@ impl BatchContext {
                 let job = &mut jobs[state.job];
                 let ctx = &mut self.lanes[lane];
                 if !ctx.run_done() {
-                    let mut machine =
-                        Machine::attach(job.sim.config(), job.trace, job.policy, ctx);
+                    let mut machine = Machine::attach(job.sim.config(), job.trace, job.policy, ctx);
                     for _ in 0..TURN_CYCLES {
                         machine.step_wide_cycle();
                         if machine.ctx.run_done() {
@@ -241,7 +240,8 @@ mod tests {
 
     fn batched(traces: &[Trace], runs: usize, lanes: usize) -> Vec<SimStats> {
         let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
-        let mut policies: Vec<LastOutcome> = traces.iter().map(|_| LastOutcome::default()).collect();
+        let mut policies: Vec<LastOutcome> =
+            traces.iter().map(|_| LastOutcome::default()).collect();
         let jobs: Vec<BatchJob> = traces
             .iter()
             .zip(policies.iter_mut())

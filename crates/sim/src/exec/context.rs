@@ -202,7 +202,8 @@ impl ExecContext {
         self.rob.clear();
         self.stores.clear();
         self.events.reset();
-        self.events.ensure_horizon(cfg.worst_case_completion_ticks());
+        self.events
+            .ensure_horizon(cfg.worst_case_completion_ticks());
         self.event_scratch.clear();
         self.select_scratch.clear();
         self.ready.reset();

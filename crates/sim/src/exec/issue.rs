@@ -124,7 +124,9 @@ impl Machine<'_> {
             if cluster == Cluster::Helper && self.is_fatal_width_violation(idx) {
                 fatal = Some((
                     seq,
-                    self.ctx.entries[idx].trace_pos().unwrap_or(self.ctx.next_pos),
+                    self.ctx.entries[idx]
+                        .trace_pos()
+                        .unwrap_or(self.ctx.next_pos),
                 ));
                 break;
             }

@@ -130,7 +130,8 @@ impl Machine<'_> {
             }
             None => {
                 // Architectural value.
-                if self.ctx.arch_loc[src.index()] == cluster || self.ctx.arch_replicated[src.index()]
+                if self.ctx.arch_loc[src.index()] == cluster
+                    || self.ctx.arch_replicated[src.index()]
                 {
                     None
                 } else {

@@ -92,10 +92,7 @@ fn batched_campaigns_are_byte_identical_across_batch_and_thread_counts() {
 
 #[test]
 fn batched_warm_cache_replay_simulates_nothing() {
-    let dir = std::env::temp_dir().join(format!(
-        "hc_batch_determinism_{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("hc_batch_determinism_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let spec = grid_spec();
 
@@ -118,7 +115,10 @@ fn batched_warm_cache_replay_simulates_nothing() {
         .run(&spec)
         .expect("warm batched run");
     let activity = warm_cache.activity();
-    assert_eq!(activity.misses, 0, "a warm batched replay re-simulates zero cells");
+    assert_eq!(
+        activity.misses, 0,
+        "a warm batched replay re-simulates zero cells"
+    );
     assert_eq!(activity.hits, 12);
     assert_eq!(
         warm.to_json(),
