@@ -1,7 +1,8 @@
-//! Cell-cache effectiveness: warm-run replay speedup and the partition
-//! balance the cost-model planner buys on a skewed suite.
+//! Cell-cache effectiveness: warm-run replay speedup, the packed segment
+//! store against the legacy per-file layout, and the partition balance the
+//! cost-model planner buys on a skewed suite.
 //!
-//! Two measurements, recorded in `BENCH_cell_cache.json` at the repository
+//! Four measurements, recorded in `BENCH_cell_cache.json` at the repository
 //! root:
 //!
 //! * `cold` vs `warm` — the same Table 2 suite campaign run twice against
@@ -9,12 +10,18 @@
 //!   pass replays every cell from disk (`misses == 0`, byte-identical
 //!   report), so `cold/warm` is the end-to-end speedup a repeated
 //!   `reproduce` invocation sees.
+//! * packed vs legacy warm replay — the same warm pass served from the
+//!   packed segment store and from the demoted per-file layout (the v1
+//!   format `cache-pack` migrates away from), byte-identical both ways.
+//! * packed vs legacy metadata at 10k entries — `stats()` latency and a
+//!   dry-run `gc()` sweep over a 10,000-entry store.  Packed answers both
+//!   from the in-memory index; legacy walks one file per entry, so this is
+//!   the scaling win of the segment layout.  The `pack()` migration of the
+//!   same 10k-entry legacy store is timed alongside.
 //! * partition balance — per-row wall-clock costs observed by the cold pass
 //!   feed `ShardPlan::cost_balanced`; `max_shard / mean_shard` estimated
 //!   work for that plan vs the legacy round-robin plan quantifies how much
-//!   a straggler row can no longer skew a shard set.  The suite's rows all
-//!   synthesize the same µop count, but memory-bound categories simulate
-//!   many more cycles per µop, so real cost skew shows up even here.
+//!   a straggler row can no longer skew a shard set.
 //!
 //! Regenerate with
 //!
@@ -22,10 +29,12 @@
 //! CELL_CACHE_RECORD=numbers.json cargo bench -p hc-bench --bench cell_cache
 //! ```
 
-use hc_core::cache::{CellCache, CostModel};
+use hc_core::cache::{CellCache, CostModel, GcPolicy};
 use hc_core::campaign::{CampaignBuilder, CampaignRunner, CampaignSpec};
 use hc_core::policy::PolicyKind;
 use hc_core::shard::ShardPlan;
+use hc_core::CellKey;
+use hc_sim::SimStats;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,6 +42,7 @@ const APPS_PER_CATEGORY: usize = 3;
 const TRACE_LEN: usize = 2_000;
 const SHARDS: usize = 4;
 const SAMPLES: usize = 5;
+const STORE_ENTRIES: u64 = 10_000;
 
 fn suite_spec() -> CampaignSpec {
     CampaignBuilder::new("bench-cell-cache")
@@ -65,6 +75,28 @@ fn imbalance(plan: &ShardPlan, costs: &[u64]) -> f64 {
     max as f64 / (total as f64 / loads.len() as f64)
 }
 
+/// `stats()` + dry-run `gc()` latency over `cache` (best-of-`SAMPLES`
+/// each); the gc sweep sees a half-size byte budget so it has real
+/// candidate sorting to do.
+fn metadata_latency(cache: &CellCache) -> (f64, f64) {
+    let budget = cache.stats().bytes / 2;
+    let stats_secs = measure(|| {
+        std::hint::black_box(cache.stats());
+    });
+    let gc_secs = measure(|| {
+        let outcome = cache
+            .gc(&GcPolicy {
+                max_bytes: Some(budget),
+                dry_run: true,
+                ..GcPolicy::default()
+            })
+            .expect("dry-run sweep");
+        assert_eq!(outcome.kept + outcome.evicted, STORE_ENTRIES);
+        std::hint::black_box(outcome);
+    });
+    (stats_secs, gc_secs)
+}
+
 fn main() {
     let spec = suite_spec();
     let dir = std::env::temp_dir().join(format!("hc_bench_cell_cache_{}", std::process::id()));
@@ -82,8 +114,9 @@ fn main() {
         0,
         "cold cache has nothing to hit"
     );
+    drop(cold_cache);
 
-    // Warm: replay every cell from disk.
+    // Warm: replay every cell from the packed segment store.
     let warm_cache = Arc::new(CellCache::open(&dir).expect("reopen cache"));
     let warm_runner = CampaignRunner::new().with_cache(Arc::clone(&warm_cache));
     let warm = measure(|| {
@@ -101,8 +134,57 @@ fn main() {
         "warm runs re-simulate nothing"
     );
 
-    // Partition balance under the observed per-row costs.
+    // Partition balance under the observed per-row costs (read before the
+    // demotion below rewrites the store).
     let costs = CostModel::observed(&warm_cache).row_costs(&spec);
+
+    // The same warm replay served from the legacy per-file layout.
+    warm_cache
+        .demote_to_legacy_layout()
+        .expect("demote suite cache");
+    drop(warm_cache);
+    let legacy_cache = Arc::new(CellCache::open(&dir).expect("reopen legacy"));
+    let legacy_runner = CampaignRunner::new().with_cache(Arc::clone(&legacy_cache));
+    let warm_legacy = measure(|| {
+        let report = legacy_runner.run(&spec).expect("legacy warm run");
+        assert_eq!(
+            report.to_json(),
+            cold_report.to_json(),
+            "legacy bytes must not move"
+        );
+        std::hint::black_box(report);
+    });
+    assert_eq!(
+        legacy_cache.activity().misses,
+        0,
+        "legacy warm runs re-simulate nothing"
+    );
+    drop(legacy_cache);
+
+    // Metadata scaling: a 10k-entry synthetic store, packed then demoted.
+    let store_dir =
+        std::env::temp_dir().join(format!("hc_bench_cell_cache_10k_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let packed_store = CellCache::open(&store_dir).expect("open 10k store");
+    let scenario = serde::Value::Str("bench".to_string());
+    for i in 0..STORE_ENTRIES {
+        let key = CellKey::cell(&serde::Value::UInt(i), 1_000, 0, &scenario, "8_8_8");
+        packed_store.insert(&key, &SimStats::default(), i);
+    }
+    let (packed_stats, packed_gc) = metadata_latency(&packed_store);
+    packed_store
+        .demote_to_legacy_layout()
+        .expect("demote 10k store");
+    drop(packed_store);
+    let legacy_store = CellCache::open(&store_dir).expect("reopen 10k legacy");
+    let (legacy_stats, legacy_gc) = metadata_latency(&legacy_store);
+    let start = Instant::now();
+    let migration = legacy_store.pack().expect("pack 10k store");
+    let pack_secs = start.elapsed().as_secs_f64();
+    assert_eq!(migration.migrated, STORE_ENTRIES, "every entry migrates");
+    drop(legacy_store);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     let round_robin = ShardPlan::round_robin(costs.len(), SHARDS).expect("rr plan");
     let balanced = ShardPlan::cost_balanced(&costs, SHARDS).expect("balanced plan");
     let rr_ratio = imbalance(&round_robin, &costs);
@@ -110,16 +192,31 @@ fn main() {
     let skew = *costs.iter().max().unwrap() as f64 / *costs.iter().min().unwrap() as f64;
 
     let speedup = cold / warm;
+    let replay_ratio = warm_legacy / warm;
+    let stats_ratio = legacy_stats / packed_stats;
+    let gc_ratio = legacy_gc / packed_gc;
     println!("cell_cache/cold_run            {:>10.4} s", cold);
     println!("cell_cache/warm_run            {:>10.4} s", warm);
     println!("cell_cache/warm_speedup        {:>10.1}x", speedup);
+    println!("cell_cache/warm_run_legacy     {:>10.4} s", warm_legacy);
+    println!(
+        "cell_cache/packed_vs_legacy    {:>10.2}x warm replay",
+        replay_ratio
+    );
+    println!("cell_cache/stats_10k_packed    {:>10.6} s", packed_stats);
+    println!("cell_cache/stats_10k_legacy    {:>10.6} s", legacy_stats);
+    println!("cell_cache/stats_10k_ratio     {:>10.1}x", stats_ratio);
+    println!("cell_cache/gc_10k_packed       {:>10.6} s", packed_gc);
+    println!("cell_cache/gc_10k_legacy       {:>10.6} s", legacy_gc);
+    println!("cell_cache/gc_10k_ratio        {:>10.1}x", gc_ratio);
+    println!("cell_cache/pack_10k_migration  {:>10.4} s", pack_secs);
     println!("cell_cache/row_cost_skew       {:>10.2}x max/min", skew);
     println!("cell_cache/rr_max_over_mean    {:>10.4}", rr_ratio);
     println!("cell_cache/lpt_max_over_mean   {:>10.4}", lpt_ratio);
 
     if let Some(path) = std::env::var_os("CELL_CACHE_RECORD") {
         let json = format!(
-            "{{\n  \"suite\": \"{} traces x IR, trace_len {}\",\n  \"cold_run_secs\": {cold:.4},\n  \"warm_run_secs\": {warm:.4},\n  \"warm_speedup\": {speedup:.1},\n  \"row_cost_skew_max_over_min\": {skew:.2},\n  \"shards\": {SHARDS},\n  \"round_robin_max_over_mean_work\": {rr_ratio:.4},\n  \"cost_balanced_max_over_mean_work\": {lpt_ratio:.4}\n}}\n",
+            "{{\n  \"suite\": \"{} traces x IR, trace_len {}\",\n  \"cold_run_secs\": {cold:.4},\n  \"warm_run_secs\": {warm:.4},\n  \"warm_speedup\": {speedup:.1},\n  \"legacy_warm_run_secs\": {warm_legacy:.4},\n  \"packed_vs_legacy_warm_replay\": {replay_ratio:.2},\n  \"store_entries\": {STORE_ENTRIES},\n  \"stats_10k_packed_secs\": {packed_stats:.6},\n  \"stats_10k_legacy_secs\": {legacy_stats:.6},\n  \"stats_10k_speedup\": {stats_ratio:.1},\n  \"gc_10k_packed_secs\": {packed_gc:.6},\n  \"gc_10k_legacy_secs\": {legacy_gc:.6},\n  \"gc_10k_speedup\": {gc_ratio:.1},\n  \"pack_10k_migration_secs\": {pack_secs:.4},\n  \"row_cost_skew_max_over_min\": {skew:.2},\n  \"shards\": {SHARDS},\n  \"round_robin_max_over_mean_work\": {rr_ratio:.4},\n  \"cost_balanced_max_over_mean_work\": {lpt_ratio:.4}\n}}\n",
             spec.traces.len(),
             TRACE_LEN,
         );

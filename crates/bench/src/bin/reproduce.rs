@@ -85,12 +85,17 @@
 //! mirrors progress frames to stderr, and prints the final report JSON to
 //! stdout — byte-identical to offline `reproduce campaign --json`.
 //! `submit --metrics` prints the daemon's `/metrics` document instead;
-//! `submit --shutdown` asks it to drain.
+//! `submit --shutdown` asks it to drain.  Given both, the two control
+//! requests share one persistent (keep-alive) connection.
 //!
 //! `cache-gc` sweeps a `--cache` directory: `--max-age-secs S` evicts
 //! entries unused for longer than S, then `--max-bytes N` evicts
 //! least-recently-used entries until at most N bytes remain; `--dry-run`
-//! reports what would go without deleting anything.
+//! reports what would go without deleting anything.  Eviction only drops
+//! index entries; `--compact` additionally rewrites every sealed segment
+//! file so the reclaimed bytes actually leave the disk.  `cache-pack`
+//! migrates a legacy one-file-per-cell cache into the packed segment
+//! layout in place, preserving LRU order and report bytes.
 
 use hc_core::cache::{CellCache, GcPolicy};
 use hc_core::campaign::{CampaignBuilder, CampaignError, CampaignRunner, CampaignSpec};
@@ -136,6 +141,7 @@ struct Options {
     max_bytes: Option<u64>,
     max_age_secs: Option<u64>,
     dry_run: bool,
+    compact: bool,
 }
 
 fn parse_args() -> Options {
@@ -177,6 +183,7 @@ fn parse_args() -> Options {
         max_bytes: None,
         max_age_secs: None,
         dry_run: false,
+        compact: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -228,6 +235,7 @@ fn parse_args() -> Options {
             "--max-bytes" => opts.max_bytes = args.next().and_then(|v| v.parse().ok()),
             "--max-age-secs" => opts.max_age_secs = args.next().and_then(|v| v.parse().ok()),
             "--dry-run" => opts.dry_run = true,
+            "--compact" => opts.compact = true,
             "--full-suite" => opts.full_suite = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
@@ -244,7 +252,13 @@ fn parse_args() -> Options {
                      \x20      reproduce submit   (--addr HOST:PORT | --addr-file PATH) [--spec FILE | --trace-len N] [--metrics] [--shutdown]\n\
                      \n\
                      cache maintenance:\n\
-                     \x20      reproduce cache-gc --cache DIR [--max-bytes N] [--max-age-secs S] [--dry-run]"
+                     \x20      reproduce cache-gc   --cache DIR [--max-bytes N] [--max-age-secs S] [--dry-run] [--compact]\n\
+                     \x20      reproduce cache-pack --cache DIR\n\
+                     \n\
+                     cache-gc evicts by age then LRU size budget; --compact additionally rewrites\n\
+                     every sealed segment so the cache ends up densely packed.  cache-pack migrates\n\
+                     a legacy per-file cache into the packed segment layout in place (LRU order\n\
+                     preserved); reports stay byte-identical before and after."
                 );
                 std::process::exit(0);
             }
@@ -338,6 +352,7 @@ fn run_serve_mode(opts: &Options) {
         addr,
         cache_dir,
         max_requests: opts.max_requests,
+        ..hc_serve::ServeOptions::default()
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -398,26 +413,32 @@ fn submit_addr(opts: &Options) -> String {
 /// its `/metrics`, or ask it to drain).
 fn run_submit_mode(opts: &Options, len: usize) {
     let addr = submit_addr(opts);
-    let mut acted = false;
-    if opts.metrics {
-        match hc_serve::client::get(&addr, "/metrics") {
-            Ok(body) => print!("{body}"),
+    if opts.metrics || opts.shutdown {
+        // Both control requests ride one persistent connection: a single
+        // TCP handshake whether you ask for metrics, a drain, or both.
+        let mut conn = match hc_serve::client::Connection::connect(&addr) {
+            Ok(conn) => conn,
             Err(e) => {
                 eprintln!("submit: {e}");
                 std::process::exit(2);
             }
+        };
+        if opts.metrics {
+            match conn.get("/metrics") {
+                Ok(body) => print!("{body}"),
+                Err(e) => {
+                    eprintln!("submit: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
-        acted = true;
-    }
-    if opts.shutdown {
-        if let Err(e) = hc_serve::client::shutdown(&addr) {
-            eprintln!("submit: {e}");
-            std::process::exit(2);
+        if opts.shutdown {
+            if let Err(e) = conn.shutdown() {
+                eprintln!("submit: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("submit: daemon at {addr} is draining");
         }
-        eprintln!("submit: daemon at {addr} is draining");
-        acted = true;
-    }
-    if acted {
         return;
     }
     let spec_json = match &opts.spec {
@@ -456,7 +477,8 @@ fn run_submit_mode(opts: &Options, len: usize) {
     }
 }
 
-/// The `cache-gc` mode: size/age-capped LRU sweep of a cell cache.
+/// The `cache-gc` mode: size/age-capped LRU sweep of a cell cache, plus
+/// segment compaction (forced by `--compact`, otherwise ratio-triggered).
 fn run_cache_gc_mode(opts: &Options) {
     let Some(dir) = opts.cache.as_deref() else {
         eprintln!("cache-gc: provide --cache DIR (or set REPRODUCE_CACHE)");
@@ -467,16 +489,38 @@ fn run_cache_gc_mode(opts: &Options) {
         max_bytes: opts.max_bytes,
         max_age: opts.max_age_secs.map(std::time::Duration::from_secs),
         dry_run: opts.dry_run,
+        compact: opts.compact,
     };
     let outcome = or_die("cache-gc", cache.gc(&policy));
     println!(
-        "{}: {}evicted {} entries ({} bytes), kept {} entries ({} bytes)",
+        "{}: {}evicted {} entries ({} bytes), kept {} entries ({} bytes); compacted {} segment(s), reclaimed {} bytes",
         cache.root().display(),
         if opts.dry_run { "would have " } else { "" },
         outcome.evicted,
         outcome.evicted_bytes,
         outcome.kept,
-        outcome.kept_bytes
+        outcome.kept_bytes,
+        outcome.compacted_segments,
+        outcome.reclaimed_bytes
+    );
+}
+
+/// The `cache-pack` mode: migrate a legacy per-file cache into the packed
+/// segment layout in place, then compact to one dense segment.
+fn run_cache_pack_mode(opts: &Options) {
+    let Some(dir) = opts.cache.as_deref() else {
+        eprintln!("cache-pack: provide --cache DIR (or set REPRODUCE_CACHE)");
+        std::process::exit(2);
+    };
+    let cache = or_die("cache-pack", CellCache::open(dir));
+    let outcome = or_die("cache-pack", cache.pack());
+    println!(
+        "{}: migrated {} legacy entries ({} dropped as unreadable); compacted {} segment(s), reclaimed {} bytes",
+        cache.root().display(),
+        outcome.migrated,
+        outcome.dropped,
+        outcome.compacted_segments,
+        outcome.reclaimed_bytes
     );
 }
 
@@ -720,6 +764,10 @@ fn main() {
     }
     if opts.figures.iter().any(|f| f == "cache-gc") {
         run_cache_gc_mode(&opts);
+        return;
+    }
+    if opts.figures.iter().any(|f| f == "cache-pack") {
+        run_cache_pack_mode(&opts);
         return;
     }
     if opts.figures.iter().any(|f| f == "merge") {

@@ -1,0 +1,147 @@
+//! The legacy (layout v1) one-JSON-file-per-cell backend.
+//!
+//! Caches written before the packed segment store keep a `cells/` directory
+//! of `{digest:032x}.json` entry files.  They are read **transparently**: a
+//! probe that misses the packed index falls through to the legacy file, so
+//! an old cache warms a new binary with zero misses.  New writes always go
+//! to segments; `reproduce cache-pack` ([`CellCache::pack`](super::CellCache::pack))
+//! migrates the files into segments in place, preserving each entry's
+//! last-use mtime as its index stamp so LRU ordering survives the move.
+
+use super::{CachedCell, CellKey, CACHE_SCHEMA_VERSION, CELLS_DIR};
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// One legacy entry file, as seen by a directory walk.
+#[derive(Debug)]
+pub(super) struct LegacyEntry {
+    /// Digest parsed back from the file name; `None` for foreign names.
+    pub digest: Option<u128>,
+    pub path: PathBuf,
+    pub bytes: u64,
+    /// File mtime as unix milliseconds — the legacy last-use clock.
+    pub stamp_millis: u64,
+}
+
+/// Path of the legacy entry file a key addresses.
+pub(super) fn entry_path(root: &Path, key: &CellKey) -> PathBuf {
+    root.join(CELLS_DIR).join(key.file_name())
+}
+
+/// Whether the cache has any legacy entry files at all (checked once at
+/// open; an empty or missing `cells/` directory disables the fallback
+/// probes entirely).
+pub(super) fn has_entries(root: &Path) -> bool {
+    let Ok(dir) = std::fs::read_dir(root.join(CELLS_DIR)) else {
+        return false;
+    };
+    for entry in dir.filter_map(|e| e.ok()) {
+        let name = entry.file_name();
+        if let Some(name) = name.to_str() {
+            if name.ends_with(".json") && !name.contains(".tmp.") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Enumerate the legacy entry files (skipping in-progress `.tmp.` writes),
+/// with sizes and last-use stamps.
+pub(super) fn scan(root: &Path) -> Vec<LegacyEntry> {
+    let cells = root.join(CELLS_DIR);
+    let Ok(dir) = std::fs::read_dir(&cells) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for entry in dir.filter_map(|e| e.ok()) {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.ends_with(".json") || name.contains(".tmp.") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        // Unreadable mtime must read as "used just now": defaulting to the
+        // epoch would put the entry at the *front* of the LRU eviction order
+        // on no evidence at all.
+        let modified = meta.modified().unwrap_or_else(|_| SystemTime::now());
+        let stamp_millis = modified
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        entries.push(LegacyEntry {
+            digest: u128::from_str_radix(&name[..name.len() - ".json".len()], 16).ok(),
+            path: entry.path(),
+            bytes: meta.len(),
+            stamp_millis,
+        });
+    }
+    entries
+}
+
+/// Decode one legacy entry's text against a probe key.  `None` means
+/// corrupt, version-skewed, or a digest collision — the caller evicts.
+pub(super) fn decode_entry(text: &str, key: &CellKey) -> Option<CachedCell> {
+    let value = serde::json::parse(text).ok()?;
+    let m = value.as_map()?;
+    let version: u32 = serde::de_field(m, "schema_version").ok()?;
+    if version != CACHE_SCHEMA_VERSION {
+        return None;
+    }
+    let stored_key: serde::Value = serde::de_field(m, "key").ok()?;
+    // The digest collided or the file was tampered with: the stored key
+    // must be byte-equal to the probe's.
+    if stored_key != key.document {
+        return None;
+    }
+    Some(CachedCell {
+        stats: serde::de_field(m, "stats").ok()?,
+        elapsed_nanos: serde::de_field(m, "elapsed_nanos").ok()?,
+    })
+}
+
+/// Decode one legacy entry file for migration: returns the stored key
+/// document plus the packed payload to carry over.  `None` means the file
+/// is corrupt or version-skewed and should be dropped, not migrated.
+pub(super) fn decode_for_migration(text: &str) -> Option<(serde::Value, CachedCell)> {
+    let value = serde::json::parse(text).ok()?;
+    let m = value.as_map()?;
+    let version: u32 = serde::de_field(m, "schema_version").ok()?;
+    if version != CACHE_SCHEMA_VERSION {
+        return None;
+    }
+    let stored_key: serde::Value = serde::de_field(m, "key").ok()?;
+    let cell = CachedCell {
+        stats: serde::de_field(m, "stats").ok()?,
+        elapsed_nanos: serde::de_field(m, "elapsed_nanos").ok()?,
+    };
+    Some((stored_key, cell))
+}
+
+/// Render one legacy entry file's contents (the layout-v1 format, kept for
+/// the demotion helper tests and benches use to fabricate old caches).
+pub(super) fn render_entry(key_document: &serde::Value, cell: &CachedCell) -> String {
+    let entry = serde::Value::Map(vec![
+        (
+            "schema_version".to_string(),
+            serde::Value::UInt(CACHE_SCHEMA_VERSION as u64),
+        ),
+        ("key".to_string(), key_document.clone()),
+        ("stats".to_string(), serde::Serialize::to_value(&cell.stats)),
+        (
+            "elapsed_nanos".to_string(),
+            serde::Value::UInt(cell.elapsed_nanos),
+        ),
+    ]);
+    serde::json::to_string_pretty(&entry)
+}
+
+/// Best-effort bump of a legacy entry's mtime (its last-use clock).
+pub(super) fn touch(root: &Path, key: &CellKey) {
+    if let Ok(file) = std::fs::File::options()
+        .write(true)
+        .open(entry_path(root, key))
+    {
+        let _ = file.set_modified(SystemTime::now());
+    }
+}

@@ -1761,6 +1761,9 @@ struct JobPlan<'s> {
 }
 
 /// Where one column of a batched row gets its statistics.
+// One short-lived value per grid column during row assembly; boxing the
+// stats to shrink the slim variants would cost more than the padding.
+#[allow(clippy::large_enum_variant)]
 enum CellSource {
     /// Known before any lane ran: a cache hit.
     Ready(SimStats),

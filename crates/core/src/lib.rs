@@ -63,7 +63,7 @@ pub mod suite;
 
 pub use cache::{
     CacheActivity, CacheStats, CachedCell, CellCache, CellClaim, CellJoin, CellKey, CellLead,
-    CostModel, GcOutcome, GcPolicy, CACHE_SCHEMA_VERSION,
+    CostModel, GcOutcome, GcPolicy, PackOutcome, CACHE_LAYOUT_VERSION, CACHE_SCHEMA_VERSION,
 };
 pub use campaign::{
     CampaignBuilder, CampaignError, CampaignProgress, CampaignReport, CampaignRunner, CampaignSpec,

@@ -3,6 +3,10 @@
 //! [`submit`] streams a campaign and hands every progress frame to a
 //! caller-supplied observer; the returned report string is byte-identical
 //! to the offline `reproduce campaign --json` output for the same spec.
+//! [`Connection`] holds one persistent (keep-alive) connection for the
+//! plain JSON endpoints, so a client running several exchanges — say
+//! `/metrics` then `/shutdown` — pays for one TCP handshake, not one per
+//! request.
 
 use crate::http;
 use crate::{protocol, ServeError};
@@ -19,7 +23,7 @@ fn exchange(
     body: &[u8],
 ) -> Result<(BufReader<TcpStream>, u16), ServeError> {
     let mut stream = TcpStream::connect(addr)?;
-    http::write_request(&mut stream, method, path, body)?;
+    http::write_request(&mut stream, method, path, body, false)?;
     let mut reader = BufReader::new(stream);
     let (status, _headers) = http::read_response_head(&mut reader)?;
     Ok((reader, status))
@@ -30,6 +34,88 @@ fn read_to_end(reader: &mut BufReader<TcpStream>) -> Result<String, ServeError> 
     let mut body = String::new();
     reader.read_to_string(&mut body)?;
     Ok(body)
+}
+
+/// One persistent connection to the daemon's plain JSON endpoints.
+///
+/// Every exchange is `Content-Length`-framed, so the connection survives it
+/// and the next request reuses the same socket.  The daemon may still hang
+/// up between exchanges (idle timeout, drain): that surfaces as an error on
+/// the *next* call, and the caller reconnects — [`Connection`] does not
+/// retry on its own.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Open a persistent connection to `addr`.
+    pub fn connect(addr: &str) -> Result<Connection, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Connection {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One keep-alive exchange: write the request, read the framed
+    /// response.  Returns the status and the body.
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, String), ServeError> {
+        http::write_request(self.reader.get_mut(), method, path, body, true)?;
+        let (status, headers) = http::read_response_head(&mut self.reader)?;
+        let length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| {
+                ServeError::Protocol("keep-alive response carries no Content-Length".to_string())
+            })?;
+        if length > http::MAX_BODY_BYTES {
+            return Err(ServeError::Protocol(format!(
+                "response body of {length} bytes exceeds the {}-byte cap",
+                http::MAX_BODY_BYTES
+            )));
+        }
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|e| ServeError::Protocol(format!("response is not UTF-8: {e}")))?;
+        Ok((status, body))
+    }
+
+    /// Fetch a plain JSON endpoint (`/healthz`, `/metrics`) over this
+    /// connection.
+    pub fn get(&mut self, path: &str) -> Result<String, ServeError> {
+        let (status, body) = self.exchange("GET", path, b"")?;
+        if status != 200 {
+            let (kind, message) = protocol::parse_error_envelope(&body);
+            return Err(ServeError::Rejected {
+                status,
+                kind,
+                message,
+            });
+        }
+        Ok(body)
+    }
+
+    /// Ask the daemon to drain, over this connection.  The daemon closes
+    /// the connection after this response, so it should be the last call.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        let (status, body) = self.exchange("POST", "/shutdown", b"")?;
+        if status != 200 {
+            let (kind, message) = protocol::parse_error_envelope(&body);
+            return Err(ServeError::Rejected {
+                status,
+                kind,
+                message,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Submit a campaign spec (JSON text) and stream the response.

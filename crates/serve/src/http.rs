@@ -1,10 +1,13 @@
 //! The minimal HTTP/1.1 subset the campaign service speaks.
 //!
-//! One request per connection, `Connection: close` on every response: the
-//! campaign stream has no predictable length, so the body simply runs to
-//! EOF (no chunked transfer encoding to implement on either side).  Bodies
-//! are framed by `Content-Length` on requests; header blocks and bodies are
-//! size-capped so a hostile peer cannot balloon the daemon.
+//! Plain endpoints (`/healthz`, `/metrics`, `/shutdown`, rejections) are
+//! `Content-Length`-framed and **keep the connection alive** by default, so
+//! a client can run several exchanges over one TCP connection.  The
+//! campaign stream is the exception: it has no predictable length, so its
+//! response is `Connection: close` and the body runs to EOF (no chunked
+//! transfer encoding to implement on either side).  Bodies are framed by
+//! `Content-Length` on requests; header blocks and bodies are size-capped
+//! so a hostile peer cannot balloon the daemon.
 
 use crate::ServeError;
 use std::io::{BufRead, Write};
@@ -28,6 +31,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the request was HTTP/1.1 (persistent by default) rather
+    /// than HTTP/1.0 (close by default).
+    pub http11: bool,
 }
 
 impl Request {
@@ -38,6 +44,23 @@ impl Request {
             .iter()
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 unless the client said `Connection: close`, HTTP/1.0 only
+    /// if it said `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection").unwrap_or("");
+        let has = |token: &str| {
+            connection
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case(token))
+        };
+        if has("close") {
+            false
+        } else {
+            self.http11 || has("keep-alive")
+        }
     }
 }
 
@@ -114,10 +137,49 @@ fn read_body<R: BufRead>(
     Ok(body)
 }
 
-/// Read and parse one request (head + body) from a connection.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
+/// Read the next request off a persistent connection.  `Ok(None)` means
+/// the connection is simply done — the peer closed it between requests, or
+/// sent nothing within the socket's read timeout — as opposed to an actual
+/// protocol error mid-request.
+pub fn read_next_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
     let mut budget = MAX_HEAD_BYTES;
-    let start = read_line(reader, &mut budget)?;
+    let mut start = String::new();
+    match reader.read_line(&mut start) {
+        Ok(0) => return Ok(None), // clean close between requests
+        Ok(n) => {
+            budget = budget.checked_sub(n).ok_or_else(|| {
+                ServeError::Protocol(format!("header block exceeds {MAX_HEAD_BYTES} bytes"))
+            })?;
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Ok(None); // idle timeout: hang up on a silent peer
+        }
+        Err(e) => return Err(e.into()),
+    }
+    while start.ends_with('\n') || start.ends_with('\r') {
+        start.pop();
+    }
+    parse_request_after_start(reader, &start, budget).map(Some)
+}
+
+/// Read and parse one request (head + body) from a connection, treating a
+/// closed connection as an error (the single-exchange client paths).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
+    read_next_request(reader)?
+        .ok_or_else(|| ServeError::Protocol("connection closed mid-header".to_string()))
+}
+
+/// Parse the remainder of a request whose start line is already in hand.
+fn parse_request_after_start<R: BufRead>(
+    reader: &mut R,
+    start: &str,
+    mut budget: usize,
+) -> Result<Request, ServeError> {
     let mut parts = start.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -137,6 +199,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
         path: path.to_string(),
         headers,
         body,
+        http11: version == "HTTP/1.1",
     })
 }
 
@@ -165,16 +228,19 @@ pub fn read_response_head<R: BufRead>(
     Ok((status, headers))
 }
 
-/// Write one complete request with an optional JSON body.
+/// Write one complete request with an optional JSON body.  `keep_alive`
+/// decides whether the client intends further requests on this connection.
 pub fn write_request<W: Write>(
     writer: &mut W,
     method: &str,
     path: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> Result<(), ServeError> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nHost: hc-serve\r\nConnection: close\r\n"
+        "{method} {path} HTTP/1.1\r\nHost: hc-serve\r\nConnection: {connection}\r\n"
     )?;
     if body.is_empty() {
         write!(writer, "\r\n")?;
@@ -190,17 +256,21 @@ pub fn write_request<W: Write>(
     Ok(())
 }
 
-/// Write one complete response with a known body.
+/// Write one complete response with a known body.  `keep_alive` must echo
+/// what the server decided for the connection, so the client knows whether
+/// to reuse it.
 pub fn write_response<W: Write>(
     writer: &mut W,
     status: u16,
     reason: &str,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
 ) -> Result<(), ServeError> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     )?;
     writer.write_all(body)?;
@@ -227,34 +297,76 @@ mod tests {
     #[test]
     fn request_round_trips() {
         let mut wire = Vec::new();
-        write_request(&mut wire, "POST", "/campaign", br#"{"x":1}"#).expect("write");
+        write_request(&mut wire, "POST", "/campaign", br#"{"x":1}"#, false).expect("write");
         let req = read_request(&mut BufReader::new(wire.as_slice())).expect("parse");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/campaign");
         assert_eq!(req.header("content-type"), Some("application/json"));
         assert_eq!(req.header("Content-Type"), Some("application/json"));
         assert_eq!(req.body, br#"{"x":1}"#);
+        assert!(!req.keep_alive(), "explicit close wins");
     }
 
     #[test]
     fn bodyless_request_round_trips() {
         let mut wire = Vec::new();
-        write_request(&mut wire, "GET", "/healthz", b"").expect("write");
+        write_request(&mut wire, "GET", "/healthz", b"", true).expect("write");
         let req = read_request(&mut BufReader::new(wire.as_slice())).expect("parse");
         assert_eq!(req.method, "GET");
         assert!(req.body.is_empty());
+        assert!(req.keep_alive());
     }
 
     #[test]
     fn response_head_round_trips() {
         let mut wire = Vec::new();
-        write_response(&mut wire, 404, "Not Found", "application/json", b"{}").expect("write");
+        write_response(&mut wire, 404, "Not Found", "application/json", b"{}", true)
+            .expect("write");
         let (status, headers) =
             read_response_head(&mut BufReader::new(wire.as_slice())).expect("parse");
         assert_eq!(status, 404);
         assert!(headers
             .iter()
             .any(|(k, v)| k == "content-length" && v == "2"));
+        assert!(headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v == "keep-alive"));
+    }
+
+    #[test]
+    fn persistent_connections_carry_requests_back_to_back() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/metrics", b"", true).expect("write 1");
+        write_request(&mut wire, "POST", "/shutdown", b"", false).expect("write 2");
+        let mut reader = BufReader::new(wire.as_slice());
+        let first = read_next_request(&mut reader)
+            .expect("parse 1")
+            .expect("present");
+        assert_eq!(
+            (first.path.as_str(), first.keep_alive()),
+            ("/metrics", true)
+        );
+        let second = read_next_request(&mut reader)
+            .expect("parse 2")
+            .expect("present");
+        assert_eq!(
+            (second.path.as_str(), second.keep_alive()),
+            ("/shutdown", false)
+        );
+        assert!(
+            read_next_request(&mut reader).expect("clean EOF").is_none(),
+            "end of wire reads as a clean close, not an error"
+        );
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let wire = "GET /healthz HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(wire.as_bytes())).expect("parse");
+        assert!(!req.keep_alive());
+        let wire = "GET /healthz HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        let req = read_request(&mut BufReader::new(wire.as_bytes())).expect("parse");
+        assert!(req.keep_alive(), "explicit 1.0 keep-alive is honoured");
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub mod http;
 pub mod protocol;
 pub mod server;
 
-pub use server::{ServeOptions, Server};
+pub use client::Connection;
+pub use server::{ServeOptions, Server, DEFAULT_IDLE_TIMEOUT};
 
 /// Everything that can go wrong speaking to (or inside) the campaign
 /// service.

@@ -11,7 +11,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a persistent connection may sit idle between requests before
+/// the daemon hangs up, unless [`ServeOptions::idle_timeout`] overrides it.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// How to stand the daemon up.
 #[derive(Debug, Clone, Default)]
@@ -28,12 +32,20 @@ pub struct ServeOptions {
     /// (completed or failed) — the signal-free way to bound a daemon's
     /// lifetime in tests and CI.
     pub max_requests: Option<u64>,
+    /// Idle cutoff for persistent connections; `None` means
+    /// [`DEFAULT_IDLE_TIMEOUT`].  A connection that sends no request within
+    /// this window is closed, so parked clients cannot pin handler threads
+    /// (or stall the drain-on-shutdown join) forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 /// Request/cache/latency counters behind `GET /metrics`.
 #[derive(Debug, Default)]
 struct Metrics {
-    /// Every HTTP request that reached the router.
+    /// TCP connections accepted and handed to a handler.
+    connections_total: AtomicU64,
+    /// Every HTTP request that reached the router (several per connection
+    /// under keep-alive).
     requests_total: AtomicU64,
     /// Campaign submissions admitted (spec parsed and validated).
     campaigns_accepted: AtomicU64,
@@ -65,6 +77,7 @@ struct ServerState {
     local_addr: SocketAddr,
     cache: Option<Arc<CellCache>>,
     max_requests: Option<u64>,
+    idle_timeout: Duration,
     shutdown: AtomicBool,
     metrics: Metrics,
 }
@@ -116,6 +129,7 @@ impl Server {
                 local_addr,
                 cache,
                 max_requests: options.max_requests,
+                idle_timeout: options.idle_timeout.unwrap_or(DEFAULT_IDLE_TIMEOUT),
                 shutdown: AtomicBool::new(false),
                 metrics: Metrics::default(),
             }),
@@ -160,21 +174,47 @@ impl Server {
 
 /// Reply with an error envelope; write failures are ignored (the peer is
 /// gone — nothing to tell it).
-fn reject(stream: &mut TcpStream, status: u16, reason: &str, kind: &str, message: &str) {
+fn reject(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    kind: &str,
+    message: &str,
+    keep_alive: bool,
+) {
     let body = protocol::error_envelope(kind, message);
-    let _ = http::write_response(stream, status, reason, "application/json", body.as_bytes());
+    let _ = http::write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+    );
 }
 
-/// Route one connection's single request.
+/// Serve one connection: a loop of requests for as long as both sides want
+/// to keep it alive.  Plain endpoints answer in place and loop; a campaign
+/// takes the connection over (its stream is close-framed) and ends it.  A
+/// peer that goes quiet for the idle timeout — or is still parked when the
+/// daemon starts draining — is hung up on, so keep-alive never pins a
+/// handler thread past its usefulness.
 fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.idle_timeout));
+    state
+        .metrics
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
     let mut stream = stream;
-    let request = {
-        let Ok(clone) = stream.try_clone() else {
-            return;
-        };
-        match http::read_request(&mut BufReader::new(clone)) {
-            Ok(request) => request,
+    loop {
+        let request = match http::read_next_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close or idle timeout
             Err(e) => {
                 reject(
                     &mut stream,
@@ -182,55 +222,87 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
                     "Bad Request",
                     "bad_request",
                     &e.to_string(),
+                    false,
                 );
                 return;
             }
-        }
-    };
-    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/campaign") => handle_campaign(stream, &request, &state),
-        ("GET", "/healthz") => {
-            let body = serde::json::to_string(&Value::Map(vec![
-                ("status".to_string(), Value::Str("ok".to_string())),
-                (
-                    "draining".to_string(),
-                    Value::Bool(state.shutdown.load(Ordering::SeqCst)),
-                ),
-            ])) + "\n";
-            let _ =
-                http::write_response(&mut stream, 200, "OK", "application/json", body.as_bytes());
-        }
-        ("GET", "/metrics") => {
-            let body = serde::json::to_string_pretty(&metrics_value(&state)) + "\n";
-            let _ =
-                http::write_response(&mut stream, 200, "OK", "application/json", body.as_bytes());
-        }
-        ("POST", "/shutdown") => {
-            let body = serde::json::to_string(&Value::Map(vec![(
-                "status".to_string(),
-                Value::Str("draining".to_string()),
-            )])) + "\n";
-            let _ =
-                http::write_response(&mut stream, 200, "OK", "application/json", body.as_bytes());
-            state.begin_shutdown();
-        }
-        ("POST" | "GET", "/campaign" | "/healthz" | "/metrics" | "/shutdown") => {
-            reject(
+        };
+        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive();
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/campaign") => {
+                // The campaign stream runs to EOF; the connection is spent.
+                handle_campaign(stream, &request, &state);
+                return;
+            }
+            ("GET", "/healthz") => {
+                let body = serde::json::to_string(&Value::Map(vec![
+                    ("status".to_string(), Value::Str("ok".to_string())),
+                    (
+                        "draining".to_string(),
+                        Value::Bool(state.shutdown.load(Ordering::SeqCst)),
+                    ),
+                ])) + "\n";
+                let _ = http::write_response(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                );
+            }
+            ("GET", "/metrics") => {
+                let body = serde::json::to_string_pretty(&metrics_value(&state)) + "\n";
+                let _ = http::write_response(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                );
+            }
+            ("POST", "/shutdown") => {
+                // The drain is about to tear the listener down; this
+                // response is the connection's last either way.
+                let body = serde::json::to_string(&Value::Map(vec![(
+                    "status".to_string(),
+                    Value::Str("draining".to_string()),
+                )])) + "\n";
+                let _ = http::write_response(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                state.begin_shutdown();
+                return;
+            }
+            ("POST" | "GET", "/campaign" | "/healthz" | "/metrics" | "/shutdown") => {
+                reject(
+                    &mut stream,
+                    405,
+                    "Method Not Allowed",
+                    "method_not_allowed",
+                    &format!("{} does not accept {}", request.path, request.method),
+                    keep_alive,
+                );
+            }
+            _ => reject(
                 &mut stream,
-                405,
-                "Method Not Allowed",
-                "method_not_allowed",
-                &format!("{} does not accept {}", request.path, request.method),
-            );
+                404,
+                "Not Found",
+                "not_found",
+                &format!("no such endpoint: {}", request.path),
+                keep_alive,
+            ),
         }
-        _ => reject(
-            &mut stream,
-            404,
-            "Not Found",
-            "not_found",
-            &format!("no such endpoint: {}", request.path),
-        ),
+        if !keep_alive || state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
     }
 }
 
@@ -248,6 +320,7 @@ fn handle_campaign(mut stream: TcpStream, request: &Request, state: &Arc<ServerS
             "Service Unavailable",
             "draining",
             "the daemon is draining; resubmit elsewhere",
+            false,
         );
         return;
     }
@@ -262,7 +335,14 @@ fn handle_campaign(mut stream: TcpStream, request: &Request, state: &Arc<ServerS
                 .metrics
                 .campaigns_rejected
                 .fetch_add(1, Ordering::Relaxed);
-            reject(&mut stream, 400, "Bad Request", "invalid_spec", &message);
+            reject(
+                &mut stream,
+                400,
+                "Bad Request",
+                "invalid_spec",
+                &message,
+                false,
+            );
             return;
         }
     };
@@ -366,6 +446,10 @@ fn metrics_value(state: &ServerState) -> Value {
         (
             "requests".to_string(),
             Value::Map(vec![
+                (
+                    "connections".to_string(),
+                    Value::UInt(m.connections_total.load(Ordering::Relaxed)),
+                ),
                 (
                     "total".to_string(),
                     Value::UInt(m.requests_total.load(Ordering::Relaxed)),

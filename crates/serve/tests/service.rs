@@ -36,6 +36,7 @@ fn start(
         addr: "127.0.0.1:0".to_string(),
         cache_dir: Some(dir.clone()),
         max_requests,
+        ..ServeOptions::default()
     })
     .expect("bind");
     let addr = server.local_addr().to_string();
@@ -154,6 +155,51 @@ fn max_requests_drains_the_daemon_after_the_last_campaign() {
     // The daemon initiated its own drain after the 2nd settled campaign;
     // serve() returns without any /shutdown call.
     daemon.join().unwrap().expect("self-drain");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn persistent_connections_serve_many_requests_then_time_out() {
+    let dir = std::env::temp_dir().join(format!("hc-serve-keepalive-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: Some(dir.clone()),
+        // Short idle cutoff so the timeout half of the test stays fast.
+        idle_timeout: Some(std::time::Duration::from_millis(200)),
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.serve());
+
+    // Several exchanges over ONE connection…
+    let mut conn = client::Connection::connect(&addr).expect("connect");
+    for _ in 0..3 {
+        let health = conn.get("/healthz").expect("healthz over keep-alive");
+        assert!(health.contains("\"ok\""));
+    }
+    let metrics = conn.get("/metrics").expect("metrics over keep-alive");
+    assert_eq!(
+        metric(&metrics, &["requests", "connections"]),
+        1,
+        "all requests so far shared one connection: {metrics}"
+    );
+    assert_eq!(metric(&metrics, &["requests", "total"]), 4);
+
+    // …and a parked connection is hung up on after the idle timeout, which
+    // must read as a clean close on the next use, not a wedged daemon.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    assert!(
+        conn.get("/healthz").is_err(),
+        "the daemon hung up on the idle connection"
+    );
+
+    // A fresh connection can run /metrics and then /shutdown back-to-back.
+    let mut conn = client::Connection::connect(&addr).expect("reconnect");
+    conn.get("/metrics").expect("metrics");
+    conn.shutdown().expect("shutdown over the same connection");
+    daemon.join().unwrap().expect("clean exit");
     let _ = std::fs::remove_dir_all(dir);
 }
 

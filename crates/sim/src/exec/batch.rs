@@ -119,10 +119,9 @@ impl BatchContext {
         // invisible in the results; it exists purely to keep the stage code
         // and each lane's tables hot while draining B cells concurrently.
         while running > 0 {
-            for lane in 0..self.lanes.len() {
-                let Some(state) = active[lane] else { continue };
+            for (slot, ctx) in active.iter_mut().zip(self.lanes.iter_mut()) {
+                let Some(state) = *slot else { continue };
                 let job = &mut jobs[state.job];
-                let ctx = &mut self.lanes[lane];
                 if !ctx.run_done() {
                     let mut machine = Machine::attach(job.sim.config(), job.trace, job.policy, ctx);
                     for _ in 0..TURN_CYCLES {
@@ -140,7 +139,7 @@ impl BatchContext {
                 let passes_done = state.passes_done + 1;
                 if passes_done < job.runs {
                     ctx.begin_run(job.sim.config(), job.trace, job.policy.name());
-                    active[lane] = Some(LaneState {
+                    *slot = Some(LaneState {
                         job: state.job,
                         passes_done,
                     });
@@ -150,13 +149,13 @@ impl BatchContext {
                         let next = &mut jobs[next_job];
                         debug_assert!(next.runs >= 1, "a batch job needs at least one pass");
                         ctx.begin_run(next.sim.config(), next.trace, next.policy.name());
-                        active[lane] = Some(LaneState {
+                        *slot = Some(LaneState {
                             job: next_job,
                             passes_done: 0,
                         });
                         next_job += 1;
                     } else {
-                        active[lane] = None;
+                        *slot = None;
                         running -= 1;
                     }
                 }

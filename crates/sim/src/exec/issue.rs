@@ -82,11 +82,10 @@ impl Machine<'_> {
         // walk runs over the reused scratch snapshot.
         let mut walk = std::mem::take(&mut self.ctx.select_scratch);
         self.ctx.ready.merged(cluster, &mut walk);
-        for wi in 0..walk.len() {
+        for &seq in &walk {
             if int_used >= int_width && (fp_width == 0 || fp_used >= fp_width) {
                 break;
             }
-            let seq = walk[wi];
             let idx = seq as usize;
             debug_assert!(
                 self.ctx.ctl[idx].alive()

@@ -6,14 +6,18 @@
 //! The cache may only change *when* cells are simulated, never what any
 //! consumer observes.
 
-use hc_core::cache::{CellCache, CostModel};
+use hc_core::cache::{CellCache, CostModel, GcPolicy};
 use hc_core::figures;
 use hc_core::shard::{CampaignShard, ShardPlan, ShardStrategy, ShardedCampaignRunner};
+use hc_core::CellKey;
+use hc_sim::SimStats;
 use hc_trace::WorkloadCategory;
 use helper_cluster::prelude::*;
 use proptest::prelude::*;
+use serde::Value;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, SystemTime};
 
 const LEN: usize = 800;
 
@@ -166,24 +170,28 @@ fn foreign_directories_are_refused_end_to_end() {
 fn corrupt_entries_are_evicted_and_resimulated_identically() {
     let dir = tmp_dir("corrupt");
     let spec = small_spec();
-    let cache = Arc::new(CellCache::open(&dir).expect("open"));
+    let cold_cache = Arc::new(CellCache::open(&dir).expect("open"));
     let cold = CampaignRunner::new()
-        .with_cache(Arc::clone(&cache))
+        .with_cache(Arc::clone(&cold_cache))
         .run(&spec)
         .expect("cold run");
+    drop(cold_cache); // seal the segment, persist the index snapshot
 
-    // Truncate one entry mid-file: the kind of damage a crash or full disk
-    // leaves behind (tmp+rename prevents it from our own writer, but the
-    // cache must survive outside interference too).
-    let cells_dir = dir.join("cells");
-    let victim = std::fs::read_dir(&cells_dir)
-        .expect("read cells dir")
+    // Flip one byte inside the newest record's payload: the kind of damage
+    // a bad disk or outside interference leaves behind.  Drop the index
+    // snapshot too, so the reopen rebuilds from a full segment scan and the
+    // record checksum catches the damage right there.
+    let victim = std::fs::read_dir(dir.join("segments"))
+        .expect("read segments dir")
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .next()
-        .expect("at least one entry");
-    let bytes = std::fs::read(&victim).expect("read entry");
-    std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate entry");
+        .find(|p| p.extension().is_some_and(|x| x == "pack"))
+        .expect("at least one segment");
+    let mut bytes = std::fs::read(&victim).expect("read segment");
+    let at = bytes.len() - 20;
+    bytes[at] ^= 0xff;
+    std::fs::write(&victim, &bytes).expect("damage segment");
+    std::fs::remove_file(dir.join("index.json")).expect("drop index snapshot");
 
     let warm = Arc::new(CellCache::open(&dir).expect("reopen"));
     let rerun = CampaignRunner::new()
@@ -196,6 +204,190 @@ fn corrupt_entries_are_evicted_and_resimulated_identically() {
     assert_eq!(activity.misses, 1, "…and its cell re-simulated");
     assert_eq!(activity.hits, 8, "every other cell replays");
     assert_eq!(activity.inserts, 1, "…and re-inserted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_writers_leave_torn_tails_that_are_truncated_without_poisoning_hits() {
+    let dir = tmp_dir("torn");
+    let spec = small_spec();
+    let cold_cache = Arc::new(CellCache::open(&dir).expect("open"));
+    let cold = CampaignRunner::new()
+        .with_cache(Arc::clone(&cold_cache))
+        .run(&spec)
+        .expect("cold run");
+    drop(cold_cache); // seal the segment, persist the index snapshot
+
+    // Simulate a writer SIGKILLed mid-append: a record header starts at the
+    // tail of the newest segment but the bytes stop short of the declared
+    // lengths — exactly the debris a dead process leaves behind.
+    let victim = std::fs::read_dir(dir.join("segments"))
+        .expect("read segments dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "pack"))
+        .expect("at least one segment");
+    let clean_len = std::fs::metadata(&victim).expect("stat").len();
+    let mut tail = 0x4552_4348u32.to_le_bytes().to_vec(); // the record magic
+    tail.extend_from_slice(&[0xAB; 17]); // …then silence, mid-header
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::options()
+            .append(true)
+            .open(&victim)
+            .expect("open segment for append");
+        file.write_all(&tail).expect("append torn tail");
+    }
+    // Backdate the segment past the reclaim grace window (which protects a
+    // *live* writer's in-progress append from being cut).
+    std::fs::File::options()
+        .write(true)
+        .open(&victim)
+        .expect("reopen segment")
+        .set_modified(SystemTime::now() - Duration::from_secs(60))
+        .expect("backdate");
+
+    let warm = Arc::new(CellCache::open(&dir).expect("reopen"));
+    assert_eq!(
+        std::fs::metadata(&victim).expect("stat").len(),
+        clean_len,
+        "the torn tail is truncated at open"
+    );
+    let rerun = CampaignRunner::new()
+        .with_cache(Arc::clone(&warm))
+        .run(&spec)
+        .expect("run over recovered cache");
+    assert_eq!(
+        rerun.to_json(),
+        cold.to_json(),
+        "recovery must be invisible"
+    );
+    let activity = warm.activity();
+    assert_eq!(activity.misses, 0, "no committed entry was lost");
+    assert_eq!(activity.hits, 9, "every cell replays from the clean prefix");
+    assert_eq!(activity.evictions, 0, "a torn tail is not a corrupt entry");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_caches_serve_transparently_and_pack_migrates_them_in_place() {
+    // The golden-suite bytes, three ways: a cold packed cache, the same
+    // entries demoted to the legacy per-file layout (served through the
+    // transparent fallback), and after `pack()` migrates them back into
+    // segments.  All three must match the committed snapshot exactly, and
+    // both warm passes must replay without a single miss.
+    let golden = std::fs::read_to_string("tests/golden/suite_2pc.json")
+        .expect("golden snapshot missing; regenerate with GOLDEN_REGEN=1");
+    let spec = CampaignBuilder::new("golden-suite")
+        .policy(PolicyKind::Ir)
+        .category_suite(2)
+        .trace_len(1_500)
+        .build()
+        .expect("the golden suite is a valid campaign");
+    let dir = tmp_dir("migrate");
+    let snapshot_of = |cache: &Arc<CellCache>| {
+        let report = ShardedCampaignRunner::new(3)
+            .with_cache(Arc::clone(cache))
+            .run(&spec)
+            .expect("the golden suite runs")
+            .report;
+        let fig14 = figures::fig14_categories_from(&report);
+        serde::json::to_string_pretty(&(&report.baselines, &report.cells, &fig14.rows))
+    };
+
+    let cache = Arc::new(CellCache::open(&dir).expect("open cold"));
+    assert_eq!(snapshot_of(&cache), golden, "cold packed pass");
+    let demoted = cache.demote_to_legacy_layout().expect("demote");
+    assert!(demoted > 0, "the demotion rewrote every simulated cell");
+    drop(cache);
+
+    // A reopened handle serves the per-file layout transparently: zero
+    // misses, golden bytes, no migration required first.
+    let legacy = Arc::new(CellCache::open(&dir).expect("open legacy"));
+    assert_eq!(snapshot_of(&legacy), golden, "legacy warm pass");
+    assert_eq!(
+        legacy.activity().misses,
+        0,
+        "legacy entries replay everything"
+    );
+    drop(legacy);
+
+    // `reproduce cache-pack`'s engine migrates in place…
+    let packed = Arc::new(CellCache::open(&dir).expect("open for migration"));
+    let outcome = packed.pack().expect("pack");
+    assert_eq!(outcome.migrated, demoted, "every legacy file migrates");
+    assert_eq!(outcome.dropped, 0, "no entry was damaged along the way");
+    assert!(!dir.join("cells").exists(), "the per-file tree is gone");
+    // …and the migrated cache replays the same bytes with zero misses.
+    assert_eq!(snapshot_of(&packed), golden, "packed warm pass");
+    assert_eq!(
+        packed.activity().misses,
+        0,
+        "migrated entries replay everything"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_sweeps_a_ten_thousand_entry_cache() {
+    // Scale smoke for the index-driven sweep: 10k synthetic entries, a
+    // half-size byte budget, then a full compaction — all through the same
+    // public API `reproduce cache-gc` drives.
+    let dir = tmp_dir("gc10k");
+    let total = 10_000u64;
+    let scenario = Value::Str("gc-smoke".to_string());
+    let cache = CellCache::open(&dir).expect("open");
+    for i in 0..total {
+        let key = CellKey::cell(&Value::UInt(i), 1_000, 0, &scenario, "8_8_8");
+        cache.insert(&key, &SimStats::default(), i);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.entries, total);
+
+    let swept = cache
+        .gc(&GcPolicy {
+            max_bytes: Some(stats.bytes / 2),
+            ..GcPolicy::default()
+        })
+        .expect("budget sweep");
+    assert_eq!(
+        swept.kept + swept.evicted,
+        total,
+        "every entry is accounted for"
+    );
+    assert!(swept.evicted > 0, "a half-size budget must evict");
+    assert!(
+        swept.kept_bytes <= stats.bytes / 2,
+        "the sweep lands under budget"
+    );
+    assert_eq!(cache.stats().entries, swept.kept);
+    drop(cache); // seal the writer, persist the index snapshot
+
+    // Compaction only touches sealed segments past the reclaim grace
+    // window (a fresh tail may be a live writer's), so age them first.
+    for entry in std::fs::read_dir(dir.join("segments")).expect("read segments dir") {
+        let path = entry.expect("dir entry").path();
+        std::fs::File::options()
+            .write(true)
+            .open(&path)
+            .expect("open segment")
+            .set_modified(SystemTime::now() - Duration::from_secs(60))
+            .expect("backdate");
+    }
+    let reopened = CellCache::open(&dir).expect("reopen");
+    assert_eq!(reopened.stats().entries, swept.kept, "survivors persist");
+    let compacted = reopened
+        .gc(&GcPolicy {
+            compact: true,
+            ..GcPolicy::default()
+        })
+        .expect("compaction sweep");
+    assert!(compacted.reclaimed_bytes > 0, "dead bytes were reclaimed");
+    assert_eq!(
+        reopened.stats().entries,
+        swept.kept,
+        "compaction loses no live entry"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

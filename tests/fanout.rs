@@ -16,6 +16,7 @@ use hc_core::CellKey;
 use hc_sim::SimStats;
 use helper_cluster::prelude::*;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
 const LEN: usize = 600;
@@ -171,6 +172,115 @@ fn racing_workers_execute_each_shard_exactly_once() {
         "exactly one racer may win the claim, got {executed:?}"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_shares_one_packed_cache_and_a_killed_writers_tail_is_recovered() {
+    let dir = tmp_dir("packed");
+    let cache_dir = tmp_dir("packed_cache");
+    let spec = small_spec();
+    let single = CampaignRunner::new()
+        .run(&spec)
+        .expect("single-process run");
+
+    // Two concurrent workers populate ONE packed cache while executing
+    // disjoint shards; the merged bytes must not move.
+    let cache = Arc::new(CellCache::open(&cache_dir).expect("open cache"));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|k| {
+                let dir = &dir;
+                let spec = &spec;
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    FanoutWorker::new(2, dir)
+                        .home_shard(k)
+                        .worker_id(format!("packed-{k}"))
+                        .with_cache(cache)
+                        .run(spec)
+                        .expect("worker run")
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("join");
+        }
+    });
+    let merged = MergeCoordinator::new(&dir).run().expect("merge");
+    assert_eq!(
+        merged.report.to_json(),
+        single.to_json(),
+        "a shared packed cache must not change the report bytes"
+    );
+    let inserts = cache.activity().inserts;
+    assert!(inserts > 0, "the fleet populated the cache");
+    drop(cache); // seal the segment, persist the index snapshot
+
+    // A worker SIGKILLed mid-append leaves a half-written record at the
+    // segment tail.  Backdate the file past the reclaim grace window so
+    // the next open treats the tail as debris, not a live writer.
+    let victim = std::fs::read_dir(cache_dir.join("segments"))
+        .expect("read segments dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "pack"))
+        .expect("at least one segment");
+    let mut tail = 0x4552_4348u32.to_le_bytes().to_vec(); // the record magic
+    tail.extend_from_slice(&[0xCD; 11]); // …then silence, mid-header
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::options()
+            .append(true)
+            .open(&victim)
+            .expect("open segment for append");
+        file.write_all(&tail).expect("append torn tail");
+    }
+    std::fs::File::options()
+        .write(true)
+        .open(&victim)
+        .expect("reopen segment")
+        .set_modified(SystemTime::now() - Duration::from_secs(60))
+        .expect("backdate");
+
+    // A relaunched fleet in a fresh fan-out directory replays entirely
+    // from the recovered cache: zero misses, identical merged bytes.
+    let warm = Arc::new(CellCache::open(&cache_dir).expect("reopen cache"));
+    let rerun_dir = tmp_dir("packed_rerun");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|k| {
+                let dir = &rerun_dir;
+                let spec = &spec;
+                let warm = Arc::clone(&warm);
+                scope.spawn(move || {
+                    FanoutWorker::new(2, dir)
+                        .home_shard(k)
+                        .worker_id(format!("rerun-{k}"))
+                        .with_cache(warm)
+                        .run(spec)
+                        .expect("warm worker run")
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("join");
+        }
+    });
+    let remerged = MergeCoordinator::new(&rerun_dir).run().expect("remerge");
+    assert_eq!(
+        remerged.report.to_json(),
+        single.to_json(),
+        "crash recovery must not change the report bytes"
+    );
+    let activity = warm.activity();
+    assert_eq!(
+        activity.misses, 0,
+        "no committed entry was lost to the tail"
+    );
+    assert_eq!(activity.hits, inserts, "every cell replays from the cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&rerun_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
 #[test]

@@ -17,6 +17,7 @@ fn served_paper_grid_matches_offline_bytes_and_the_golden_snapshot() {
         addr: "127.0.0.1:0".to_string(),
         cache_dir: Some(dir.clone()),
         max_requests: Some(2),
+        ..ServeOptions::default()
     })
     .expect("bind");
     let addr = server.local_addr().to_string();
