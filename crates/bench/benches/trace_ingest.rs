@@ -1,0 +1,120 @@
+//! µop-trace container throughput: what recording and re-ingesting a
+//! `.uoptrace` file costs against synthesizing the same workload from its
+//! generator.
+//!
+//! Five measurements, recorded in `BENCH_trace_ingest.json` at the
+//! repository root:
+//!
+//! * `synthesize` — generating the trace from its [`SpecBenchmark`]
+//!   generator, the path every selector row pays today.
+//! * `record` — streaming the trace into a checksummed binary file
+//!   (`write_trace`), the one-time cost of producing a recording.
+//! * `open_validate` — `FileSource::open`, which walks every frame checksum
+//!   and the content digest up front so campaigns fail at spec-resolution
+//!   time; this is the fixed cost each `--trace FILE` row pays per run.
+//! * `stream` — draining the opened source chunk-by-chunk, the steady-state
+//!   ingest path the streaming grid engine rides.
+//! * `load` — `load_trace`, open + validate + materialize in one call.
+//!
+//! The headline ratio is `synthesize / (open_validate + stream)`: how much
+//! faster replaying a recording is than regenerating the workload.
+//!
+//! Regenerate with
+//!
+//! ```text
+//! TRACE_INGEST_RECORD=numbers.json cargo bench -p hc-bench --bench trace_ingest
+//! ```
+
+use hc_trace::{FileSource, SpecBenchmark, TraceSource, TRACE_SOURCE_CHUNK};
+use std::time::Instant;
+
+const TRACE_UOPS: usize = 200_000;
+const SAMPLES: usize = 5;
+
+/// Best-of-`SAMPLES` wall time of `f`.
+fn measure(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let path = std::env::temp_dir().join(format!("hc_bench_trace_ingest_{}", std::process::id()));
+
+    let synthesize = measure(|| {
+        std::hint::black_box(SpecBenchmark::Gzip.trace(TRACE_UOPS));
+    });
+    let trace = SpecBenchmark::Gzip.trace(TRACE_UOPS);
+
+    let record = measure(|| {
+        let header = hc_trace::write_trace(&path, &trace).expect("record");
+        assert_eq!(header.uop_count, TRACE_UOPS as u64);
+        std::hint::black_box(header);
+    });
+    let file_bytes = std::fs::metadata(&path).expect("recorded file").len();
+
+    let open_validate = measure(|| {
+        std::hint::black_box(FileSource::open(&path).expect("open"));
+    });
+
+    let mut source = FileSource::open(&path).expect("open for streaming");
+    let stream = measure(|| {
+        source.reset().expect("reset");
+        let mut total = 0usize;
+        let mut chunk = Vec::with_capacity(TRACE_SOURCE_CHUNK);
+        loop {
+            chunk.clear();
+            let n = source.fill(&mut chunk, TRACE_SOURCE_CHUNK).expect("fill");
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        assert_eq!(total, TRACE_UOPS, "the stream yields every recorded µop");
+    });
+
+    let load = measure(|| {
+        let loaded = hc_trace::load_trace(&path).expect("load");
+        assert_eq!(loaded.uops.len(), TRACE_UOPS);
+        std::hint::black_box(loaded);
+    });
+    let _ = std::fs::remove_file(&path);
+
+    let muops = TRACE_UOPS as f64 / 1e6;
+    let replay = open_validate + stream;
+    let replay_speedup = synthesize / replay;
+    let bytes_per_uop = file_bytes as f64 / TRACE_UOPS as f64;
+    println!(
+        "trace_ingest/synthesize       {:>10.4} s  ({:.1} Mµops/s)",
+        synthesize,
+        muops / synthesize
+    );
+    println!(
+        "trace_ingest/record           {:>10.4} s  ({:.1} Mµops/s)",
+        record,
+        muops / record
+    );
+    println!("trace_ingest/open_validate    {:>10.4} s", open_validate);
+    println!(
+        "trace_ingest/stream           {:>10.4} s  ({:.1} Mµops/s)",
+        stream,
+        muops / stream
+    );
+    println!("trace_ingest/load             {:>10.4} s", load);
+    println!("trace_ingest/file_bytes       {file_bytes:>10}  ({bytes_per_uop:.1} B/µop)");
+    println!(
+        "trace_ingest/replay_speedup   {:>10.2}x vs synthesis",
+        replay_speedup
+    );
+
+    if let Some(out) = std::env::var_os("TRACE_INGEST_RECORD") {
+        let json = format!(
+            "{{\n  \"trace\": \"gzip, {TRACE_UOPS} uops\",\n  \"synthesize_secs\": {synthesize:.4},\n  \"record_secs\": {record:.4},\n  \"open_validate_secs\": {open_validate:.4},\n  \"stream_secs\": {stream:.4},\n  \"load_secs\": {load:.4},\n  \"file_bytes\": {file_bytes},\n  \"bytes_per_uop\": {bytes_per_uop:.1},\n  \"replay_speedup_vs_synthesis\": {replay_speedup:.2}\n}}\n"
+        );
+        std::fs::write(&out, json).expect("write TRACE_INGEST_RECORD file");
+    }
+}

@@ -108,7 +108,8 @@ use hc_core::report::{
 use hc_core::shard::ShardedCampaignRunner;
 use hc_core::suite::SuiteRunner;
 use hc_power::{Ed2Comparison, PowerModel};
-use hc_trace::{paper_suite, reduced_suite};
+use hc_trace::{paper_suite, reduced_suite, SpecBenchmark};
+use std::path::Path;
 use std::sync::Arc;
 
 struct Options {
@@ -142,6 +143,10 @@ struct Options {
     max_age_secs: Option<u64>,
     dry_run: bool,
     compact: bool,
+    out: Option<String>,
+    trace_files: Vec<String>,
+    bench: Option<String>,
+    results_only: bool,
 }
 
 fn parse_args() -> Options {
@@ -184,6 +189,10 @@ fn parse_args() -> Options {
         max_age_secs: None,
         dry_run: false,
         compact: false,
+        out: None,
+        trace_files: Vec::new(),
+        bench: None,
+        results_only: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -236,6 +245,10 @@ fn parse_args() -> Options {
             "--max-age-secs" => opts.max_age_secs = args.next().and_then(|v| v.parse().ok()),
             "--dry-run" => opts.dry_run = true,
             "--compact" => opts.compact = true,
+            "--out" => opts.out = args.next().or(opts.out),
+            "--trace" => opts.trace_files.extend(args.next()),
+            "--bench" => opts.bench = args.next().or(opts.bench),
+            "--results-only" => opts.results_only = true,
             "--full-suite" => opts.full_suite = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
@@ -258,7 +271,20 @@ fn parse_args() -> Options {
                      cache-gc evicts by age then LRU size budget; --compact additionally rewrites\n\
                      every sealed segment so the cache ends up densely packed.  cache-pack migrates\n\
                      a legacy per-file cache into the packed segment layout in place (LRU order\n\
-                     preserved); reports stay byte-identical before and after."
+                     preserved); reports stay byte-identical before and after.\n\
+                     \n\
+                     µop-trace recordings:\n\
+                     \x20      reproduce trace-record BENCH --out FILE [--trace-len N]\n\
+                     \x20      reproduce trace-info FILE\n\
+                     \x20      reproduce campaign [--trace FILE ...] [--bench BENCH] [--results-only] [--json]\n\
+                     \n\
+                     trace-record streams a SPEC stand-in benchmark (bzip2, crafty, ..., gzip, ...)\n\
+                     into a checksummed binary .uoptrace file; trace-info prints its header and\n\
+                     verifies every frame (on a damaged file it reports the sound prefix).\n\
+                     campaign --trace FILE replaces the grid's trace rows with recordings, streamed\n\
+                     from disk; --bench BENCH restricts the grid to one benchmark; --results-only\n\
+                     prints only the baselines and cells JSON, so a campaign over a recording can\n\
+                     be byte-diffed against the same campaign over the selector that recorded it."
                 );
                 std::process::exit(0);
             }
@@ -524,6 +550,135 @@ fn run_cache_pack_mode(opts: &Options) {
     );
 }
 
+/// Resolve a `--bench`/`trace-record` benchmark name to its SPEC stand-in,
+/// or exit with a usage error listing the valid names.
+fn parse_bench(mode: &str, name: &str) -> SpecBenchmark {
+    match SpecBenchmark::ALL.iter().find(|b| b.name() == name) {
+        Some(&b) => b,
+        None => {
+            let names: Vec<&str> = SpecBenchmark::ALL.iter().map(|b| b.name()).collect();
+            eprintln!(
+                "{mode}: unknown benchmark `{name}`; expected one of: {}",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `trace-record` mode: synthesize one SPEC stand-in trace and stream
+/// it into a checksummed binary `.uoptrace` recording.
+fn run_trace_record_mode(opts: &Options, len: usize) {
+    let Some(name) = opts.figures.iter().find(|f| *f != "trace-record") else {
+        eprintln!(
+            "trace-record: name a benchmark (e.g. `reproduce trace-record gzip --out gzip.uoptrace`)"
+        );
+        std::process::exit(2);
+    };
+    let Some(out) = opts.out.as_deref() else {
+        eprintln!("trace-record: provide --out FILE");
+        std::process::exit(2);
+    };
+    let bench = parse_bench("trace-record", name);
+    let mut source = hc_trace::MaterializedSource::new(bench.trace(len));
+    match hc_trace::record_source(Path::new(out), &mut source) {
+        Ok(header) => eprintln!(
+            "trace-record: wrote `{}` ({} µops, digest {:016x}) to {out}",
+            header.name, header.uop_count, header.content_digest
+        ),
+        Err(e) => {
+            eprintln!("trace-record: {out}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `trace-info` mode: print a recording's header and verify every
+/// frame; a damaged file reports its recoverable sound prefix.
+fn run_trace_info_mode(opts: &Options) {
+    let Some(path) = opts.figures.iter().find(|f| *f != "trace-info") else {
+        eprintln!("trace-info: name a .uoptrace file");
+        std::process::exit(2);
+    };
+    let header = match hc_trace::read_header(Path::new(path)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("trace-info: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "trace `{}`{}",
+        header.name,
+        header
+            .category
+            .as_deref()
+            .map(|c| format!(" (category {c})"))
+            .unwrap_or_default()
+    );
+    println!("µops: {}", header.uop_count);
+    println!("content digest: {:016x}", header.content_digest);
+    println!(
+        "format v{}, isa encoding v{}",
+        header.format_version, header.isa_encoding_version
+    );
+    match hc_trace::FileSource::open(Path::new(path)) {
+        Ok(_) => println!("frames: all sound"),
+        Err(e) => {
+            println!("frames: {e}");
+            match hc_trace::recover(Path::new(path)) {
+                Ok(tail) => println!(
+                    "recoverable prefix: {} µops in {} frames (damage at byte {})",
+                    tail.sound_uops, tail.sound_frames, tail.tail_offset
+                ),
+                Err(e) => println!("unrecoverable: {e}"),
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `campaign` mode's spec under the trace flags: recordings replace the
+/// grid's trace rows (`--trace FILE`, repeatable), or the grid restricts to
+/// one benchmark (`--bench`); otherwise the full 7×12 grid runs as before.
+fn campaign_spec(opts: &Options, len: usize) -> Result<CampaignSpec, CampaignError> {
+    if !opts.trace_files.is_empty() {
+        let mut builder = CampaignBuilder::new("spec-grid")
+            .paper_policies()
+            .trace_len(len);
+        for path in &opts.trace_files {
+            builder = builder.trace_file(path);
+        }
+        return builder.build();
+    }
+    if let Some(name) = &opts.bench {
+        return CampaignBuilder::new("spec-grid")
+            .paper_policies()
+            .spec(parse_bench("campaign", name))
+            .trace_len(len)
+            .build();
+    }
+    grid_spec(len)
+}
+
+/// Render only a report's `baselines` and `cells` arrays — the parts that
+/// must be byte-identical between a campaign over a recording and one over
+/// the selector that recorded it (the embedded specs legitimately differ:
+/// one names a file, the other a benchmark).
+fn results_only_json(report: &hc_core::campaign::CampaignReport) -> String {
+    let value = serde::Value::Map(vec![
+        (
+            "baselines".to_string(),
+            serde::Serialize::to_value(&report.baselines),
+        ),
+        (
+            "cells".to_string(),
+            serde::Serialize::to_value(&report.cells),
+        ),
+    ]);
+    serde::json::to_string_pretty(&value)
+}
+
 /// Drive one campaign through the sharded streaming engine with the CLI's
 /// `--shards/--checkpoint/--resume` plumbing and return the merged report.
 fn run_sharded_campaign(
@@ -774,6 +929,14 @@ fn main() {
         run_merge_mode(&opts);
         return;
     }
+    if opts.figures.iter().any(|f| f == "trace-record") {
+        run_trace_record_mode(&opts, len);
+        return;
+    }
+    if opts.figures.iter().any(|f| f == "trace-info") {
+        run_trace_info_mode(&opts);
+        return;
+    }
     if (opts.json || opts.csv)
         && !opts
             .figures
@@ -878,7 +1041,7 @@ fn main() {
     // figure's data, exposed through the declarative Campaign API with its
     // versioned JSON / stable CSV schema).
     if opts.figures.iter().any(|f| f == "campaign") {
-        let spec = or_die("campaign", grid_spec(len));
+        let spec = or_die("campaign", campaign_spec(&opts, len));
         let mut runner = CampaignRunner::new().with_progress(|p| {
             eprintln!(
                 "[{}/{}] {} × {}",
@@ -896,7 +1059,9 @@ fn main() {
         if let Some(cache) = &cache {
             report_cache_activity("campaign", cache);
         }
-        if opts.json {
+        if opts.results_only {
+            println!("{}", results_only_json(&report));
+        } else if opts.json {
             println!("{}", report.to_json());
         } else if opts.csv {
             println!("{}", report.to_csv());

@@ -12,10 +12,12 @@
 //! outright.  Segments modified within the reclaim grace are left alone:
 //! a fresh mtime may mean a live writer in another process.
 //!
-//! Everything stays deterministic: candidates are swept oldest-stamp first,
-//! ties broken by ascending digest (coarse clocks stamp whole insert bursts
-//! identically), exactly like the mtime-based sweep the per-file layout
-//! used.  Concurrent processes can at worst compact a segment another
+//! Everything stays deterministic: candidates are swept oldest-stamp first;
+//! within one stamp (coarse clocks stamp whole insert bursts identically)
+//! the **cheapest-to-recompute** entries go first, ranked by the simulation
+//! wall-clock each record carries, so a byte budget preferentially keeps
+//! the cells that cost the most to regenerate.  Remaining ties break by
+//! ascending digest.  Concurrent processes can at worst compact a segment another
 //! handle still references — its reads then fail verification and degrade
 //! to re-simulation, never to wrong data.
 
@@ -66,6 +68,10 @@ pub struct GcOutcome {
 /// One eviction candidate, unified across the packed and legacy backends.
 struct Candidate {
     stamp_millis: u64,
+    /// Recorded simulation cost — cheap-to-recompute entries are evicted
+    /// before expensive ones of the same last-use stamp.  Legacy files
+    /// carry no cost observation and rank as free to recompute.
+    cost_nanos: u64,
     digest: Option<u128>,
     /// Packed record length or legacy file size.
     bytes: u64,
@@ -87,8 +93,11 @@ impl CellCache {
     /// deleted; the returned [`GcOutcome`] reports what *would* happen.
     ///
     /// Eviction order is deterministic even under coarse clocks (where
-    /// whole insert bursts share one stamp): oldest first, ties broken by
-    /// ascending digest, then legacy after packed.  Evicted entries count
+    /// whole insert bursts share one stamp): oldest first; within one
+    /// stamp, cheapest-to-recompute first (the recorded simulation
+    /// wall-clock — a byte budget keeps the expensive cells); remaining
+    /// ties broken by ascending digest, then legacy after packed.  Legacy
+    /// files carry no cost observation and rank as free.  Evicted entries count
     /// into [`CacheStats::evictions`](super::CacheStats::evictions); no
     /// per-entry `stat` calls happen at any point.
     pub fn gc(&self, policy: &GcPolicy) -> Result<GcOutcome, CampaignError> {
@@ -101,6 +110,7 @@ impl CellCache {
                 .iter()
                 .map(|(digest, entry)| Candidate {
                     stamp_millis: entry.stamp_millis,
+                    cost_nanos: entry.cost_nanos,
                     digest: Some(*digest),
                     bytes: entry.len,
                     backend: Backend::Packed(*digest),
@@ -110,6 +120,7 @@ impl CellCache {
         if self.has_legacy.load(Ordering::Relaxed) {
             candidates.extend(legacy::scan(&self.root).into_iter().map(|entry| Candidate {
                 stamp_millis: entry.stamp_millis,
+                cost_nanos: 0,
                 digest: entry.digest,
                 bytes: entry.bytes,
                 backend: Backend::Legacy(entry.path),
@@ -119,6 +130,7 @@ impl CellCache {
             let rank = |c: &Candidate| {
                 (
                     c.stamp_millis,
+                    c.cost_nanos,
                     c.digest,
                     matches!(c.backend, Backend::Legacy(_)),
                 )
@@ -254,7 +266,13 @@ pub(super) fn compact_segments(cache: &CellCache, force: bool) -> (u64, u64) {
                 // instead of through `append_record` (which would relock).
                 let appended = sound
                     && cache
-                        .append_with_writer(&mut writer, digest, entry.stamp_millis, record)
+                        .append_with_writer(
+                            &mut writer,
+                            digest,
+                            entry.stamp_millis,
+                            entry.cost_nanos,
+                            record,
+                        )
                         .is_some();
                 if appended {
                     moved_bytes += entry.len;

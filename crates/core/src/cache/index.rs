@@ -37,6 +37,12 @@ pub(super) struct IndexEntry {
     pub len: u64,
     /// Last use, unix milliseconds — the LRU clock.
     pub stamp_millis: u64,
+    /// The recorded simulation wall-clock (the record payload's
+    /// `elapsed_nanos`), lifted into the index so GC can rank
+    /// equally-stale entries by how expensive they are to recompute
+    /// without touching a segment file.  Advisory: 0 when the payload
+    /// did not yield one (legacy migrations, old snapshots).
+    pub cost_nanos: u64,
 }
 
 /// Per-segment bookkeeping: how far it has been scanned and how much of it
@@ -128,6 +134,7 @@ impl CacheIndex {
                     ("offset".to_string(), serde::Value::UInt(e.offset)),
                     ("len".to_string(), serde::Value::UInt(e.len)),
                     ("stamp".to_string(), serde::Value::UInt(e.stamp_millis)),
+                    ("cost".to_string(), serde::Value::UInt(e.cost_nanos)),
                 ])
             })
             .collect();
@@ -187,6 +194,12 @@ impl CacheIndex {
                 offset: uint(entry.get("offset")?)?,
                 len: uint(entry.get("len")?)?,
                 stamp_millis: uint(entry.get("stamp")?)?,
+                // Absent in snapshots written before cost-aware GC; those
+                // entries rank as free-to-recompute until next re-observed.
+                cost_nanos: match entry.get("cost") {
+                    Some(v) => uint(v)?,
+                    None => 0,
+                },
             };
             // Route through `insert` so live-byte accounting is rebuilt, but
             // preserve the snapshot's scan horizons.

@@ -397,7 +397,14 @@ impl<'a> CostModel<'a> {
                 ),
             );
         };
-        let trace_doc = Serialize::to_value(&spec.traces[row]);
+        // Match the grid's cache identity for this row (content-addressed
+        // for `File` rows) so observed timings are found; an unresolvable
+        // identity (e.g. an unreadable recording) falls back to the plain
+        // selector document — cost estimates are advisory, and the campaign
+        // itself will surface the typed error.
+        let trace_doc = spec.traces[row]
+            .cache_doc()
+            .unwrap_or_else(|_| Serialize::to_value(&spec.traces[row]));
         let mut total = 0u64;
         for scenario in &spec.scenarios {
             let scenario_doc = Serialize::to_value(scenario);

@@ -118,6 +118,23 @@ pub(super) struct ScannedRecord {
     /// Total framed length (header + key + payload).
     pub len: u64,
     pub stamp_millis: u64,
+    /// The payload's recorded `elapsed_nanos` (0 when unreadable) — scans
+    /// lift it into the index so cost-aware GC never re-reads segments.
+    pub cost_nanos: u64,
+}
+
+/// Pull the recorded simulation cost out of a record payload.  Best
+/// effort: a payload that does not parse, or carries no `elapsed_nanos`,
+/// ranks as free-to-recompute rather than failing the scan.
+fn payload_cost_nanos(payload: &[u8]) -> u64 {
+    std::str::from_utf8(payload)
+        .ok()
+        .and_then(|text| serde::json::parse(text).ok())
+        .and_then(|value| match value.get("elapsed_nanos") {
+            Some(serde::Value::UInt(n)) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(0)
 }
 
 /// What scanning (part of) a segment found.
@@ -170,11 +187,15 @@ fn parse_record_at(buf: &[u8], offset: usize) -> Result<Option<ScannedRecord>, (
     if sum.finish() != checksum || fnv128(key) != digest {
         return Ok(None);
     }
+    // `cost_nanos` is filled in by `scan_records`, not here: this parser
+    // also backs the per-lookup `read_record` path, which decodes the
+    // payload itself and must not pay a second JSON parse.
     Ok(Some(ScannedRecord {
         digest,
         offset: offset as u64,
         len: total,
         stamp_millis,
+        cost_nanos: 0,
     }))
 }
 
@@ -189,7 +210,13 @@ pub(super) fn scan_records(buf: &[u8], start: u64) -> ScanOutcome {
     let mut offset = start as usize;
     while offset < buf.len() {
         match parse_record_at(buf, offset) {
-            Ok(Some(record)) => {
+            Ok(Some(mut record)) => {
+                let key_len = u32::from_le_bytes(
+                    buf[offset + 20..offset + 24].try_into().unwrap_or_default(),
+                ) as usize;
+                let payload_start = offset + REC_HEADER_LEN as usize + key_len;
+                record.cost_nanos =
+                    payload_cost_nanos(&buf[payload_start..offset + record.len as usize]);
                 offset += record.len as usize;
                 outcome.valid_len = offset as u64;
                 outcome.records.push(record);

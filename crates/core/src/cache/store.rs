@@ -443,6 +443,7 @@ impl CellCache {
                         offset: record.offset,
                         len: record.len,
                         stamp_millis: record.stamp_millis,
+                        cost_nanos: record.cost_nanos,
                     },
                 );
             }
@@ -618,16 +619,25 @@ impl CellCache {
             key.canonical_json().as_bytes(),
             payload.as_bytes(),
         );
-        if self.append_record(key.digest, stamp, &record).is_some() {
+        if self
+            .append_record(key.digest, stamp, elapsed_nanos, &record)
+            .is_some()
+        {
             self.inserts.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Append one framed record to the active segment (rolling or creating
     /// it as needed) and index it.  `None` on I/O failure.
-    pub(super) fn append_record(&self, digest: u128, stamp: u64, record: &[u8]) -> Option<u64> {
+    pub(super) fn append_record(
+        &self,
+        digest: u128,
+        stamp: u64,
+        cost_nanos: u64,
+        record: &[u8],
+    ) -> Option<u64> {
         let mut writer = lock(&self.writer);
-        self.append_with_writer(&mut writer, digest, stamp, record)
+        self.append_with_writer(&mut writer, digest, stamp, cost_nanos, record)
     }
 
     /// [`CellCache::append_record`] for callers already holding the writer
@@ -637,6 +647,7 @@ impl CellCache {
         writer: &mut Option<segment::SegmentWriter>,
         digest: u128,
         stamp: u64,
+        cost_nanos: u64,
         record: &[u8],
     ) -> Option<u64> {
         if writer.as_ref().map(|w| w.should_roll()).unwrap_or(true) {
@@ -656,6 +667,7 @@ impl CellCache {
             offset,
             len: record.len() as u64,
             stamp_millis: stamp,
+            cost_nanos,
         };
         lock(&self.index).insert(digest, entry);
         self.dirty.store(true, Ordering::Relaxed);
@@ -814,7 +826,7 @@ impl CellCache {
                             payload.as_bytes(),
                         );
                         if self
-                            .append_record(digest, entry.stamp_millis, &record)
+                            .append_record(digest, entry.stamp_millis, cell.elapsed_nanos, &record)
                             .is_none()
                         {
                             return Err(CampaignError::Cache(format!(

@@ -520,6 +520,81 @@ fn gc_breaks_stamp_ties_by_digest() {
 }
 
 #[test]
+fn gc_evicts_cheap_entries_before_expensive_ones_within_a_stamp() {
+    // Within one last-use stamp the sweep ranks by recorded simulation
+    // cost: a byte budget preferentially keeps the cells that are most
+    // expensive to regenerate.  Pin four equally-stale entries with
+    // distinct costs and sweep down to two survivors.
+    let dir = tmp_dir("gc_cost");
+    let cache = CellCache::open(&dir).expect("open");
+    let keys: Vec<CellKey> = (0..4).map(sample_key).collect();
+    let stamp = now_millis() - 3_600_000;
+    // Costs deliberately anti-correlated with digest order so a digest
+    // tie-break alone could not pass this test.
+    let costs = [40_000u64, 10_000, 30_000, 20_000];
+    for (key, cost) in keys.iter().zip(costs) {
+        cache.insert(key, &SimStats::default(), cost);
+        cache.set_stamp(key, stamp);
+    }
+    let per_entry = cache.stats().bytes / 4;
+    let swept = cache
+        .gc(&GcPolicy {
+            max_bytes: Some(per_entry * 2),
+            ..GcPolicy::default()
+        })
+        .expect("gc");
+    assert_eq!((swept.evicted, swept.kept), (2, 2));
+    for (key, cost) in keys.iter().zip(costs) {
+        assert_eq!(
+            cache.observed_nanos(key).is_some(),
+            cost >= 30_000,
+            "cheap entries must go first (cost {cost})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gc_cost_ranking_survives_index_rebuilds() {
+    // The cost lives in the record payload; a full segment rescan (lost
+    // index.json) must lift it back into the index so a later sweep still
+    // ranks by it.
+    let dir = tmp_dir("gc_cost_rescan");
+    let cheap = sample_key(6);
+    let dear = sample_key(7);
+    {
+        let cache = CellCache::open(&dir).expect("open");
+        // Equal-digit costs keep the two records byte-identical in length,
+        // so `max_bytes` below is exactly one entry.
+        cache.insert(&cheap, &SimStats::default(), 111_111);
+        cache.insert(&dear, &SimStats::default(), 999_999);
+    }
+    std::fs::remove_file(dir.join("index.json")).expect("snapshot exists");
+    let cache = CellCache::open(&dir).expect("reopen");
+    let stamp = now_millis() - 3_600_000;
+    for key in [&cheap, &dear] {
+        cache.set_stamp(key, stamp);
+    }
+    let per_entry = cache.stats().bytes / 2;
+    let swept = cache
+        .gc(&GcPolicy {
+            max_bytes: Some(per_entry),
+            ..GcPolicy::default()
+        })
+        .expect("gc");
+    assert_eq!((swept.evicted, swept.kept), (1, 1));
+    assert!(
+        cache.observed_nanos(&cheap).is_none(),
+        "cheap entry evicted"
+    );
+    assert!(
+        cache.observed_nanos(&dear).is_some(),
+        "expensive entry kept after rescan"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn lookup_bumps_last_use_so_hot_entries_survive_gc() {
     let dir = tmp_dir("gc_touch");
     let cache = CellCache::open(&dir).expect("open");

@@ -42,12 +42,16 @@ use crate::scenario::{ScenarioError, ScenarioSpec, DEFAULT_SCENARIO_NAME};
 use hc_power::{Ed2Comparison, PowerModel, PowerParams};
 use hc_predictors::PredictorConfig;
 use hc_sim::{BatchJob, ConfigError, SimConfig, SimStats, Simulator, SteeringPolicy};
-use hc_trace::{SpecBenchmark, Trace, WorkloadCategory, WorkloadProfile};
+use hc_trace::{
+    read_header, FileSource, PhaseSchedule, PhasedSource, SpecBenchmark, Trace, TraceSource,
+    WorkloadCategory, WorkloadProfile,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -175,6 +179,9 @@ pub enum CampaignError {
     /// A cell-cache directory could not be opened, trusted or written
     /// (see [`crate::cache::CellCache::open`]).
     Cache(String),
+    /// A trace source — a recorded `.uoptrace` file or a phase schedule —
+    /// could not be opened, validated or streamed.
+    Trace(String),
     /// A figure asked a report for a (policy, trace) cell the report does
     /// not contain — the shape a truncated or partially-merged report takes.
     MissingCell {
@@ -246,6 +253,7 @@ impl fmt::Display for CampaignError {
             CampaignError::Checkpoint(msg) => write!(f, "campaign checkpoint error: {msg}"),
             CampaignError::Fanout(msg) => write!(f, "distributed fan-out error: {msg}"),
             CampaignError::Cache(msg) => write!(f, "cell cache error: {msg}"),
+            CampaignError::Trace(msg) => write!(f, "trace source error: {msg}"),
             CampaignError::MissingCell { policy, trace } => {
                 write!(
                     f,
@@ -275,6 +283,12 @@ impl From<ConfigError> for CampaignError {
     }
 }
 
+impl From<hc_trace::TraceError> for CampaignError {
+    fn from(e: hc_trace::TraceError) -> CampaignError {
+        CampaignError::Trace(e.to_string())
+    }
+}
+
 /// How a campaign names one workload trace, declaratively.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceSelector {
@@ -289,10 +303,33 @@ pub enum TraceSelector {
     },
     /// An explicit workload profile.
     Profile(WorkloadProfile),
+    /// A recorded `.uoptrace` file (see [`hc_trace::format`]).  The row
+    /// streams from disk instead of being synthesized, its name and category
+    /// travel inside the file, and its cache identity is the file's content
+    /// digest — never its path.  The spec's `trace_len` does not apply; the
+    /// file supplies exactly the µops that were recorded.
+    File {
+        /// Path to the `.uoptrace` file.
+        path: String,
+    },
+    /// A phase-structured workload: an ordered composition of
+    /// [`WorkloadProfile`] segments (see [`PhaseSchedule`]), streamed one
+    /// phase at a time.  The schedule's per-phase µop budgets replace the
+    /// spec's `trace_len`.
+    Phased {
+        /// The schedule to synthesize.
+        schedule: PhaseSchedule,
+    },
 }
 
 impl TraceSelector {
     /// The trace name this selector will generate.
+    ///
+    /// For a `File` row the name travels inside the recording, so this reads
+    /// the file's tiny fixed header (a few hundred bytes); an unreadable
+    /// file falls back to a path-derived placeholder here and then fails
+    /// with a typed [`CampaignError::Trace`] when the campaign actually
+    /// opens it.
     pub fn label(&self, trace_len: usize) -> String {
         match self {
             TraceSelector::Spec(b) => b.name().to_string(),
@@ -300,10 +337,21 @@ impl TraceSelector {
                 category.app_profile(*app, trace_len).name
             }
             TraceSelector::Profile(p) => p.name.clone(),
+            TraceSelector::File { path } => read_header(Path::new(path))
+                .map(|h| h.name)
+                .unwrap_or_else(|_| format!("file:{path}")),
+            TraceSelector::Phased { schedule } => schedule.name.clone(),
         }
     }
 
     /// Generate the trace at the given dynamic length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `File` row's recording cannot be read — campaign
+    /// execution never takes this path for `File` rows (it streams them via
+    /// the fallible [`FileSource`] route); this method is the eager adapter
+    /// for callers that need a materialized [`Trace`].
     pub fn generate(&self, trace_len: usize) -> Trace {
         match self {
             TraceSelector::Spec(b) => b.trace(trace_len),
@@ -311,8 +359,79 @@ impl TraceSelector {
                 category.app_profile(*app, trace_len).generate()
             }
             TraceSelector::Profile(p) => p.clone().with_trace_len(trace_len).generate(),
+            TraceSelector::File { path } => match hc_trace::load_trace(Path::new(path)) {
+                Ok(trace) => trace,
+                Err(e) => panic!("cannot load trace file `{path}`: {e}"),
+            },
+            TraceSelector::Phased { schedule } => schedule.materialize(),
         }
     }
+
+    /// The serialized trace identity cell-cache keys embed for this row.
+    ///
+    /// Synthesized selectors key cells by their own serde document exactly
+    /// as before, so existing cache entries stay valid.  A `File` row keys
+    /// by the recording's *content* — digest, µop count and encoding version
+    /// from its header — never its path: moving or renaming a recording
+    /// keeps its cached cells, while changing its µops invalidates them.
+    pub fn cache_doc(&self) -> Result<serde::Value, CampaignError> {
+        match self {
+            TraceSelector::File { path } => {
+                let header = read_header(Path::new(path))
+                    .map_err(|e| CampaignError::Trace(format!("{path}: {e}")))?;
+                Ok(serde::Value::Map(vec![(
+                    "File".to_string(),
+                    serde::Value::Map(vec![
+                        (
+                            "digest".to_string(),
+                            serde::Value::Str(format!("{:016x}", header.content_digest)),
+                        ),
+                        ("uops".to_string(), serde::Value::UInt(header.uop_count)),
+                        (
+                            "isa_encoding".to_string(),
+                            serde::Value::UInt(u64::from(header.isa_encoding_version)),
+                        ),
+                    ]),
+                )]))
+            }
+            other => Ok(Serialize::to_value(other)),
+        }
+    }
+}
+
+/// Resolve the serialized cache identity of every spec row up front, so the
+/// grid's per-row projection is infallible and each `File` header is read
+/// once per campaign instead of once per cell.
+pub(crate) fn resolve_row_docs(
+    traces: &[TraceSelector],
+) -> Result<Vec<serde::Value>, CampaignError> {
+    traces.iter().map(TraceSelector::cache_doc).collect()
+}
+
+/// One grid row's µop supply: a materialized trace (synthesized selectors
+/// and the borrowed-trace adapter paths) or a streaming [`TraceSource`]
+/// (`File` and `Phased` rows), which the engine feeds to the simulator a
+/// bounded window at a time.
+pub(crate) enum RowTrace<'a> {
+    Materialized(Cow<'a, Trace>),
+    Streamed(Box<dyn TraceSource + Send>),
+}
+
+/// Open one selector's µop supply.
+pub(crate) fn make_row_trace(
+    selector: &TraceSelector,
+    trace_len: usize,
+) -> Result<RowTrace<'static>, CampaignError> {
+    Ok(match selector {
+        TraceSelector::File { path } => RowTrace::Streamed(Box::new(
+            FileSource::open(Path::new(path))
+                .map_err(|e| CampaignError::Trace(format!("{path}: {e}")))?,
+        )),
+        TraceSelector::Phased { schedule } => {
+            RowTrace::Streamed(Box::new(PhasedSource::new(schedule.clone())))
+        }
+        synthesized => RowTrace::Materialized(Cow::Owned(synthesized.generate(trace_len))),
+    })
 }
 
 /// A declarative policy × trace × scenario evaluation grid.
@@ -439,6 +558,20 @@ impl CampaignSpec {
         }
         let mut labels = std::collections::BTreeSet::new();
         for selector in &self.traces {
+            if let TraceSelector::Phased { schedule } = selector {
+                if schedule.phases.is_empty() {
+                    return Err(CampaignError::Trace(format!(
+                        "phase schedule `{}` has no phases",
+                        schedule.name
+                    )));
+                }
+                if schedule.phases.iter().any(|p| p.uops == 0) {
+                    return Err(CampaignError::Trace(format!(
+                        "phase schedule `{}` has a zero-length phase",
+                        schedule.name
+                    )));
+                }
+            }
             let label = selector.label(self.trace_len);
             if !labels.insert(label.clone()) {
                 return Err(CampaignError::DuplicateTraceLabel(label));
@@ -689,6 +822,17 @@ impl CampaignBuilder {
     /// Add one SPEC stand-in trace row.
     pub fn spec(self, benchmark: SpecBenchmark) -> Self {
         self.trace(TraceSelector::Spec(benchmark))
+    }
+
+    /// Add a recorded `.uoptrace` file as a trace row (streamed from disk).
+    pub fn trace_file(self, path: impl Into<String>) -> Self {
+        self.trace(TraceSelector::File { path: path.into() })
+    }
+
+    /// Add a phase-structured workload as a trace row (streamed one phase
+    /// at a time).
+    pub fn phased(self, schedule: PhaseSchedule) -> Self {
+        self.trace(TraceSelector::Phased { schedule })
     }
 
     /// Add all 12 SPEC Int 2000 stand-in rows.
@@ -1283,18 +1427,23 @@ impl CampaignRunner {
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
         let scenarios = scenario_experiments(spec)?;
+        // Rows run as indices into the spec's trace list so their cache
+        // identities (content-addressed for `File` rows) resolve once, up
+        // front and fallibly, instead of per cell inside the grid.
+        let row_docs = resolve_row_docs(&spec.traces)?;
+        let rows: Vec<usize> = (0..spec.traces.len()).collect();
         let generation_count = AtomicUsize::new(0);
-        let row_doc = |selector: &TraceSelector| Serialize::to_value(selector);
+        let row_doc = |&i: &usize| row_docs[i].clone();
         let grid_cache = self
             .cache
             .as_deref()
             .map(|cache| GridCache::new(cache, spec, &row_doc));
         let grid = run_grid_streaming(
             &scenarios,
-            &spec.traces,
-            |selector| {
+            &rows,
+            |&i| {
                 generation_count.fetch_add(1, Ordering::Relaxed);
-                Cow::Owned(selector.generate(spec.trace_len))
+                make_row_trace(&spec.traces[i], spec.trace_len)
             },
             &spec.policies,
             spec.warmup_runs,
@@ -1307,7 +1456,7 @@ impl CampaignRunner {
                 &spec.policies,
                 spec.include_baseline,
             ),
-        );
+        )?;
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
         Ok(CampaignReport {
@@ -1377,9 +1526,13 @@ pub(crate) fn scenario_experiments(
 pub(crate) struct Grid {
     /// Outer: one entry per row (trace); inner: one entry per scenario, each
     /// holding the scenario's baseline (if run) and its policy cells.
-    per_trace: Vec<Vec<(Option<BaselineRun>, Vec<CampaignCell>)>>,
+    per_trace: Vec<GridRow>,
     pub baseline_runs: usize,
 }
+
+/// One grid row's output: per scenario, the scenario's baseline (if run)
+/// and its policy cells.
+type GridRow = Vec<(Option<BaselineRun>, Vec<CampaignCell>)>;
 
 impl Grid {
     /// Flatten into the report's baseline and cell lists (trace-major, then
@@ -1434,7 +1587,7 @@ pub(crate) fn run_grid(
     run_grid_streaming(
         std::slice::from_ref(&ScenarioExperiment::legacy(experiment.clone())),
         traces,
-        |t| Cow::Borrowed(t),
+        |t| Ok(RowTrace::Materialized(Cow::Borrowed(t))),
         policies,
         warmup_runs,
         include_baseline,
@@ -1444,6 +1597,7 @@ pub(crate) fn run_grid(
         None,
         resolve_batch(None, 1, policies, include_baseline),
     )
+    .expect("materialized rows cannot fail")
 }
 
 /// Maximum lane width the automatic batch sizing picks.  Wider batches keep
@@ -1560,6 +1714,16 @@ fn deliver_progress(hook: &ProgressHook, disabled: &AtomicBool, progress: &Campa
 /// keyed singleflight) **never occupy a lane**: they are claimed up front
 /// via [`CellCache::claim`] and resolved without simulation.  Lanes never
 /// interact, so the produced grid is byte-identical at every batch width.
+///
+/// `make_trace` is fallible: `File` rows can hit an unreadable or corrupt
+/// recording.  The parallel fan-out may surface several failures; the *first
+/// in row order* is returned, so failures are reproducible.  Streamed rows
+/// ([`RowTrace::Streamed`]) never occupy batch lanes — lockstep lanes need
+/// random access to one shared materialized trace, while a streamed row
+/// owns a single forward cursor — they run scalar on the worker's fallback
+/// context instead.  Scalar and batched execution are bit-identical (the
+/// property the batched path is built on), so a grid mixing streamed and
+/// materialized rows is still byte-identical at every batch width.
 #[allow(clippy::too_many_arguments)] // pub(crate) engine; every caller is in this crate.
 pub(crate) fn run_grid_streaming<R, F>(
     scenarios: &[ScenarioExperiment],
@@ -1571,10 +1735,10 @@ pub(crate) fn run_grid_streaming<R, F>(
     progress: Option<&ProgressHook>,
     cache: Option<&GridCache<'_, R>>,
     batch: usize,
-) -> Grid
+) -> Result<Grid, CampaignError>
 where
     R: Sync,
-    F: for<'r> Fn(&'r R) -> Cow<'r, Trace> + Sync,
+    F: for<'r> Fn(&'r R) -> Result<RowTrace<'r>, CampaignError> + Sync,
 {
     let total_cells = rows.len() * policies.len() * scenarios.len();
     let completed = AtomicUsize::new(0);
@@ -1582,13 +1746,25 @@ where
     let baseline_count = AtomicUsize::new(0);
     let baseline_needed = include_baseline || policies.contains(&PolicyKind::Baseline);
 
+    // Sequence per-row results into a grid, surfacing the first error in
+    // row order.
+    let sequence = |rows_out: Vec<Result<GridRow, CampaignError>>| -> Result<Grid, CampaignError> {
+        let mut per_trace = Vec::with_capacity(rows_out.len());
+        for row in rows_out {
+            per_trace.push(row?);
+        }
+        Ok(Grid {
+            per_trace,
+            baseline_runs: baseline_count.load(Ordering::Relaxed),
+        })
+    };
+
     if batch > 1 {
-        let per_trace: Vec<Vec<(Option<BaselineRun>, Vec<CampaignCell>)>> = rows
+        let rows_out: Vec<Result<GridRow, CampaignError>> = rows
             .par_iter()
             .map_init(
                 || BatchWorker::new(batch),
                 |worker, row| {
-                    let trace = make_trace(row);
                     let row_doc = cache.map(|gc| (gc.row_doc)(row));
                     let binding = match (cache, &row_doc) {
                         (Some(gc), Some(doc)) => Some(CacheBinding {
@@ -1600,10 +1776,68 @@ where
                         }),
                         _ => None,
                     };
-                    run_row_batched(
-                        worker,
+                    match make_trace(row)? {
+                        RowTrace::Materialized(trace) => Ok(run_row_batched(
+                            worker,
+                            scenarios,
+                            &trace,
+                            policies,
+                            warmup_runs,
+                            baseline_needed,
+                            binding,
+                            progress,
+                            &hook_disabled,
+                            &completed,
+                            total_cells,
+                            &baseline_count,
+                        )),
+                        RowTrace::Streamed(mut source) => run_row_streamed(
+                            &mut worker.scalar,
+                            source.as_mut(),
+                            scenarios,
+                            policies,
+                            warmup_runs,
+                            baseline_needed,
+                            binding,
+                            progress,
+                            &hook_disabled,
+                            &completed,
+                            total_cells,
+                            &baseline_count,
+                        ),
+                    }
+                },
+            )
+            .collect();
+        return sequence(rows_out);
+    }
+
+    // One `ExecContext` per worker thread, reused across every run that
+    // worker performs — including runs under different scenario machines
+    // (`ExecContext::prepare` returns it to a cold state per run): a
+    // campaign costs O(threads) simulator arenas instead of O(cells), and
+    // results stay bit-identical to fresh contexts.
+    let rows_out: Vec<Result<GridRow, CampaignError>> = rows
+        .par_iter()
+        .map_init(hc_sim::ExecContext::new, |ctx, row| {
+            let row_doc = cache.map(|gc| (gc.row_doc)(row));
+            let trace = match make_trace(row)? {
+                RowTrace::Materialized(trace) => trace,
+                RowTrace::Streamed(mut source) => {
+                    let binding = match (cache, &row_doc) {
+                        (Some(gc), Some(doc)) => Some(CacheBinding {
+                            cache: gc.cache,
+                            trace_len: gc.trace_len,
+                            warmup_runs: gc.warmup_runs,
+                            scenario_docs: &gc.scenario_docs,
+                            row_doc: doc,
+                        }),
+                        _ => None,
+                    };
+                    return run_row_streamed(
+                        ctx,
+                        source.as_mut(),
                         scenarios,
-                        &trace,
                         policies,
                         warmup_runs,
                         baseline_needed,
@@ -1613,28 +1847,11 @@ where
                         &completed,
                         total_cells,
                         &baseline_count,
-                    )
-                },
-            )
-            .collect();
-        return Grid {
-            per_trace,
-            baseline_runs: baseline_count.load(Ordering::Relaxed),
-        };
-    }
-
-    // One `ExecContext` per worker thread, reused across every run that
-    // worker performs — including runs under different scenario machines
-    // (`ExecContext::prepare` returns it to a cold state per run): a
-    // campaign costs O(threads) simulator arenas instead of O(cells), and
-    // results stay bit-identical to fresh contexts.
-    let per_trace: Vec<Vec<(Option<BaselineRun>, Vec<CampaignCell>)>> = rows
-        .par_iter()
-        .map_init(hc_sim::ExecContext::new, |ctx, row| {
-            let trace = make_trace(row);
+                    );
+                }
+            };
             let trace: &Trace = &trace;
-            let row_doc = cache.map(|gc| (gc.row_doc)(row));
-            scenarios
+            Ok(scenarios
                 .iter()
                 .enumerate()
                 .map(|(scenario_index, scenario)| {
@@ -1721,13 +1938,134 @@ where
                         .collect();
                     (baseline, cells)
                 })
-                .collect()
+                .collect())
         })
         .collect();
 
-    Grid {
-        per_trace,
-        baseline_runs: baseline_count.load(Ordering::Relaxed),
+    sequence(rows_out)
+}
+
+/// Run one streamed row of the grid scalar: every scenario × policy column
+/// replays the row's [`TraceSource`] through [`Simulator::run_source`], in
+/// exactly the materialized scalar path's order.  Columns still go through
+/// the cache's claim protocol, so streamed rows coalesce with concurrent
+/// campaigns; a source failure while leading a flight drops the lead
+/// (handing the flight to a joiner) and aborts the row with a typed error.
+#[allow(clippy::too_many_arguments)]
+fn run_row_streamed(
+    ctx: &mut hc_sim::ExecContext,
+    source: &mut dyn TraceSource,
+    scenarios: &[ScenarioExperiment],
+    policies: &[PolicyKind],
+    warmup_runs: usize,
+    baseline_needed: bool,
+    cache: Option<CacheBinding<'_>>,
+    progress: Option<&ProgressHook>,
+    hook_disabled: &AtomicBool,
+    completed: &AtomicUsize,
+    total_cells: usize,
+    baseline_count: &AtomicUsize,
+) -> Result<GridRow, CampaignError> {
+    let (trace_name, category) = {
+        let h = source.header();
+        (h.name.clone(), h.category.clone())
+    };
+    let fail = |e: hc_trace::TraceError| CampaignError::Trace(format!("{trace_name}: {e}"));
+    let mut rows = Vec::with_capacity(scenarios.len());
+    for (scenario_index, scenario) in scenarios.iter().enumerate() {
+        let baseline = if baseline_needed {
+            baseline_count.fetch_add(1, Ordering::Relaxed);
+            let key = cache.as_ref().map(|b| {
+                (
+                    b.cache,
+                    CellKey::baseline(b.row_doc, b.trace_len, &b.scenario_docs[scenario_index]),
+                )
+            });
+            let stats =
+                run_streamed_cached(key, || scenario.experiment.run_baseline_source(ctx, source))
+                    .map_err(fail)?;
+            Some(BaselineRun {
+                trace: trace_name.clone(),
+                category: category.clone(),
+                scenario: scenario.key.clone(),
+                stats,
+            })
+        } else {
+            None
+        };
+        let mut cells = Vec::with_capacity(policies.len());
+        for &kind in policies {
+            let stats = match (&baseline, kind) {
+                (Some(b), PolicyKind::Baseline) => b.stats.clone(),
+                _ => {
+                    let key = cache
+                        .as_ref()
+                        .filter(|_| kind != PolicyKind::Baseline)
+                        .map(|b| {
+                            (
+                                b.cache,
+                                CellKey::cell(
+                                    b.row_doc,
+                                    b.trace_len,
+                                    b.warmup_runs,
+                                    &b.scenario_docs[scenario_index],
+                                    kind.name(),
+                                ),
+                            )
+                        });
+                    run_streamed_cached(key, || {
+                        scenario
+                            .experiment
+                            .run_policy_warmed_source(ctx, source, kind, warmup_runs)
+                    })
+                    .map_err(fail)?
+                }
+            };
+            let cell = CampaignCell {
+                policy: kind.name().to_string(),
+                trace: trace_name.clone(),
+                category: category.clone(),
+                scenario: scenario.key.clone(),
+                stats,
+            };
+            if let Some(hook) = progress {
+                deliver_progress(
+                    hook,
+                    hook_disabled,
+                    &CampaignProgress {
+                        completed_cells: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                        total_cells,
+                        policy: cell.policy.clone(),
+                        trace: cell.trace.clone(),
+                        scenario: scenario.progress_key().to_string(),
+                    },
+                );
+            }
+            cells.push(cell);
+        }
+        rows.push((baseline, cells));
+    }
+    Ok(rows)
+}
+
+/// [`run_cached`] for fallible streamed simulations: hits and joins resolve
+/// without simulating; a lead whose simulation fails is dropped without
+/// publishing, abandoning the flight so a joiner can take over, and the
+/// error surfaces to the caller.
+fn run_streamed_cached(
+    key: Option<(&CellCache, CellKey)>,
+    simulate: impl FnOnce() -> Result<SimStats, hc_trace::TraceError>,
+) -> Result<SimStats, hc_trace::TraceError> {
+    let Some((cache, key)) = key else {
+        return simulate();
+    };
+    match cache.claim(&key) {
+        CellClaim::Hit(stats) => Ok(*stats),
+        CellClaim::Lead(lead) => Ok(lead.publish(simulate()?)),
+        CellClaim::Join(join) => match join.wait() {
+            Ok(stats) => Ok(stats),
+            Err(lead) => Ok(lead.publish(simulate()?)),
+        },
     }
 }
 

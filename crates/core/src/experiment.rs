@@ -12,7 +12,7 @@ use crate::policy::PolicyKind;
 use hc_power::{Ed2Comparison, PowerModel};
 use hc_predictors::PredictorConfig;
 use hc_sim::{ConfigError, ExecContext, SimConfig, SimStats, Simulator};
-use hc_trace::Trace;
+use hc_trace::{Trace, TraceError, TraceSource};
 use serde::{Deserialize, Serialize};
 
 /// The result of running one trace under one policy, with its baseline.
@@ -150,6 +150,44 @@ impl Experiment {
     pub fn run_baseline_with(&self, ctx: &mut ExecContext, trace: &Trace) -> SimStats {
         let mut policy = PolicyKind::Baseline.build();
         self.baseline_sim.run_with(ctx, trace, policy.as_mut())
+    }
+
+    /// Run the monolithic baseline over a streaming [`TraceSource`] inside
+    /// a reused [`ExecContext`].  For a source that yields the same µops as
+    /// a materialized trace with the same name and length, the stats are
+    /// bit-identical to [`Experiment::run_baseline_with`] over that trace.
+    pub fn run_baseline_source(
+        &self,
+        ctx: &mut ExecContext,
+        source: &mut dyn TraceSource,
+    ) -> Result<SimStats, TraceError> {
+        let mut policy = PolicyKind::Baseline.build();
+        self.baseline_sim.run_source(ctx, source, policy.as_mut())
+    }
+
+    /// [`Experiment::run_policy_warmed_with`] over a streaming
+    /// [`TraceSource`]: every pass (warmups included) replays the source
+    /// from the top via its `reset`, keeping one policy instance — and so
+    /// its predictors — warm across passes.
+    pub fn run_policy_warmed_source(
+        &self,
+        ctx: &mut ExecContext,
+        source: &mut dyn TraceSource,
+        kind: PolicyKind,
+        warmup_runs: usize,
+    ) -> Result<SimStats, TraceError> {
+        let sim = if kind == PolicyKind::Baseline {
+            &self.baseline_sim
+        } else {
+            &self.helper_sim
+        };
+        let mut policy = kind.build_with(&self.predictors);
+        if kind != PolicyKind::Baseline {
+            for _ in 0..warmup_runs {
+                sim.run_source(ctx, source, policy.as_mut())?;
+            }
+        }
+        sim.run_source(ctx, source, policy.as_mut())
     }
 
     /// Run one policy on a trace (no baseline comparison).

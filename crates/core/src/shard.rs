@@ -55,13 +55,12 @@ use crate::cache::{CellCache, CostModel};
 #[allow(unused_imports)] // `CampaignRunner` is referenced by doc links only.
 use crate::campaign::CampaignRunner;
 use crate::campaign::{
-    decode_versioned, report_wire_version, resolve_batch, run_grid_streaming, scenario_experiments,
-    BaselineRun, CampaignCell, CampaignError, CampaignProgress, CampaignReport, CampaignSpec,
-    GridCache, ProgressHook,
+    decode_versioned, make_row_trace, report_wire_version, resolve_batch, resolve_row_docs,
+    run_grid_streaming, scenario_experiments, BaselineRun, CampaignCell, CampaignError,
+    CampaignProgress, CampaignReport, CampaignSpec, GridCache, ProgressHook,
 };
 use crate::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -423,15 +422,19 @@ impl CampaignShard {
     ) -> Result<ShardReport, CampaignError> {
         let scenarios = scenario_experiments(&self.spec)?;
         let indices = self.trace_indices();
+        // Cache identities resolve through the same helper the campaign
+        // runner uses, so shard cache keys match whole-campaign keys
+        // (content-addressed for `File` rows).
+        let row_docs = resolve_row_docs(&self.spec.traces)?;
         let generation_count = AtomicUsize::new(0);
-        let row_doc = |&i: &usize| Serialize::to_value(&self.spec.traces[i]);
+        let row_doc = |&i: &usize| row_docs[i].clone();
         let grid_cache = cache.map(|cache| GridCache::new(cache, &self.spec, &row_doc));
         let grid = run_grid_streaming(
             &scenarios,
             &indices,
             |&i| {
                 generation_count.fetch_add(1, Ordering::Relaxed);
-                Cow::Owned(self.spec.traces[i].generate(self.spec.trace_len))
+                make_row_trace(&self.spec.traces[i], self.spec.trace_len)
             },
             &self.spec.policies,
             self.spec.warmup_runs,
@@ -444,7 +447,7 @@ impl CampaignShard {
                 &self.spec.policies,
                 self.spec.include_baseline,
             ),
-        );
+        )?;
         let baseline_runs = grid.baseline_runs;
         let (baselines, cells) = grid.into_flat_parts();
         Ok(ShardReport {

@@ -9,7 +9,7 @@
 //! memory, not 409.  Each trace's monolithic baseline is still simulated
 //! exactly once.
 
-use crate::campaign::{resolve_batch, run_grid, run_grid_streaming, ScenarioExperiment};
+use crate::campaign::{resolve_batch, run_grid, run_grid_streaming, RowTrace, ScenarioExperiment};
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::policy::PolicyKind;
 use hc_trace::{SpecBenchmark, Trace, WorkloadProfile};
@@ -100,14 +100,15 @@ impl SuiteRunner {
         let grid = run_grid_streaming(
             std::slice::from_ref(&ScenarioExperiment::legacy(self.experiment.clone())),
             profiles,
-            |p| Cow::Owned(p.generate()),
+            |p| Ok(RowTrace::Materialized(Cow::Owned(p.generate()))),
             &[kind],
             0,
             true,
             None,
             None,
             resolve_batch(None, 1, &[kind], true),
-        );
+        )
+        .expect("materialized rows cannot fail");
         SuiteResult {
             policy: kind.name().to_string(),
             per_trace: grid.into_experiment_results(),
@@ -120,14 +121,15 @@ impl SuiteRunner {
         let grid = run_grid_streaming(
             std::slice::from_ref(&ScenarioExperiment::legacy(self.experiment.clone())),
             &SpecBenchmark::ALL,
-            |b| Cow::Owned(b.trace(trace_len)),
+            |b| Ok(RowTrace::Materialized(Cow::Owned(b.trace(trace_len)))),
             &[kind],
             0,
             true,
             None,
             None,
             resolve_batch(None, 1, &[kind], true),
-        );
+        )
+        .expect("materialized rows cannot fail");
         SuiteResult {
             policy: kind.name().to_string(),
             per_trace: grid.into_experiment_results(),

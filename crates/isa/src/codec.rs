@@ -1,0 +1,545 @@
+//! Compact binary encoding of [`DynUop`] for on-disk µop traces.
+//!
+//! The encoding is variable length: a fixed four-byte prelude (kind tag plus
+//! three presence bitmaps) followed by only the fields that are present, in a
+//! fixed order.  Program counters and branch targets are LEB128 varints (µop
+//! PCs are small and dense); 32-bit values are little-endian; registers are
+//! their dense [`ArchReg::index`] byte; flags are the packed EFLAGS byte of
+//! [`Flags::pack`].  A typical ALU µop with two sources encodes in ~20 bytes
+//! against ~120 bytes of in-memory struct.
+//!
+//! Every reserved bit must decode as zero and every tag must be known —
+//! decoding is strict so that trace-file corruption surfaces as a typed
+//! [`CodecError`], never as a quietly different µop.  The layout is versioned
+//! by [`ISA_ENCODING_VERSION`], which trace-file headers record; any change
+//! to this module that alters bytes must bump it.
+
+use crate::dynuop::DynUop;
+use crate::flags::Flags;
+use crate::mem::MemAccess;
+use crate::reg::{ArchReg, NUM_ARCH_REGS};
+use crate::uop::{AluOp, BranchCond, MemSize, Uop, UopKind, MAX_SRCS};
+use crate::value::Value;
+
+/// Version of the byte layout produced by [`encode_uop`].  Recorded in trace
+/// file headers; bump on any change to the encoding.
+pub const ISA_ENCODING_VERSION: u32 = 1;
+
+/// A strict-decode failure.  Every variant means the bytes cannot have been
+/// produced by [`encode_uop`] under the current [`ISA_ENCODING_VERSION`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The kind tag byte does not name a [`UopKind`].
+    UnknownKindTag(u8),
+    /// A reserved bit was set in the named field.
+    ReservedBits(&'static str),
+    /// The buffer ended mid-µop.
+    ShortBuffer,
+    /// A register index byte is outside `[0, NUM_ARCH_REGS)`.
+    BadRegIndex(u8),
+    /// A varint ran past 10 bytes (more than 64 bits of payload).
+    BadVarint,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnknownKindTag(t) => write!(f, "unknown µop kind tag {t:#04x}"),
+            CodecError::ReservedBits(field) => write!(f, "reserved bits set in {field}"),
+            CodecError::ShortBuffer => write!(f, "buffer ended mid-µop"),
+            CodecError::BadRegIndex(i) => write!(f, "register index {i} out of range"),
+            CodecError::BadVarint => write!(f, "varint longer than 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const KIND_ALU_BASE: u8 = 0; // ..=14, AluOp in declaration order
+const KIND_MUL: u8 = 15;
+const KIND_DIV: u8 = 16;
+const KIND_LOAD_BASE: u8 = 17; // ..=19, MemSize in declaration order
+const KIND_STORE_BASE: u8 = 20; // ..=22
+const KIND_BRANCH_BASE: u8 = 23; // ..=30, BranchCond in declaration order
+const KIND_JUMP: u8 = 31;
+const KIND_FP: u8 = 32;
+const KIND_COPY: u8 = 33;
+const KIND_NOP: u8 = 34;
+
+const ALU_OPS: [AluOp; 15] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Sar,
+    AluOp::Mov,
+    AluOp::Cmp,
+    AluOp::Test,
+    AluOp::Inc,
+    AluOp::Dec,
+    AluOp::Neg,
+    AluOp::Not,
+];
+const MEM_SIZES: [MemSize; 3] = [MemSize::Byte, MemSize::Word, MemSize::DWord];
+const BRANCH_CONDS: [BranchCond; 8] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Gt,
+    BranchCond::Le,
+    BranchCond::B,
+    BranchCond::Ae,
+];
+
+fn kind_tag(kind: UopKind) -> u8 {
+    match kind {
+        UopKind::Alu(op) => KIND_ALU_BASE + ALU_OPS.iter().position(|&o| o == op).unwrap() as u8,
+        UopKind::Mul => KIND_MUL,
+        UopKind::Div => KIND_DIV,
+        UopKind::Load(s) => KIND_LOAD_BASE + MEM_SIZES.iter().position(|&m| m == s).unwrap() as u8,
+        UopKind::Store(s) => {
+            KIND_STORE_BASE + MEM_SIZES.iter().position(|&m| m == s).unwrap() as u8
+        }
+        UopKind::CondBranch(c) => {
+            KIND_BRANCH_BASE + BRANCH_CONDS.iter().position(|&b| b == c).unwrap() as u8
+        }
+        UopKind::Jump => KIND_JUMP,
+        UopKind::Fp => KIND_FP,
+        UopKind::Copy => KIND_COPY,
+        UopKind::Nop => KIND_NOP,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<UopKind, CodecError> {
+    Ok(match tag {
+        t if t < KIND_MUL => UopKind::Alu(ALU_OPS[t as usize]),
+        KIND_MUL => UopKind::Mul,
+        KIND_DIV => UopKind::Div,
+        t if (KIND_LOAD_BASE..KIND_STORE_BASE).contains(&t) => {
+            UopKind::Load(MEM_SIZES[(t - KIND_LOAD_BASE) as usize])
+        }
+        t if (KIND_STORE_BASE..KIND_BRANCH_BASE).contains(&t) => {
+            UopKind::Store(MEM_SIZES[(t - KIND_STORE_BASE) as usize])
+        }
+        t if (KIND_BRANCH_BASE..KIND_JUMP).contains(&t) => {
+            UopKind::CondBranch(BRANCH_CONDS[(t - KIND_BRANCH_BASE) as usize])
+        }
+        KIND_JUMP => UopKind::Jump,
+        KIND_FP => UopKind::Fp,
+        KIND_COPY => UopKind::Copy,
+        KIND_NOP => UopKind::Nop,
+        t => return Err(CodecError::UnknownKindTag(t)),
+    })
+}
+
+fn mem_size_tag(size: MemSize) -> u8 {
+    MEM_SIZES.iter().position(|&m| m == size).unwrap() as u8
+}
+
+// Presence byte 1: static-uop / dynamic scalar fields.
+const P1_WRITES_FLAGS: u8 = 1 << 0;
+const P1_READS_FLAGS: u8 = 1 << 1;
+const P1_DEST: u8 = 1 << 2;
+const P1_IMM: u8 = 1 << 3;
+const P1_RESULT: u8 = 1 << 4;
+const P1_FLAGS_OUT: u8 = 1 << 5;
+const P1_FLAGS_IN: u8 = 1 << 6;
+const P1_MEM: u8 = 1 << 7;
+
+// Presence byte 2: per-slot source presence plus the branch outcome.
+const P2_SRC_REG_SHIFT: u8 = 0; // bits 0..3
+const P2_SRC_VAL_SHIFT: u8 = 3; // bits 3..6
+const P2_TAKEN_PRESENT: u8 = 1 << 6;
+const P2_TAKEN: u8 = 1 << 7;
+
+// Presence byte 3: branch target; the rest is reserved.
+const P3_TARGET: u8 = 1 << 0;
+const P3_RESERVED: u8 = !P3_TARGET;
+
+// The packed-EFLAGS byte of `Flags::pack` uses bits {0, 2, 3, 4, 5}.
+const FLAGS_MASK: u8 = 0b0011_1101;
+
+// Mem descriptor byte: size tag in bits 0..2, is_store in bit 2.
+const MEM_STORE: u8 = 1 << 2;
+const MEM_RESERVED: u8 = !0b0000_0111;
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append the encoding of `duop` to `out`.
+pub fn encode_uop(out: &mut Vec<u8>, duop: &DynUop) {
+    let uop = &duop.uop;
+    let mut p1 = 0u8;
+    let mut p2 = 0u8;
+    let mut p3 = 0u8;
+    if uop.writes_flags {
+        p1 |= P1_WRITES_FLAGS;
+    }
+    if uop.reads_flags {
+        p1 |= P1_READS_FLAGS;
+    }
+    if uop.dest.is_some() {
+        p1 |= P1_DEST;
+    }
+    if uop.imm.is_some() {
+        p1 |= P1_IMM;
+    }
+    if duop.result.is_some() {
+        p1 |= P1_RESULT;
+    }
+    if duop.flags_out.is_some() {
+        p1 |= P1_FLAGS_OUT;
+    }
+    if duop.flags_in.is_some() {
+        p1 |= P1_FLAGS_IN;
+    }
+    if duop.mem.is_some() {
+        p1 |= P1_MEM;
+    }
+    for slot in 0..MAX_SRCS {
+        if uop.srcs[slot].is_some() {
+            p2 |= 1 << (P2_SRC_REG_SHIFT + slot as u8);
+        }
+        if duop.src_vals[slot].is_some() {
+            p2 |= 1 << (P2_SRC_VAL_SHIFT + slot as u8);
+        }
+    }
+    if let Some(taken) = duop.taken {
+        p2 |= P2_TAKEN_PRESENT;
+        if taken {
+            p2 |= P2_TAKEN;
+        }
+    }
+    if duop.target.is_some() {
+        p3 |= P3_TARGET;
+    }
+
+    out.push(kind_tag(uop.kind));
+    out.push(p1);
+    out.push(p2);
+    out.push(p3);
+    push_varint(out, uop.pc);
+    for src in uop.srcs.iter().flatten() {
+        out.push(src.index() as u8);
+    }
+    if let Some(dest) = uop.dest {
+        out.push(dest.index() as u8);
+    }
+    if let Some(imm) = uop.imm {
+        push_u32(out, imm.bits());
+    }
+    for val in duop.src_vals.iter().flatten() {
+        push_u32(out, val.bits());
+    }
+    if let Some(result) = duop.result {
+        push_u32(out, result.bits());
+    }
+    if let Some(flags) = duop.flags_out {
+        out.push(flags.pack().bits() as u8);
+    }
+    if let Some(flags) = duop.flags_in {
+        out.push(flags.pack().bits() as u8);
+    }
+    if let Some(mem) = duop.mem {
+        push_u32(out, mem.addr);
+        let mut byte = mem_size_tag(mem.size);
+        if mem.is_store {
+            byte |= MEM_STORE;
+        }
+        out.push(byte);
+    }
+    if let Some(target) = duop.target {
+        push_varint(out, target);
+    }
+}
+
+/// A strict decoder over a byte slice of encoded µops.
+pub struct UopDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> UopDecoder<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> UopDecoder<'a> {
+        UopDecoder { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the buffer is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::ShortBuffer)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let end = self.pos.checked_add(4).ok_or(CodecError::ShortBuffer)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(CodecError::ShortBuffer)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        for i in 0..10 {
+            let byte = self.byte()?;
+            if i == 9 && byte > 1 {
+                return Err(CodecError::BadVarint);
+            }
+            v |= ((byte & 0x7f) as u64) << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::BadVarint)
+    }
+
+    fn reg(&mut self) -> Result<ArchReg, CodecError> {
+        let idx = self.byte()?;
+        if (idx as usize) >= NUM_ARCH_REGS {
+            return Err(CodecError::BadRegIndex(idx));
+        }
+        Ok(ArchReg::from_index(idx as usize))
+    }
+
+    fn flags(&mut self) -> Result<Flags, CodecError> {
+        let byte = self.byte()?;
+        if byte & !FLAGS_MASK != 0 {
+            return Err(CodecError::ReservedBits("packed flags"));
+        }
+        Ok(Flags::unpack(Value::new(byte as u32)))
+    }
+
+    /// Decode the next µop.  `Ok(None)` at a clean end of buffer.
+    pub fn next_uop(&mut self) -> Result<Option<DynUop>, CodecError> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        let tag = self.byte()?;
+        let kind = kind_from_tag(tag)?;
+        let p1 = self.byte()?;
+        let p2 = self.byte()?;
+        let p3 = self.byte()?;
+        if p3 & P3_RESERVED != 0 {
+            return Err(CodecError::ReservedBits("presence byte 3"));
+        }
+        if p2 & P2_TAKEN != 0 && p2 & P2_TAKEN_PRESENT == 0 {
+            return Err(CodecError::ReservedBits("taken without taken-present"));
+        }
+        let pc = self.varint()?;
+        let mut uop = Uop::new(pc, kind);
+        uop.writes_flags = p1 & P1_WRITES_FLAGS != 0;
+        uop.reads_flags = p1 & P1_READS_FLAGS != 0;
+        for (slot, src) in uop.srcs.iter_mut().enumerate() {
+            if p2 & (1 << (P2_SRC_REG_SHIFT + slot as u8)) != 0 {
+                *src = Some(self.reg()?);
+            }
+        }
+        if p1 & P1_DEST != 0 {
+            uop.dest = Some(self.reg()?);
+        }
+        if p1 & P1_IMM != 0 {
+            uop.imm = Some(Value::new(self.u32()?));
+        }
+        let mut duop = DynUop::from_uop(uop);
+        for slot in 0..MAX_SRCS {
+            if p2 & (1 << (P2_SRC_VAL_SHIFT + slot as u8)) != 0 {
+                duop.src_vals[slot] = Some(Value::new(self.u32()?));
+            }
+        }
+        if p1 & P1_RESULT != 0 {
+            duop.result = Some(Value::new(self.u32()?));
+        }
+        if p1 & P1_FLAGS_OUT != 0 {
+            duop.flags_out = Some(self.flags()?);
+        }
+        if p1 & P1_FLAGS_IN != 0 {
+            duop.flags_in = Some(self.flags()?);
+        }
+        if p1 & P1_MEM != 0 {
+            let addr = self.u32()?;
+            let byte = self.byte()?;
+            if byte & MEM_RESERVED != 0 {
+                return Err(CodecError::ReservedBits("mem descriptor"));
+            }
+            let size = *MEM_SIZES
+                .get((byte & 0b11) as usize)
+                .ok_or(CodecError::ReservedBits("mem size tag"))?;
+            duop.mem = Some(MemAccess {
+                addr,
+                size,
+                is_store: byte & MEM_STORE != 0,
+            });
+        }
+        if p2 & P2_TAKEN_PRESENT != 0 {
+            duop.taken = Some(p2 & P2_TAKEN != 0);
+        }
+        if p3 & P3_TARGET != 0 {
+            duop.target = Some(self.varint()?);
+        }
+        Ok(Some(duop))
+    }
+}
+
+/// Encode a slice of µops into a fresh buffer.
+pub fn encode_uops(uops: &[DynUop]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(uops.len() * 24);
+    for duop in uops {
+        encode_uop(&mut out, duop);
+    }
+    out
+}
+
+/// Decode an entire buffer of µops; the buffer must contain nothing else.
+pub fn decode_uops(buf: &[u8]) -> Result<Vec<DynUop>, CodecError> {
+    let mut decoder = UopDecoder::new(buf);
+    let mut out = Vec::new();
+    while let Some(duop) = decoder.next_uop()? {
+        out.push(duop);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_uops() -> Vec<DynUop> {
+        let alu = Uop::new(0x40_1000, UopKind::Alu(AluOp::Add))
+            .with_src(ArchReg::Eax)
+            .with_src(ArchReg::Ebx)
+            .with_dest(ArchReg::Eax)
+            .with_imm(Value::new(0x1234))
+            .writing_flags();
+        let mut d0 = DynUop::from_uop(alu);
+        d0.src_vals[0] = Some(Value::new(5));
+        d0.src_vals[1] = Some(Value::new(0xFFFF_FF00));
+        d0.result = Some(Value::new(0xFFFF_FF05));
+        d0.flags_out = Some(Flags {
+            zf: false,
+            sf: true,
+            cf: true,
+            of: false,
+            pf: true,
+        });
+
+        let load = Uop::new(7, UopKind::Load(MemSize::Word))
+            .with_src(ArchReg::Esp)
+            .with_dest(ArchReg::Temp(3));
+        let mut d1 = DynUop::from_uop(load);
+        d1.src_vals[0] = Some(Value::new(0x7fff_0000));
+        d1.result = Some(Value::new(42));
+        d1.mem = Some(MemAccess::load(0x7fff_0000, MemSize::Word));
+
+        let br = Uop::new(
+            u64::from(u32::MAX) + 99,
+            UopKind::CondBranch(BranchCond::Le),
+        )
+        .reading_flags();
+        let mut d2 = DynUop::from_uop(br);
+        d2.flags_in = Some(Flags::default());
+        d2.taken = Some(true);
+        d2.target = Some(0x123_4567_89ab);
+
+        let nop = DynUop::from_uop(Uop::new(0, UopKind::Nop));
+        vec![d0, d1, d2, nop]
+    }
+
+    #[test]
+    fn round_trip_sample_uops() {
+        let uops = sample_uops();
+        let bytes = encode_uops(&uops);
+        let back = decode_uops(&bytes).expect("decode");
+        assert_eq!(back, uops);
+    }
+
+    #[test]
+    fn every_kind_tag_round_trips() {
+        let mut kinds: Vec<UopKind> = ALU_OPS.iter().map(|&op| UopKind::Alu(op)).collect();
+        kinds.extend([UopKind::Mul, UopKind::Div]);
+        kinds.extend(MEM_SIZES.iter().map(|&s| UopKind::Load(s)));
+        kinds.extend(MEM_SIZES.iter().map(|&s| UopKind::Store(s)));
+        kinds.extend(BRANCH_CONDS.iter().map(|&c| UopKind::CondBranch(c)));
+        kinds.extend([UopKind::Jump, UopKind::Fp, UopKind::Copy, UopKind::Nop]);
+        for (i, &kind) in kinds.iter().enumerate() {
+            assert_eq!(kind_tag(kind), i as u8, "tags are dense and ordered");
+            assert_eq!(kind_from_tag(i as u8), Ok(kind));
+            let duop = DynUop::from_uop(Uop::new(i as u64, kind));
+            let bytes = encode_uops(&[duop]);
+            assert_eq!(decode_uops(&bytes).expect("decode"), vec![duop]);
+        }
+        assert!(kind_from_tag(KIND_NOP + 1).is_err());
+    }
+
+    #[test]
+    fn truncated_buffer_is_a_typed_error() {
+        let bytes = encode_uops(&sample_uops());
+        for cut in 1..bytes.len() {
+            match decode_uops(&bytes[..cut]) {
+                Ok(uops) => {
+                    // A cut on a µop boundary decodes a clean prefix.
+                    assert!(uops.len() < 4);
+                }
+                Err(e) => assert!(
+                    matches!(
+                        e,
+                        CodecError::ShortBuffer
+                            | CodecError::UnknownKindTag(_)
+                            | CodecError::ReservedBits(_)
+                            | CodecError::BadRegIndex(_)
+                            | CodecError::BadVarint
+                    ),
+                    "unexpected error {e:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        let mut bytes = encode_uops(&[DynUop::from_uop(Uop::new(0, UopKind::Nop))]);
+        bytes[3] |= 0x80; // presence byte 3 reserved bit
+        assert_eq!(
+            decode_uops(&bytes),
+            Err(CodecError::ReservedBits("presence byte 3"))
+        );
+    }
+
+    #[test]
+    fn bad_register_index_rejected() {
+        let uop = Uop::new(0, UopKind::Alu(AluOp::Mov)).with_src(ArchReg::Eax);
+        let mut bytes = encode_uops(&[DynUop::from_uop(uop)]);
+        let reg_pos = bytes.len() - 1;
+        bytes[reg_pos] = NUM_ARCH_REGS as u8;
+        assert_eq!(
+            decode_uops(&bytes),
+            Err(CodecError::BadRegIndex(NUM_ARCH_REGS as u8))
+        );
+    }
+}

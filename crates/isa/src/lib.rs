@@ -23,10 +23,13 @@
 //! * [`width`] — data-width classification helpers (8-8-8, 8-32-32, … operand
 //!   profiles used throughout §3).
 //! * [`mem`] — memory access descriptors.
+//! * [`codec`] — the compact binary encoding of dynamic µops used by on-disk
+//!   trace files, versioned by [`ISA_ENCODING_VERSION`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod dynuop;
 pub mod flags;
 pub mod mem;
@@ -35,6 +38,9 @@ pub mod uop;
 pub mod value;
 pub mod width;
 
+pub use codec::{
+    decode_uops, encode_uop, encode_uops, CodecError, UopDecoder, ISA_ENCODING_VERSION,
+};
 pub use dynuop::DynUop;
 pub use flags::Flags;
 pub use mem::MemAccess;

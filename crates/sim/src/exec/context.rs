@@ -190,12 +190,20 @@ impl ExecContext {
 
     /// Return the arena buffers to a cold state for a run of `trace` under
     /// `cfg`, keeping every allocation.
+    #[cfg(test)]
     pub(crate) fn prepare(&mut self, cfg: &SimConfig, trace: &Trace) {
+        self.prepare_parts(cfg, trace.len());
+    }
+
+    /// [`ExecContext::prepare`] from a bare µop count — what streaming runs
+    /// use, where the length is known from the source header but no
+    /// materialized [`Trace`] exists.
+    pub(crate) fn prepare_parts(&mut self, cfg: &SimConfig, trace_len: usize) {
         self.entries.clear();
         self.ctl.clear();
         self.dep_head.clear();
         self.dep_pool.clear();
-        let want = trace.len() + trace.len() / 2;
+        let want = trace_len + trace_len / 2;
         self.entries.reserve(want);
         self.ctl.reserve(want);
         self.dep_head.reserve(want);
@@ -207,7 +215,7 @@ impl ExecContext {
         self.event_scratch.clear();
         self.select_scratch.clear();
         self.ready.reset();
-        self.forced_wide.reset(trace.len());
+        self.forced_wide.reset(trace_len);
         self.steer_sources.clear();
         self.seq_scratch.clear();
         if self.mem.matches(cfg) {
@@ -223,7 +231,20 @@ impl ExecContext {
     /// the lane can be stepped wide cycle by wide cycle until
     /// [`ExecContext::run_done`].
     pub(crate) fn begin_run(&mut self, cfg: &SimConfig, trace: &Trace, policy_name: &str) {
-        self.prepare(cfg, trace);
+        self.begin_run_parts(cfg, &trace.name, trace.len(), policy_name);
+    }
+
+    /// [`ExecContext::begin_run`] from header parts (name + µop count) — the
+    /// streaming entry point, bit-identical to `begin_run` over a
+    /// materialized trace with the same name and length.
+    pub(crate) fn begin_run_parts(
+        &mut self,
+        cfg: &SimConfig,
+        trace_name: &str,
+        trace_len: usize,
+        policy_name: &str,
+    ) {
+        self.prepare_parts(cfg, trace_len);
         self.rename_map = [None; NUM_ARCH_REGS];
         self.flags_map = None;
         self.arch_loc = [Cluster::Wide; NUM_ARCH_REGS];
@@ -240,15 +261,15 @@ impl ExecContext {
         self.tick = 0;
         self.cycles = 0;
         // Hard bound so a modelling bug can never hang the caller.
-        self.max_cycles = (trace.len() as u64 + 1_000) * 600;
+        self.max_cycles = (trace_len as u64 + 1_000) * 600;
         self.nready = NReadyAccumulator::new(4096);
         self.stats = SimStats {
             policy: policy_name.to_string(),
-            trace: trace.name.clone(),
+            trace: trace_name.to_string(),
             ..SimStats::default()
         };
         self.committed_trace_uops = 0;
-        self.trace_len = trace.len();
+        self.trace_len = trace_len;
     }
 
     /// Whether the current run has retired its whole trace (or hit the

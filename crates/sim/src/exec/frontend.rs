@@ -19,13 +19,17 @@ impl Machine<'_> {
             return;
         }
         let mut renamed = 0usize;
-        while renamed < self.cfg.rename_width && self.ctx.next_pos < self.trace.len() {
+        while renamed < self.cfg.rename_width && self.ctx.next_pos < self.feed.len() {
             // Window space: worst case a split needs chunks + copies entries.
             if self.ctx.rob.len() + self.split_chunks() * 2 + 2 > self.cfg.rob_entries {
                 break;
             }
             let pos = self.ctx.next_pos;
-            let duop = self.trace.uops[pos];
+            // A streaming feed returns None on failure; stop fetching and let
+            // the run loop surface the latched error.
+            let Some(duop) = self.feed.get(pos) else {
+                break;
+            };
             let sctx = self.build_context(&duop, pos);
             self.ctx.stats.energy.predictor_accesses += 1;
             let mut decision = self.policy.steer(&duop, &sctx);

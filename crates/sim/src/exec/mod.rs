@@ -67,7 +67,8 @@ use crate::config::{ConfigError, SimConfig};
 use crate::rob::Seq;
 use crate::stats::SimStats;
 use crate::steer::{Cluster, SteeringPolicy};
-use hc_trace::Trace;
+use hc_isa::DynUop;
+use hc_trace::{Trace, TraceError, TraceSource, TRACE_SOURCE_CHUNK};
 
 /// The simulator: construct once per configuration, then run as many traces /
 /// policies as needed — with [`Simulator::run_with`] and a reused
@@ -116,6 +117,47 @@ impl Simulator {
         Machine::attach(&self.config, trace, policy, ctx).run_to_completion();
         ctx.take_stats()
     }
+
+    /// Run a streaming [`TraceSource`] under `policy` inside a reused
+    /// [`ExecContext`], holding only a bounded window of µops in memory.
+    ///
+    /// The source is `reset()` first, so warmup loops can hand the same
+    /// source in repeatedly.  For any source that yields the same µops as a
+    /// materialized trace with the same name and length, the returned stats
+    /// are bit-identical to [`Simulator::run_with`] over that trace: the
+    /// machine consumes positions through the same `(len, get(pos))`
+    /// interface either way.
+    ///
+    /// A source failure (I/O error, corrupt frame, a stream shorter than its
+    /// header promised) aborts the run with the typed error; no stats are
+    /// produced.
+    pub fn run_source(
+        &self,
+        ctx: &mut ExecContext,
+        source: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+    ) -> Result<SimStats, TraceError> {
+        source.reset()?;
+        let (name, len) = {
+            let header = source.header();
+            let len = usize::try_from(header.len).map_err(|_| {
+                TraceError::CorruptHeader("µop count exceeds this platform's usize".into())
+            })?;
+            (header.name.clone(), len)
+        };
+        ctx.begin_run_parts(&self.config, &name, len, policy.name());
+        let mut machine = Machine {
+            cfg: &self.config,
+            feed: TraceFeed::Stream(StreamCursor::new(source, len)),
+            policy,
+            ctx,
+        };
+        machine.run_to_completion();
+        match machine.feed.into_failure() {
+            Some(e) => Err(e),
+            None => Ok(ctx.take_stats()),
+        }
+    }
 }
 
 /// Rename-table entry: the in-flight producer of an architectural register.
@@ -124,13 +166,127 @@ pub(crate) struct RenameEntry {
     pub(crate) seq: Seq,
 }
 
-/// One run's stage driver: a *view* that borrows the configuration, trace,
-/// policy and the [`ExecContext`] lane holding **all** mutable state.
-/// Because the machine owns nothing, it can be attached and dropped between
-/// wide cycles — which is how the batched mode interleaves lanes.
+/// Where a machine's µops come from: a borrowed materialized trace (random
+/// access, the batched-lane case) or a streaming cursor over a
+/// [`TraceSource`] holding only a bounded in-flight window.
+///
+/// Both answer the two questions the frontend asks — the total length, and
+/// "the µop at position `pos`" — so slice-fed and stream-fed runs execute
+/// the identical cycle-by-cycle schedule.
+pub(crate) enum TraceFeed<'a> {
+    Slice(&'a Trace),
+    Stream(StreamCursor<'a>),
+}
+
+impl TraceFeed<'_> {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            TraceFeed::Slice(trace) => trace.len(),
+            TraceFeed::Stream(cursor) => cursor.len,
+        }
+    }
+
+    /// The µop at trace position `pos`, or `None` past the end / after a
+    /// stream failure.
+    pub(crate) fn get(&mut self, pos: usize) -> Option<DynUop> {
+        match self {
+            TraceFeed::Slice(trace) => trace.uops.get(pos).copied(),
+            TraceFeed::Stream(cursor) => cursor.get(pos),
+        }
+    }
+
+    /// Whether the feed can no longer supply µops it should have.
+    pub(crate) fn failed(&self) -> bool {
+        matches!(self, TraceFeed::Stream(cursor) if cursor.failed.is_some())
+    }
+
+    /// Release buffered µops below the commit watermark — positions the
+    /// machine can never ask for again (recovery rewinds only to in-flight,
+    /// i.e. not-yet-committed, positions).
+    pub(crate) fn trim(&mut self, watermark: usize) {
+        if let TraceFeed::Stream(cursor) = self {
+            cursor.trim(watermark);
+        }
+    }
+
+    fn into_failure(self) -> Option<TraceError> {
+        match self {
+            TraceFeed::Slice(_) => None,
+            TraceFeed::Stream(cursor) => cursor.failed,
+        }
+    }
+}
+
+/// A refill-on-demand window over a [`TraceSource`].
+///
+/// `buf` holds positions `[base, base + buf.len())`; `get` refills in
+/// [`TRACE_SOURCE_CHUNK`] steps, and `trim` drops committed positions once a
+/// chunk's worth has retired, keeping memory bounded by the chunk size plus
+/// the in-flight window.  A source error is latched in `failed`: the
+/// frontend then starves, the run loop exits, and the caller surfaces the
+/// error instead of stats.
+pub(crate) struct StreamCursor<'a> {
+    source: &'a mut dyn TraceSource,
+    buf: Vec<DynUop>,
+    base: usize,
+    len: usize,
+    failed: Option<TraceError>,
+}
+
+impl<'a> StreamCursor<'a> {
+    pub(crate) fn new(source: &'a mut dyn TraceSource, len: usize) -> StreamCursor<'a> {
+        StreamCursor {
+            source,
+            buf: Vec::new(),
+            base: 0,
+            len,
+            failed: None,
+        }
+    }
+
+    fn get(&mut self, pos: usize) -> Option<DynUop> {
+        debug_assert!(pos >= self.base, "position below the trimmed watermark");
+        while pos >= self.base + self.buf.len() {
+            if self.failed.is_some() {
+                return None;
+            }
+            match self.source.fill(&mut self.buf, TRACE_SOURCE_CHUNK) {
+                Ok(0) => {
+                    self.failed = Some(TraceError::CountMismatch {
+                        header: self.len as u64,
+                        decoded: (self.base + self.buf.len()) as u64,
+                    });
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = Some(e);
+                    return None;
+                }
+            }
+        }
+        Some(self.buf[pos - self.base])
+    }
+
+    fn trim(&mut self, watermark: usize) {
+        let consumed = watermark.saturating_sub(self.base);
+        // Amortize: draining the Vec front is O(remaining), so only pay it
+        // once a full chunk has retired.
+        if consumed >= TRACE_SOURCE_CHUNK {
+            self.buf.drain(..consumed.min(self.buf.len()));
+            self.base = watermark;
+        }
+    }
+}
+
+/// One run's stage driver: a *view* that borrows the configuration, µop
+/// feed, policy and the [`ExecContext`] lane holding **all** mutable state.
+/// Because the machine owns nothing but its feed cursor, it can be attached
+/// and dropped between wide cycles — which is how the batched mode
+/// interleaves lanes.
 pub(crate) struct Machine<'a> {
     pub(crate) cfg: &'a SimConfig,
-    pub(crate) trace: &'a Trace,
+    pub(crate) feed: TraceFeed<'a>,
     pub(crate) policy: &'a mut dyn SteeringPolicy,
     pub(crate) ctx: &'a mut ExecContext,
 }
@@ -146,7 +302,7 @@ impl<'a> Machine<'a> {
     ) -> Self {
         Machine {
             cfg,
-            trace,
+            feed: TraceFeed::Slice(trace),
             policy,
             ctx,
         }
@@ -168,9 +324,10 @@ impl<'a> Machine<'a> {
 
     // ----------------------------------------------------------------- run
 
-    /// Drive the lane until its trace has fully retired.
+    /// Drive the lane until its trace has fully retired (or, for a streaming
+    /// feed, until the feed fails — the caller turns that into an error).
     pub(crate) fn run_to_completion(&mut self) {
-        while !self.ctx.run_done() {
+        while !self.ctx.run_done() && !self.feed.failed() {
             self.step_wide_cycle();
         }
     }
@@ -188,6 +345,7 @@ impl<'a> Machine<'a> {
             self.ctx.tick += 1;
         }
         self.commit();
+        self.feed.trim(self.ctx.committed_trace_uops);
         self.rename_and_dispatch();
         self.sample_nready();
         self.ctx.cycles += 1;
@@ -398,6 +556,80 @@ mod tests {
             assert_eq!(b, baseline.run(trace, &mut AlwaysWide));
             assert_eq!(c, helper.run(trace, &mut RecklessNarrow));
         }
+    }
+
+    #[test]
+    fn streaming_source_is_bit_identical_to_slice_runs() {
+        use hc_trace::MaterializedSource;
+        // Long enough to wrap several stream chunks so `trim` really runs;
+        // RecklessNarrow exercises the flush-and-resteer rewind path against
+        // the trimmed window.
+        let trace = small_trace(10_000);
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let mut ctx = ExecContext::new();
+        let mut source = MaterializedSource::new(trace.clone());
+        for make_policy in [
+            || Box::new(OracleNarrow) as Box<dyn SteeringPolicy>,
+            || Box::new(RecklessNarrow) as Box<dyn SteeringPolicy>,
+            || Box::new(AlwaysWide) as Box<dyn SteeringPolicy>,
+        ] {
+            let sliced = sim.run_with(&mut ctx, &trace, make_policy().as_mut());
+            let streamed = sim
+                .run_source(&mut ctx, &mut source, make_policy().as_mut())
+                .expect("materialized source cannot fail");
+            assert_eq!(sliced, streamed, "stream-fed run must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn short_stream_is_a_typed_error_not_a_hang() {
+        use hc_trace::{MaterializedSource, TraceHeader, TraceSource};
+        /// A source whose header promises more µops than it yields.
+        struct Lying {
+            inner: MaterializedSource,
+            header: TraceHeader,
+        }
+        impl TraceSource for Lying {
+            fn header(&self) -> &TraceHeader {
+                &self.header
+            }
+            fn reset(&mut self) -> Result<(), hc_trace::TraceError> {
+                self.inner.reset()
+            }
+            fn fill(
+                &mut self,
+                out: &mut Vec<DynUop>,
+                max: usize,
+            ) -> Result<usize, hc_trace::TraceError> {
+                self.inner.fill(out, max)
+            }
+        }
+        let trace = small_trace(500);
+        let mut header = TraceHeader::of_trace(&trace);
+        header.len = 800;
+        let mut source = Lying {
+            inner: MaterializedSource::new(trace),
+            header,
+        };
+        let sim = Simulator::new(SimConfig::paper_baseline()).unwrap();
+        let mut ctx = ExecContext::new();
+        let err = sim
+            .run_source(&mut ctx, &mut source, &mut AlwaysWide)
+            .expect_err("a short stream must fail");
+        assert!(
+            matches!(
+                err,
+                hc_trace::TraceError::CountMismatch {
+                    header: 800,
+                    decoded: 500
+                }
+            ),
+            "unexpected error {err:?}"
+        );
+        // The context is reusable afterwards.
+        let trace = small_trace(400);
+        let stats = sim.run_with(&mut ctx, &trace, &mut AlwaysWide);
+        assert_eq!(stats.committed_uops, 400);
     }
 
     #[test]

@@ -14,18 +14,27 @@
 #![warn(missing_docs)]
 
 pub mod categories;
+pub mod format;
 pub mod interp;
 pub mod kernels;
+pub mod phase;
 pub mod profile;
 pub mod program;
+pub mod source;
 pub mod spec;
 pub mod stats;
 pub mod trace;
 
 pub use categories::{paper_suite, reduced_suite, suite_profiles, SuiteProfiles, WorkloadCategory};
+pub use format::{
+    load_trace, read_header, record_source, recover, write_trace, FileSource, RecoveredTail,
+    TraceError, TraceFileHeader, TraceWriter, TRACE_FORMAT_VERSION, TRACE_MAGIC,
+};
 pub use interp::{InterpConfig, Interpreter, MemImage};
 pub use kernels::{Kernel, KernelKind};
+pub use phase::{Phase, PhaseSchedule, PhasedSource};
 pub use profile::WorkloadProfile;
 pub use program::{Inst, Label, Operand, Program};
+pub use source::{MaterializedSource, TraceHeader, TraceSource, TRACE_SOURCE_CHUNK};
 pub use spec::SpecBenchmark;
-pub use trace::Trace;
+pub use trace::{mix_category, Trace};

@@ -1,0 +1,218 @@
+//! Phase-structured workloads: time-varying compositions of
+//! [`WorkloadProfile`]s.
+//!
+//! Real applications move through phases — an encryption pass, then a
+//! table-driven decode loop, then pointer chasing — and the steering and
+//! width-predictor policies see non-stationary operand-width statistics as a
+//! result.  A [`PhaseSchedule`] names an ordered list of `(profile, µops)`
+//! phases; [`PhasedSource`] streams the concatenation one phase at a time
+//! (O(phase) memory), and [`PhaseSchedule::materialize`] builds the identical
+//! trace eagerly (the two are equal by construction: each phase is generated
+//! by the same deterministic profile with the same seed either way).
+
+use crate::format::TraceError;
+use crate::profile::WorkloadProfile;
+use crate::source::{TraceHeader, TraceSource};
+use crate::trace::{mix_category, Trace};
+use hc_isa::DynUop;
+use serde::{Deserialize, Serialize};
+
+/// One phase: a workload profile run for a fixed µop budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// The profile generating this phase (its own `trace_len` is ignored).
+    pub profile: WorkloadProfile,
+    /// Dynamic µops this phase contributes.
+    pub uops: usize,
+}
+
+/// An ordered, named composition of phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    /// Schedule name — the trace name consumers see.
+    pub name: String,
+    /// The phases, in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseSchedule {
+    /// An empty schedule; add phases with [`PhaseSchedule::phase`].
+    pub fn new(name: impl Into<String>) -> PhaseSchedule {
+        PhaseSchedule {
+            name: name.into(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Append a phase.
+    pub fn phase(mut self, profile: WorkloadProfile, uops: usize) -> PhaseSchedule {
+        self.phases.push(Phase { profile, uops });
+        self
+    }
+
+    /// Total µops one pass over the schedule yields.
+    pub fn total_uops(&self) -> u64 {
+        self.phases.iter().map(|p| p.uops as u64).sum()
+    }
+
+    /// The category label of the composition: the single shared category, or
+    /// a `mix(...)` of the distinct phase categories.
+    pub fn category(&self) -> Option<String> {
+        mix_category(self.phases.iter().map(|p| p.profile.category.as_deref()))
+    }
+
+    /// The header a [`PhasedSource`] over this schedule reports.
+    pub fn header(&self) -> TraceHeader {
+        TraceHeader {
+            name: self.name.clone(),
+            category: self.category(),
+            len: self.total_uops(),
+            digest: None,
+        }
+    }
+
+    /// Generate one phase's trace.
+    fn generate_phase(&self, idx: usize) -> Trace {
+        let phase = &self.phases[idx];
+        phase.profile.clone().with_trace_len(phase.uops).generate()
+    }
+
+    /// Build the full trace eagerly — byte-identical to what
+    /// [`PhasedSource`] streams.
+    pub fn materialize(&self) -> Trace {
+        let mut trace = Trace::new(self.name.clone());
+        for idx in 0..self.phases.len() {
+            trace.extend(&self.generate_phase(idx));
+        }
+        trace
+    }
+}
+
+/// A [`TraceSource`] that generates a [`PhaseSchedule`] one phase at a time.
+pub struct PhasedSource {
+    schedule: PhaseSchedule,
+    header: TraceHeader,
+    phase_idx: usize,
+    current: Option<Trace>,
+    pos: usize,
+}
+
+impl PhasedSource {
+    /// Stream `schedule`.
+    pub fn new(schedule: PhaseSchedule) -> PhasedSource {
+        let header = schedule.header();
+        PhasedSource {
+            schedule,
+            header,
+            phase_idx: 0,
+            current: None,
+            pos: 0,
+        }
+    }
+}
+
+impl TraceSource for PhasedSource {
+    fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    fn reset(&mut self) -> Result<(), TraceError> {
+        self.phase_idx = 0;
+        self.current = None;
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn fill(&mut self, out: &mut Vec<DynUop>, max: usize) -> Result<usize, TraceError> {
+        let mut appended = 0;
+        while appended < max {
+            let exhausted = self
+                .current
+                .as_ref()
+                .map(|t| self.pos >= t.len())
+                .unwrap_or(true);
+            if exhausted {
+                if self.phase_idx >= self.schedule.phases.len() {
+                    break;
+                }
+                self.current = Some(self.schedule.generate_phase(self.phase_idx));
+                self.phase_idx += 1;
+                self.pos = 0;
+                continue;
+            }
+            let trace = self.current.as_ref().unwrap();
+            let take = (max - appended).min(trace.len() - self.pos);
+            out.extend_from_slice(&trace.uops[self.pos..self.pos + take]);
+            self.pos += take;
+            appended += take;
+        }
+        Ok(appended)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelKind;
+    use crate::source::drain_source;
+
+    fn schedule() -> PhaseSchedule {
+        PhaseSchedule::new("alt")
+            .phase(
+                WorkloadProfile::new("enc", vec![(KernelKind::RleCompress, 1.0)])
+                    .with_category("enc"),
+                600,
+            )
+            .phase(
+                WorkloadProfile::new("tab", vec![(KernelKind::TableLookup, 1.0)])
+                    .with_category("tab"),
+                400,
+            )
+            .phase(
+                WorkloadProfile::new("enc2", vec![(KernelKind::RleCompress, 1.0)])
+                    .with_category("enc"),
+                300,
+            )
+    }
+
+    #[test]
+    fn header_reports_totals_and_mix() {
+        let s = schedule();
+        assert_eq!(s.total_uops(), 1300);
+        assert_eq!(s.category().as_deref(), Some("mix(enc+tab)"));
+        let h = s.header();
+        assert_eq!(h.name, "alt");
+        assert_eq!(h.len, 1300);
+        assert_eq!(h.digest, None);
+    }
+
+    #[test]
+    fn streaming_equals_materialized() {
+        let s = schedule();
+        let eager = s.materialize();
+        assert_eq!(eager.len(), 1300);
+        assert_eq!(eager.category, s.category());
+        let mut src = PhasedSource::new(s);
+        let streamed = drain_source(&mut src).unwrap();
+        assert_eq!(streamed, eager.uops);
+        // And a reset replays identically.
+        src.reset().unwrap();
+        assert_eq!(drain_source(&mut src).unwrap(), eager.uops);
+    }
+
+    #[test]
+    fn single_category_is_not_labelled_a_mix() {
+        let s = PhaseSchedule::new("mono")
+            .phase(
+                WorkloadProfile::new("a", vec![(KernelKind::RleCompress, 1.0)])
+                    .with_category("enc"),
+                100,
+            )
+            .phase(
+                WorkloadProfile::new("b", vec![(KernelKind::RleCompress, 1.0)])
+                    .with_category("enc"),
+                100,
+            );
+        assert_eq!(s.category().as_deref(), Some("enc"));
+    }
+}

@@ -55,7 +55,13 @@ impl Trace {
     }
 
     /// Append another trace's µops (used to build mixes of kernels).
+    ///
+    /// The category label accumulates: extending an `enc` trace with a `tab`
+    /// trace yields `mix(enc+tab)`, not a silently kept `enc`.  Components
+    /// are sorted and de-duplicated, so the label is order-independent and a
+    /// same-category extension keeps the plain label.  See [`mix_category`].
     pub fn extend(&mut self, other: &Trace) {
+        self.category = mix_category([self.category.as_deref(), other.category.as_deref()]);
         self.uops.extend(other.uops.iter().cloned());
     }
 
@@ -80,6 +86,31 @@ impl Trace {
             uops: self.uops[start..end].to_vec(),
             category: self.category.clone(),
         }
+    }
+}
+
+/// Combine category labels into one: the single shared category, or a
+/// `mix(a+b+…)` of the distinct components, sorted and de-duplicated.
+///
+/// A `mix(...)` input contributes its components rather than nesting, so
+/// label composition is associative; `None` inputs contribute nothing.
+pub fn mix_category<'a>(parts: impl IntoIterator<Item = Option<&'a str>>) -> Option<String> {
+    let mut components: Vec<&str> = Vec::new();
+    for part in parts.into_iter().flatten() {
+        match part
+            .strip_prefix("mix(")
+            .and_then(|rest| rest.strip_suffix(')'))
+        {
+            Some(inner) => components.extend(inner.split('+')),
+            None => components.push(part),
+        }
+    }
+    components.sort_unstable();
+    components.dedup();
+    match components.as_slice() {
+        [] => None,
+        [single] => Some((*single).to_string()),
+        many => Some(format!("mix({})", many.join("+"))),
     }
 }
 
@@ -115,6 +146,38 @@ mod tests {
         assert_eq!(a.len(), 3);
         a.truncate(2);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn extend_merges_category_labels() {
+        let mut a = Trace::from_uops("a", vec![dummy(0)]).with_category("enc");
+        a.extend(&Trace::from_uops("b", vec![dummy(1)]).with_category("tab"));
+        assert_eq!(a.category.as_deref(), Some("mix(enc+tab)"));
+        // Same category again: label stays a plain mix, no duplicates.
+        a.extend(&Trace::from_uops("c", vec![dummy(2)]).with_category("enc"));
+        assert_eq!(a.category.as_deref(), Some("mix(enc+tab)"));
+        // Same-category extension of a plain label keeps the plain label.
+        let mut d = Trace::from_uops("d", vec![dummy(0)]).with_category("mm");
+        d.extend(&Trace::from_uops("e", vec![dummy(1)]).with_category("mm"));
+        assert_eq!(d.category.as_deref(), Some("mm"));
+        // An uncategorized accumulator adopts the first real category.
+        let mut f = Trace::new("f");
+        f.extend(&d);
+        assert_eq!(f.category.as_deref(), Some("mm"));
+    }
+
+    #[test]
+    fn mix_category_is_order_independent_and_flattening() {
+        assert_eq!(mix_category([None, None]), None);
+        assert_eq!(mix_category([Some("x"), None]).as_deref(), Some("x"));
+        assert_eq!(
+            mix_category([Some("b"), Some("a")]).as_deref(),
+            Some("mix(a+b)")
+        );
+        assert_eq!(
+            mix_category([Some("mix(a+c)"), Some("b"), Some("a")]).as_deref(),
+            Some("mix(a+b+c)")
+        );
     }
 
     #[test]
